@@ -1,0 +1,120 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **Synopsis size ratio** — a bigger synopsis improves the initial
+//!    result and correlation estimates but costs more per request
+//!    (paper §2.3: ~100× smaller; they study load-adaptive sizing in
+//!    follow-up work).
+//! 2. **`i_max` cap** — the top-40% cut-off the search engine uses.
+//! 3. **Reissue trigger percentile** — the 95th-percentile setting.
+
+use at_core::Component;
+use at_linalg::svd::SvdConfig;
+use at_recommender::{rating_matrix, ActiveUser, CfService};
+use at_sim::{run_fixed_rate, Technique};
+use at_synopsis::{AggregationMode, SparseRow, SynopsisConfig};
+use at_workloads::{RatingsConfig, RatingsDataset};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_synopsis_ratio(c: &mut Criterion) {
+    let n = 1200usize;
+    let data = RatingsDataset::generate(RatingsConfig {
+        n_users: n,
+        n_items: 150,
+        ratings_per_user: 40,
+        ..RatingsConfig::small()
+    });
+    let matrix = rating_matrix(n, 150, &data.ratings);
+    let profile: Vec<(u32, f64)> = data
+        .ratings
+        .iter()
+        .filter(|r| r.user == 0)
+        .map(|r| (r.item, r.stars))
+        .collect();
+    let active = ActiveUser::new(SparseRow::from_pairs(profile), vec![1, 2, 3]);
+
+    let mut group = c.benchmark_group("ablation_synopsis_ratio");
+    group.sample_size(10);
+    for ratio in [10usize, 50, 200] {
+        let cfg = SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(25),
+            size_ratio: ratio,
+            ..SynopsisConfig::default()
+        };
+        let (component, _) =
+            Component::build(matrix.clone(), AggregationMode::Mean, cfg, CfService);
+        group.bench_with_input(
+            BenchmarkId::new("synopsis_pass", ratio),
+            &component,
+            |b, comp| b.iter(|| comp.approx_budgeted(&active, None, 0)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_imax(c: &mut Criterion) {
+    let cfg = at_sim::SimConfig {
+        n_components: 12,
+        n_nodes: 8,
+        sample_every: 40,
+        ..at_sim::SimConfig::default()
+    };
+    let mut group = c.benchmark_group("ablation_imax");
+    group.sample_size(10);
+    for imax in [3usize, 12, 30] {
+        group.bench_with_input(BenchmarkId::new("at_cell_rate60", imax), &imax, |b, &m| {
+            b.iter(|| {
+                run_fixed_rate(
+                    60.0,
+                    10.0,
+                    Technique::AccuracyTrader {
+                        deadline_s: 0.1,
+                        imax: Some(m),
+                    },
+                    &cfg,
+                )
+                .latencies
+                .p999_ms()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_reissue_percentile(c: &mut Criterion) {
+    let cfg = at_sim::SimConfig {
+        n_components: 12,
+        n_nodes: 8,
+        ..at_sim::SimConfig::default()
+    };
+    let mut group = c.benchmark_group("ablation_reissue_percentile");
+    group.sample_size(10);
+    for pct in [80.0f64, 95.0, 99.0] {
+        group.bench_with_input(
+            BenchmarkId::new("reissue_cell_rate40", pct as u64),
+            &pct,
+            |b, &p| {
+                b.iter(|| {
+                    run_fixed_rate(
+                        40.0,
+                        10.0,
+                        Technique::Reissue {
+                            trigger_percentile: p,
+                        },
+                        &cfg,
+                    )
+                    .latencies
+                    .p999_ms()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_synopsis_ratio,
+    bench_imax,
+    bench_reissue_percentile
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figure 3: incremental synopsis updating time for i% added and i%
+//! changed data points (both update categories, i ∈ {1, 5, 10}).
+
+use at_linalg::svd::SvdConfig;
+use at_recommender::rating_matrix;
+use at_synopsis::{AggregationMode, DataUpdate, SparseRow, SynopsisConfig, SynopsisStore};
+use at_workloads::{RatingsConfig, RatingsDataset};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn bench_updates(c: &mut Criterion) {
+    let n = 1500usize;
+    let data = RatingsDataset::generate(RatingsConfig {
+        n_users: n,
+        n_items: 200,
+        ratings_per_user: 50,
+        ..RatingsConfig::small()
+    });
+    let store_rows = rating_matrix(n, 200, &data.ratings);
+    let cfg = SynopsisConfig {
+        svd: SvdConfig::default().with_epochs(30),
+        size_ratio: 50,
+        ..SynopsisConfig::default()
+    };
+    let (store, _) = SynopsisStore::build(&store_rows, AggregationMode::Mean, cfg);
+
+    let mut group = c.benchmark_group("fig3_synopsis_update");
+    group.sample_size(10);
+    for pct in [1usize, 5, 10] {
+        let count = n * pct / 100;
+        group.bench_with_input(BenchmarkId::new("add", pct), &count, |b, &count| {
+            b.iter_batched(
+                || {
+                    let updates: Vec<DataUpdate> = (0..count)
+                        .map(|i| DataUpdate::Add(store_rows.row((i * 7 % n) as u64).clone()))
+                        .collect();
+                    (store.clone(), store_rows.clone(), updates)
+                },
+                |(mut s, mut d, updates)| s.apply_updates(&mut d, updates),
+                BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("change", pct), &count, |b, &count| {
+            b.iter_batched(
+                || {
+                    let updates: Vec<DataUpdate> = (0..count)
+                        .map(|i| {
+                            let id = (i * 11 % n) as u64;
+                            let row = store_rows.row(id);
+                            DataUpdate::Change {
+                                id,
+                                row: SparseRow::from_pairs(
+                                    row.iter().map(|(c, v)| (c, (v + 1.0).min(5.0))).collect(),
+                                ),
+                            }
+                        })
+                        .collect();
+                    (store.clone(), store_rows.clone(), updates)
+                },
+                |(mut s, mut d, updates)| s.apply_updates(&mut d, updates),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 4: effectiveness of the synopses — the cost of the ranking
+//! analyses that produce the section-relatedness (a) and top-10-coverage
+//! (b) curves.
+
+use at_bench::experiments::{fig4a, fig4b, ExpScale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig4(c: &mut Criterion) {
+    let scale = ExpScale::quick();
+    let mut group = c.benchmark_group("fig4_effectiveness");
+    group.sample_size(10);
+    group.bench_function("fig4a_recommender_sections", |b| {
+        b.iter(|| {
+            let f = fig4a(&scale);
+            assert_eq!(f.sections.len(), 10);
+            f
+        })
+    });
+    group.bench_function("fig4b_search_sections", |b| {
+        b.iter(|| {
+            let f = fig4b(&scale);
+            assert_eq!(f.sections.len(), 10);
+            f
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Figures 5 & 7: diurnal-workload tail-latency sweeps — cost of one
+//! characteristic hour (Fig 5 panels) and of a full 24-hour day (Fig 7
+//! rows) per technique.
+
+use at_sim::{run_hour_window, Technique};
+use at_workloads::DiurnalPattern;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rayon::prelude::*;
+
+fn bench_diurnal(c: &mut Criterion) {
+    let pattern = DiurnalPattern::sogou_like(40.0);
+    let cfg = at_sim::SimConfig {
+        n_components: 12,
+        n_nodes: 8,
+        ..at_sim::SimConfig::default()
+    };
+    let techniques = [
+        ("basic", Technique::Basic),
+        (
+            "reissue",
+            Technique::Reissue {
+                trigger_percentile: 95.0,
+            },
+        ),
+        (
+            "accuracy_trader",
+            Technique::AccuracyTrader {
+                deadline_s: 0.1,
+                imax: Some(12),
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("fig5_hour_panels");
+    group.sample_size(10);
+    for (name, technique) in techniques {
+        // Hour 10 (steady) is the paper's busiest characteristic hour.
+        group.bench_with_input(BenchmarkId::new(name, "hour10"), &technique, |b, &t| {
+            b.iter(|| {
+                let r = run_hour_window(&pattern, 10, 60.0, t, &cfg);
+                r.bucketed.p999_series_ms()
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fig7_full_day");
+    group.sample_size(10);
+    group.bench_function("accuracy_trader_24h", |b| {
+        b.iter(|| {
+            (1..=24usize)
+                .into_par_iter()
+                .map(|h| {
+                    run_hour_window(
+                        &pattern,
+                        h,
+                        30.0,
+                        Technique::AccuracyTrader {
+                            deadline_s: 0.1,
+                            imax: Some(12),
+                        },
+                        &cfg,
+                    )
+                    .latencies
+                    .p999_ms()
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diurnal);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figures 6 & 8: diurnal accuracy-loss pipeline — simulate one hour of
+//! the search workload, then replay sampled budgets against the real
+//! search deployment for both approximate techniques.
+
+use at_bench::{build_search, search_accuracy_loss, Budget, DeployScale};
+use at_sim::{run_hour_window, CostModel, Technique};
+use at_workloads::DiurnalPattern;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_accuracy_series(c: &mut Criterion) {
+    let pattern = DiurnalPattern::sogou_like(40.0);
+    let deployment = build_search(DeployScale::quick());
+    let cfg = at_sim::SimConfig {
+        n_components: 12,
+        n_nodes: 8,
+        sample_every: 40,
+        ..at_sim::SimConfig::default()
+    };
+
+    let mut group = c.benchmark_group("fig6_fig8_accuracy");
+    group.sample_size(10);
+    group.bench_function("partial_hour22", |b| {
+        b.iter(|| {
+            let sim = run_hour_window(
+                &pattern,
+                22,
+                60.0,
+                Technique::Partial { deadline_s: 0.1 },
+                &cfg,
+            );
+            search_accuracy_loss(&deployment, &sim.samples, |s| {
+                Budget::Mask(s.made_deadline.as_ref().expect("mask"))
+            })
+        })
+    });
+    group.bench_function("accuracy_trader_hour22", |b| {
+        b.iter(|| {
+            let sim = run_hour_window(
+                &pattern,
+                22,
+                60.0,
+                Technique::AccuracyTrader {
+                    deadline_s: 0.1,
+                    imax: Some(12),
+                },
+                &cfg,
+            );
+            search_accuracy_loss(&deployment, &sim.samples, |s| {
+                Budget::Sets {
+                    sets: s.sets_processed.as_ref().expect("sets"),
+                    sim_total: CostModel::default().n_sets,
+                    imax_frac: Some(0.4),
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_accuracy_series);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! §4.2 synopsis creation: cost of each of the three offline steps.
+//!
+//! Regenerates the creation-overheads analysis (the paper built a
+//! recommender synopsis in ~30 s and a search synopsis in ~40 min at
+//! testbed scale; we report laptop-scale absolute times and the per-step
+//! breakdown shape).
+
+use at_linalg::svd::SvdConfig;
+use at_recommender::rating_matrix;
+use at_rtree::{RTree, RTreeConfig};
+use at_synopsis::{AggregationMode, Reducer, RowStore, SparseRow, SynopsisConfig, SynopsisStore};
+use at_workloads::{Corpus, CorpusConfig, RatingsConfig, RatingsDataset};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn rec_subset(n: usize) -> RowStore {
+    let data = RatingsDataset::generate(RatingsConfig {
+        n_users: n,
+        n_items: 200,
+        ratings_per_user: 50,
+        ..RatingsConfig::small()
+    });
+    rating_matrix(n, 200, &data.ratings)
+}
+
+fn search_subset(n: usize) -> RowStore {
+    let corpus = Corpus::generate(CorpusConfig {
+        n_docs: n,
+        vocab: 3000,
+        n_topics: 15,
+        ..CorpusConfig::default()
+    });
+    let mut s = RowStore::new(3000);
+    for d in &corpus.docs {
+        s.push_row(SparseRow::from_pairs(d.terms.clone()));
+    }
+    s
+}
+
+fn bench_creation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("synopsis_creation");
+    group.sample_size(10);
+
+    let rec = rec_subset(1500);
+    let search = search_subset(1500);
+    let cfg = SynopsisConfig {
+        svd: SvdConfig::default().with_epochs(30),
+        size_ratio: 50,
+        ..SynopsisConfig::default()
+    };
+
+    group.bench_function("recommender_full_pipeline", |b| {
+        b.iter(|| SynopsisStore::build(&rec, AggregationMode::Mean, cfg))
+    });
+    group.bench_function("search_full_pipeline", |b| {
+        b.iter(|| SynopsisStore::build(&search, AggregationMode::Merge, cfg))
+    });
+
+    // Step-level costs.
+    group.bench_function("step1_svd_reduction", |b| {
+        b.iter(|| Reducer::fit(&rec, cfg.svd))
+    });
+    let reducer = Reducer::fit(&rec, cfg.svd);
+    let points: Vec<(u64, Vec<f64>)> = rec
+        .ids()
+        .map(|id| (id, reducer.reduced(id).to_vec()))
+        .collect();
+    group.bench_function("step2_rtree_bulk_load", |b| {
+        b.iter_batched(
+            || points.clone(),
+            |p| RTree::bulk_load(3, RTreeConfig::default(), p),
+            BatchSize::SmallInput,
+        )
+    });
+    let tree = RTree::bulk_load(3, RTreeConfig::default(), points);
+    let depth = tree.select_depth(rec.len() / 50);
+    let groups: Vec<Vec<u64>> = tree
+        .nodes_at_depth(depth)
+        .into_iter()
+        .map(|n| tree.items_under(n))
+        .collect();
+    group.bench_function("step3_aggregation", |b| {
+        b.iter(|| {
+            groups
+                .iter()
+                .map(|g| rec.aggregate(g, AggregationMode::Mean))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_creation);
+criterion_main!(benches);

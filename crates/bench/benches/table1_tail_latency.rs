@@ -1,0 +1,50 @@
+//! Table 1: 99.9th-percentile component latency under the CF workload —
+//! Basic vs. request reissue vs. AccuracyTrader at each arrival rate.
+
+use at_bench::ExpScale;
+use at_sim::{run_fixed_rate, Technique};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_table1(c: &mut Criterion) {
+    let scale = ExpScale::quick();
+    let cfg = at_sim::SimConfig {
+        n_components: scale.table_components,
+        n_nodes: scale.n_nodes,
+        ..at_sim::SimConfig::default()
+    };
+    let mut group = c.benchmark_group("table1_tail_latency");
+    group.sample_size(10);
+    for rate in [20.0f64, 60.0, 100.0] {
+        for (name, technique) in [
+            ("basic", Technique::Basic),
+            (
+                "reissue",
+                Technique::Reissue {
+                    trigger_percentile: 95.0,
+                },
+            ),
+            (
+                "accuracy_trader",
+                Technique::AccuracyTrader {
+                    deadline_s: 0.1,
+                    imax: None,
+                },
+            ),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, rate as u64),
+                &rate,
+                |b, &rate| {
+                    b.iter(|| {
+                        let r = run_fixed_rate(rate, 10.0, technique, &cfg);
+                        r.latencies.p999_ms()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

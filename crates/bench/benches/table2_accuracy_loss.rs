@@ -1,0 +1,66 @@
+//! Table 2: accuracy-loss evaluation pipeline — the simulate-then-replay
+//! path that produces each Partial-execution vs. AccuracyTrader cell.
+
+use at_bench::{build_recommender, rec_accuracy_loss, Budget, DeployScale, ExpScale};
+use at_sim::{run_fixed_rate, CostModel, Technique};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_table2(c: &mut Criterion) {
+    let scale = ExpScale::quick();
+    let deployment = build_recommender(DeployScale::quick());
+    let cfg = at_sim::SimConfig {
+        n_components: scale.table_components,
+        n_nodes: scale.n_nodes,
+        sample_every: scale.sample_every,
+        ..at_sim::SimConfig::default()
+    };
+    let mut group = c.benchmark_group("table2_accuracy_loss");
+    group.sample_size(10);
+    for rate in [20.0f64, 100.0] {
+        group.bench_with_input(
+            BenchmarkId::new("partial_cell", rate as u64),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    let sim = run_fixed_rate(
+                        rate,
+                        10.0,
+                        Technique::Partial { deadline_s: 0.1 },
+                        &cfg,
+                    );
+                    rec_accuracy_loss(&deployment, &sim.samples, |s| {
+                        Budget::Mask(s.made_deadline.as_ref().expect("mask"))
+                    })
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("accuracy_trader_cell", rate as u64),
+            &rate,
+            |b, &rate| {
+                b.iter(|| {
+                    let sim = run_fixed_rate(
+                        rate,
+                        10.0,
+                        Technique::AccuracyTrader {
+                            deadline_s: 0.1,
+                            imax: None,
+                        },
+                        &cfg,
+                    );
+                    rec_accuracy_loss(&deployment, &sim.samples, |s| {
+                        Budget::Sets {
+                            sets: s.sets_processed.as_ref().expect("sets"),
+                            sim_total: CostModel::default().n_sets,
+                            imax_frac: None,
+                        }
+                    })
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

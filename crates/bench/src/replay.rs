@@ -1,0 +1,337 @@
+//! Accuracy replay: turn the simulator's per-component processing budgets
+//! into real accuracy numbers by running the actual services.
+//!
+//! For each sampled simulated request, the simulator reports either how
+//! many ranked sets each component processed (AccuracyTrader) or which
+//! components beat the deadline (partial execution). This module replays
+//! those decisions against the real deployments of
+//! [`crate::deployments`] and evaluates RMSE / top-10 overlap exactly as
+//! the paper defines them (§4.1).
+
+use at_recommender::{accuracy_loss_pct as rec_loss_pct, compose_predictions, rmse};
+use at_search::{accuracy_loss_pct as search_loss_pct, topk_overlap, TopK};
+use at_sim::RequestSample;
+use rayon::prelude::*;
+
+use crate::deployments::{RecDeployment, SearchDeployment};
+
+/// How much work each real component gets for one replayed request.
+#[derive(Clone, Debug)]
+pub enum Budget<'a> {
+    /// Exact processing everywhere (the baseline).
+    Exact,
+    /// AccuracyTrader: per simulated component, ranked sets processed.
+    Sets {
+        /// Sets processed per simulated component.
+        sets: &'a [usize],
+        /// The simulator's total ranked-set count (its cost model's
+        /// `n_sets`); real components' synopsis sizes differ, so budgets
+        /// are rescaled proportionally.
+        sim_total: usize,
+        /// `i_max` as a fraction of the total sets (the paper's search
+        /// setting is 0.4), applied per real component.
+        imax_frac: Option<f64>,
+    },
+    /// Partial execution: per simulated component, made-deadline flags.
+    Mask(&'a [bool]),
+}
+
+/// Rescale a simulated set budget onto a real component with `real_total`
+/// ranked sets, preserving the *fraction* of ranked data processed.
+fn scale_budget(k_sim: usize, sim_total: usize, real_total: usize) -> usize {
+    if sim_total == 0 {
+        return real_total;
+    }
+    if k_sim >= sim_total {
+        return real_total;
+    }
+    // Round to nearest; a nonzero simulated budget never scales to zero.
+    let scaled = (k_sim * real_total + sim_total / 2) / sim_total;
+    if k_sim > 0 {
+        scaled.max(1)
+    } else {
+        0
+    }
+}
+
+/// Real component `i` takes the budget the simulator assigned to simulated
+/// component `i` (the simulated cluster is at least as wide as the real
+/// deployment, so indexing wraps only in degenerate test setups).
+fn mapped<T: Copy>(values: &[T], component: usize) -> T {
+    values[component % values.len()]
+}
+
+/// Replay one request against the recommender deployment and return the
+/// `(prediction, actual)` pairs it contributes to the RMSE population.
+fn rec_predict(
+    deployment: &RecDeployment,
+    req_idx: usize,
+    budget: &Budget<'_>,
+) -> Vec<(f64, f64)> {
+    let request = &deployment.requests[req_idx];
+    let parts: Vec<_> = deployment
+        .service
+        .components()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, c)| match budget {
+            Budget::Exact => Some(c.exact(&request.active)),
+            Budget::Sets {
+                sets,
+                sim_total,
+                imax_frac,
+            } => {
+                let real_total = c.store().synopsis().len();
+                let k = scale_budget(mapped(sets, i), *sim_total, real_total);
+                let imax = imax_frac.map(|f| ((real_total as f64 * f).ceil() as usize).max(1));
+                Some(c.approx_budgeted(&request.active, imax, k).output)
+            }
+            Budget::Mask(mask) => {
+                if mapped(mask, i) {
+                    Some(c.exact(&request.active))
+                } else {
+                    None // skipped: finished after the deadline
+                }
+            }
+        })
+        .collect();
+    let preds = if parts.is_empty() {
+        // Every component skipped: fall back to the user-mean baseline.
+        vec![request.active.mean_rating(); request.actual.len()]
+    } else {
+        compose_predictions(&request.active, &parts)
+    };
+    preds.into_iter().zip(request.actual.iter().copied()).collect()
+}
+
+/// RMSE of the recommender deployment over `samples` under `budget_of`
+/// (which picks each sample's budget from its simulator record).
+pub fn rec_rmse(
+    deployment: &RecDeployment,
+    samples: &[RequestSample],
+    budget_of: impl Fn(&RequestSample) -> Budget<'_> + Sync,
+) -> f64 {
+    let pairs: Vec<(f64, f64)> = samples
+        .par_iter()
+        .enumerate()
+        .flat_map_iter(|(i, s)| {
+            let req_idx = i % deployment.requests.len();
+            rec_predict(deployment, req_idx, &budget_of(s))
+        })
+        .collect();
+    assert!(!pairs.is_empty(), "no prediction pairs to score");
+    let (p, a): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+    rmse(&p, &a)
+}
+
+/// The paper's Table-2 cell: accuracy-loss % of a technique vs exact.
+pub fn rec_accuracy_loss(
+    deployment: &RecDeployment,
+    samples: &[RequestSample],
+    budget_of: impl Fn(&RequestSample) -> Budget<'_> + Sync,
+) -> f64 {
+    let exact = rec_rmse(deployment, samples, |_| Budget::Exact);
+    let approx = rec_rmse(deployment, samples, budget_of);
+    rec_loss_pct(exact, approx)
+}
+
+/// Replay one query against the search deployment and return its top-10
+/// overlap with the exact top-10.
+fn search_overlap_one(
+    deployment: &SearchDeployment,
+    req_idx: usize,
+    budget: &Budget<'_>,
+) -> f64 {
+    let request = &deployment.requests[req_idx];
+    let k = 10usize;
+    // Global ids: component * stride + local doc id.
+    let stride = 1u64 << 32;
+    let mut exact_merged = TopK::new(k);
+    let mut approx_merged = TopK::new(k);
+    for (i, c) in deployment.service.components().iter().enumerate() {
+        let exact = c.exact(request);
+        for h in exact.sorted() {
+            exact_merged.push(i as u64 * stride + h.doc, h.score);
+        }
+        let approx: Option<TopK> = match budget {
+            Budget::Exact => Some(exact),
+            Budget::Sets {
+                sets,
+                sim_total,
+                imax_frac,
+            } => {
+                let real_total = c.store().synopsis().len();
+                let kb = scale_budget(mapped(sets, i), *sim_total, real_total);
+                let imax = imax_frac.map(|f| ((real_total as f64 * f).ceil() as usize).max(1));
+                Some(c.approx_budgeted(request, imax, kb).output)
+            }
+            Budget::Mask(mask) => {
+                if mapped(mask, i) {
+                    Some(exact)
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(t) = approx {
+            for h in t.sorted() {
+                approx_merged.push(i as u64 * stride + h.doc, h.score);
+            }
+        }
+    }
+    topk_overlap(&exact_merged.doc_ids(), &approx_merged.doc_ids())
+}
+
+/// Mean top-10 overlap over `samples` under `budget_of`.
+pub fn search_overlap(
+    deployment: &SearchDeployment,
+    samples: &[RequestSample],
+    budget_of: impl Fn(&RequestSample) -> Budget<'_> + Sync,
+) -> f64 {
+    assert!(!samples.is_empty(), "no samples to score");
+    let total: f64 = samples
+        .par_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let req_idx = i % deployment.requests.len();
+            search_overlap_one(deployment, req_idx, &budget_of(s))
+        })
+        .sum();
+    total / samples.len() as f64
+}
+
+/// The search accuracy-loss %: `100 × (1 − mean overlap)`.
+pub fn search_accuracy_loss(
+    deployment: &SearchDeployment,
+    samples: &[RequestSample],
+    budget_of: impl Fn(&RequestSample) -> Budget<'_> + Sync,
+) -> f64 {
+    search_loss_pct(search_overlap(deployment, samples, budget_of))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deployments::{build_recommender, build_search, DeployScale};
+    use at_sim::RequestSample;
+
+    fn fake_samples(n: usize, sets: usize, n_comp: usize, made: bool) -> Vec<RequestSample> {
+        (0..n)
+            .map(|i| RequestSample {
+                request_idx: i,
+                arrival_s: i as f64,
+                sets_processed: Some(vec![sets; n_comp]),
+                made_deadline: Some(vec![made; n_comp]),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_replay_has_zero_loss() {
+        let d = build_recommender(DeployScale::quick());
+        let samples = fake_samples(6, 0, 108, true);
+        let loss = rec_accuracy_loss(&d, &samples, |_| Budget::Exact);
+        assert_eq!(loss, 0.0);
+    }
+
+    #[test]
+    fn full_budget_equals_exact_rmse() {
+        let d = build_recommender(DeployScale::quick());
+        let samples = fake_samples(6, usize::MAX, 108, true);
+        let loss = rec_accuracy_loss(&d, &samples, |s| {
+            Budget::Sets {
+                sets: s.sets_processed.as_ref().unwrap(),
+                sim_total: 30,
+                imax_frac: None,
+            }
+        });
+        assert!(loss < 1e-6, "full-budget AT must match exact, loss {loss}");
+    }
+
+    #[test]
+    fn losses_are_bounded_and_full_budget_is_lossless() {
+        // Accuracy loss vs. the exact baseline is not strictly monotone in
+        // the set budget (aggregation regularizes, so a partially improved
+        // result can drift from both exact and actual) — but it must stay
+        // finite/bounded at every budget and vanish at full budget.
+        let d = build_recommender(DeployScale::quick());
+        for sets in [0usize, 1, 3, 8, usize::MAX] {
+            let samples = fake_samples(6, sets, 108, true);
+            let loss = rec_accuracy_loss(&d, &samples, |s| {
+                Budget::Sets {
+                    sets: s.sets_processed.as_ref().unwrap(),
+                    sim_total: 30,
+                    imax_frac: None,
+                }
+            });
+            assert!(loss.is_finite() && loss >= 0.0, "sets={sets}: loss {loss}");
+            assert!(loss < 150.0, "sets={sets}: implausible loss {loss}");
+        }
+        let full = fake_samples(6, usize::MAX, 108, true);
+        let loss_full = rec_accuracy_loss(&d, &full, |s| {
+            Budget::Sets {
+                sets: s.sets_processed.as_ref().unwrap(),
+                sim_total: 30,
+                imax_frac: None,
+            }
+        });
+        assert!(loss_full < 1e-6, "full budget must equal exact: {loss_full}");
+    }
+
+    #[test]
+    fn partial_all_skipped_is_large_loss() {
+        let d = build_recommender(DeployScale::quick());
+        let none = fake_samples(6, 0, 108, false);
+        let all = fake_samples(6, 0, 108, true);
+        let loss_none = rec_accuracy_loss(&d, &none, |s| {
+            Budget::Mask(s.made_deadline.as_ref().unwrap())
+        });
+        let loss_all = rec_accuracy_loss(&d, &all, |s| {
+            Budget::Mask(s.made_deadline.as_ref().unwrap())
+        });
+        assert_eq!(loss_all, 0.0, "no skipping = exact");
+        assert!(loss_none > loss_all, "skipping everything must hurt");
+    }
+
+    #[test]
+    fn search_exact_overlap_is_one() {
+        let d = build_search(DeployScale::quick());
+        let samples = fake_samples(8, 0, 108, true);
+        let o = search_overlap(&d, &samples, |_| Budget::Exact);
+        assert!((o - 1.0).abs() < 1e-12);
+        assert_eq!(search_accuracy_loss(&d, &samples, |_| Budget::Exact), 0.0);
+    }
+
+    #[test]
+    fn search_overlap_grows_with_sets() {
+        let d = build_search(DeployScale::quick());
+        let lo = fake_samples(8, 1, 108, true);
+        let hi = fake_samples(8, usize::MAX, 108, true);
+        let o_lo = search_overlap(&d, &lo, |s| {
+            Budget::Sets {
+                sets: s.sets_processed.as_ref().unwrap(),
+                sim_total: 30,
+                imax_frac: None,
+            }
+        });
+        let o_hi = search_overlap(&d, &hi, |s| {
+            Budget::Sets {
+                sets: s.sets_processed.as_ref().unwrap(),
+                sim_total: 30,
+                imax_frac: None,
+            }
+        });
+        assert!(o_hi >= o_lo);
+        assert!((o_hi - 1.0).abs() < 1e-9, "all sets = exact, got {o_hi}");
+    }
+
+    #[test]
+    fn search_partial_mask_drops_components() {
+        let d = build_search(DeployScale::quick());
+        let none = fake_samples(8, 0, 108, false);
+        let loss = search_accuracy_loss(&d, &none, |s| {
+            Budget::Mask(s.made_deadline.as_ref().unwrap())
+        });
+        assert!((loss - 100.0).abs() < 1e-9, "all skipped = total loss, {loss}");
+    }
+}

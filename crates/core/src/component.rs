@@ -1,0 +1,199 @@
+//! A service component: one subset of input data plus its synopsis.
+//!
+//! The paper deploys 108 parallel components, each processing one subset.
+//! A [`Component`] owns the subset ([`RowStore`]), the offline artifacts
+//! ([`SynopsisStore`]), and the service hooks; it exposes the approximate
+//! and exact processing paths plus incremental data updating.
+
+use std::time::Instant;
+
+use at_synopsis::{
+    AggregationMode, DataUpdate, RowStore, SynopsisConfig, SynopsisStore, UpdateReport,
+};
+
+use crate::config::ProcessingConfig;
+use crate::outcome::Outcome;
+use crate::processor::{Algorithm1, ApproximateService, Ctx};
+
+/// One parallel component of an online service.
+pub struct Component<S> {
+    dataset: RowStore,
+    store: SynopsisStore,
+    service: S,
+}
+
+impl<S: ApproximateService> Component<S> {
+    /// Build a component: runs the offline synopsis-creation pipeline over
+    /// `dataset`.
+    pub fn build(
+        dataset: RowStore,
+        mode: AggregationMode,
+        config: SynopsisConfig,
+        service: S,
+    ) -> (Self, at_synopsis::BuildReport) {
+        let (store, report) = SynopsisStore::build(&dataset, mode, config);
+        (
+            Component {
+                dataset,
+                store,
+                service,
+            },
+            report,
+        )
+    }
+
+    /// Wrap pre-built state (used by tests and the simulator's calibration).
+    pub fn from_parts(dataset: RowStore, store: SynopsisStore, service: S) -> Self {
+        Component {
+            dataset,
+            store,
+            service,
+        }
+    }
+
+    /// The subset of input data.
+    pub fn dataset(&self) -> &RowStore {
+        &self.dataset
+    }
+
+    /// The offline artifacts (synopsis, index file, R-tree, reducer).
+    pub fn store(&self) -> &SynopsisStore {
+        &self.store
+    }
+
+    /// The service hooks.
+    pub fn service(&self) -> &S {
+        &self.service
+    }
+
+    /// Read-only processing context.
+    pub fn ctx(&self) -> Ctx<'_> {
+        Ctx {
+            dataset: &self.dataset,
+            store: &self.store,
+        }
+    }
+
+    /// Accuracy-aware approximate processing with a fixed set budget
+    /// (deterministic; the simulator converts deadlines into budgets).
+    pub fn approx_budgeted(
+        &self,
+        req: &S::Request,
+        imax: Option<usize>,
+        budget_sets: usize,
+    ) -> Outcome<S::Output> {
+        Algorithm1::new(&self.dataset, &self.store, &self.service)
+            .run_budgeted(req, imax, budget_sets)
+    }
+
+    /// Accuracy-aware approximate processing against the wall clock
+    /// (Algorithm 1 verbatim). `submitted` is the request submission time.
+    pub fn approx_deadline(
+        &self,
+        req: &S::Request,
+        config: &ProcessingConfig,
+        submitted: Instant,
+    ) -> Outcome<S::Output> {
+        Algorithm1::new(&self.dataset, &self.store, &self.service)
+            .run_deadline(req, config, submitted)
+    }
+
+    /// Exact processing over the entire subset (the baseline techniques).
+    pub fn exact(&self, req: &S::Request) -> S::Output {
+        Algorithm1::new(&self.dataset, &self.store, &self.service).run_exact(req)
+    }
+
+    /// Apply input-data changes and incrementally update the synopsis.
+    pub fn apply_updates(&mut self, updates: Vec<DataUpdate>) -> UpdateReport {
+        self.store.apply_updates(&mut self.dataset, updates)
+    }
+
+    /// Consistency check of the offline artifacts.
+    pub fn validate(&self) -> Result<(), String> {
+        self.store.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::Correlation;
+    use at_linalg::svd::SvdConfig;
+    use at_synopsis::SparseRow;
+
+    struct CountService;
+
+    impl ApproximateService for CountService {
+        type Request = ();
+        type Output = usize;
+
+        fn process_synopsis(&self, ctx: Ctx<'_>, _req: &()) -> (usize, Vec<Correlation>) {
+            let corr = ctx
+                .store
+                .synopsis()
+                .iter()
+                .map(|p| Correlation {
+                    node: p.node,
+                    score: p.member_count as f64,
+                })
+                .collect();
+            (0, corr)
+        }
+
+        fn improve(
+            &self,
+            _ctx: Ctx<'_>,
+            _req: &(),
+            out: &mut usize,
+            _node: at_rtree::NodeId,
+            members: &[u64],
+        ) {
+            *out += members.len();
+        }
+
+        fn process_exact(&self, ctx: Ctx<'_>, _req: &()) -> usize {
+            ctx.dataset.len()
+        }
+    }
+
+    fn data(n: usize) -> RowStore {
+        let mut s = RowStore::new(8);
+        for r in 0..n as u32 {
+            s.push_row(SparseRow::from_pairs(
+                (0..8).map(|c| (c, ((r + c) % 5) as f64)).collect(),
+            ));
+        }
+        s
+    }
+
+    fn quick() -> SynopsisConfig {
+        SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(10),
+            size_ratio: 15,
+            ..SynopsisConfig::default()
+        }
+    }
+
+    #[test]
+    fn build_and_process() {
+        let (c, report) = Component::build(data(150), AggregationMode::Mean, quick(), CountService);
+        assert_eq!(report.n_points, 150);
+        c.validate().unwrap();
+        // Full budget processes every member exactly once.
+        let o = c.approx_budgeted(&(), None, usize::MAX);
+        assert_eq!(o.output, 150);
+        assert_eq!(c.exact(&()), 150);
+    }
+
+    #[test]
+    fn updates_flow_through() {
+        let (mut c, _) = Component::build(data(100), AggregationMode::Mean, quick(), CountService);
+        let row = SparseRow::from_pairs((0..8).map(|x| (x, 1.0)).collect());
+        let rep = c.apply_updates(vec![DataUpdate::Add(row)]);
+        assert_eq!(rep.added, 1);
+        c.validate().unwrap();
+        assert_eq!(c.exact(&()), 101);
+        let o = c.approx_budgeted(&(), None, usize::MAX);
+        assert_eq!(o.output, 101);
+    }
+}

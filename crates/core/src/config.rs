@@ -1,0 +1,80 @@
+//! Online-processing configuration (Algorithm 1's `l_spe` and `i_max`).
+
+use std::time::Duration;
+
+/// Limits for one request's accuracy-aware approximate processing.
+#[derive(Clone, Copy, Debug)]
+pub struct ProcessingConfig {
+    /// Specified service-latency deadline `l_spe` (paper: 100 ms).
+    pub deadline: Duration,
+    /// Maximum number of ranked sets of original points to process
+    /// (`i_max`); `None` means all sets (the recommender setting), while
+    /// the search engine caps at the top 40% of sets because they contain
+    /// >98% of the actual top-10 pages.
+    pub imax: Option<usize>,
+}
+
+impl Default for ProcessingConfig {
+    fn default() -> Self {
+        ProcessingConfig {
+            deadline: Duration::from_millis(100),
+            imax: None,
+        }
+    }
+}
+
+impl ProcessingConfig {
+    /// The paper's setting for the CF recommender: 100 ms deadline, no
+    /// `i_max` cap ("process as many original data points as possible").
+    pub fn recommender() -> Self {
+        ProcessingConfig::default()
+    }
+
+    /// The paper's setting for the search engine: 100 ms deadline, process
+    /// at most the top `fraction` (0.4) of ranked sets out of `total_sets`.
+    pub fn search(total_sets: usize, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        ProcessingConfig {
+            deadline: Duration::from_millis(100),
+            imax: Some(((total_sets as f64 * fraction).ceil() as usize).max(1)),
+        }
+    }
+
+    /// Effective set cap given the synopsis size.
+    pub fn effective_imax(&self, total_sets: usize) -> usize {
+        self.imax.map_or(total_sets, |m| m.min(total_sets))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = ProcessingConfig::default();
+        assert_eq!(c.deadline, Duration::from_millis(100));
+        assert_eq!(c.imax, None);
+        assert_eq!(c.effective_imax(42), 42);
+    }
+
+    #[test]
+    fn search_caps_at_fraction() {
+        let c = ProcessingConfig::search(100, 0.4);
+        assert_eq!(c.imax, Some(40));
+        assert_eq!(c.effective_imax(100), 40);
+        assert_eq!(c.effective_imax(10), 10, "cap cannot exceed total");
+    }
+
+    #[test]
+    fn search_fraction_rounds_up_and_floors_at_one() {
+        assert_eq!(ProcessingConfig::search(3, 0.4).imax, Some(2));
+        assert_eq!(ProcessingConfig::search(1, 0.01).imax, Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        ProcessingConfig::search(10, 1.5);
+    }
+}

@@ -1,0 +1,115 @@
+//! Correlation estimates between aggregated data points and a request's
+//! result accuracy (paper §2.3).
+//!
+//! Processing an aggregated point `ag_i` yields a score `c_i`; the paper
+//! assumes a linear dependency between `c_i` and how much accuracy the
+//! original points in `D_i` would contribute, so aggregated points are
+//! ranked by `c_i` descending and their sets processed in that order.
+
+use at_rtree::NodeId;
+
+/// One aggregated data point's estimated correlation to result accuracy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Correlation {
+    /// The aggregated point (R-tree node at the synopsis depth).
+    pub node: NodeId,
+    /// Estimated relatedness — higher means processing this point's
+    /// original set should improve accuracy more. Service adapters put
+    /// whatever their domain uses here (|Pearson weight| for CF, similarity
+    /// score for search).
+    pub score: f64,
+}
+
+/// Rank correlations descending by score (Algorithm 1, line 2); ties break
+/// by node id for determinism. NaN scores sink to the end.
+pub fn rank(mut correlations: Vec<Correlation>) -> Vec<Correlation> {
+    correlations.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or_else(|| {
+                // Treat NaN as minus infinity.
+                match (a.score.is_nan(), b.score.is_nan()) {
+                    (true, false) => std::cmp::Ordering::Greater,
+                    (false, true) => std::cmp::Ordering::Less,
+                    _ => std::cmp::Ordering::Equal,
+                }
+            })
+            .then_with(|| a.node.cmp(&b.node))
+    });
+    correlations
+}
+
+/// Split a ranked list into `k` near-equal contiguous sections (Figure 4
+/// divides the ranked aggregated points into 10 sections). Sections differ
+/// in size by at most one; empty input gives `k` empty sections.
+pub fn sections(ranked: &[Correlation], k: usize) -> Vec<&[Correlation]> {
+    assert!(k > 0, "sections: k must be >= 1");
+    let n = ranked.len();
+    (0..k).map(|i| &ranked[i * n / k..(i + 1) * n / k]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32, s: f64) -> Correlation {
+        Correlation {
+            node: NodeId::from_index(i),
+            score: s,
+        }
+    }
+
+    #[test]
+    fn rank_descending() {
+        let r = rank(vec![c(0, 0.1), c(1, 0.9), c(2, 0.5)]);
+        let scores: Vec<f64> = r.iter().map(|x| x.score).collect();
+        assert_eq!(scores, vec![0.9, 0.5, 0.1]);
+    }
+
+    #[test]
+    fn rank_ties_by_node() {
+        let r = rank(vec![c(5, 0.5), c(1, 0.5), c(3, 0.5)]);
+        let nodes: Vec<u32> = r.iter().map(|x| x.node.index()).collect();
+        assert_eq!(nodes, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn rank_nan_sinks() {
+        let r = rank(vec![c(0, f64::NAN), c(1, 0.2), c(2, -0.5)]);
+        assert_eq!(r[0].node.index(), 1);
+        assert_eq!(r[1].node.index(), 2);
+        assert!(r[2].score.is_nan());
+    }
+
+    #[test]
+    fn rank_empty() {
+        assert!(rank(vec![]).is_empty());
+    }
+
+    #[test]
+    fn sections_partition_evenly() {
+        let ranked = rank((0..25).map(|i| c(i, 1.0 - i as f64 * 0.01)).collect());
+        let secs = sections(&ranked, 10);
+        assert_eq!(secs.len(), 10);
+        let total: usize = secs.iter().map(|s| s.len()).sum();
+        assert_eq!(total, 25);
+        let max = secs.iter().map(|s| s.len()).max().unwrap();
+        let min = secs.iter().map(|s| s.len()).min().unwrap();
+        assert!(max - min <= 1);
+        // Order preserved: first section has the best scores.
+        assert!(secs[0][0].score >= secs[9].last().unwrap().score);
+    }
+
+    #[test]
+    fn sections_of_empty_input() {
+        let secs = sections(&[], 10);
+        assert_eq!(secs.len(), 10);
+        assert!(secs.iter().all(|s| s.is_empty()));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn sections_zero_k_panics() {
+        sections(&[], 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # at-core
+//!
+//! The online accuracy-aware approximate processing engine of the
+//! AccuracyTrader reproduction (Han et al., ICPP 2016) — Algorithm 1 and
+//! the component/service plumbing around it.
+//!
+//! * [`ApproximateService`] — the three service-specific hooks (process the
+//!   synopsis, improve with one ranked set, exact baseline).
+//! * [`Algorithm1`] — the engine: estimate correlations, rank aggregated
+//!   points, improve the initial result best-sets-first under a deadline
+//!   (`run_deadline`) or a deterministic set budget (`run_budgeted`).
+//! * [`Component`] / [`FanOutService`] — one subset + synopsis per parallel
+//!   component, rayon fan-out across components.
+//!
+//! Service adapters live in `at-recommender` and `at-search`.
+
+pub mod component;
+pub mod config;
+pub mod correlation;
+pub mod outcome;
+pub mod processor;
+pub mod service;
+
+pub use component::Component;
+pub use config::ProcessingConfig;
+pub use correlation::{rank, sections, Correlation};
+pub use outcome::Outcome;
+pub use processor::{Algorithm1, ApproximateService, Ctx};
+pub use service::{partition_rows, FanOutService};

@@ -1,0 +1,73 @@
+//! Result of one component's approximate processing.
+
+/// What a component produced for a request, plus how much of the ranked
+/// input data it managed to process.
+#[derive(Clone, Debug)]
+pub struct Outcome<T> {
+    /// The (approximate) component result `ar`.
+    pub output: T,
+    /// Ranked sets of original data points actually processed (`i` at loop
+    /// exit).
+    pub sets_processed: usize,
+    /// Total ranked sets available (synopsis size `m`).
+    pub sets_total: usize,
+}
+
+impl<T> Outcome<T> {
+    /// Fraction of ranked sets processed, in `[0, 1]`; `1.0` when the
+    /// synopsis is empty (nothing left unprocessed).
+    pub fn coverage(&self) -> f64 {
+        if self.sets_total == 0 {
+            1.0
+        } else {
+            self.sets_processed as f64 / self.sets_total as f64
+        }
+    }
+
+    /// Map the output, keeping the bookkeeping.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Outcome<U> {
+        Outcome {
+            output: f(self.output),
+            sets_processed: self.sets_processed,
+            sets_total: self.sets_total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_basic() {
+        let o = Outcome {
+            output: (),
+            sets_processed: 3,
+            sets_total: 12,
+        };
+        assert_eq!(o.coverage(), 0.25);
+    }
+
+    #[test]
+    fn coverage_empty_synopsis_is_full() {
+        let o = Outcome {
+            output: (),
+            sets_processed: 0,
+            sets_total: 0,
+        };
+        assert_eq!(o.coverage(), 1.0);
+    }
+
+    #[test]
+    fn map_preserves_counts() {
+        let o = Outcome {
+            output: 21,
+            sets_processed: 1,
+            sets_total: 2,
+        };
+        let o = o.map(|x| x * 2);
+        assert_eq!(o.output, 42);
+        assert_eq!(o.sets_processed, 1);
+        assert_eq!(o.sets_total, 2);
+    }
+}

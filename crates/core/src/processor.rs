@@ -1,0 +1,331 @@
+//! Algorithm 1: accuracy-aware approximate processing on a component.
+//!
+//! The engine is generic over an [`ApproximateService`] that supplies the
+//! three service-specific operations (synopsis processing, improvement with
+//! one ranked set, and the exact baseline). Two drivers are provided:
+//!
+//! * [`run_budgeted`](Algorithm1::run_budgeted) — processes the synopsis
+//!   plus a caller-fixed number of ranked sets. Deterministic; used by the
+//!   accuracy evaluations and by the cluster simulator, which converts a
+//!   deadline into a set budget via its queueing/interference model.
+//! * [`run_deadline`](Algorithm1::run_deadline) — the literal wall-clock
+//!   loop of Algorithm 1 (lines 4–10), checking `l_ela < l_spe` between
+//!   sets.
+
+use std::time::Instant;
+
+use at_synopsis::{RowStore, SynopsisStore};
+
+use crate::config::ProcessingConfig;
+use crate::correlation::{rank, Correlation};
+use crate::outcome::Outcome;
+
+/// Read-only view a service implementation gets of a component's state.
+#[derive(Clone, Copy)]
+pub struct Ctx<'a> {
+    /// The component's subset of original input data.
+    pub dataset: &'a RowStore,
+    /// The synopsis store (synopsis + index file + R-tree + reducer).
+    pub store: &'a SynopsisStore,
+}
+
+/// Service-specific request processing hooks.
+///
+/// Incorporating AccuracyTrader "does not require any modification in the
+/// request processing algorithm, but controlling the input dataset fed to
+/// the algorithm" (§3.2): `process_synopsis` feeds it the synopsis,
+/// `improve` feeds it one ranked set of original points, `process_exact`
+/// feeds it everything.
+pub trait ApproximateService {
+    /// Request type (active user + target items; query terms; …).
+    type Request;
+    /// Per-component result type (rating estimate; top-k heap; …).
+    type Output: Clone;
+
+    /// Stage 1: produce the initial approximate result from the synopsis
+    /// and estimate each aggregated point's correlation to result accuracy
+    /// (Algorithm 1, line 1).
+    fn process_synopsis(&self, ctx: Ctx<'_>, req: &Self::Request)
+        -> (Self::Output, Vec<Correlation>);
+
+    /// Stage 2: improve the result using the original data points of one
+    /// ranked set (Algorithm 1, line 7). `node` identifies the aggregated
+    /// point the set came from, so implementations can subtract its
+    /// synopsis-estimated contribution before adding the exact one.
+    fn improve(
+        &self,
+        ctx: Ctx<'_>,
+        req: &Self::Request,
+        out: &mut Self::Output,
+        node: at_rtree::NodeId,
+        members: &[u64],
+    );
+
+    /// Baseline: full computation over the entire input data — what the
+    /// paper's Basic / request-reissue / partial-execution techniques run.
+    fn process_exact(&self, ctx: Ctx<'_>, req: &Self::Request) -> Self::Output;
+}
+
+/// The Algorithm 1 engine bound to one component's state.
+pub struct Algorithm1<'a, S> {
+    ctx: Ctx<'a>,
+    service: &'a S,
+}
+
+impl<'a, S: ApproximateService> Algorithm1<'a, S> {
+    /// Bind the engine to a component's dataset/synopsis and service hooks.
+    pub fn new(dataset: &'a RowStore, store: &'a SynopsisStore, service: &'a S) -> Self {
+        Algorithm1 {
+            ctx: Ctx { dataset, store },
+            service,
+        }
+    }
+
+    /// Stage 1 + ranking only: initial result and the ranked sets, without
+    /// any improvement. Exposed for the Figure-4 style effectiveness
+    /// analyses.
+    pub fn rank_only(&self, req: &S::Request) -> (S::Output, Vec<Correlation>) {
+        let (out, corr) = self.service.process_synopsis(self.ctx, req);
+        (out, rank(corr))
+    }
+
+    /// Run Algorithm 1 with a **set budget**: improve with the top
+    /// `budget_sets` ranked sets (still capped by `imax`). Deterministic.
+    pub fn run_budgeted(
+        &self,
+        req: &S::Request,
+        imax: Option<usize>,
+        budget_sets: usize,
+    ) -> Outcome<S::Output> {
+        let (mut out, ranked) = self.rank_only(req);
+        let total = ranked.len();
+        let cap = imax.map_or(total, |m| m.min(total)).min(budget_sets);
+        let mut processed = 0usize;
+        for corr in ranked.iter().take(cap) {
+            let members = self
+                .ctx
+                .store
+                .index()
+                .members(corr.node)
+                .expect("ranked node missing from index file");
+            self.service.improve(self.ctx, req, &mut out, corr.node, members);
+            processed += 1;
+        }
+        Outcome {
+            output: out,
+            sets_processed: processed,
+            sets_total: total,
+        }
+    }
+
+    /// Run Algorithm 1 against the wall clock: keep improving while
+    /// `elapsed < deadline && i <= i_max` (lines 4–10). `start` is the
+    /// request submission instant, so queueing delay counts against the
+    /// deadline exactly as in the paper.
+    pub fn run_deadline(
+        &self,
+        req: &S::Request,
+        config: &ProcessingConfig,
+        start: Instant,
+    ) -> Outcome<S::Output> {
+        let (mut out, ranked) = self.rank_only(req);
+        let total = ranked.len();
+        let cap = config.effective_imax(total);
+        let mut processed = 0usize;
+        for corr in ranked.iter().take(cap) {
+            if start.elapsed() >= config.deadline {
+                break;
+            }
+            let members = self
+                .ctx
+                .store
+                .index()
+                .members(corr.node)
+                .expect("ranked node missing from index file");
+            self.service.improve(self.ctx, req, &mut out, corr.node, members);
+            processed += 1;
+        }
+        Outcome {
+            output: out,
+            sets_processed: processed,
+            sets_total: total,
+        }
+    }
+
+    /// The exact baseline over the full subset.
+    pub fn run_exact(&self, req: &S::Request) -> S::Output {
+        self.service.process_exact(self.ctx, req)
+    }
+
+    /// The component context (for adapters needing direct access).
+    pub fn ctx(&self) -> Ctx<'a> {
+        self.ctx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_linalg::svd::SvdConfig;
+    use at_synopsis::{AggregationMode, SparseRow, SynopsisConfig};
+    use std::time::Duration;
+
+    /// Toy service: request is a target column; output is the sum of that
+    /// column over processed rows. Correlation of an aggregated point = its
+    /// aggregated value at the column (higher = more mass there).
+    struct SumService;
+
+    impl ApproximateService for SumService {
+        type Request = u32;
+        type Output = f64;
+
+        fn process_synopsis(&self, ctx: Ctx<'_>, req: &u32) -> (f64, Vec<Correlation>) {
+            let mut corr = Vec::new();
+            for p in ctx.store.synopsis().iter() {
+                corr.push(Correlation {
+                    node: p.node,
+                    score: p.info.get(*req).unwrap_or(0.0),
+                });
+            }
+            // Initial estimate: aggregated value × member count, summed.
+            let est = ctx
+                .store
+                .synopsis()
+                .iter()
+                .map(|p| p.info.get(*req).unwrap_or(0.0) * p.member_count as f64)
+                .sum();
+            (est, corr)
+        }
+
+        fn improve(
+            &self,
+            ctx: Ctx<'_>,
+            req: &u32,
+            out: &mut f64,
+            _node: at_rtree::NodeId,
+            members: &[u64],
+        ) {
+            // "Improvement" here: recompute this group's contribution
+            // exactly. The synopsis-estimate contribution is replaced.
+            let agg: f64 = ctx
+                .dataset
+                .aggregate(members, AggregationMode::Mean)
+                .get(*req)
+                .unwrap_or(0.0)
+                * members.len() as f64;
+            let exact: f64 = members
+                .iter()
+                .filter_map(|&m| ctx.dataset.row(m).get(*req))
+                .sum();
+            *out += exact - agg;
+        }
+
+        fn process_exact(&self, ctx: Ctx<'_>, req: &u32) -> f64 {
+            (0..ctx.dataset.len() as u64)
+                .filter_map(|m| ctx.dataset.row(m).get(*req))
+                .sum()
+        }
+    }
+
+    fn setup() -> (RowStore, SynopsisStore) {
+        let mut data = RowStore::new(12);
+        for r in 0..120u32 {
+            let base = if r % 2 == 0 { 1.0 } else { 4.0 };
+            let pairs: Vec<(u32, f64)> = (0..12)
+                .map(|c| (c, base + ((r + c) % 3) as f64 * 0.25))
+                .collect();
+            data.push_row(SparseRow::from_pairs(pairs));
+        }
+        let cfg = SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(20),
+            size_ratio: 10,
+            ..SynopsisConfig::default()
+        };
+        let (store, _) = SynopsisStore::build(&data, AggregationMode::Mean, cfg);
+        (data, store)
+    }
+
+    #[test]
+    fn zero_budget_returns_synopsis_estimate() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        let o = engine.run_budgeted(&3, None, 0);
+        assert_eq!(o.sets_processed, 0);
+        assert!(o.sets_total > 0);
+        // Mean-aggregation estimate of a dense column is exact up to FP.
+        let exact = engine.run_exact(&3);
+        assert!((o.output - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn full_budget_equals_exact() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        let o = engine.run_budgeted(&5, None, usize::MAX);
+        assert_eq!(o.sets_processed, o.sets_total);
+        let exact = engine.run_exact(&5);
+        assert!((o.output - exact).abs() < 1e-6, "{} vs {exact}", o.output);
+    }
+
+    #[test]
+    fn imax_caps_processing() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        let o = engine.run_budgeted(&0, Some(2), usize::MAX);
+        assert_eq!(o.sets_processed, 2);
+    }
+
+    #[test]
+    fn budget_caps_processing() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        let o = engine.run_budgeted(&0, None, 3);
+        assert_eq!(o.sets_processed, 3.min(o.sets_total));
+    }
+
+    #[test]
+    fn ranked_sets_processed_best_first() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        let (_, ranked) = engine.rank_only(&0);
+        for w in ranked.windows(2) {
+            assert!(w[0].score >= w[1].score, "ranking not descending");
+        }
+    }
+
+    #[test]
+    fn deadline_already_expired_processes_no_sets() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        let cfg = ProcessingConfig {
+            deadline: Duration::from_millis(10),
+            imax: None,
+        };
+        // Request "submitted" well before the deadline window.
+        let start = Instant::now() - Duration::from_millis(50);
+        let o = engine.run_deadline(&1, &cfg, start);
+        assert_eq!(
+            o.sets_processed, 0,
+            "expired deadline must still return the synopsis result"
+        );
+    }
+
+    #[test]
+    fn generous_deadline_processes_everything() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        let cfg = ProcessingConfig {
+            deadline: Duration::from_secs(30),
+            imax: None,
+        };
+        let o = engine.run_deadline(&1, &cfg, Instant::now());
+        assert_eq!(o.sets_processed, o.sets_total);
+    }
+}

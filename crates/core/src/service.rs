@@ -1,0 +1,182 @@
+//! A fan-out online service: request partitioning over parallel components
+//! and response composition.
+//!
+//! Mirrors the paper's deployment (§4.3): one partitioning component, `n`
+//! parallel processing components, one composing component. In-process we
+//! fan out with rayon (the Storm-topology substitute); the latency behaviour
+//! of a *distributed* deployment is modelled separately by `at-sim`.
+
+use rayon::prelude::*;
+
+use at_synopsis::{AggregationMode, RowStore, SparseRow, SynopsisConfig};
+
+use crate::component::Component;
+use crate::outcome::Outcome;
+use crate::processor::ApproximateService;
+
+/// Split rows round-robin into `n` subsets of a `feature_dim`-column space —
+/// the "entire input data is divided into n subsets" step. Round-robin keeps
+/// subset sizes within one row of each other.
+pub fn partition_rows(feature_dim: usize, rows: Vec<SparseRow>, n: usize) -> Vec<RowStore> {
+    assert!(n > 0, "partition_rows: n must be >= 1");
+    let mut subsets: Vec<RowStore> = (0..n).map(|_| RowStore::new(feature_dim)).collect();
+    for (i, row) in rows.into_iter().enumerate() {
+        subsets[i % n].push_row(row);
+    }
+    subsets
+}
+
+/// An online service fanned out over parallel components.
+pub struct FanOutService<S> {
+    components: Vec<Component<S>>,
+}
+
+impl<S> FanOutService<S>
+where
+    S: ApproximateService + Sync,
+    S::Request: Sync,
+    S::Output: Send,
+{
+    /// Build every component from its subset (parallel offline pipeline).
+    pub fn build(
+        subsets: Vec<RowStore>,
+        mode: AggregationMode,
+        config: SynopsisConfig,
+        make_service: impl Fn() -> S + Sync,
+    ) -> Self
+    where
+        S: Send,
+    {
+        let components: Vec<Component<S>> = subsets
+            .into_par_iter()
+            .map(|subset| Component::build(subset, mode, config, make_service()).0)
+            .collect();
+        FanOutService { components }
+    }
+
+    /// Wrap pre-built components.
+    pub fn from_components(components: Vec<Component<S>>) -> Self {
+        assert!(!components.is_empty(), "service needs >= 1 component");
+        FanOutService { components }
+    }
+
+    /// Number of parallel components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the service has no components (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Borrow the components.
+    pub fn components(&self) -> &[Component<S>] {
+        &self.components
+    }
+
+    /// Mutably borrow the components (for applying data updates).
+    pub fn components_mut(&mut self) -> &mut [Component<S>] {
+        &mut self.components
+    }
+
+    /// Fan a request out to all components with a per-component set budget;
+    /// results arrive in component order.
+    pub fn broadcast_budgeted(
+        &self,
+        req: &S::Request,
+        imax: Option<usize>,
+        budget_sets: usize,
+    ) -> Vec<Outcome<S::Output>> {
+        self.components
+            .par_iter()
+            .map(|c| c.approx_budgeted(req, imax, budget_sets))
+            .collect()
+    }
+
+    /// Fan a request out for exact processing on all components.
+    pub fn broadcast_exact(&self, req: &S::Request) -> Vec<S::Output> {
+        self.components.par_iter().map(|c| c.exact(req)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::Correlation;
+    use crate::processor::Ctx;
+    use at_linalg::svd::SvdConfig;
+
+    struct CountService;
+
+    impl ApproximateService for CountService {
+        type Request = ();
+        type Output = usize;
+
+        fn process_synopsis(&self, ctx: Ctx<'_>, _r: &()) -> (usize, Vec<Correlation>) {
+            let corr = ctx
+                .store
+                .synopsis()
+                .iter()
+                .map(|p| Correlation {
+                    node: p.node,
+                    score: 1.0,
+                })
+                .collect();
+            (0, corr)
+        }
+
+        fn improve(
+            &self,
+            _ctx: Ctx<'_>,
+            _r: &(),
+            out: &mut usize,
+            _node: at_rtree::NodeId,
+            members: &[u64],
+        ) {
+            *out += members.len();
+        }
+
+        fn process_exact(&self, ctx: Ctx<'_>, _r: &()) -> usize {
+            ctx.dataset.len()
+        }
+    }
+
+    fn rows(n: usize) -> Vec<SparseRow> {
+        (0..n as u32)
+            .map(|r| SparseRow::from_pairs((0..6).map(|c| (c, ((r + c) % 4) as f64)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn partition_is_balanced_and_complete() {
+        let subsets = partition_rows(6, rows(103), 10);
+        assert_eq!(subsets.len(), 10);
+        let sizes: Vec<usize> = subsets.iter().map(|s| s.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be")]
+    fn partition_zero_panics() {
+        partition_rows(6, vec![], 0);
+    }
+
+    #[test]
+    fn broadcast_covers_all_subsets() {
+        let subsets = partition_rows(6, rows(120), 4);
+        let cfg = SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(8),
+            size_ratio: 10,
+            ..SynopsisConfig::default()
+        };
+        let svc = FanOutService::build(subsets, AggregationMode::Mean, cfg, || CountService);
+        assert_eq!(svc.len(), 4);
+        let outs = svc.broadcast_budgeted(&(), None, usize::MAX);
+        let total: usize = outs.iter().map(|o| o.output).sum();
+        assert_eq!(total, 120, "all components processed their whole subset");
+        let exact: usize = svc.broadcast_exact(&()).iter().sum();
+        assert_eq!(exact, 120);
+    }
+}

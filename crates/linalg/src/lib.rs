@@ -1,0 +1,34 @@
+//! # at-linalg
+//!
+//! Linear-algebra and statistics substrate for the AccuracyTrader
+//! reproduction (Han et al., ICPP 2016).
+//!
+//! The paper's offline synopsis-creation pipeline needs three numeric
+//! building blocks, all provided here:
+//!
+//! * [`Matrix`] / [`SparseMatrix`] — dense row-major and CSR sparse storage
+//!   for input datasets (user-item rating matrices, document term vectors).
+//! * [`svd::IncrementalSvd`] — the incremental, gradient-descent SVD of
+//!   Gorrell / Funk that the paper cites for step 1 of synopsis creation
+//!   (dimensionality reduction whose cost is independent of dataset size).
+//! * [`stats`] / [`mod@pearson`] — percentile estimation (the 99.9th-percentile
+//!   tail-latency metric), RMSE, and Pearson's correlation coefficient (the
+//!   CF weight measure used for accuracy-correlation estimation).
+//!
+//! Everything is deterministic given a caller-supplied RNG and allocates
+//! predictably; hot loops are written over contiguous slices so the compiler
+//! can vectorise them.
+
+pub mod matrix;
+pub mod pearson;
+pub mod sparse;
+pub mod stats;
+pub mod svd;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use pearson::{pearson, pearson_on_common};
+pub use sparse::{SparseMatrix, SparseMatrixBuilder};
+pub use stats::{mean, percentile, rmse, stddev, variance, Percentiles, StreamingStats};
+pub use svd::{IncrementalSvd, SvdConfig, SvdModel};
+pub use vector::{add_assign, dot, euclidean, norm2, scale, sub};

@@ -1,0 +1,166 @@
+//! Pearson's correlation coefficient.
+//!
+//! In the paper's CF recommender, the weight between an active user and a
+//! neighbourhood user is Pearson's correlation computed over the items both
+//! users have rated (§3.2), and the same weight against *aggregated* users
+//! is the correlation estimate `c_i` of Algorithm 1.
+
+/// Pearson correlation of two equal-length samples.
+///
+/// Returns `0.0` when either sample has zero variance (the convention used
+/// by CF systems: a flat co-rater carries no similarity signal) or when
+/// fewer than two pairs exist.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n as f64;
+    let mb = b.iter().sum::<f64>() / n as f64;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let dx = x - ma;
+        let dy = y - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va == 0.0 || vb == 0.0 {
+        0.0
+    } else {
+        (cov / (va.sqrt() * vb.sqrt())).clamp(-1.0, 1.0)
+    }
+}
+
+/// Pearson correlation over the *intersection* of two sparse rating rows.
+///
+/// `(cols_a, vals_a)` and `(cols_b, vals_b)` are parallel slices with
+/// `cols_*` sorted ascending (the invariant of
+/// [`crate::SparseMatrix`] rows). Returns `(weight, common)` where `common`
+/// is the number of co-rated items; weight is `0.0` when `common < 2`.
+///
+/// This is the exact CF weight of the paper: "the weight (similarity)
+/// between user u and any neighbourhood user who has rated the same item".
+pub fn pearson_on_common(
+    cols_a: &[u32],
+    vals_a: &[f64],
+    cols_b: &[u32],
+    vals_b: &[f64],
+) -> (f64, usize) {
+    debug_assert_eq!(cols_a.len(), vals_a.len());
+    debug_assert_eq!(cols_b.len(), vals_b.len());
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < cols_a.len() && j < cols_b.len() {
+        match cols_a[i].cmp(&cols_b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                xs.push(vals_a[i]);
+                ys.push(vals_b[j]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let common = xs.len();
+    if common < 2 {
+        (0.0, common)
+    } else {
+        (pearson(&xs, &ys), common)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative_correlation() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [3.0, 2.0, 1.0];
+        assert!((pearson(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_gives_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn too_few_pairs_gives_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        // A symmetric pattern with zero covariance.
+        let a = [1.0, 2.0, 1.0, 2.0];
+        let b = [1.0, 1.0, 2.0, 2.0];
+        assert!(pearson(&a, &b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_is_clamped() {
+        let a = [1e-8, 2e-8, 3e-8];
+        let b = [1e-8, 2e-8, 3e-8];
+        let r = pearson(&a, &b);
+        assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn common_intersection_basic() {
+        // User A rated items 1,2,3; user B rated 2,3,4. Common = {2,3}.
+        let (w, n) = pearson_on_common(
+            &[1, 2, 3],
+            &[5.0, 1.0, 2.0],
+            &[2, 3, 4],
+            &[2.0, 4.0, 1.0],
+        );
+        assert_eq!(n, 2);
+        // Two points always correlate perfectly (here positively: 1<2, 2<4).
+        assert!((w - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_overlap_gives_zero_weight() {
+        let (w, n) = pearson_on_common(&[1, 2], &[1.0, 2.0], &[3, 4], &[1.0, 2.0]);
+        assert_eq!(n, 0);
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn single_common_item_gives_zero_weight() {
+        let (w, n) = pearson_on_common(&[1], &[5.0], &[1], &[5.0]);
+        assert_eq!(n, 1);
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn intersection_matches_dense_pearson() {
+        let cols_a = [0u32, 1, 2, 3, 5];
+        let vals_a = [1.0, 4.0, 2.0, 5.0, 3.0];
+        let cols_b = [1u32, 2, 3, 4, 5];
+        let vals_b = [2.0, 1.0, 4.0, 9.0, 2.0];
+        let (w, n) = pearson_on_common(&cols_a, &vals_a, &cols_b, &vals_b);
+        assert_eq!(n, 4); // items 1,2,3,5
+        let dense = pearson(&[4.0, 2.0, 5.0, 3.0], &[2.0, 1.0, 4.0, 2.0]);
+        assert!((w - dense).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,356 @@
+//! Summary statistics: mean/variance, RMSE, and percentile estimation.
+//!
+//! The paper's headline performance metric is the **99.9th-percentile
+//! component latency**; its headline accuracy metric for the recommender is
+//! **RMSE**. Both live here so every crate shares one definition.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance; `0.0` for slices shorter than 2.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Root-mean-square error between predictions and ground truth — the
+/// recommender accuracy metric of the paper (§4.1).
+///
+/// # Panics
+/// Panics if lengths differ or both are empty.
+pub fn rmse(predicted: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), actual.len(), "rmse: length mismatch");
+    assert!(!predicted.is_empty(), "rmse: empty input");
+    let se: f64 = predicted
+        .iter()
+        .zip(actual)
+        .map(|(p, a)| (p - a) * (p - a))
+        .sum();
+    (se / predicted.len() as f64).sqrt()
+}
+
+/// The `p`-th percentile (0 ≤ p ≤ 100) of `xs` using linear interpolation
+/// between closest ranks (the "exclusive" definition used by most latency
+/// tooling). Sorts a copy; for repeated queries use [`Percentiles`].
+///
+/// # Panics
+/// Panics if `xs` is empty or `p` is outside `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN in input"));
+    percentile_of_sorted(&sorted, p)
+}
+
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile: empty input");
+    assert!((0.0..=100.0).contains(&p), "percentile: p={p} out of range");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Pre-sorted sample supporting repeated percentile queries — used by the
+/// simulator's metric recorder which asks for p50/p95/p99/p99.9 of the same
+/// latency population.
+#[derive(Clone, Debug)]
+pub struct Percentiles {
+    sorted: Vec<f64>,
+}
+
+impl Percentiles {
+    /// Sort `samples` once for repeated queries.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or contains NaN.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "Percentiles: empty sample set");
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("Percentiles: NaN in input"));
+        Percentiles { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false — construction rejects empty sample sets.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The `p`-th percentile (0 ≤ p ≤ 100).
+    pub fn get(&self, p: f64) -> f64 {
+        percentile_of_sorted(&self.sorted, p)
+    }
+
+    /// Convenience accessor for the paper's tail metric.
+    pub fn p999(&self) -> f64 {
+        self.get(99.9)
+    }
+
+    /// Median.
+    pub fn median(&self) -> f64 {
+        self.get(50.0)
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty by construction")
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+}
+
+/// Online mean/variance accumulator (Welford). Used where samples stream in
+/// (e.g. per-component service-time calibration) and storing them all would
+/// be wasteful.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StreamingStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingStats {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        StreamingStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean; `0.0` before any observation.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance of the observations so far.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` before any observation).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` before any observation).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &StreamingStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        let m2 = self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_and_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((stddev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_of_constant_is_zero() {
+        assert_eq!(variance(&[3.0, 3.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_perfect_prediction_is_zero() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // errors 1 and -1 -> rmse 1
+        assert_eq!(rmse(&[2.0, 1.0], &[1.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rmse_mismatch_panics() {
+        rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn percentile_endpoints() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(percentile(&xs, 25.0), 2.5);
+        assert!((percentile(&xs, 99.9) - 9.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_single_sample() {
+        assert_eq!(percentile(&[42.0], 99.9), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn percentile_empty_panics() {
+        percentile(&[], 50.0);
+    }
+
+    #[test]
+    fn percentiles_struct_matches_free_function() {
+        let xs: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let p = Percentiles::new(xs.clone());
+        for q in [0.0, 10.0, 50.0, 95.0, 99.0, 99.9, 100.0] {
+            assert_eq!(p.get(q), percentile(&xs, q), "q={q}");
+        }
+        assert_eq!(p.min(), 0.0);
+        assert_eq!(p.max(), 999.0);
+        assert_eq!(p.len(), 1000);
+    }
+
+    #[test]
+    fn p999_is_deep_tail() {
+        // 10_000 samples of 1ms with 20 samples of 1000ms (0.2% of the
+        // population): p99.9 must sit in the slow region, far above the
+        // median.
+        let mut xs = vec![1.0; 10_000];
+        xs.extend(vec![1000.0; 20]);
+        let p = Percentiles::new(xs);
+        assert!(p.p999() > p.median() * 100.0);
+    }
+
+    #[test]
+    fn streaming_matches_batch() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        assert!((s.mean() - mean(&xs)).abs() < 1e-12);
+        assert!((s.variance() - variance(&xs)).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn streaming_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = StreamingStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &xs[..37] {
+            a.push(x);
+        }
+        for &x in &xs[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - whole.mean()).abs() < 1e-10);
+        assert!((a.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(a.count(), whole.count());
+    }
+
+    #[test]
+    fn streaming_merge_with_empty_is_identity() {
+        let mut a = StreamingStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a;
+        a.merge(&StreamingStats::new());
+        assert_eq!(a.mean(), before.mean());
+        assert_eq!(a.count(), before.count());
+    }
+}

@@ -1,0 +1,418 @@
+//! Incremental (gradient-descent) SVD.
+//!
+//! Step 1 of the paper's synopsis creation uses "the incremental SVD \[17\]
+//! whose execution time is independent of the dataset size": latent factors
+//! are trained **one dimension at a time** by stochastic gradient descent
+//! over the observed cells (Gorrell's generalized Hebbian algorithm; the
+//! implementation the paper links is Simon Funk's). With `j` dimensions and
+//! `i` epochs per dimension the cost is `O(j × i × nnz)` — in the paper's
+//! accounting, `O(j × i)` passes.
+//!
+//! The trained **row factors** form the `u × j` low-dimensional dataset fed
+//! to the R-tree; the model also supports *folding in* new rows against the
+//! frozen column factors, which is how synopsis updating projects newly
+//! arrived data points into the existing latent space without retraining.
+
+use crate::matrix::Matrix;
+use crate::sparse::SparseMatrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Hyper-parameters for [`IncrementalSvd`].
+#[derive(Clone, Copy, Debug)]
+pub struct SvdConfig {
+    /// Number of latent dimensions `j` (the paper uses 3).
+    pub dims: usize,
+    /// Gradient-descent epochs per dimension (the paper uses 100).
+    pub epochs_per_dim: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub regularization: f64,
+    /// Magnitude of the random factor initialization.
+    pub init_scale: f64,
+    /// RNG seed for factor initialization (fully deterministic fits).
+    pub seed: u64,
+}
+
+impl Default for SvdConfig {
+    fn default() -> Self {
+        SvdConfig {
+            dims: 3,
+            epochs_per_dim: 100,
+            learning_rate: 0.005,
+            regularization: 0.02,
+            init_scale: 0.1,
+            seed: 0x5eed_5eed,
+        }
+    }
+}
+
+impl SvdConfig {
+    /// Config matching the paper's synopsis-creation setting: 3 dimensions,
+    /// 100 iterations per dimension.
+    pub fn paper() -> Self {
+        SvdConfig::default()
+    }
+
+    /// Builder-style override of the dimension count.
+    pub fn with_dims(mut self, dims: usize) -> Self {
+        self.dims = dims;
+        self
+    }
+
+    /// Builder-style override of epochs per dimension.
+    pub fn with_epochs(mut self, epochs: usize) -> Self {
+        self.epochs_per_dim = epochs;
+        self
+    }
+
+    /// Builder-style override of the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A fitted factor model: `value(r, c) ≈ global_mean + U[r] · V[c]`.
+#[derive(Clone, Debug)]
+pub struct SvdModel {
+    /// `rows × dims` row factors — the reduced dataset.
+    row_factors: Matrix,
+    /// `cols × dims` column factors.
+    col_factors: Matrix,
+    /// Mean of all observed values (baseline predictor).
+    global_mean: f64,
+    config: SvdConfig,
+}
+
+impl SvdModel {
+    /// The `u × j` reduced dataset (row factor vectors).
+    pub fn row_factors(&self) -> &Matrix {
+        &self.row_factors
+    }
+
+    /// The `v × j` column factor matrix.
+    pub fn col_factors(&self) -> &Matrix {
+        &self.col_factors
+    }
+
+    /// Mean of the observed training values.
+    pub fn global_mean(&self) -> f64 {
+        self.global_mean
+    }
+
+    /// Reduced feature vector of row `r`.
+    pub fn row_vector(&self, r: usize) -> &[f64] {
+        self.row_factors.row(r)
+    }
+
+    /// Reconstruct cell `(r, c)`.
+    pub fn predict(&self, r: usize, c: usize) -> f64 {
+        self.global_mean + crate::vector::dot(self.row_factors.row(r), self.col_factors.row(c))
+    }
+
+    /// Project a *new* row (given as a sparse `(col, value)` list) into the
+    /// latent space by training only its factor vector against the frozen
+    /// column factors. This is the incremental "fold-in" used when synopsis
+    /// updating sees newly added data points.
+    pub fn fold_in_row(&self, cols: &[u32], vals: &[f64], epochs: usize) -> Vec<f64> {
+        debug_assert_eq!(cols.len(), vals.len());
+        let dims = self.config.dims;
+        let mut factors = vec![self.config.init_scale; dims];
+        if cols.is_empty() {
+            return factors;
+        }
+        let lr = self.config.learning_rate;
+        let reg = self.config.regularization;
+        for d in 0..dims {
+            for _ in 0..epochs {
+                for (&c, &v) in cols.iter().zip(vals) {
+                    let col = self.col_factors.row(c as usize);
+                    // Prediction using dimensions trained so far plus the
+                    // one in flight, mirroring the per-dimension training.
+                    let mut pred = self.global_mean;
+                    for k in 0..=d {
+                        pred += factors[k] * col[k];
+                    }
+                    let err = v - pred;
+                    factors[d] += lr * (err * col[d] - reg * factors[d]);
+                }
+            }
+        }
+        factors
+    }
+
+    /// RMSE of the model over all observed cells of `data` — the measure
+    /// that "minimizing the difference (distance) between the two datasets"
+    /// refers to.
+    pub fn reconstruction_rmse(&self, data: &SparseMatrix) -> f64 {
+        let mut se = 0.0;
+        let mut n = 0usize;
+        for (r, c, v) in data.iter() {
+            let e = v - self.predict(r, c as usize);
+            se += e * e;
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            (se / n as f64).sqrt()
+        }
+    }
+}
+
+/// Trainer for the incremental SVD.
+pub struct IncrementalSvd {
+    config: SvdConfig,
+}
+
+impl IncrementalSvd {
+    /// Create a trainer with the given configuration.
+    pub fn new(config: SvdConfig) -> Self {
+        IncrementalSvd { config }
+    }
+
+    /// Fit the factor model over the observed cells of `data`.
+    ///
+    /// Dimensions are trained sequentially: dimension `d` descends on the
+    /// residual left by dimensions `0..d`, exactly as in the
+    /// Funk/Gorrell incremental scheme.
+    ///
+    /// # Panics
+    /// Panics if `config.dims == 0`.
+    pub fn fit(&self, data: &SparseMatrix) -> SvdModel {
+        let cfg = self.config;
+        assert!(cfg.dims > 0, "IncrementalSvd: dims must be >= 1");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut row_factors = Matrix::zeros(data.rows(), cfg.dims);
+        let mut col_factors = Matrix::zeros(data.cols(), cfg.dims);
+        for r in 0..data.rows() {
+            for v in row_factors.row_mut(r) {
+                *v = rng.random_range(-cfg.init_scale..cfg.init_scale);
+            }
+        }
+        for c in 0..data.cols() {
+            for v in col_factors.row_mut(c) {
+                *v = rng.random_range(-cfg.init_scale..cfg.init_scale);
+            }
+        }
+
+        let nnz = data.nnz();
+        let global_mean = if nnz == 0 {
+            0.0
+        } else {
+            data.iter().map(|(_, _, v)| v).sum::<f64>() / nnz as f64
+        };
+
+        // residual[k] caches v - (mean + sum_{d' < d} U[r][d']·V[c][d']) so
+        // each dimension's epochs touch only two factor entries per cell.
+        let mut residuals: Vec<f64> = data.iter().map(|(_, _, v)| v - global_mean).collect();
+
+        for d in 0..cfg.dims {
+            for _ in 0..cfg.epochs_per_dim {
+                let mut k = 0usize;
+                for r in 0..data.rows() {
+                    let rf = row_factors.row_mut(r);
+                    for (c, _v) in data.row(r) {
+                        let cf = col_factors.row_mut(c as usize);
+                        let err = residuals[k] - rf[d] * cf[d];
+                        let ru = rf[d];
+                        rf[d] += cfg.learning_rate * (err * cf[d] - cfg.regularization * rf[d]);
+                        cf[d] += cfg.learning_rate * (err * ru - cfg.regularization * cf[d]);
+                        k += 1;
+                    }
+                }
+            }
+            // Fold dimension d into the residuals before training d+1.
+            let mut k = 0usize;
+            for r in 0..data.rows() {
+                let rf = row_factors.row(r);
+                for (c, _v) in data.row(r) {
+                    residuals[k] -= rf[d] * col_factors.get(c as usize, d);
+                    k += 1;
+                }
+            }
+        }
+
+        SvdModel {
+            row_factors,
+            col_factors,
+            global_mean,
+            config: cfg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::SparseMatrixBuilder;
+
+    /// A matrix that is exactly `mean + a_r * b_c` with centred factors, so
+    /// the mean-plus-rank-1 model class can reconstruct it perfectly.
+    fn rank1_matrix(rows: usize, cols: usize) -> SparseMatrix {
+        let mut b = SparseMatrixBuilder::new(rows, cols);
+        for r in 0..rows {
+            let a = (r as f64) / rows as f64 - 0.5;
+            for c in 0..cols {
+                let bc = (c as f64) / cols as f64 - 0.5;
+                b.push(r, c as u32, 3.0 + a * bc);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn learns_rank1_structure() {
+        let data = rank1_matrix(20, 10);
+        let model = IncrementalSvd::new(SvdConfig {
+            dims: 1,
+            epochs_per_dim: 800,
+            learning_rate: 0.02,
+            ..SvdConfig::default()
+        })
+        .fit(&data);
+        let rmse = model.reconstruction_rmse(&data);
+        assert!(rmse < 0.05, "rank-1 reconstruction rmse too high: {rmse}");
+    }
+
+    #[test]
+    fn more_dims_reduce_reconstruction_error() {
+        // rank-2 data: mean + a*b + c*d
+        let mut b = SparseMatrixBuilder::new(30, 15);
+        for r in 0..30 {
+            for c in 0..15 {
+                let v = 3.0
+                    + (0.3 + r as f64 / 30.0) * (c as f64 / 15.0)
+                    + ((r % 3) as f64 - 1.0) * ((c % 4) as f64 / 4.0 - 0.5);
+                b.push(r, c as u32, v);
+            }
+        }
+        let data = b.build();
+        let cfg1 = SvdConfig {
+            dims: 1,
+            epochs_per_dim: 250,
+            ..SvdConfig::default()
+        };
+        let cfg3 = SvdConfig {
+            dims: 3,
+            epochs_per_dim: 250,
+            ..SvdConfig::default()
+        };
+        let e1 = IncrementalSvd::new(cfg1).fit(&data).reconstruction_rmse(&data);
+        let e3 = IncrementalSvd::new(cfg3).fit(&data).reconstruction_rmse(&data);
+        assert!(
+            e3 < e1 * 0.8,
+            "3 dims should fit rank-2 data much better: e1={e1} e3={e3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = rank1_matrix(10, 8);
+        let cfg = SvdConfig::default().with_epochs(50);
+        let m1 = IncrementalSvd::new(cfg).fit(&data);
+        let m2 = IncrementalSvd::new(cfg).fit(&data);
+        assert_eq!(m1.row_factors().as_slice(), m2.row_factors().as_slice());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let data = rank1_matrix(10, 8);
+        let m1 = IncrementalSvd::new(SvdConfig::default().with_epochs(5)).fit(&data);
+        let m2 = IncrementalSvd::new(SvdConfig::default().with_epochs(5).with_seed(99)).fit(&data);
+        assert_ne!(m1.row_factors().as_slice(), m2.row_factors().as_slice());
+    }
+
+    #[test]
+    fn reduced_dataset_has_requested_shape() {
+        let data = rank1_matrix(12, 6);
+        let model = IncrementalSvd::new(SvdConfig::paper().with_epochs(10)).fit(&data);
+        assert_eq!(model.row_factors().rows(), 12);
+        assert_eq!(model.row_factors().cols(), 3);
+        assert_eq!(model.col_factors().rows(), 6);
+    }
+
+    #[test]
+    fn similar_rows_stay_similar_after_reduction() {
+        // Paper, Figure 2: "data points with similar feature attributes in t
+        // still have similar attributes in t'". Build two groups of near-
+        // duplicate rows and check within-group distances are smaller than
+        // between-group distances in the reduced space.
+        let mut b = SparseMatrixBuilder::new(20, 12);
+        for r in 0..20 {
+            let group_high = r < 10;
+            for c in 0..12 {
+                let base = if group_high ^ (c < 6) { 4.5 } else { 1.5 };
+                let jitter = ((r * 7 + c * 13) % 5) as f64 * 0.05;
+                b.push(r, c as u32, base + jitter);
+            }
+        }
+        let data = b.build();
+        let model = IncrementalSvd::new(SvdConfig {
+            dims: 2,
+            epochs_per_dim: 300,
+            ..SvdConfig::default()
+        })
+        .fit(&data);
+        let rf = model.row_factors();
+        let within = crate::vector::euclidean(rf.row(0), rf.row(5));
+        let between = crate::vector::euclidean(rf.row(0), rf.row(15));
+        assert!(
+            within < between,
+            "reduction broke similarity: within={within} between={between}"
+        );
+    }
+
+    #[test]
+    fn fold_in_row_reconstructs_its_values() {
+        // The point of fold-in is that the projected vector, combined with
+        // the frozen column factors, predicts the new row's observed values.
+        let data = rank1_matrix(20, 10);
+        let model = IncrementalSvd::new(SvdConfig {
+            dims: 2,
+            epochs_per_dim: 400,
+            learning_rate: 0.02,
+            ..SvdConfig::default()
+        })
+        .fit(&data);
+        let cols: Vec<u32> = data.row_cols(7).to_vec();
+        let vals: Vec<f64> = data.row_values(7).to_vec();
+        let v = model.fold_in_row(&cols, &vals, 400);
+        let mut se = 0.0;
+        for (&c, &actual) in cols.iter().zip(&vals) {
+            let pred = model.global_mean()
+                + crate::vector::dot(&v, model.col_factors().row(c as usize));
+            se += (pred - actual) * (pred - actual);
+        }
+        let rmse = (se / vals.len() as f64).sqrt();
+        assert!(rmse < 0.08, "fold-in prediction rmse too high: {rmse}");
+    }
+
+    #[test]
+    fn fold_in_empty_row_returns_init() {
+        let data = rank1_matrix(5, 5);
+        let model = IncrementalSvd::new(SvdConfig::default().with_epochs(5)).fit(&data);
+        let v = model.fold_in_row(&[], &[], 50);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn empty_matrix_fit_is_safe() {
+        let data = SparseMatrixBuilder::new(0, 0).build();
+        let model = IncrementalSvd::new(SvdConfig::default().with_epochs(1)).fit(&data);
+        assert_eq!(model.global_mean(), 0.0);
+        assert_eq!(model.reconstruction_rmse(&data), 0.0);
+    }
+
+    #[test]
+    fn global_mean_is_mean_of_observed() {
+        let mut b = SparseMatrixBuilder::new(2, 2);
+        b.push(0, 0, 2.0);
+        b.push(1, 1, 4.0);
+        let data = b.build();
+        let model = IncrementalSvd::new(SvdConfig::default().with_epochs(1)).fit(&data);
+        assert_eq!(model.global_mean(), 3.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Small dense-vector kernels used throughout the workspace.
+//!
+//! All functions operate on `&[f64]` slices and panic if lengths differ;
+//! the callers (SVD training, R-tree distance computations, similarity
+//! scoring) always hold equal-length feature vectors.
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared L2 norm of `a`.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    a.iter().map(|x| x * x).sum()
+}
+
+/// Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+#[inline]
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "euclidean: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// `a += b` element-wise.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+#[inline]
+pub fn add_assign(a: &mut [f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "add_assign: length mismatch");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x += y;
+    }
+}
+
+/// `a - b` as a new vector.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+#[inline]
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// `a *= s` element-wise.
+#[inline]
+pub fn scale(a: &mut [f64], s: f64) {
+    for x in a.iter_mut() {
+        *x *= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn norm2_matches_self_dot() {
+        let v = [3.0, -4.0];
+        assert_eq!(norm2(&v), dot(&v, &v));
+        assert_eq!(norm2(&v), 25.0);
+    }
+
+    #[test]
+    fn euclidean_345() {
+        assert_eq!(euclidean(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn euclidean_is_symmetric() {
+        let a = [1.0, 2.5, -3.0];
+        let b = [-0.5, 0.0, 7.0];
+        assert_eq!(euclidean(&a, &b), euclidean(&b, &a));
+    }
+
+    #[test]
+    fn add_assign_and_sub_roundtrip() {
+        let mut a = vec![1.0, 2.0];
+        add_assign(&mut a, &[3.0, 4.0]);
+        assert_eq!(a, vec![4.0, 6.0]);
+        assert_eq!(sub(&a, &[3.0, 4.0]), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut a = vec![1.0, -2.0, 0.5];
+        scale(&mut a, 2.0);
+        assert_eq!(a, vec![2.0, -4.0, 1.0]);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the numeric substrate.
+
+use at_linalg::stats::{mean, percentile, variance, Percentiles, StreamingStats};
+use at_linalg::{pearson, pearson_on_common};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn percentile_is_monotone_in_p(xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+                                   p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi) + 1e-9);
+    }
+
+    #[test]
+    fn percentile_bounded_by_min_max(xs in prop::collection::vec(-1e6f64..1e6, 1..200),
+                                     p in 0.0f64..100.0) {
+        let v = percentile(&xs, p);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+
+    #[test]
+    fn percentiles_struct_agrees_with_function(xs in prop::collection::vec(-1e3f64..1e3, 1..100),
+                                               p in 0.0f64..100.0) {
+        let s = Percentiles::new(xs.clone());
+        prop_assert!((s.get(p) - percentile(&xs, p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streaming_stats_match_batch(xs in prop::collection::vec(-1e3f64..1e3, 2..200)) {
+        let mut s = StreamingStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        prop_assert!((s.mean() - mean(&xs)).abs() < 1e-6);
+        prop_assert!((s.variance() - variance(&xs)).abs() < 1e-4 * (1.0 + variance(&xs)));
+    }
+
+    #[test]
+    fn streaming_merge_is_order_independent(xs in prop::collection::vec(-1e3f64..1e3, 2..100),
+                                            cut in 1usize..99) {
+        let cut = cut.min(xs.len() - 1);
+        let mut a = StreamingStats::new();
+        let mut b = StreamingStats::new();
+        for &x in &xs[..cut] { a.push(x); }
+        for &x in &xs[cut..] { b.push(x); }
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert!((ab.mean() - ba.mean()).abs() < 1e-9);
+        prop_assert!((ab.variance() - ba.variance()).abs() < 1e-6);
+        prop_assert_eq!(ab.count(), ba.count());
+    }
+
+    #[test]
+    fn pearson_is_symmetric_and_bounded(pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..60)) {
+        let (a, b): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let ab = pearson(&a, &b);
+        let ba = pearson(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+    }
+
+    #[test]
+    fn pearson_invariant_to_affine_transform(pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 3..60),
+                                             scale in 0.1f64..10.0, shift in -50.0f64..50.0) {
+        let (a, b): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let a2: Vec<f64> = a.iter().map(|x| x * scale + shift).collect();
+        let r1 = pearson(&a, &b);
+        let r2 = pearson(&a2, &b);
+        prop_assert!((r1 - r2).abs() < 1e-6, "{} vs {}", r1, r2);
+    }
+
+    #[test]
+    fn sparse_pearson_equals_dense_on_full_overlap(vals in prop::collection::vec((0.0f64..5.0, 0.0f64..5.0), 2..40)) {
+        let cols: Vec<u32> = (0..vals.len() as u32).collect();
+        let (a, b): (Vec<f64>, Vec<f64>) = vals.into_iter().unzip();
+        let (w, common) = pearson_on_common(&cols, &a, &cols, &b);
+        prop_assert_eq!(common, cols.len());
+        prop_assert!((w - pearson(&a, &b)).abs() < 1e-12);
+    }
+}

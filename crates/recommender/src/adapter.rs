@@ -1,0 +1,282 @@
+//! AccuracyTrader adapter for the CF recommender.
+//!
+//! Maps the paper's recommender semantics onto the [`ApproximateService`]
+//! hooks:
+//!
+//! * **Correlation estimate** `c_i` — the Pearson weight between the active
+//!   user and an *aggregated user* (ranked by magnitude: the paper calls an
+//!   original user highly related when its weight is > 0.8 or < −0.8).
+//! * **Initial result** — the weighted-average prediction computed over the
+//!   aggregated users, each standing in for `member_count` originals.
+//! * **Improvement** — replace one aggregated user's estimated contribution
+//!   with the exact contributions of its member users.
+
+use at_core::{ApproximateService, Correlation, Ctx};
+use at_rtree::NodeId;
+
+use crate::predict::{accumulate_neighbor, user_weight, PredictionAcc};
+use crate::ratings::ActiveUser;
+
+/// The user-based CF service, AccuracyTrader-enabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CfService;
+
+impl ApproximateService for CfService {
+    type Request = ActiveUser;
+    type Output = Vec<PredictionAcc>;
+
+    fn process_synopsis(
+        &self,
+        ctx: Ctx<'_>,
+        req: &ActiveUser,
+    ) -> (Self::Output, Vec<Correlation>) {
+        let mut acc = vec![PredictionAcc::default(); req.targets.len()];
+        let mut corr = Vec::with_capacity(ctx.store.synopsis().len());
+        for p in ctx.store.synopsis().iter() {
+            let (w, _) = user_weight(&req.profile, &p.info);
+            corr.push(Correlation {
+                node: p.node,
+                score: w.abs(),
+            });
+            accumulate_neighbor(req, &p.info, p.member_count as f64, &mut acc);
+        }
+        (acc, corr)
+    }
+
+    fn improve(
+        &self,
+        ctx: Ctx<'_>,
+        req: &ActiveUser,
+        out: &mut Self::Output,
+        node: NodeId,
+        members: &[u64],
+    ) {
+        // Back out the aggregated user's estimated contribution...
+        if let Some(p) = ctx.store.synopsis().point(node) {
+            accumulate_neighbor(req, &p.info, -(p.member_count as f64), out);
+        }
+        // ...and put in the exact contributions of its original users.
+        for &m in members {
+            accumulate_neighbor(req, ctx.dataset.row(m), 1.0, out);
+        }
+    }
+
+    fn process_exact(&self, ctx: Ctx<'_>, req: &ActiveUser) -> Self::Output {
+        let mut acc = vec![PredictionAcc::default(); req.targets.len()];
+        for id in ctx.dataset.ids() {
+            accumulate_neighbor(req, ctx.dataset.row(id), 1.0, &mut acc);
+        }
+        acc
+    }
+}
+
+/// Compose per-component partial sums into final predictions (one per
+/// target), using the active user's mean as the baseline.
+pub fn compose_predictions(req: &ActiveUser, parts: &[Vec<PredictionAcc>]) -> Vec<f64> {
+    let mut total = vec![PredictionAcc::default(); req.targets.len()];
+    for part in parts {
+        assert_eq!(part.len(), total.len(), "component output arity mismatch");
+        for (t, p) in total.iter_mut().zip(part) {
+            t.merge(p);
+        }
+    }
+    let mean = req.mean_rating();
+    total.iter().map(|a| a.predict(mean)).collect()
+}
+
+/// Figure 4(a) analysis: rank aggregated users by |weight| to `req`, split
+/// into `n_sections`, and return each section's percentage of *original*
+/// users that are highly related (|weight| > `threshold`, paper: 0.8).
+pub fn section_relatedness(
+    ctx: Ctx<'_>,
+    req: &ActiveUser,
+    threshold: f64,
+    n_sections: usize,
+) -> Vec<f64> {
+    let service = CfService;
+    let (_, corr) = service.process_synopsis(ctx, req);
+    let ranked = at_core::rank(corr);
+    let sections = at_core::sections(&ranked, n_sections);
+    sections
+        .iter()
+        .map(|sec| {
+            let mut related = 0usize;
+            let mut total = 0usize;
+            for c in *sec {
+                let members = ctx.store.index().members(c.node).expect("indexed node");
+                for &m in members {
+                    let (w, _) = user_weight(&req.profile, ctx.dataset.row(m));
+                    if w.abs() > threshold {
+                        related += 1;
+                    }
+                    total += 1;
+                }
+            }
+            if total == 0 {
+                0.0
+            } else {
+                related as f64 / total as f64 * 100.0
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ratings::rating_matrix;
+    use at_core::Component;
+    use at_linalg::svd::SvdConfig;
+    use at_synopsis::{AggregationMode, SparseRow, SynopsisConfig};
+    use at_workloads::{RatingsConfig, RatingsDataset};
+
+    fn component() -> (Component<CfService>, RatingsDataset) {
+        let data = RatingsDataset::generate(RatingsConfig {
+            n_users: 300,
+            n_items: 80,
+            ratings_per_user: 30,
+            ..RatingsConfig::small()
+        });
+        let matrix = rating_matrix(300, 80, &data.ratings);
+        let cfg = SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(25),
+            size_ratio: 15,
+            ..SynopsisConfig::default()
+        };
+        let (c, _) = Component::build(matrix, AggregationMode::Mean, cfg, CfService);
+        (c, data)
+    }
+
+    fn active(data: &RatingsDataset, user: u32, targets: Vec<u32>) -> ActiveUser {
+        let pairs: Vec<(u32, f64)> = data
+            .ratings
+            .iter()
+            .filter(|r| r.user == user && !targets.contains(&r.item))
+            .map(|r| (r.item, r.stars))
+            .collect();
+        ActiveUser::new(SparseRow::from_pairs(pairs), targets)
+    }
+
+    #[test]
+    fn full_budget_matches_exact() {
+        let (c, data) = component();
+        let req = active(&data, 3, vec![1, 5, 9]);
+        let approx = c.approx_budgeted(&req, None, usize::MAX);
+        let exact = c.exact(&req);
+        let pa = compose_predictions(&req, &[approx.output]);
+        let pe = compose_predictions(&req, &[exact]);
+        for (a, e) in pa.iter().zip(&pe) {
+            assert!(
+                (a - e).abs() < 1e-6,
+                "fully-improved approx must equal exact: {a} vs {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_budget_predictions_are_plausible() {
+        let (c, data) = component();
+        let req = active(&data, 10, vec![2, 4]);
+        let o = c.approx_budgeted(&req, None, 0);
+        let preds = compose_predictions(&req, &[o.output]);
+        for p in preds {
+            assert!((1.0..=5.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn more_budget_reduces_error_vs_exact() {
+        let (c, data) = component();
+        // Average |approx - exact| over several users and targets must not
+        // increase with budget.
+        let mut err_by_budget = Vec::new();
+        for budget in [0usize, 2, usize::MAX] {
+            let mut err = 0.0;
+            let mut n = 0;
+            for user in [1u32, 7, 21, 40] {
+                let req = active(&data, user, vec![0, 3, 6]);
+                let approx =
+                    compose_predictions(&req, &[c.approx_budgeted(&req, None, budget).output]);
+                let exact = compose_predictions(&req, &[c.exact(&req)]);
+                for (a, e) in approx.iter().zip(&exact) {
+                    err += (a - e).abs();
+                    n += 1;
+                }
+            }
+            err_by_budget.push(err / n as f64);
+        }
+        assert!(
+            err_by_budget[2] <= err_by_budget[0] + 1e-9,
+            "error must shrink with budget: {err_by_budget:?}"
+        );
+        assert!(err_by_budget[2] < 1e-9, "full budget must be exact");
+    }
+
+    #[test]
+    fn correlations_are_weight_magnitudes() {
+        let (c, data) = component();
+        let req = active(&data, 5, vec![0]);
+        let svc = CfService;
+        let (_, corr) = svc.process_synopsis(c.ctx(), &req);
+        assert_eq!(corr.len(), c.store().synopsis().len());
+        for cr in &corr {
+            assert!((0.0..=1.0).contains(&cr.score), "|w| out of range");
+        }
+    }
+
+    #[test]
+    fn section_relatedness_decreases_with_rank() {
+        // Needs a fine-grained synopsis: with only ~3 aggregated points,
+        // sections would be degenerate. size_ratio 6 -> ~26 groups here.
+        let data = RatingsDataset::generate(RatingsConfig {
+            n_users: 300,
+            n_items: 80,
+            ratings_per_user: 30,
+            ..RatingsConfig::small()
+        });
+        let matrix = rating_matrix(300, 80, &data.ratings);
+        let cfg = SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(25),
+            size_ratio: 6,
+            ..SynopsisConfig::default()
+        };
+        let (c, _) = Component::build(matrix, AggregationMode::Mean, cfg, CfService);
+        assert!(c.store().synopsis().len() >= 12, "need enough groups");
+        // Average over several active users like the paper's 1000.
+        let mut first = 0.0;
+        let mut last = 0.0;
+        let mut n = 0;
+        for user in (0..60u32).step_by(5) {
+            let req = active(&data, user, vec![0]);
+            let sec = section_relatedness(c.ctx(), &req, 0.5, 4);
+            first += sec[0];
+            last += sec[3];
+            n += 1;
+        }
+        first /= n as f64;
+        last /= n as f64;
+        assert!(
+            first > last,
+            "top-ranked sections must hold more related users: first {first}% vs last {last}%"
+        );
+    }
+
+    #[test]
+    fn compose_merges_components() {
+        let (c, data) = component();
+        let req = active(&data, 2, vec![1]);
+        let exact = c.exact(&req);
+        // Splitting one component's output into two halves then composing
+        // must equal composing the whole.
+        let whole = compose_predictions(&req, &[exact.clone()]);
+        let half: Vec<PredictionAcc> = exact
+            .iter()
+            .map(|a| PredictionAcc {
+                num: a.num / 2.0,
+                den: a.den / 2.0,
+            })
+            .collect();
+        let split = compose_predictions(&req, &[half.clone(), half]);
+        assert!((whole[0] - split[0]).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,188 @@
+//! User-based collaborative filtering (paper §3.2).
+//!
+//! Step 1: the weight between the active user and a neighbour is Pearson's
+//! correlation over their co-rated items. Step 2: the prediction of user
+//! `u`'s rating on item `i` is `u`'s mean rating plus the weighted average
+//! of the neighbours' mean-centred ratings of `i` — the classic formulation
+//! from the CF survey the paper cites.
+
+use at_linalg::pearson::pearson_on_common;
+use at_synopsis::SparseRow;
+
+use crate::ratings::ActiveUser;
+
+/// Minimum co-rated items for a weight to count (below this, Pearson is
+/// noise; with <2 items it is undefined and treated as 0).
+pub const MIN_COMMON_ITEMS: usize = 2;
+
+/// Accumulating numerator/denominator of a weighted-average prediction for
+/// one target item. Partial sums from different components/groups add.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PredictionAcc {
+    /// Σ w(u,v) · (r_{v,i} − r̄_v) (optionally scaled by member counts).
+    pub num: f64,
+    /// Σ |w(u,v)| (same scaling).
+    pub den: f64,
+}
+
+impl PredictionAcc {
+    /// Merge another partial sum.
+    pub fn merge(&mut self, other: &PredictionAcc) {
+        self.num += other.num;
+        self.den += other.den;
+    }
+
+    /// Final prediction: `user_mean + num/den`, clamped to the 1–5 star
+    /// scale; falls back to `user_mean` when no neighbour rated the item.
+    pub fn predict(&self, user_mean: f64) -> f64 {
+        if self.den > 1e-12 {
+            (user_mean + self.num / self.den).clamp(1.0, 5.0)
+        } else {
+            user_mean.clamp(1.0, 5.0)
+        }
+    }
+}
+
+/// The Pearson weight between the active user and one neighbour row.
+/// Returns `(weight, common_items)`; weight is 0 below [`MIN_COMMON_ITEMS`].
+pub fn user_weight(active: &SparseRow, neighbor: &SparseRow) -> (f64, usize) {
+    let (w, common) = pearson_on_common(
+        &active.cols,
+        &active.vals,
+        &neighbor.cols,
+        &neighbor.vals,
+    );
+    if common < MIN_COMMON_ITEMS {
+        (0.0, common)
+    } else {
+        (w, common)
+    }
+}
+
+/// Fold one neighbour's ratings into the per-target accumulators.
+///
+/// `multiplier` scales the contribution (1 for an original user; the member
+/// count when the "neighbour" is an aggregated user standing in for many).
+/// `acc` is parallel to `active.targets`.
+pub fn accumulate_neighbor(
+    active: &ActiveUser,
+    neighbor: &SparseRow,
+    multiplier: f64,
+    acc: &mut [PredictionAcc],
+) {
+    debug_assert_eq!(acc.len(), active.targets.len());
+    let (w, _) = user_weight(&active.profile, neighbor);
+    if w == 0.0 {
+        return;
+    }
+    let neighbor_mean = if neighbor.vals.is_empty() {
+        return;
+    } else {
+        neighbor.vals.iter().sum::<f64>() / neighbor.vals.len() as f64
+    };
+    for (t, a) in active.targets.iter().zip(acc.iter_mut()) {
+        if let Some(r) = neighbor.get(*t) {
+            a.num += w * (r - neighbor_mean) * multiplier;
+            a.den += w.abs() * multiplier;
+        }
+    }
+}
+
+/// Full user-based CF over a set of neighbour rows: returns one prediction
+/// accumulator per target (compose across components by merging).
+pub fn predict_partial(
+    active: &ActiveUser,
+    neighbors: impl Iterator<Item = impl std::borrow::Borrow<SparseRow>>,
+) -> Vec<PredictionAcc> {
+    let mut acc = vec![PredictionAcc::default(); active.targets.len()];
+    for n in neighbors {
+        accumulate_neighbor(active, n.borrow(), 1.0, &mut acc);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(pairs: Vec<(u32, f64)>) -> SparseRow {
+        SparseRow::from_pairs(pairs)
+    }
+
+    #[test]
+    fn weight_requires_common_items() {
+        let a = row(vec![(0, 5.0), (1, 3.0)]);
+        let b = row(vec![(2, 4.0), (3, 1.0)]);
+        assert_eq!(user_weight(&a, &b), (0.0, 0));
+    }
+
+    #[test]
+    fn weight_of_agreeing_users_is_positive() {
+        let a = row(vec![(0, 5.0), (1, 3.0), (2, 1.0)]);
+        let b = row(vec![(0, 4.0), (1, 3.0), (2, 2.0)]);
+        let (w, common) = user_weight(&a, &b);
+        assert_eq!(common, 3);
+        assert!(w > 0.9, "agreeing users should correlate strongly: {w}");
+    }
+
+    #[test]
+    fn weight_of_opposite_users_is_negative() {
+        let a = row(vec![(0, 5.0), (1, 3.0), (2, 1.0)]);
+        let b = row(vec![(0, 1.0), (1, 3.0), (2, 5.0)]);
+        let (w, _) = user_weight(&a, &b);
+        assert!(w < -0.9);
+    }
+
+    #[test]
+    fn prediction_follows_positive_neighbor() {
+        // Active user mean 3; a strongly-agreeing neighbour rated target
+        // item 9 one star above *their* mean -> prediction ≈ 4.
+        let active = ActiveUser::new(row(vec![(0, 5.0), (1, 3.0), (2, 1.0)]), vec![9]);
+        let neighbor = row(vec![(0, 5.0), (1, 3.0), (2, 1.0), (9, 4.0)]);
+        let acc = predict_partial(&active, std::iter::once(&neighbor));
+        // neighbour mean = 3.25, delta = 0.75, w ≈ 1.
+        let p = acc[0].predict(active.mean_rating());
+        assert!((p - 3.75).abs() < 0.05, "prediction {p}");
+    }
+
+    #[test]
+    fn no_neighbors_falls_back_to_user_mean() {
+        let active = ActiveUser::new(row(vec![(0, 4.0), (1, 4.0)]), vec![5]);
+        let acc = predict_partial(&active, std::iter::empty::<&SparseRow>());
+        assert_eq!(acc[0].predict(active.mean_rating()), 4.0);
+    }
+
+    #[test]
+    fn prediction_clamped_to_star_scale() {
+        let acc = PredictionAcc { num: 100.0, den: 1.0 };
+        assert_eq!(acc.predict(3.0), 5.0);
+        let acc = PredictionAcc { num: -100.0, den: 1.0 };
+        assert_eq!(acc.predict(3.0), 1.0);
+    }
+
+    #[test]
+    fn merge_equals_joint_computation() {
+        let active = ActiveUser::new(row(vec![(0, 5.0), (1, 1.0), (2, 3.0)]), vec![7]);
+        let n1 = row(vec![(0, 4.0), (1, 2.0), (7, 5.0)]);
+        let n2 = row(vec![(0, 5.0), (1, 1.0), (2, 3.0), (7, 1.0)]);
+        let joint = predict_partial(&active, [&n1, &n2].into_iter());
+        let mut a = predict_partial(&active, std::iter::once(&n1));
+        let b = predict_partial(&active, std::iter::once(&n2));
+        a[0].merge(&b[0]);
+        assert!((a[0].num - joint[0].num).abs() < 1e-12);
+        assert!((a[0].den - joint[0].den).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplier_scales_contribution() {
+        let active = ActiveUser::new(row(vec![(0, 5.0), (1, 1.0)]), vec![7]);
+        let n = row(vec![(0, 4.0), (1, 2.0), (7, 5.0)]);
+        let mut one = vec![PredictionAcc::default()];
+        accumulate_neighbor(&active, &n, 1.0, &mut one);
+        let mut ten = vec![PredictionAcc::default()];
+        accumulate_neighbor(&active, &n, 10.0, &mut ten);
+        assert!((ten[0].num - 10.0 * one[0].num).abs() < 1e-12);
+        // Prediction itself is scale-invariant for a single neighbour.
+        assert!((ten[0].predict(3.0) - one[0].predict(3.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,89 @@
+//! Rating-matrix plumbing: turning rating triples into the row stores the
+//! synopsis pipeline and CF algorithm consume.
+
+use at_synopsis::{RowStore, SparseRow};
+use at_workloads::Rating;
+
+/// Build a user-row store (`n_users × n_items`) from rating triples.
+/// Users absent from `ratings` get empty rows.
+pub fn rating_matrix(n_users: usize, n_items: usize, ratings: &[Rating]) -> RowStore {
+    let mut per_user: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_users];
+    for r in ratings {
+        assert!((r.user as usize) < n_users, "user {} out of range", r.user);
+        assert!((r.item as usize) < n_items, "item {} out of range", r.item);
+        per_user[r.user as usize].push((r.item, r.stars));
+    }
+    let mut store = RowStore::new(n_items);
+    for pairs in per_user {
+        store.push_row(SparseRow::from_pairs(pairs));
+    }
+    store
+}
+
+/// An active user's request: their known ratings (for weight computation)
+/// and the items whose ratings to predict.
+#[derive(Clone, Debug)]
+pub struct ActiveUser {
+    /// The active user's profile: item → rating.
+    pub profile: SparseRow,
+    /// Items to predict, sorted ascending.
+    pub targets: Vec<u32>,
+}
+
+impl ActiveUser {
+    /// Build a request; sorts and dedups targets.
+    pub fn new(profile: SparseRow, mut targets: Vec<u32>) -> Self {
+        targets.sort_unstable();
+        targets.dedup();
+        ActiveUser { profile, targets }
+    }
+
+    /// The user's mean rating (fallback prediction); 3.0 for empty profiles
+    /// (the mid-scale prior).
+    pub fn mean_rating(&self) -> f64 {
+        if self.profile.vals.is_empty() {
+            3.0
+        } else {
+            self.profile.vals.iter().sum::<f64>() / self.profile.vals.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_places_ratings() {
+        let ratings = vec![
+            Rating { user: 0, item: 2, stars: 4.0 },
+            Rating { user: 2, item: 0, stars: 1.0 },
+            Rating { user: 0, item: 1, stars: 5.0 },
+        ];
+        let m = rating_matrix(3, 4, &ratings);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.row(0).get(2), Some(4.0));
+        assert_eq!(m.row(0).get(1), Some(5.0));
+        assert_eq!(m.row(1).nnz(), 0);
+        assert_eq!(m.row(2).get(0), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_user_panics() {
+        rating_matrix(1, 1, &[Rating { user: 5, item: 0, stars: 3.0 }]);
+    }
+
+    #[test]
+    fn active_user_normalizes_targets() {
+        let u = ActiveUser::new(SparseRow::from_pairs(vec![(0, 4.0), (1, 2.0)]), vec![3, 1, 3]);
+        assert_eq!(u.targets, vec![1, 3]);
+        assert_eq!(u.mean_rating(), 3.0);
+    }
+
+    #[test]
+    fn empty_profile_mean_is_mid_scale() {
+        let u = ActiveUser::new(SparseRow::default(), vec![0]);
+        assert_eq!(u.mean_rating(), 3.0);
+    }
+}

@@ -1,0 +1,46 @@
+//! Recommender accuracy: RMSE and the paper's accuracy-loss percentage.
+
+pub use at_linalg::stats::rmse;
+
+/// Percentage of accuracy loss of an approximate result versus the exact
+/// one (§4.1): for an error metric like RMSE (lower is better), the loss is
+/// the relative RMSE increase, floored at zero (an approximation can tie or
+/// — by luck — beat the exact RMSE, which counts as no loss).
+pub fn accuracy_loss_pct(exact_rmse: f64, approx_rmse: f64) -> f64 {
+    assert!(exact_rmse >= 0.0 && approx_rmse >= 0.0, "RMSE must be >= 0");
+    if exact_rmse <= 1e-12 {
+        // A perfect exact baseline: any positive approx error is a loss
+        // relative to the rating scale midpoint instead.
+        return if approx_rmse <= 1e-12 { 0.0 } else { 100.0 };
+    }
+    ((approx_rmse - exact_rmse) / exact_rmse * 100.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_loss_when_equal_or_better() {
+        assert_eq!(accuracy_loss_pct(1.0, 1.0), 0.0);
+        assert_eq!(accuracy_loss_pct(1.0, 0.9), 0.0);
+    }
+
+    #[test]
+    fn loss_is_relative_increase() {
+        assert!((accuracy_loss_pct(1.0, 1.05) - 5.0).abs() < 1e-9);
+        assert!((accuracy_loss_pct(0.8, 1.6) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfect_baseline_edge_cases() {
+        assert_eq!(accuracy_loss_pct(0.0, 0.0), 0.0);
+        assert_eq!(accuracy_loss_pct(0.0, 0.5), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "RMSE")]
+    fn negative_rmse_panics() {
+        accuracy_loss_pct(-1.0, 1.0);
+    }
+}

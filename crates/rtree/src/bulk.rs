@@ -1,0 +1,367 @@
+//! Sort-Tile-Recursive (STR) bulk loading.
+//!
+//! Synopsis *creation* indexes a whole subset at once (paper §2.2 step 2);
+//! bulk loading produces a tighter, fuller tree than repeated insertion and
+//! costs `O(k log k)` — the complexity the paper quotes for R-tree
+//! construction. The resulting tree is an ordinary [`RTree`]: later
+//! incremental updates use the dynamic insert/delete paths.
+
+use crate::node::{LeafEntry, Node, NodeId, NodeKind};
+use crate::rect::Rect;
+use crate::tree::{RTree, RTreeConfig};
+
+impl RTree {
+    /// Build a tree from `(item, point)` pairs using STR tiling.
+    ///
+    /// Duplicate item ids keep the *last* occurrence, matching
+    /// [`RTree::insert`]'s replace semantics. Every produced node satisfies
+    /// the `[min_entries, max_entries]` occupancy invariant; leaves are
+    /// filled to roughly 80% so the first few dynamic inserts do not split.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0`, the config is invalid, or any point has the
+    /// wrong dimensionality.
+    pub fn bulk_load(dims: usize, cfg: RTreeConfig, points: Vec<(u64, Vec<f64>)>) -> RTree {
+        let cfg = cfg.validated();
+        let mut tree = RTree::new(dims, cfg);
+        // Deduplicate, last write wins.
+        let mut dedup: std::collections::HashMap<u64, Vec<f64>> = std::collections::HashMap::new();
+        for (item, p) in points {
+            assert_eq!(p.len(), dims, "bulk_load: point dims mismatch");
+            dedup.insert(item, p);
+        }
+        let mut entries: Vec<LeafEntry> = dedup
+            .into_iter()
+            .map(|(item, point)| LeafEntry { item, point })
+            .collect();
+        // Deterministic base order regardless of HashMap iteration.
+        entries.sort_by_key(|e| e.item);
+
+        if entries.is_empty() {
+            return tree;
+        }
+
+        let target = ((cfg.max_entries * 4) / 5).clamp(cfg.min_entries, cfg.max_entries);
+        let n_groups = group_count(entries.len(), cfg, target);
+        let total = entries.len();
+        let groups = repair_occupancy(str_tile(&mut entries, dims, n_groups, 0), cfg);
+        debug_assert_eq!(groups.iter().map(Vec::len).sum::<usize>(), total);
+
+        let mut level: Vec<NodeId> = groups
+            .into_iter()
+            .map(|g| {
+                let mut node = Node::new_leaf(dims);
+                let mut rect = Rect::empty(dims);
+                for e in &g {
+                    rect.extend_point(&e.point);
+                }
+                node.rect = rect;
+                node.kind = NodeKind::Leaf(g);
+                tree.alloc(node)
+            })
+            .collect();
+        let mut height = 1usize;
+
+        // Stack internal levels until one node remains.
+        while level.len() > 1 {
+            let k = group_count(level.len(), cfg, target);
+            let mut next = Vec::with_capacity(k);
+            for chunk in balanced_chunks(&level, k) {
+                let mut node = Node::new_internal(dims);
+                let mut rect = Rect::empty(dims);
+                for &c in chunk {
+                    rect.union_assign(&tree.node(c).rect);
+                }
+                node.rect = rect;
+                node.kind = NodeKind::Internal(chunk.to_vec());
+                let id = tree.alloc(node);
+                for &c in chunk {
+                    tree.set_parent(c, Some(id));
+                }
+                next.push(id);
+            }
+            level = next;
+            height += 1;
+        }
+
+        let root = level[0];
+        tree.install_bulk(root, height);
+        tree
+    }
+}
+
+/// Number of groups to split `len` items into such that balanced group
+/// sizes stay within `[min_entries, max_entries]`, aiming for `target`
+/// items per group. Returns 1 when `len` fits in a single node.
+fn group_count(len: usize, cfg: RTreeConfig, target: usize) -> usize {
+    if len <= cfg.max_entries {
+        return 1;
+    }
+    let lo = len.div_ceil(cfg.max_entries); // fewest groups: sizes <= M
+    let hi = (len / cfg.min_entries).max(1); // most groups: sizes >= m
+    len.div_ceil(target).clamp(lo, hi)
+}
+
+/// Split `items` into exactly `k` contiguous chunks whose sizes differ by at
+/// most one.
+fn balanced_chunks<T>(items: &[T], k: usize) -> impl Iterator<Item = &[T]> {
+    let n = items.len();
+    debug_assert!(k >= 1 && k <= n.max(1));
+    (0..k).map(move |i| {
+        let start = i * n / k;
+        let end = (i + 1) * n / k;
+        &items[start..end]
+    })
+}
+
+/// Recursively tile `entries` into exactly `n_groups` spatially compact
+/// groups, cycling the sort axis per recursion level (STR).
+fn str_tile(
+    entries: &mut [LeafEntry],
+    dims: usize,
+    n_groups: usize,
+    axis: usize,
+) -> Vec<Vec<LeafEntry>> {
+    if n_groups == 1 {
+        return vec![entries.to_vec()];
+    }
+    entries.sort_by(|a, b| {
+        a.point[axis]
+            .partial_cmp(&b.point[axis])
+            .expect("NaN coordinate in bulk_load")
+            .then_with(|| a.item.cmp(&b.item))
+    });
+    // Slab count along this axis: the dims-th root of the group count, so
+    // tiling ends up roughly square.
+    let slabs = ((n_groups as f64).powf(1.0 / dims as f64).ceil() as usize)
+        .clamp(1, n_groups);
+    // Distribute groups across slabs (sizes differ by at most one), then
+    // give each slab an entry share proportional to its group share.
+    let n = entries.len();
+    let mut out = Vec::with_capacity(n_groups);
+    let next_axis = (axis + 1) % dims;
+    let mut entry_start = 0usize;
+    let mut groups_done = 0usize;
+    for s in 0..slabs {
+        let groups_here = (s + 1) * n_groups / slabs - s * n_groups / slabs;
+        if groups_here == 0 {
+            continue;
+        }
+        let entry_end = (groups_done + groups_here) * n / n_groups;
+        let slab = &mut entries[entry_start..entry_end];
+        if groups_here == 1 {
+            out.push(slab.to_vec());
+        } else {
+            out.extend(str_tile(slab, dims, groups_here, next_axis));
+        }
+        entry_start = entry_end;
+        groups_done += groups_here;
+    }
+    debug_assert_eq!(out.len(), n_groups);
+    out
+}
+
+/// Fix any group whose size fell outside `[m, M]` from rounding drift in
+/// the recursive tiling: undersized groups are merged into a neighbour
+/// (spatially adjacent in tiling order), oversized groups are split evenly.
+/// With `m ≤ M/2` both repairs land inside the bounds.
+fn repair_occupancy(groups: Vec<Vec<LeafEntry>>, cfg: RTreeConfig) -> Vec<Vec<LeafEntry>> {
+    let total: usize = groups.iter().map(Vec::len).sum();
+    if total <= cfg.max_entries {
+        // Single-node tree: occupancy bounds do not apply to the root.
+        return vec![groups.into_iter().flatten().collect()];
+    }
+    // Pass 1: merge undersized groups into the following group (or the
+    // previous one for the last group).
+    let mut merged: Vec<Vec<LeafEntry>> = Vec::with_capacity(groups.len());
+    let mut carry: Vec<LeafEntry> = Vec::new();
+    for mut g in groups {
+        if !carry.is_empty() {
+            carry.append(&mut g);
+            g = std::mem::take(&mut carry);
+        }
+        if g.len() < cfg.min_entries {
+            carry = g;
+        } else {
+            merged.push(g);
+        }
+    }
+    if !carry.is_empty() {
+        match merged.last_mut() {
+            Some(last) => last.append(&mut carry),
+            None => merged.push(carry),
+        }
+    }
+    // Pass 2: split oversized groups into balanced halves/thirds.
+    let mut out = Vec::with_capacity(merged.len());
+    for g in merged {
+        if g.len() <= cfg.max_entries {
+            out.push(g);
+        } else {
+            let k = g.len().div_ceil(cfg.max_entries).max(2);
+            let n = g.len();
+            let mut it = g.into_iter();
+            for i in 0..k {
+                let size = (i + 1) * n / k - i * n / k;
+                out.push(it.by_ref().take(size).collect());
+            }
+        }
+    }
+    out
+}
+
+impl RTree {
+    pub(crate) fn set_parent(&mut self, id: NodeId, parent: Option<NodeId>) {
+        self.with_node_mut(id, |n| n.parent = parent);
+    }
+
+    /// Finalize a bulk build: point the tree at `root`, set `height`,
+    /// rebuild the item index, free the placeholder empty root.
+    pub(crate) fn install_bulk(&mut self, root: NodeId, height: usize) {
+        let placeholder = self.root();
+        self.replace_root(root, height);
+        self.free_node_slot(placeholder);
+        self.rebuild_item_index();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: usize) -> Vec<(u64, Vec<f64>)> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                (i as u64, vec![(f * 0.37).sin() * 10.0, (f * 0.73).cos() * 10.0])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let t = RTree::bulk_load(2, RTreeConfig::default(), vec![]);
+        assert!(t.is_empty());
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_single() {
+        let t = RTree::bulk_load(2, RTreeConfig::default(), vec![(1, vec![0.0, 0.0])]);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains_item(1));
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_validates_at_many_sizes() {
+        for n in [2, 5, 16, 17, 100, 129, 1000] {
+            let t = RTree::bulk_load(2, RTreeConfig::default(), pts(n));
+            assert_eq!(t.len(), n, "n={n}");
+            t.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bulk_load_tight_config() {
+        // m = M/2 exactly: the hardest occupancy constraint.
+        let cfg = RTreeConfig {
+            max_entries: 10,
+            min_entries: 5,
+        };
+        for n in [9, 11, 15, 49, 51, 99, 101, 500] {
+            let t = RTree::bulk_load(2, cfg, pts(n));
+            assert_eq!(t.len(), n, "n={n}");
+            t.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bulk_load_dedups_last_write_wins() {
+        let t = RTree::bulk_load(
+            1,
+            RTreeConfig::default(),
+            vec![(1, vec![0.0]), (1, vec![5.0])],
+        );
+        assert_eq!(t.len(), 1);
+        let leaf = t.leaf_of(1).unwrap();
+        assert_eq!(t.node(leaf).entries()[0].point, vec![5.0]);
+    }
+
+    #[test]
+    fn bulk_then_dynamic_updates() {
+        let mut t = RTree::bulk_load(2, RTreeConfig::default(), pts(300));
+        for i in 300..350u64 {
+            t.insert(i, &[i as f64 * 0.01, 1.0]);
+        }
+        for i in (0..100u64).step_by(3) {
+            assert!(t.remove(i));
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), 300 + 50 - 34);
+    }
+
+    #[test]
+    fn bulk_load_3d() {
+        let points: Vec<(u64, Vec<f64>)> = (0..500)
+            .map(|i| {
+                let f = i as f64;
+                (
+                    i as u64,
+                    vec![(f * 0.1).sin(), (f * 0.2).cos(), (f * 0.05).sin()],
+                )
+            })
+            .collect();
+        let t = RTree::bulk_load(3, RTreeConfig::default(), points);
+        assert_eq!(t.len(), 500);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn bulk_load_groups_similar_points() {
+        // Two distant clusters. STR cuts slabs by rank, so one boundary
+        // leaf may straddle the gap; but the vast majority of leaves must
+        // stay within a single cluster.
+        let mut points = Vec::new();
+        for i in 0..40u64 {
+            points.push((i, vec![(i % 7) as f64 * 0.1, (i % 5) as f64 * 0.1]));
+        }
+        for i in 40..80u64 {
+            points.push((i, vec![500.0 + (i % 7) as f64 * 0.1, (i % 5) as f64 * 0.1]));
+        }
+        let t = RTree::bulk_load(2, RTreeConfig::default(), points);
+        let leaves = t.nodes_at_depth(t.height() - 1);
+        let pure = leaves
+            .iter()
+            .filter(|&&l| {
+                let r = &t.node(l).rect;
+                (r.max()[0] - r.min()[0]) < 250.0
+            })
+            .count();
+        assert!(
+            pure * 10 >= leaves.len() * 7,
+            "only {pure}/{} leaves are cluster-pure",
+            leaves.len()
+        );
+    }
+
+    #[test]
+    fn group_count_bounds() {
+        let cfg = RTreeConfig {
+            max_entries: 10,
+            min_entries: 5,
+        };
+        for len in 1..=200usize {
+            let k = group_count(len, cfg, 8);
+            if len <= 10 {
+                assert_eq!(k, 1);
+            } else {
+                // Balanced sizes must fit [m, M].
+                let lo = len / k;
+                let hi = len.div_ceil(k);
+                assert!(lo >= 5, "len={len} k={k} lo={lo}");
+                assert!(hi <= 10, "len={len} k={k} hi={hi}");
+            }
+        }
+    }
+}

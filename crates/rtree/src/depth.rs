@@ -1,0 +1,234 @@
+//! Depth-level utilities — the bridge between the R-tree and synopses.
+//!
+//! Paper §2.2 step 2: the synopsis takes **all nodes at one depth** of the
+//! tree as aggregated data points, choosing "a depth such that it contains a
+//! sufficient number of R-tree nodes … much smaller (e.g. 100 times smaller)
+//! than the number of data points in the subset". Because the tree is
+//! depth-balanced, every node of one level approximates the data at the same
+//! granularity.
+
+use crate::node::{NodeId, NodeKind};
+use crate::tree::RTree;
+
+impl RTree {
+    /// All node ids at `depth` (root = 0, leaves = `height() - 1`), in
+    /// deterministic left-to-right order.
+    ///
+    /// Returns an empty vector when `depth >= height()`.
+    pub fn nodes_at_depth(&self, depth: usize) -> Vec<NodeId> {
+        if depth >= self.height() {
+            return Vec::new();
+        }
+        let mut level = vec![self.root()];
+        for _ in 0..depth {
+            let mut next = Vec::new();
+            for id in level {
+                if let NodeKind::Internal(children) = &self.node(id).kind {
+                    next.extend(children.iter().copied());
+                }
+            }
+            level = next;
+        }
+        level
+    }
+
+    /// Node counts per depth, `level_sizes()[d] == nodes_at_depth(d).len()`.
+    pub fn level_sizes(&self) -> Vec<usize> {
+        let mut sizes = Vec::with_capacity(self.height());
+        let mut level = vec![self.root()];
+        while !level.is_empty() {
+            sizes.push(level.len());
+            let mut next = Vec::new();
+            for id in level {
+                if let NodeKind::Internal(children) = &self.node(id).kind {
+                    next.extend(children.iter().copied());
+                }
+            }
+            level = next;
+        }
+        sizes
+    }
+
+    /// Pick the depth whose node count is (geometrically) closest to
+    /// `target_aggregated` — the paper wants a level with "a sufficient
+    /// number of R-tree nodes to enable the fine-grained differentiation"
+    /// while staying "much smaller than the number of data points". Level
+    /// widths jump by roughly the fanout between depths, so we minimize
+    /// `|ln(count / target)|`; ties prefer the deeper (finer) level.
+    pub fn select_depth(&self, target_aggregated: usize) -> usize {
+        let target = target_aggregated.max(1) as f64;
+        let sizes = self.level_sizes();
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for (d, &count) in sizes.iter().enumerate() {
+            let dist = (count as f64 / target).ln().abs();
+            if dist <= best_dist {
+                best = d;
+                best_dist = dist;
+            }
+        }
+        best
+    }
+
+    /// All original item ids stored in leaves beneath `node`, in
+    /// deterministic order.
+    ///
+    /// # Panics
+    /// Panics on a dangling id.
+    pub fn items_under(&self, node: NodeId) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(id) = stack.pop() {
+            match &self.node(id).kind {
+                NodeKind::Leaf(entries) => out.extend(entries.iter().map(|e| e.item)),
+                NodeKind::Internal(children) => {
+                    // Push reversed for left-to-right emission order.
+                    stack.extend(children.iter().rev().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// Number of items beneath `node` without materializing them.
+    pub fn count_under(&self, node: NodeId) -> usize {
+        let mut n = 0usize;
+        let mut stack = vec![node];
+        while let Some(id) = stack.pop() {
+            match &self.node(id).kind {
+                NodeKind::Leaf(entries) => n += entries.len(),
+                NodeKind::Internal(children) => stack.extend(children.iter().copied()),
+            }
+        }
+        n
+    }
+
+    /// The ancestor of `leaf`'s node at exactly `depth`, used by synopsis
+    /// updating to find which aggregated data point an inserted/removed item
+    /// belongs to.
+    ///
+    /// Returns `None` if the node sits above `depth`.
+    pub fn ancestor_at_depth(&self, node: NodeId, depth: usize) -> Option<NodeId> {
+        // Walk to the root recording the path, then index from the top.
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(p) = self.node(cur).parent {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse(); // path[0] = root at depth 0
+        path.get(depth).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::{RTree, RTreeConfig};
+
+    fn tree(n: usize) -> RTree {
+        let pts: Vec<(u64, Vec<f64>)> = (0..n)
+            .map(|i| {
+                let f = i as f64;
+                (i as u64, vec![(f * 0.11).sin(), (f * 0.31).cos()])
+            })
+            .collect();
+        RTree::bulk_load(
+            2,
+            RTreeConfig {
+                max_entries: 8,
+                min_entries: 3,
+            },
+            pts,
+        )
+    }
+
+    #[test]
+    fn level_sizes_shape() {
+        let t = tree(300);
+        let sizes = t.level_sizes();
+        assert_eq!(sizes.len(), t.height());
+        assert_eq!(sizes[0], 1, "exactly one root");
+        for w in sizes.windows(2) {
+            assert!(w[1] > w[0], "levels must widen: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn nodes_at_depth_matches_level_sizes() {
+        let t = tree(300);
+        for (d, &expect) in t.level_sizes().iter().enumerate() {
+            assert_eq!(t.nodes_at_depth(d).len(), expect, "depth {d}");
+        }
+        assert!(t.nodes_at_depth(t.height()).is_empty());
+    }
+
+    #[test]
+    fn items_under_root_is_everything() {
+        let t = tree(120);
+        let mut all = t.items_under(t.root());
+        all.sort_unstable();
+        assert_eq!(all, (0..120u64).collect::<Vec<_>>());
+        assert_eq!(t.count_under(t.root()), 120);
+    }
+
+    #[test]
+    fn items_partition_across_a_level() {
+        let t = tree(200);
+        let depth = t.height() / 2;
+        let mut all: Vec<u64> = Vec::new();
+        for id in t.nodes_at_depth(depth) {
+            let items = t.items_under(id);
+            assert!(!items.is_empty());
+            all.extend(items);
+        }
+        all.sort_unstable();
+        assert_eq!(all, (0..200u64).collect::<Vec<_>>(), "level must partition items");
+    }
+
+    #[test]
+    fn select_depth_is_geometrically_closest() {
+        let t = tree(1000);
+        let sizes = t.level_sizes();
+        for target in [1usize, 4, 20, 100, 100_000] {
+            let d = t.select_depth(target);
+            let dist =
+                |count: usize| (count as f64 / target.max(1) as f64).ln().abs();
+            let best = sizes.iter().map(|&c| dist(c)).fold(f64::INFINITY, f64::min);
+            assert_eq!(
+                dist(sizes[d]),
+                best,
+                "target {target}: {sizes:?} -> depth {d} not closest"
+            );
+        }
+    }
+
+    #[test]
+    fn select_depth_prefers_finer_on_tie() {
+        // A single-leaf tree: every target maps to depth 0.
+        let t = tree(5);
+        assert_eq!(t.select_depth(1), t.height() - 1.min(t.height()));
+    }
+
+    #[test]
+    fn ancestor_walks_to_requested_depth() {
+        let t = tree(400);
+        let leaf_depth = t.height() - 1;
+        let leaf = t.leaf_of(17).unwrap();
+        assert_eq!(t.ancestor_at_depth(leaf, 0), Some(t.root()));
+        assert_eq!(t.ancestor_at_depth(leaf, leaf_depth), Some(leaf));
+        assert_eq!(t.ancestor_at_depth(leaf, leaf_depth + 5), None);
+        // The ancestor at depth d must contain the leaf among its items.
+        for d in 0..t.height() {
+            let anc = t.ancestor_at_depth(leaf, d).unwrap();
+            assert!(t.items_under(anc).contains(&17));
+        }
+    }
+
+    #[test]
+    fn empty_tree_levels() {
+        let t = RTree::new(2, RTreeConfig::default());
+        assert_eq!(t.level_sizes(), vec![1]);
+        assert_eq!(t.select_depth(100), 0);
+        assert!(t.items_under(t.root()).is_empty());
+    }
+}

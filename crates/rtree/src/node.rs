@@ -1,0 +1,170 @@
+//! Arena-allocated R-tree nodes.
+//!
+//! Nodes live in a `Vec` arena inside [`crate::RTree`] and reference each
+//! other by [`NodeId`]; freed slots are recycled through a free list. This
+//! keeps the tree compact, avoids `Rc`/`RefCell` overhead, and makes node
+//! identity stable across restructuring — which matters because the synopsis
+//! index file keys aggregated data points by the `NodeId` of their R-tree
+//! node.
+
+use crate::rect::Rect;
+
+/// Stable handle to a node in the tree arena.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Raw index (for diagnostics and index-file serialization).
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild an id from a raw index (index-file deserialization and
+    /// tests). Dangling ids are detected by [`crate::RTree::is_live`].
+    pub fn from_index(index: u32) -> Self {
+        NodeId(index)
+    }
+}
+
+/// An entry of a leaf node: one original data point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeafEntry {
+    /// Caller-assigned identifier of the original data point.
+    pub item: u64,
+    /// Reduced feature vector of the point.
+    pub point: Vec<f64>,
+}
+
+/// Node payload: either child node ids (internal) or data points (leaf).
+#[derive(Clone, Debug)]
+pub enum NodeKind {
+    /// Internal node holding child node ids.
+    Internal(Vec<NodeId>),
+    /// Leaf node holding data points.
+    Leaf(Vec<LeafEntry>),
+}
+
+/// A single R-tree node.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Minimum bounding rectangle of everything below this node.
+    pub rect: Rect,
+    /// Parent id; `None` for the root (and for free slots).
+    pub parent: Option<NodeId>,
+    /// Children or entries.
+    pub kind: NodeKind,
+}
+
+impl Node {
+    /// Fresh empty leaf.
+    pub fn new_leaf(dims: usize) -> Self {
+        Node {
+            rect: Rect::empty(dims),
+            parent: None,
+            kind: NodeKind::Leaf(Vec::new()),
+        }
+    }
+
+    /// Fresh empty internal node.
+    pub fn new_internal(dims: usize) -> Self {
+        Node {
+            rect: Rect::empty(dims),
+            parent: None,
+            kind: NodeKind::Internal(Vec::new()),
+        }
+    }
+
+    /// Whether this node stores data points.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.kind, NodeKind::Leaf(_))
+    }
+
+    /// Number of children or entries.
+    pub fn fanout(&self) -> usize {
+        match &self.kind {
+            NodeKind::Internal(c) => c.len(),
+            NodeKind::Leaf(e) => e.len(),
+        }
+    }
+
+    /// Children of an internal node.
+    ///
+    /// # Panics
+    /// Panics if called on a leaf.
+    pub fn children(&self) -> &[NodeId] {
+        match &self.kind {
+            NodeKind::Internal(c) => c,
+            NodeKind::Leaf(_) => panic!("children() called on a leaf node"),
+        }
+    }
+
+    /// Mutable children of an internal node.
+    ///
+    /// # Panics
+    /// Panics if called on a leaf.
+    pub fn children_mut(&mut self) -> &mut Vec<NodeId> {
+        match &mut self.kind {
+            NodeKind::Internal(c) => c,
+            NodeKind::Leaf(_) => panic!("children_mut() called on a leaf node"),
+        }
+    }
+
+    /// Entries of a leaf node.
+    ///
+    /// # Panics
+    /// Panics if called on an internal node.
+    pub fn entries(&self) -> &[LeafEntry] {
+        match &self.kind {
+            NodeKind::Leaf(e) => e,
+            NodeKind::Internal(_) => panic!("entries() called on an internal node"),
+        }
+    }
+
+    /// Mutable entries of a leaf node.
+    ///
+    /// # Panics
+    /// Panics if called on an internal node.
+    pub fn entries_mut(&mut self) -> &mut Vec<LeafEntry> {
+        match &mut self.kind {
+            NodeKind::Leaf(e) => e,
+            NodeKind::Internal(_) => panic!("entries_mut() called on an internal node"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_and_internal_discrimination() {
+        let l = Node::new_leaf(2);
+        let i = Node::new_internal(2);
+        assert!(l.is_leaf());
+        assert!(!i.is_leaf());
+        assert_eq!(l.fanout(), 0);
+        assert_eq!(i.fanout(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf")]
+    fn children_on_leaf_panics() {
+        Node::new_leaf(2).children();
+    }
+
+    #[test]
+    #[should_panic(expected = "internal")]
+    fn entries_on_internal_panics() {
+        Node::new_internal(2).entries();
+    }
+
+    #[test]
+    fn fanout_counts_entries() {
+        let mut l = Node::new_leaf(1);
+        l.entries_mut().push(LeafEntry {
+            item: 1,
+            point: vec![0.5],
+        });
+        assert_eq!(l.fanout(), 1);
+    }
+}

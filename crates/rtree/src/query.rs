@@ -1,0 +1,227 @@
+//! Spatial queries: range search and k-nearest-neighbour.
+//!
+//! Synopsis updating uses nearest-neighbour lookups to sanity-check where a
+//! changed data point migrated; range search supports debugging and the
+//! property-based test oracle.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::node::NodeKind;
+use crate::rect::Rect;
+use crate::tree::RTree;
+
+/// Max-heap entry for kNN candidate pruning (orders by *descending*
+/// distance so the heap root is the worst of the current best-k).
+struct Candidate {
+    dist2: f64,
+    item: u64,
+}
+
+impl PartialEq for Candidate {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist2 == other.dist2 && self.item == other.item
+    }
+}
+impl Eq for Candidate {}
+impl PartialOrd for Candidate {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Candidate {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.dist2
+            .partial_cmp(&other.dist2)
+            .expect("NaN distance")
+            .then_with(|| self.item.cmp(&other.item))
+    }
+}
+
+impl RTree {
+    /// All items whose point lies inside `query` (inclusive bounds), in
+    /// unspecified order.
+    ///
+    /// # Panics
+    /// Panics if `query.dims() != dims()`.
+    pub fn range_query(&self, query: &Rect) -> Vec<u64> {
+        assert_eq!(query.dims(), self.dims(), "range_query: dims mismatch");
+        let mut out = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            if !node.rect.intersects(query) && (node.fanout() != 0) {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    for e in entries {
+                        if query.contains_point(&e.point) {
+                            out.push(e.item);
+                        }
+                    }
+                }
+                NodeKind::Internal(children) => {
+                    for &c in children {
+                        if self.node(c).rect.intersects(query) {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `k` items nearest to `point` by Euclidean distance, closest
+    /// first; ties broken by item id. Returns fewer than `k` when the tree
+    /// is smaller.
+    ///
+    /// Uses branch-and-bound over node MBRs ([`Rect::min_dist2`]).
+    ///
+    /// # Panics
+    /// Panics if `point.len() != dims()`.
+    pub fn nearest(&self, point: &[f64], k: usize) -> Vec<(u64, f64)> {
+        assert_eq!(point.len(), self.dims(), "nearest: dims mismatch");
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut best: BinaryHeap<Candidate> = BinaryHeap::new();
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            let bound = node.rect.min_dist2(point);
+            if best.len() == k && bound >= best.peek().expect("non-empty").dist2 {
+                continue;
+            }
+            match &node.kind {
+                NodeKind::Leaf(entries) => {
+                    for e in entries {
+                        let d2: f64 = e
+                            .point
+                            .iter()
+                            .zip(point)
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum();
+                        if best.len() < k {
+                            best.push(Candidate { dist2: d2, item: e.item });
+                        } else if d2 < best.peek().expect("non-empty").dist2 {
+                            best.pop();
+                            best.push(Candidate { dist2: d2, item: e.item });
+                        }
+                    }
+                }
+                NodeKind::Internal(children) => {
+                    // Visit nearer children first so pruning bites sooner.
+                    let mut order: Vec<_> = children
+                        .iter()
+                        .map(|&c| (self.node(c).rect.min_dist2(point), c))
+                        .collect();
+                    order.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN distance"));
+                    for (_, c) in order {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        let mut out: Vec<(u64, f64)> = best
+            .into_sorted_vec()
+            .into_iter()
+            .map(|c| (c.item, c.dist2.sqrt()))
+            .collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN").then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RTreeConfig;
+
+    fn tree() -> RTree {
+        let pts: Vec<(u64, Vec<f64>)> = (0..100)
+            .map(|i| (i as u64, vec![(i % 10) as f64, (i / 10) as f64]))
+            .collect();
+        RTree::bulk_load(
+            2,
+            RTreeConfig {
+                max_entries: 6,
+                min_entries: 2,
+            },
+            pts,
+        )
+    }
+
+    #[test]
+    fn range_query_exact_cell() {
+        let t = tree();
+        let hits = t.range_query(&Rect::new(vec![3.0, 4.0], vec![3.0, 4.0]));
+        assert_eq!(hits, vec![43]);
+    }
+
+    #[test]
+    fn range_query_block() {
+        let t = tree();
+        let mut hits = t.range_query(&Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]));
+        hits.sort_unstable();
+        assert_eq!(hits, vec![0, 1, 10, 11]);
+    }
+
+    #[test]
+    fn range_query_outside_is_empty() {
+        let t = tree();
+        assert!(t
+            .range_query(&Rect::new(vec![100.0, 100.0], vec![200.0, 200.0]))
+            .is_empty());
+    }
+
+    #[test]
+    fn range_query_everything() {
+        let t = tree();
+        let hits = t.range_query(&Rect::new(vec![-1.0, -1.0], vec![11.0, 11.0]));
+        assert_eq!(hits.len(), 100);
+    }
+
+    #[test]
+    fn nearest_single() {
+        let t = tree();
+        let nn = t.nearest(&[3.1, 4.1], 1);
+        assert_eq!(nn.len(), 1);
+        assert_eq!(nn[0].0, 43);
+        assert!(nn[0].1 < 0.2);
+    }
+
+    #[test]
+    fn nearest_k_ordering_matches_brute_force() {
+        let t = tree();
+        let q = [4.7, 6.2];
+        let got = t.nearest(&q, 7);
+        // Brute force oracle.
+        let mut brute: Vec<(u64, f64)> = (0..100u64)
+            .map(|i| {
+                let p = [(i % 10) as f64, (i / 10) as f64];
+                let d = ((p[0] - q[0]).powi(2) + (p[1] - q[1]).powi(2)).sqrt();
+                (i, d)
+            })
+            .collect();
+        brute.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+        let want: Vec<u64> = brute[..7].iter().map(|x| x.0).collect();
+        let got_ids: Vec<u64> = got.iter().map(|x| x.0).collect();
+        assert_eq!(got_ids, want);
+    }
+
+    #[test]
+    fn nearest_more_than_len() {
+        let t = tree();
+        assert_eq!(t.nearest(&[0.0, 0.0], 1000).len(), 100);
+    }
+
+    #[test]
+    fn nearest_zero_k_or_empty_tree() {
+        let t = tree();
+        assert!(t.nearest(&[0.0, 0.0], 0).is_empty());
+        let empty = RTree::new(2, RTreeConfig::default());
+        assert!(empty.nearest(&[0.0, 0.0], 5).is_empty());
+    }
+}

@@ -1,0 +1,768 @@
+//! The R-tree proper: arena, dynamic insertion (Guttman, quadratic split)
+//! and deletion (condense-and-reinsert).
+//!
+//! Properties the synopsis layer relies on (paper §2.2):
+//!
+//! 1. points close in feature space land in the same node,
+//! 2. the tree is **depth-balanced** — every leaf sits at the same depth, so
+//!    all nodes of one level approximate the dataset at the same granularity,
+//! 3. leaves can be inserted and deleted dynamically, enabling incremental
+//!    synopsis updates.
+//!
+//! Invariant summary (checked by [`crate::validate`]):
+//! * every non-root node has between `min_entries` and `max_entries`
+//!   children/entries; the root has at least 1 (2 if internal),
+//! * each node's rectangle is exactly the union of its children's,
+//! * all leaves are at depth `height - 1`.
+
+use std::collections::HashMap;
+
+use crate::node::{LeafEntry, Node, NodeId, NodeKind};
+use crate::rect::Rect;
+
+/// Fanout bounds for the tree.
+#[derive(Clone, Copy, Debug)]
+pub struct RTreeConfig {
+    /// Maximum children/entries per node (`M`).
+    pub max_entries: usize,
+    /// Minimum children/entries per non-root node (`m` ≤ `M`/2).
+    pub min_entries: usize,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        RTreeConfig {
+            max_entries: 16,
+            min_entries: 6,
+        }
+    }
+}
+
+impl RTreeConfig {
+    /// Validate the classic R-tree constraint `2 ≤ m ≤ M/2`.
+    pub fn validated(self) -> Self {
+        assert!(self.max_entries >= 4, "max_entries must be >= 4");
+        assert!(
+            self.min_entries >= 2 && self.min_entries <= self.max_entries / 2,
+            "min_entries must satisfy 2 <= m <= M/2 (m={}, M={})",
+            self.min_entries,
+            self.max_entries
+        );
+        self
+    }
+}
+
+/// A dynamic, depth-balanced R-tree over `dims`-dimensional points.
+#[derive(Clone, Debug)]
+pub struct RTree {
+    dims: usize,
+    cfg: RTreeConfig,
+    nodes: Vec<Option<Node>>,
+    free: Vec<NodeId>,
+    root: NodeId,
+    /// Number of levels; leaves are at depth `height - 1` (root = depth 0).
+    height: usize,
+    len: usize,
+    /// item id -> leaf currently holding it (O(1) deletion lookup).
+    item_leaf: HashMap<u64, NodeId>,
+}
+
+impl RTree {
+    /// Empty tree over `dims`-dimensional points.
+    ///
+    /// # Panics
+    /// Panics if `dims == 0` or the config violates `2 ≤ m ≤ M/2`.
+    pub fn new(dims: usize, cfg: RTreeConfig) -> Self {
+        assert!(dims > 0, "RTree: dims must be >= 1");
+        let cfg = cfg.validated();
+        let mut t = RTree {
+            dims,
+            cfg,
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NodeId(0),
+            height: 1,
+            len: 0,
+            item_leaf: HashMap::new(),
+        };
+        t.root = t.alloc(Node::new_leaf(dims));
+        t
+    }
+
+    /// Dimensionality of indexed points.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Fanout configuration.
+    pub fn config(&self) -> RTreeConfig {
+        self.cfg
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of levels (1 for a single-leaf tree).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Borrow a node.
+    ///
+    /// # Panics
+    /// Panics on a dangling id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        self.nodes[id.0 as usize]
+            .as_ref()
+            .expect("dangling NodeId")
+    }
+
+    /// Whether `id` refers to a live node.
+    pub fn is_live(&self, id: NodeId) -> bool {
+        (id.0 as usize) < self.nodes.len() && self.nodes[id.0 as usize].is_some()
+    }
+
+    /// The leaf currently holding `item`, if present.
+    pub fn leaf_of(&self, item: u64) -> Option<NodeId> {
+        self.item_leaf.get(&item).copied()
+    }
+
+    /// Whether `item` is indexed.
+    pub fn contains_item(&self, item: u64) -> bool {
+        self.item_leaf.contains_key(&item)
+    }
+
+    /// Iterate over all `(item, leaf)` pairs in unspecified order.
+    pub fn items(&self) -> impl Iterator<Item = (u64, NodeId)> + '_ {
+        self.item_leaf.iter().map(|(&i, &l)| (i, l))
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        self.nodes[id.0 as usize]
+            .as_mut()
+            .expect("dangling NodeId")
+    }
+
+    /// Run a closure with mutable access to a node (crate-internal; used by
+    /// the bulk loader which lives in another module).
+    pub(crate) fn with_node_mut(&mut self, id: NodeId, f: impl FnOnce(&mut Node)) {
+        f(self.node_mut(id));
+    }
+
+    /// Point the tree at a new root/height (bulk-load finalization).
+    pub(crate) fn replace_root(&mut self, root: NodeId, height: usize) {
+        self.root = root;
+        self.height = height;
+        self.node_mut(root).parent = None;
+    }
+
+    /// Return a node slot to the free list (bulk-load finalization).
+    pub(crate) fn free_node_slot(&mut self, id: NodeId) {
+        self.dealloc(id);
+    }
+
+    /// Rebuild `item → leaf` index and `len` by walking all leaves.
+    pub(crate) fn rebuild_item_index(&mut self) {
+        let mut index = HashMap::new();
+        let mut stack = vec![self.root];
+        while let Some(id) = stack.pop() {
+            match &self.node(id).kind {
+                NodeKind::Leaf(entries) => {
+                    for e in entries {
+                        index.insert(e.item, id);
+                    }
+                }
+                NodeKind::Internal(children) => stack.extend(children.iter().copied()),
+            }
+        }
+        self.len = index.len();
+        self.item_leaf = index;
+    }
+
+    pub(crate) fn alloc(&mut self, node: Node) -> NodeId {
+        if let Some(id) = self.free.pop() {
+            self.nodes[id.0 as usize] = Some(node);
+            id
+        } else {
+            let id = NodeId(u32::try_from(self.nodes.len()).expect("node arena overflow"));
+            self.nodes.push(Some(node));
+            id
+        }
+    }
+
+    fn dealloc(&mut self, id: NodeId) {
+        debug_assert!(self.nodes[id.0 as usize].is_some(), "double free");
+        self.nodes[id.0 as usize] = None;
+        self.free.push(id);
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    /// Insert `item` at `point`. Replaces the previous position if the item
+    /// was already indexed; returns `true` when the item is new.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != dims()`.
+    pub fn insert(&mut self, item: u64, point: &[f64]) -> bool {
+        assert_eq!(point.len(), self.dims, "insert: point dims mismatch");
+        let fresh = if self.contains_item(item) {
+            self.remove(item);
+            false
+        } else {
+            true
+        };
+        self.insert_entry(LeafEntry {
+            item,
+            point: point.to_vec(),
+        });
+        self.len += 1;
+        fresh
+    }
+
+    /// Core insert of a prepared entry; does not touch `len`.
+    pub(crate) fn insert_entry(&mut self, entry: LeafEntry) {
+        let leaf = self.choose_leaf(&entry.point);
+        self.item_leaf.insert(entry.item, leaf);
+        let point_rect = Rect::point(&entry.point);
+        self.node_mut(leaf).entries_mut().push(entry);
+        self.node_mut(leaf).rect.union_assign(&point_rect);
+        // Grow ancestor rects (cheap; exact since insert only grows).
+        let mut cur = leaf;
+        while let Some(p) = self.node(cur).parent {
+            self.node_mut(p).rect.union_assign(&point_rect);
+            cur = p;
+        }
+        if self.node(leaf).fanout() > self.cfg.max_entries {
+            self.split_and_propagate(leaf);
+        }
+    }
+
+    /// Guttman ChooseLeaf: descend picking the child whose rectangle needs
+    /// the least enlargement to cover the point (ties: smaller area, then
+    /// lower id for determinism).
+    fn choose_leaf(&self, point: &[f64]) -> NodeId {
+        let target = Rect::point(point);
+        let mut cur = self.root;
+        loop {
+            match &self.node(cur).kind {
+                NodeKind::Leaf(_) => return cur,
+                NodeKind::Internal(children) => {
+                    debug_assert!(!children.is_empty(), "internal node with no children");
+                    let mut best = children[0];
+                    let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+                    for &c in children {
+                        let r = &self.node(c).rect;
+                        let (ea, em) = r.enlargement2(&target);
+                        // Least (area, margin) enlargement, then smallest
+                        // margin (degenerate-safe "area"), then lowest id.
+                        let key = (ea, em, r.margin());
+                        if key < best_key || (key == best_key && c < best) {
+                            best = c;
+                            best_key = key;
+                        }
+                    }
+                    cur = best;
+                }
+            }
+        }
+    }
+
+    /// Split an overflowing node, then walk up inserting new siblings and
+    /// splitting ancestors as needed; grows a new root if the root splits.
+    fn split_and_propagate(&mut self, mut id: NodeId) {
+        loop {
+            let sibling = self.split_node(id);
+            let parent = self.node(id).parent;
+            match parent {
+                Some(p) => {
+                    self.node_mut(sibling).parent = Some(p);
+                    self.node_mut(p).children_mut().push(sibling);
+                    let srect = self.node(sibling).rect.clone();
+                    self.node_mut(p).rect.union_assign(&srect);
+                    self.recompute_rect(p);
+                    if self.node(p).fanout() > self.cfg.max_entries {
+                        id = p;
+                        continue;
+                    }
+                }
+                None => {
+                    // Root split: create a new root holding both halves.
+                    let mut new_root = Node::new_internal(self.dims);
+                    new_root.rect = self.node(id).rect.union(&self.node(sibling).rect);
+                    new_root.kind = NodeKind::Internal(vec![id, sibling]);
+                    let nr = self.alloc(new_root);
+                    self.node_mut(id).parent = Some(nr);
+                    self.node_mut(sibling).parent = Some(nr);
+                    self.root = nr;
+                    self.height += 1;
+                }
+            }
+            break;
+        }
+    }
+
+    /// Quadratic split (Guttman). Keeps one group in `id`, returns the new
+    /// sibling's id. Handles both leaf and internal nodes.
+    fn split_node(&mut self, id: NodeId) -> NodeId {
+        let is_leaf = self.node(id).is_leaf();
+        if is_leaf {
+            let entries = std::mem::take(self.node_mut(id).entries_mut());
+            let rects: Vec<Rect> = entries.iter().map(|e| Rect::point(&e.point)).collect();
+            let (ga, gb) = quadratic_partition(&rects, self.cfg.min_entries);
+            let (mut ea, mut eb) = (Vec::new(), Vec::new());
+            let mut take = vec![false; entries.len()];
+            for &i in &gb {
+                take[i] = true;
+            }
+            for (i, e) in entries.into_iter().enumerate() {
+                if take[i] {
+                    eb.push(e);
+                } else {
+                    ea.push(e);
+                }
+            }
+            debug_assert_eq!(ea.len(), ga.len());
+            let sibling = self.alloc(Node::new_leaf(self.dims));
+            for e in &eb {
+                self.item_leaf.insert(e.item, sibling);
+            }
+            *self.node_mut(id).entries_mut() = ea;
+            *self.node_mut(sibling).entries_mut() = eb;
+            self.recompute_rect(id);
+            self.recompute_rect(sibling);
+            sibling
+        } else {
+            let children = std::mem::take(self.node_mut(id).children_mut());
+            let rects: Vec<Rect> = children.iter().map(|&c| self.node(c).rect.clone()).collect();
+            let (ga, gb) = quadratic_partition(&rects, self.cfg.min_entries);
+            let (mut ca, mut cb) = (Vec::new(), Vec::new());
+            let mut take = vec![false; children.len()];
+            for &i in &gb {
+                take[i] = true;
+            }
+            for (i, c) in children.into_iter().enumerate() {
+                if take[i] {
+                    cb.push(c);
+                } else {
+                    ca.push(c);
+                }
+            }
+            debug_assert_eq!(ca.len(), ga.len());
+            let sibling = self.alloc(Node::new_internal(self.dims));
+            for &c in &cb {
+                self.node_mut(c).parent = Some(sibling);
+            }
+            *self.node_mut(id).children_mut() = ca;
+            *self.node_mut(sibling).children_mut() = cb;
+            self.recompute_rect(id);
+            self.recompute_rect(sibling);
+            sibling
+        }
+    }
+
+    /// Recompute a node's rect exactly from its children/entries.
+    pub(crate) fn recompute_rect(&mut self, id: NodeId) {
+        let rect = match &self.node(id).kind {
+            NodeKind::Leaf(entries) => {
+                let mut r = Rect::empty(self.dims);
+                for e in entries {
+                    r.extend_point(&e.point);
+                }
+                r
+            }
+            NodeKind::Internal(children) => {
+                let mut r = Rect::empty(self.dims);
+                for &c in children {
+                    r.union_assign(&self.nodes[c.0 as usize].as_ref().expect("child").rect.clone());
+                }
+                r
+            }
+        };
+        self.node_mut(id).rect = rect;
+    }
+
+    // ------------------------------------------------------------------
+    // Deletion
+    // ------------------------------------------------------------------
+
+    /// Remove `item`; returns `true` if it was present.
+    ///
+    /// Underflowing nodes are dissolved and their surviving points
+    /// re-inserted (Guttman's CondenseTree), so the depth-balance and
+    /// occupancy invariants hold afterwards.
+    pub fn remove(&mut self, item: u64) -> bool {
+        let Some(leaf) = self.item_leaf.remove(&item) else {
+            return false;
+        };
+        {
+            let entries = self.node_mut(leaf).entries_mut();
+            let pos = entries
+                .iter()
+                .position(|e| e.item == item)
+                .expect("item_leaf desynchronized from leaf contents");
+            entries.swap_remove(pos);
+        }
+        self.len -= 1;
+        self.condense(leaf);
+        true
+    }
+
+    /// Walk from `start` to the root removing underflowing nodes; collect
+    /// the entries beneath removed subtrees and re-insert them.
+    fn condense(&mut self, start: NodeId) {
+        let mut orphans: Vec<LeafEntry> = Vec::new();
+        self.recompute_rect(start);
+        let mut cur = start;
+        loop {
+            let parent = self.node(cur).parent;
+            let underflow = self.node(cur).fanout() < self.cfg.min_entries;
+            match parent {
+                Some(p) => {
+                    if underflow {
+                        // Detach `cur`, reap everything beneath it.
+                        let children = self.node_mut(p).children_mut();
+                        let pos = children
+                            .iter()
+                            .position(|&c| c == cur)
+                            .expect("parent/child link broken");
+                        children.swap_remove(pos);
+                        self.reap_subtree(cur, &mut orphans);
+                    }
+                    self.recompute_rect(p);
+                    cur = p;
+                }
+                None => {
+                    self.recompute_rect(cur);
+                    break;
+                }
+            }
+        }
+
+        // Shrink the root while it is an internal node with one child.
+        while !self.node(self.root).is_leaf() && self.node(self.root).fanout() == 1 {
+            let old = self.root;
+            let child = self.node(old).children()[0];
+            self.node_mut(child).parent = None;
+            self.root = child;
+            self.dealloc(old);
+            self.height -= 1;
+        }
+        // A root that lost all children degenerates to an empty leaf.
+        if !self.node(self.root).is_leaf() && self.node(self.root).fanout() == 0 {
+            let old = self.root;
+            self.dealloc(old);
+            self.root = self.alloc(Node::new_leaf(self.dims));
+            self.height = 1;
+        }
+
+        for e in orphans {
+            self.insert_entry(e);
+        }
+    }
+
+    /// Free `id`'s whole subtree, moving every leaf entry into `out`.
+    fn reap_subtree(&mut self, id: NodeId, out: &mut Vec<LeafEntry>) {
+        match std::mem::replace(&mut self.node_mut(id).kind, NodeKind::Internal(Vec::new())) {
+            NodeKind::Leaf(entries) => {
+                for e in &entries {
+                    self.item_leaf.remove(&e.item);
+                }
+                out.extend(entries);
+            }
+            NodeKind::Internal(children) => {
+                for c in children {
+                    self.reap_subtree(c, out);
+                }
+            }
+        }
+        self.dealloc(id);
+    }
+}
+
+/// Guttman's quadratic split: partition `rects` indices into two groups,
+/// each of size ≥ `min`, minimizing (greedily) the total dead space.
+///
+/// Returns `(group_a, group_b)` index lists. Deterministic for identical
+/// input.
+pub(crate) fn quadratic_partition(rects: &[Rect], min: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = rects.len();
+    debug_assert!(n >= 2, "cannot split fewer than 2 rects");
+    debug_assert!(2 * min <= n, "min occupancy unsatisfiable");
+
+    // PickSeeds: the pair wasting the most (area, margin) when joined —
+    // margin keeps the choice meaningful for degenerate zero-area rects.
+    let (mut seed_a, mut seed_b) = (0usize, 1usize);
+    let mut worst = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let u = rects[i].union(&rects[j]);
+            let waste = (
+                u.area() - rects[i].area() - rects[j].area(),
+                u.margin() - rects[i].margin() - rects[j].margin(),
+            );
+            if waste > worst {
+                worst = waste;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    let mut group_a = vec![seed_a];
+    let mut group_b = vec![seed_b];
+    let mut rect_a = rects[seed_a].clone();
+    let mut rect_b = rects[seed_b].clone();
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+
+    while !remaining.is_empty() {
+        // If one group needs every remaining rect to reach `min`, hand them over.
+        if group_a.len() + remaining.len() == min {
+            for i in remaining.drain(..) {
+                rect_a.union_assign(&rects[i]);
+                group_a.push(i);
+            }
+            break;
+        }
+        if group_b.len() + remaining.len() == min {
+            for i in remaining.drain(..) {
+                rect_b.union_assign(&rects[i]);
+                group_b.push(i);
+            }
+            break;
+        }
+        // PickNext: strongest preference first, measured lexicographically
+        // on (area, margin) enlargement differences.
+        let (mut pick, mut pick_pos) = (remaining[0], 0usize);
+        let mut best_diff = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for (pos, &i) in remaining.iter().enumerate() {
+            let (aa, am) = rect_a.enlargement2(&rects[i]);
+            let (ba, bm) = rect_b.enlargement2(&rects[i]);
+            let d = ((aa - ba).abs(), (am - bm).abs());
+            if d > best_diff {
+                best_diff = d;
+                pick = i;
+                pick_pos = pos;
+            }
+        }
+        remaining.swap_remove(pick_pos);
+        let ea = rect_a.enlargement2(&rects[pick]);
+        let eb = rect_b.enlargement2(&rects[pick]);
+        let to_a = if ea != eb {
+            ea < eb
+        } else if rect_a.margin() != rect_b.margin() {
+            rect_a.margin() < rect_b.margin()
+        } else {
+            group_a.len() <= group_b.len()
+        };
+        if to_a {
+            rect_a.union_assign(&rects[pick]);
+            group_a.push(pick);
+        } else {
+            rect_b.union_assign(&rects[pick]);
+            group_b.push(pick);
+        }
+    }
+    (group_a, group_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> RTreeConfig {
+        RTreeConfig {
+            max_entries: 4,
+            min_entries: 2,
+        }
+    }
+
+    fn grid_points(n_side: usize) -> Vec<(u64, Vec<f64>)> {
+        let mut pts = Vec::new();
+        for x in 0..n_side {
+            for y in 0..n_side {
+                pts.push(((x * n_side + y) as u64, vec![x as f64, y as f64]));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::new(2, small_cfg());
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = RTree::new(2, small_cfg());
+        assert!(t.insert(7, &[1.0, 2.0]));
+        assert!(t.contains_item(7));
+        assert_eq!(t.len(), 1);
+        assert!(!t.contains_item(8));
+    }
+
+    #[test]
+    fn reinsert_same_item_replaces() {
+        let mut t = RTree::new(1, small_cfg());
+        assert!(t.insert(1, &[0.0]));
+        assert!(!t.insert(1, &[100.0]));
+        assert_eq!(t.len(), 1);
+        let leaf = t.leaf_of(1).unwrap();
+        assert_eq!(t.node(leaf).entries()[0].point, vec![100.0]);
+    }
+
+    #[test]
+    fn grows_in_height_and_stays_balanced() {
+        let mut t = RTree::new(2, small_cfg());
+        for (id, p) in grid_points(8) {
+            t.insert(id, &p);
+        }
+        assert_eq!(t.len(), 64);
+        assert!(t.height() >= 3, "64 points with M=4 must stack levels");
+        t.validate().expect("invariants after bulk inserts");
+    }
+
+    #[test]
+    fn remove_returns_presence() {
+        let mut t = RTree::new(2, small_cfg());
+        for (id, p) in grid_points(4) {
+            t.insert(id, &p);
+        }
+        assert!(t.remove(5));
+        assert!(!t.remove(5));
+        assert_eq!(t.len(), 15);
+        t.validate().expect("invariants after remove");
+    }
+
+    #[test]
+    fn remove_everything_resets_tree() {
+        let mut t = RTree::new(2, small_cfg());
+        let pts = grid_points(5);
+        for (id, p) in &pts {
+            t.insert(*id, p);
+        }
+        for (id, _) in &pts {
+            assert!(t.remove(*id));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        t.validate().expect("invariants after emptying");
+        // And the tree remains usable.
+        t.insert(1000, &[9.0, 9.0]);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn interleaved_insert_remove_keeps_invariants() {
+        let mut t = RTree::new(2, small_cfg());
+        for (id, p) in grid_points(6) {
+            t.insert(id, &p);
+        }
+        // Remove odd ids, reinsert shifted, repeatedly.
+        for round in 0..3 {
+            for id in (1..36).step_by(2) {
+                t.remove(id as u64);
+            }
+            t.validate().unwrap_or_else(|e| panic!("round {round} after removes: {e}"));
+            for id in (1..36).step_by(2) {
+                t.insert(id as u64, &[(id % 6) as f64 + 0.5, (id / 6) as f64 + 0.5]);
+            }
+            t.validate().unwrap_or_else(|e| panic!("round {round} after inserts: {e}"));
+        }
+        assert_eq!(t.len(), 36);
+    }
+
+    #[test]
+    fn similar_points_share_leaves() {
+        // Two well-separated clusters: at most one boundary leaf may span
+        // the gap (a point inserted "far" lands in the nearest leaf before
+        // a split separates it), the rest must be cluster-pure.
+        let mut t = RTree::new(2, small_cfg());
+        let mut id = 0u64;
+        for i in 0..10 {
+            t.insert(id, &[i as f64 * 0.01, 0.0]);
+            id += 1;
+        }
+        for i in 0..10 {
+            t.insert(id, &[100.0 + i as f64 * 0.01, 0.0]);
+            id += 1;
+        }
+        let leaves = t.nodes_at_depth(t.height() - 1);
+        let mixed = leaves
+            .iter()
+            .filter(|&&l| {
+                let r = &t.node(l).rect;
+                (r.max()[0] - r.min()[0]) >= 50.0
+            })
+            .count();
+        assert!(
+            mixed <= 1,
+            "{mixed}/{} leaves span both clusters",
+            leaves.len()
+        );
+    }
+
+    #[test]
+    fn quadratic_partition_respects_min() {
+        let rects: Vec<Rect> = (0..10)
+            .map(|i| Rect::point(&[i as f64, (i * 7 % 3) as f64]))
+            .collect();
+        let (a, b) = quadratic_partition(&rects, 3);
+        assert!(a.len() >= 3 && b.len() >= 3);
+        assert_eq!(a.len() + b.len(), 10);
+        let mut all: Vec<usize> = a.iter().chain(&b).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn quadratic_partition_separates_clusters() {
+        let mut rects = Vec::new();
+        for i in 0..4 {
+            rects.push(Rect::point(&[i as f64 * 0.1, 0.0]));
+        }
+        for i in 0..4 {
+            rects.push(Rect::point(&[1000.0 + i as f64 * 0.1, 0.0]));
+        }
+        let (a, b) = quadratic_partition(&rects, 2);
+        let cluster = |idx: &Vec<usize>| idx.iter().map(|&i| i / 4).collect::<Vec<_>>();
+        let ca = cluster(&a);
+        let cb = cluster(&b);
+        assert!(
+            ca.iter().all(|&c| c == ca[0]) && cb.iter().all(|&c| c == cb[0]),
+            "split mixed the two clusters: {a:?} {b:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "min_entries")]
+    fn invalid_config_panics() {
+        RTree::new(2, RTreeConfig {
+            max_entries: 4,
+            min_entries: 3,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "dims mismatch")]
+    fn wrong_dims_insert_panics() {
+        let mut t = RTree::new(3, small_cfg());
+        t.insert(1, &[1.0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Structural invariant checking, used heavily by unit and property tests.
+
+use crate::node::{NodeId, NodeKind};
+use crate::rect::Rect;
+use crate::tree::RTree;
+
+impl RTree {
+    /// Check every structural invariant of the tree; returns a description
+    /// of the first violation found.
+    ///
+    /// Checked invariants:
+    /// 1. all leaves are at the same depth (`height - 1`);
+    /// 2. every non-root node has `min_entries ..= max_entries`
+    ///    children/entries; an internal root has ≥ 2; a leaf root may hold 0;
+    /// 3. each node's rectangle equals the exact union of its contents;
+    /// 4. parent links are consistent;
+    /// 5. the `item → leaf` index matches the leaves' contents and `len()`.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut leaf_depths = Vec::new();
+        let mut seen_items = std::collections::HashMap::new();
+        self.validate_node(self.root(), None, 0, &mut leaf_depths, &mut seen_items)?;
+
+        if let Some(&d) = leaf_depths.first() {
+            if leaf_depths.iter().any(|&x| x != d) {
+                return Err(format!("leaves at differing depths: {leaf_depths:?}"));
+            }
+            if d + 1 != self.height() {
+                return Err(format!(
+                    "height() = {} but leaves at depth {d}",
+                    self.height()
+                ));
+            }
+        }
+
+        if seen_items.len() != self.len() {
+            return Err(format!(
+                "len() = {} but {} items stored in leaves",
+                self.len(),
+                seen_items.len()
+            ));
+        }
+        for (item, leaf) in self.items() {
+            match seen_items.get(&item) {
+                None => return Err(format!("index lists item {item} not present in any leaf")),
+                Some(&actual) if actual != leaf => {
+                    return Err(format!(
+                        "index maps item {item} to {leaf:?} but it lives in {actual:?}"
+                    ))
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_node(
+        &self,
+        id: NodeId,
+        parent: Option<NodeId>,
+        depth: usize,
+        leaf_depths: &mut Vec<usize>,
+        seen_items: &mut std::collections::HashMap<u64, NodeId>,
+    ) -> Result<(), String> {
+        if !self.is_live(id) {
+            return Err(format!("dangling node id {id:?}"));
+        }
+        let node = self.node(id);
+        if node.parent != parent {
+            return Err(format!(
+                "{id:?}: parent link {:?} != actual parent {parent:?}",
+                node.parent
+            ));
+        }
+
+        let is_root = parent.is_none();
+        let fanout = node.fanout();
+        let cfg = self.config();
+        match (&node.kind, is_root) {
+            (NodeKind::Leaf(_), true) => {} // empty/partial leaf root is fine
+            (NodeKind::Internal(_), true) => {
+                if fanout < 2 {
+                    return Err(format!("internal root {id:?} has fanout {fanout} < 2"));
+                }
+            }
+            (_, false) => {
+                if fanout < cfg.min_entries || fanout > cfg.max_entries {
+                    return Err(format!(
+                        "{id:?}: fanout {fanout} outside [{}, {}]",
+                        cfg.min_entries, cfg.max_entries
+                    ));
+                }
+            }
+        }
+        if fanout > cfg.max_entries {
+            return Err(format!("{id:?}: overflowing fanout {fanout}"));
+        }
+
+        match &node.kind {
+            NodeKind::Leaf(entries) => {
+                leaf_depths.push(depth);
+                let mut exact = Rect::empty(self.dims());
+                for e in entries {
+                    if e.point.len() != self.dims() {
+                        return Err(format!(
+                            "{id:?}: entry {} has {} dims, tree has {}",
+                            e.item,
+                            e.point.len(),
+                            self.dims()
+                        ));
+                    }
+                    exact.extend_point(&e.point);
+                    if seen_items.insert(e.item, id).is_some() {
+                        return Err(format!("item {} stored in two leaves", e.item));
+                    }
+                }
+                if !entries.is_empty() && node.rect != exact {
+                    return Err(format!("{id:?}: leaf rect is not the exact union"));
+                }
+            }
+            NodeKind::Internal(children) => {
+                let mut exact = Rect::empty(self.dims());
+                for &c in children {
+                    self.validate_node(c, Some(id), depth + 1, leaf_depths, seen_items)?;
+                    exact.union_assign(&self.node(c).rect);
+                }
+                if node.rect != exact {
+                    return Err(format!("{id:?}: internal rect is not the exact union"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tree::{RTree, RTreeConfig};
+
+    #[test]
+    fn fresh_tree_validates() {
+        RTree::new(2, RTreeConfig::default()).validate().unwrap();
+    }
+
+    #[test]
+    fn validates_after_many_inserts() {
+        let mut t = RTree::new(3, RTreeConfig::default());
+        for i in 0..500u64 {
+            let f = i as f64;
+            t.insert(i, &[f.sin(), (f * 0.7).cos(), (f * 0.3).sin()]);
+        }
+        t.validate().unwrap();
+        assert_eq!(t.len(), 500);
+    }
+}

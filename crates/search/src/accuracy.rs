@@ -1,0 +1,63 @@
+//! Search accuracy: top-k overlap and accuracy-loss percentage.
+//!
+//! §4.1: "the accuracy is measured by the proportion of the actual top 10
+//! web pages (the 10 pages with the highest similarity scores when
+//! searching all web pages) in the retrieved top 10 pages."
+
+/// Proportion of `actual` present in `retrieved`, in `[0, 1]`. An empty
+/// `actual` (no page matches the query at all) counts as full accuracy.
+pub fn topk_overlap(actual: &[u64], retrieved: &[u64]) -> f64 {
+    if actual.is_empty() {
+        return 1.0;
+    }
+    let set: std::collections::HashSet<u64> = retrieved.iter().copied().collect();
+    let hits = actual.iter().filter(|d| set.contains(d)).count();
+    hits as f64 / actual.len() as f64
+}
+
+/// Accuracy-loss percentage versus exact processing. Exact retrieval has
+/// overlap 1 by definition, so the loss is simply `100 × (1 − overlap)`.
+pub fn accuracy_loss_pct(overlap: f64) -> f64 {
+    assert!((0.0..=1.0 + 1e-9).contains(&overlap), "overlap out of range");
+    ((1.0 - overlap) * 100.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_overlap() {
+        assert_eq!(topk_overlap(&[1, 2, 3], &[3, 2, 1]), 1.0);
+        assert_eq!(accuracy_loss_pct(1.0), 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let o = topk_overlap(&[1, 2, 3, 4], &[1, 2, 9, 9]);
+        assert_eq!(o, 0.5);
+        assert_eq!(accuracy_loss_pct(o), 50.0);
+    }
+
+    #[test]
+    fn disjoint_is_zero() {
+        assert_eq!(topk_overlap(&[1], &[2]), 0.0);
+        assert_eq!(accuracy_loss_pct(0.0), 100.0);
+    }
+
+    #[test]
+    fn empty_actual_is_full_accuracy() {
+        assert_eq!(topk_overlap(&[], &[1, 2]), 1.0);
+    }
+
+    #[test]
+    fn retrieved_superset_counts() {
+        assert_eq!(topk_overlap(&[5], &[1, 2, 5, 9]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn bad_overlap_panics() {
+        accuracy_loss_pct(1.5);
+    }
+}

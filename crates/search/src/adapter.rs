@@ -1,0 +1,287 @@
+//! AccuracyTrader adapter for the search engine.
+//!
+//! Maps the paper's search semantics onto the [`ApproximateService`] hooks:
+//!
+//! * **Correlation estimate** `c_i` — the similarity score of an
+//!   *aggregated web page* (the merged contents of its member pages) to the
+//!   query terms; a higher aggregated score means the group's original
+//!   pages are more likely to contain actual top-10 pages.
+//! * **Initial result** — an empty top-k: aggregated pages are not
+//!   returnable results themselves, so stage 1's output is the *ranking*
+//!   (the simulator/deadline loop guarantees improvement begins
+//!   immediately with the best-ranked set).
+//! * **Improvement** — score the original pages of one ranked set exactly
+//!   and fold them into the top-k heap.
+
+use at_core::{ApproximateService, Correlation, Ctx};
+use at_rtree::NodeId;
+use at_synopsis::RowStore;
+
+use crate::engine::search_exact;
+use crate::index::InvertedIndex;
+use crate::topk::TopK;
+
+/// A search request: query terms, sorted ascending.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchRequest {
+    /// Sorted, deduplicated term ids.
+    pub terms: Vec<u32>,
+}
+
+impl SearchRequest {
+    /// Build a request; sorts and dedups.
+    pub fn new(mut terms: Vec<u32>) -> Self {
+        terms.sort_unstable();
+        terms.dedup();
+        SearchRequest { terms }
+    }
+}
+
+impl From<&at_workloads::Query> for SearchRequest {
+    fn from(q: &at_workloads::Query) -> Self {
+        SearchRequest::new(q.terms.clone())
+    }
+}
+
+/// The Lucene-style search service, AccuracyTrader-enabled. Owns the
+/// component's inverted index (rebuild with [`SearchService::rebuild`]
+/// after input-data updates).
+#[derive(Clone, Debug)]
+pub struct SearchService {
+    index: InvertedIndex,
+    k: usize,
+}
+
+impl SearchService {
+    /// Build the inverted index over a component's pages; results are
+    /// top-`k` lists (paper: k = 10).
+    pub fn build(pages: &RowStore, k: usize) -> Self {
+        SearchService {
+            index: InvertedIndex::build(pages),
+            k,
+        }
+    }
+
+    /// Re-index after the page set changed.
+    pub fn rebuild(&mut self, pages: &RowStore) {
+        self.index = InvertedIndex::build(pages);
+    }
+
+    /// The component's inverted index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Result-list size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl ApproximateService for SearchService {
+    type Request = SearchRequest;
+    type Output = TopK;
+
+    fn process_synopsis(
+        &self,
+        ctx: Ctx<'_>,
+        req: &SearchRequest,
+    ) -> (Self::Output, Vec<Correlation>) {
+        let corr = ctx
+            .store
+            .synopsis()
+            .iter()
+            .map(|p| Correlation {
+                node: p.node,
+                score: self.index.score_row(p.info.iter(), &req.terms),
+            })
+            .collect();
+        (TopK::new(self.k), corr)
+    }
+
+    fn improve(
+        &self,
+        ctx: Ctx<'_>,
+        req: &SearchRequest,
+        out: &mut Self::Output,
+        _node: NodeId,
+        members: &[u64],
+    ) {
+        for &doc in members {
+            let score = self.index.score_row(ctx.dataset.row(doc).iter(), &req.terms);
+            if score > 0.0 {
+                out.push(doc, score);
+            }
+        }
+    }
+
+    fn process_exact(&self, _ctx: Ctx<'_>, req: &SearchRequest) -> Self::Output {
+        search_exact(&self.index, &req.terms, self.k)
+    }
+}
+
+/// Figure 4(b) analysis: rank the aggregated pages by similarity to `req`,
+/// split into `n_sections`, and return each section's percentage of the
+/// *actual top-k* pages (from exact search) whose group falls in that
+/// section.
+pub fn section_top_k_coverage(
+    ctx: Ctx<'_>,
+    service: &SearchService,
+    req: &SearchRequest,
+    n_sections: usize,
+) -> Vec<f64> {
+    let actual: Vec<u64> = service.process_exact(ctx, req).doc_ids();
+    if actual.is_empty() {
+        return vec![0.0; n_sections];
+    }
+    let (_, corr) = service.process_synopsis(ctx, req);
+    let ranked = at_core::rank(corr);
+    let sections = at_core::sections(&ranked, n_sections);
+    sections
+        .iter()
+        .map(|sec| {
+            let mut hits = 0usize;
+            for c in *sec {
+                let members = ctx.store.index().members(c.node).expect("indexed node");
+                hits += actual.iter().filter(|d| members.binary_search(d).is_ok()).count();
+            }
+            hits as f64 / actual.len() as f64 * 100.0
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accuracy::topk_overlap;
+    use at_core::Component;
+    use at_linalg::svd::SvdConfig;
+    use at_synopsis::{AggregationMode, SparseRow, SynopsisConfig};
+    use at_workloads::{Corpus, CorpusConfig, QueryGenerator};
+
+    fn component() -> (Component<SearchService>, Corpus) {
+        let corpus = Corpus::generate(CorpusConfig::small());
+        let mut pages = RowStore::new(corpus.config.vocab);
+        for d in &corpus.docs {
+            pages.push_row(SparseRow::from_pairs(d.terms.clone()));
+        }
+        let service = SearchService::build(&pages, 10);
+        let cfg = SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(20),
+            size_ratio: 12,
+            ..SynopsisConfig::default()
+        };
+        let (c, _) = Component::build(pages, AggregationMode::Merge, cfg, service);
+        (c, corpus)
+    }
+
+    fn some_query(corpus: &Corpus, seed: u64) -> SearchRequest {
+        let mut generator = QueryGenerator::new(corpus, seed);
+        SearchRequest::from(&generator.next_query(corpus))
+    }
+
+    #[test]
+    fn full_budget_matches_exact() {
+        let (c, corpus) = component();
+        for seed in 0..5u64 {
+            let req = some_query(&corpus, seed);
+            let approx = c.approx_budgeted(&req, None, usize::MAX).output;
+            let exact = c.exact(&req);
+            assert_eq!(
+                approx.doc_ids(),
+                exact.doc_ids(),
+                "full improvement must equal exact search"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_budget_returns_empty_topk() {
+        let (c, corpus) = component();
+        let req = some_query(&corpus, 1);
+        let o = c.approx_budgeted(&req, None, 0);
+        assert!(o.output.is_empty());
+        assert_eq!(o.sets_processed, 0);
+    }
+
+    #[test]
+    fn overlap_grows_with_budget() {
+        let (c, corpus) = component();
+        let budgets = [1usize, 3, usize::MAX];
+        let mut overlaps = vec![0.0; budgets.len()];
+        for seed in 0..8u64 {
+            let req = some_query(&corpus, seed);
+            let actual = c.exact(&req).doc_ids();
+            for (i, &b) in budgets.iter().enumerate() {
+                let got = c.approx_budgeted(&req, None, b).output.doc_ids();
+                overlaps[i] += topk_overlap(&actual, &got);
+            }
+        }
+        assert!(
+            overlaps[2] >= overlaps[1] && overlaps[1] >= overlaps[0],
+            "overlap must not shrink with budget: {overlaps:?}"
+        );
+        assert!(
+            (overlaps[2] - 8.0).abs() < 1e-9,
+            "full budget overlap must be total"
+        );
+    }
+
+    #[test]
+    fn few_top_sets_capture_most_top10() {
+        // The heart of the paper's search result: a minority of top-ranked
+        // sets contains the large majority of actual top-10 pages.
+        let (c, corpus) = component();
+        let n_groups = c.store().synopsis().len();
+        let budget = n_groups.div_ceil(2); // top 50% of sets
+        let mut total_overlap = 0.0;
+        let mut n = 0;
+        for seed in 0..20u64 {
+            let req = some_query(&corpus, seed);
+            let actual = c.exact(&req).doc_ids();
+            if actual.is_empty() {
+                continue;
+            }
+            let got = c.approx_budgeted(&req, None, budget).output.doc_ids();
+            total_overlap += topk_overlap(&actual, &got);
+            n += 1;
+        }
+        let mean = total_overlap / n as f64;
+        assert!(
+            mean > 0.7,
+            "top 50% of ranked sets should capture most top-10 pages, got {mean}"
+        );
+    }
+
+    #[test]
+    fn section_coverage_concentrates_in_top_sections() {
+        let (c, corpus) = component();
+        let mut acc = vec![0.0; 4];
+        let mut n = 0;
+        for seed in 0..15u64 {
+            let req = some_query(&corpus, seed);
+            let cov = section_top_k_coverage(c.ctx(), c.service(), &req, 4);
+            for (a, v) in acc.iter_mut().zip(&cov) {
+                *a += v;
+            }
+            n += 1;
+        }
+        for a in &mut acc {
+            *a /= n as f64;
+        }
+        assert!(
+            acc[0] > acc[3],
+            "top section must hold more of the actual top-10: {acc:?}"
+        );
+        assert!(
+            acc[0] + acc[1] > 50.0,
+            "top half should dominate: {acc:?}"
+        );
+    }
+
+    #[test]
+    fn request_normalization() {
+        let r = SearchRequest::new(vec![5, 1, 5, 3]);
+        assert_eq!(r.terms, vec![1, 3, 5]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Query-result cache.
+//!
+//! §3.2: "At the online request processing stage, if a query request does
+//! not hit the query cache, the search engine scans its index file…" — so
+//! the paper's engine fronts the index with a result cache. This is a
+//! bounded LRU keyed by the (sorted) query terms; entries are invalidated
+//! wholesale when the page set changes.
+
+use std::collections::HashMap;
+
+use crate::topk::TopK;
+
+/// A bounded LRU cache from query terms to top-k results.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    /// terms -> (result, last-use stamp).
+    map: HashMap<Vec<u32>, (TopK, u64)>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl QueryCache {
+    /// Cache holding at most `capacity` distinct queries.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "QueryCache: capacity must be >= 1");
+        QueryCache {
+            capacity,
+            map: HashMap::with_capacity(capacity + 1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached queries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `terms` (must be sorted — [`crate::SearchRequest`] sorts).
+    /// Refreshes recency on hit.
+    pub fn get(&mut self, terms: &[u32]) -> Option<TopK> {
+        self.clock += 1;
+        match self.map.get_mut(terms) {
+            Some((result, stamp)) => {
+                *stamp = self.clock;
+                self.hits += 1;
+                Some(result.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a result, evicting the least-recently-used entry when full.
+    pub fn put(&mut self, terms: Vec<u32>, result: TopK) {
+        self.clock += 1;
+        self.map.insert(terms, (result, self.clock));
+        if self.map.len() > self.capacity {
+            let oldest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+                .expect("cache over capacity implies non-empty");
+            self.map.remove(&oldest);
+        }
+    }
+
+    /// Drop everything (call after the page set changes).
+    pub fn invalidate(&mut self) {
+        self.map.clear();
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Hit rate in `[0, 1]`; 0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topk(doc: u64) -> TopK {
+        let mut t = TopK::new(10);
+        t.push(doc, 1.0);
+        t
+    }
+
+    #[test]
+    fn get_after_put_hits() {
+        let mut c = QueryCache::new(4);
+        assert!(c.get(&[1, 2]).is_none());
+        c.put(vec![1, 2], topk(7));
+        let hit = c.get(&[1, 2]).expect("hit");
+        assert_eq!(hit.doc_ids(), vec![7]);
+        assert_eq!(c.stats(), (1, 1));
+        assert_eq!(c.hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = QueryCache::new(2);
+        c.put(vec![1], topk(1));
+        c.put(vec![2], topk(2));
+        // Touch [1] so [2] becomes the LRU.
+        assert!(c.get(&[1]).is_some());
+        c.put(vec![3], topk(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&[2]).is_none(), "LRU entry must be evicted");
+        assert!(c.get(&[1]).is_some());
+        assert!(c.get(&[3]).is_some());
+    }
+
+    #[test]
+    fn put_existing_updates_value() {
+        let mut c = QueryCache::new(2);
+        c.put(vec![1], topk(1));
+        c.put(vec![1], topk(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&[1]).unwrap().doc_ids(), vec![9]);
+    }
+
+    #[test]
+    fn invalidate_clears() {
+        let mut c = QueryCache::new(4);
+        c.put(vec![1], topk(1));
+        c.invalidate();
+        assert!(c.is_empty());
+        assert!(c.get(&[1]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        QueryCache::new(0);
+    }
+}

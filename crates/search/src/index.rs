@@ -1,0 +1,159 @@
+//! The inverted index — the search engine's offline artifact (§3.2: "the
+//! web crawler crawls the web pages and builds the inverted index").
+//!
+//! Postings are term → `(doc, tf)` lists; document norms are precomputed
+//! for length normalization. The index serves the *exact* processing path;
+//! the synopsis path scores merged aggregated pages with the same statistics
+//! so correlation estimates are on the same scale as real scores.
+
+use at_synopsis::RowStore;
+
+/// Inverted index over one component's page subset.
+#[derive(Clone, Debug)]
+pub struct InvertedIndex {
+    n_docs: usize,
+    /// postings[term] = (doc, term frequency), doc ascending.
+    postings: Vec<Vec<(u64, f64)>>,
+    /// Per-document length norm: sqrt(total term occurrences).
+    doc_norm: Vec<f64>,
+}
+
+impl InvertedIndex {
+    /// Build from a page store (rows = pages, cols = terms, vals = counts).
+    pub fn build(pages: &RowStore) -> Self {
+        let mut postings: Vec<Vec<(u64, f64)>> = vec![Vec::new(); pages.feature_dim()];
+        let mut doc_norm = Vec::with_capacity(pages.len());
+        for id in pages.ids() {
+            let row = pages.row(id);
+            let mut len = 0.0;
+            for (t, c) in row.iter() {
+                postings[t as usize].push((id, c));
+                len += c;
+            }
+            doc_norm.push(len.sqrt().max(1.0));
+        }
+        InvertedIndex {
+            n_docs: pages.len(),
+            postings,
+            doc_norm,
+        }
+    }
+
+    /// Number of indexed documents.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Document frequency of `term`.
+    pub fn df(&self, term: u32) -> usize {
+        self.postings
+            .get(term as usize)
+            .map_or(0, |p| p.len())
+    }
+
+    /// Inverse document frequency: `ln(1 + N / df)`; 0 for unseen terms.
+    pub fn idf(&self, term: u32) -> f64 {
+        let df = self.df(term);
+        if df == 0 {
+            0.0
+        } else {
+            (1.0 + self.n_docs as f64 / df as f64).ln()
+        }
+    }
+
+    /// Posting list of `term` (doc ascending).
+    pub fn postings(&self, term: u32) -> &[(u64, f64)] {
+        self.postings
+            .get(term as usize)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// A document's length norm.
+    pub fn doc_norm(&self, doc: u64) -> f64 {
+        self.doc_norm[doc as usize]
+    }
+
+    /// Per-term score contribution: sublinear tf × idf.
+    pub fn tf_idf(&self, tf: f64, term: u32) -> f64 {
+        if tf <= 0.0 {
+            0.0
+        } else {
+            (1.0 + tf.ln()) * self.idf(term)
+        }
+    }
+
+    /// Score an arbitrary term-count row against query `terms` using this
+    /// index's corpus statistics (used for synopsis/aggregated pages and
+    /// for improving with original rows).
+    pub fn score_row<'a>(
+        &self,
+        row: impl Iterator<Item = (u32, f64)> + 'a,
+        terms: &[u32],
+    ) -> f64 {
+        let mut score = 0.0;
+        let mut len = 0.0;
+        for (t, c) in row {
+            len += c;
+            if terms.binary_search(&t).is_ok() {
+                score += self.tf_idf(c, t);
+            }
+        }
+        score / len.sqrt().max(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_synopsis::SparseRow;
+
+    fn pages() -> RowStore {
+        let mut s = RowStore::new(6);
+        // doc 0: terms 0,1   doc 1: terms 1,2,2   doc 2: term 5 x4
+        s.push_row(SparseRow::from_pairs(vec![(0, 1.0), (1, 1.0)]));
+        s.push_row(SparseRow::from_pairs(vec![(1, 1.0), (2, 2.0)]));
+        s.push_row(SparseRow::from_pairs(vec![(5, 4.0)]));
+        s
+    }
+
+    #[test]
+    fn build_statistics() {
+        let idx = InvertedIndex::build(&pages());
+        assert_eq!(idx.n_docs(), 3);
+        assert_eq!(idx.df(1), 2);
+        assert_eq!(idx.df(5), 1);
+        assert_eq!(idx.df(4), 0);
+        assert_eq!(idx.idf(4), 0.0);
+        assert!(idx.idf(5) > idx.idf(1), "rarer terms weigh more");
+    }
+
+    #[test]
+    fn postings_sorted_by_doc() {
+        let idx = InvertedIndex::build(&pages());
+        let p = idx.postings(1);
+        assert_eq!(p, &[(0, 1.0), (1, 1.0)]);
+    }
+
+    #[test]
+    fn doc_norms_reflect_length() {
+        let idx = InvertedIndex::build(&pages());
+        assert!((idx.doc_norm(0) - 2f64.sqrt()).abs() < 1e-12);
+        assert!((idx.doc_norm(2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_row_matches_manual() {
+        let idx = InvertedIndex::build(&pages());
+        let row = vec![(1u32, 1.0), (2u32, 2.0)];
+        let terms = vec![2u32];
+        let got = idx.score_row(row.into_iter(), &terms);
+        let want = (1.0 + 2f64.ln()) * idx.idf(2) / 3f64.sqrt();
+        assert!((got - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_row_no_match_is_zero() {
+        let idx = InvertedIndex::build(&pages());
+        assert_eq!(idx.score_row(vec![(0u32, 1.0)].into_iter(), &[5]), 0.0);
+    }
+}

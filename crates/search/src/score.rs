@@ -1,0 +1,145 @@
+//! Alternative similarity functions.
+//!
+//! The default index scoring is Lucene-classic sublinear tf-idf with length
+//! normalization ([`crate::InvertedIndex::score_row`]). This module adds
+//! **BM25**, the standard probabilistic ranking function, as a drop-in
+//! alternative — useful for checking that AccuracyTrader's correlation
+//! estimation is not an artifact of one scoring formula (the framework only
+//! assumes "higher aggregated score → more related originals").
+
+use crate::index::InvertedIndex;
+
+/// BM25 parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (typical 1.2–2.0).
+    pub k1: f64,
+    /// Length-normalization strength (typical 0.75).
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// BM25 scorer bound to an index's corpus statistics.
+#[derive(Clone, Debug)]
+pub struct Bm25 {
+    params: Bm25Params,
+    avg_len: f64,
+}
+
+impl Bm25 {
+    /// Build a scorer over `index`'s statistics.
+    pub fn new(index: &InvertedIndex, params: Bm25Params) -> Self {
+        // doc_norm stores sqrt(len); average the squared norms.
+        let n = index.n_docs().max(1);
+        let total: f64 = (0..n as u64).map(|d| index.doc_norm(d).powi(2)).sum();
+        Bm25 {
+            params,
+            avg_len: (total / n as f64).max(1.0),
+        }
+    }
+
+    /// BM25 idf: `ln(1 + (N - df + 0.5) / (df + 0.5))`.
+    pub fn idf(&self, index: &InvertedIndex, term: u32) -> f64 {
+        let n = index.n_docs() as f64;
+        let df = index.df(term) as f64;
+        if df == 0.0 {
+            0.0
+        } else {
+            (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+        }
+    }
+
+    /// Score an arbitrary term-count row against sorted query `terms`.
+    pub fn score_row<'a>(
+        &self,
+        index: &InvertedIndex,
+        row: impl Iterator<Item = (u32, f64)> + 'a,
+        terms: &[u32],
+    ) -> f64 {
+        let Bm25Params { k1, b } = self.params;
+        let mut len = 0.0;
+        let mut matched: Vec<(u32, f64)> = Vec::new();
+        for (t, c) in row {
+            len += c;
+            if terms.binary_search(&t).is_ok() {
+                matched.push((t, c));
+            }
+        }
+        let norm = 1.0 - b + b * len / self.avg_len;
+        matched
+            .into_iter()
+            .map(|(t, tf)| self.idf(index, t) * (tf * (k1 + 1.0)) / (tf + k1 * norm))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_synopsis::{RowStore, SparseRow};
+
+    fn corpus() -> (RowStore, InvertedIndex) {
+        let mut s = RowStore::new(8);
+        s.push_row(SparseRow::from_pairs(vec![(3, 5.0)]));
+        s.push_row(SparseRow::from_pairs(vec![(3, 1.0), (1, 6.0), (2, 6.0)]));
+        s.push_row(SparseRow::from_pairs(vec![(5, 2.0)]));
+        let idx = InvertedIndex::build(&s);
+        (s, idx)
+    }
+
+    #[test]
+    fn focused_doc_outscores_diluted() {
+        let (s, idx) = corpus();
+        let bm = Bm25::new(&idx, Bm25Params::default());
+        let focused = bm.score_row(&idx, s.row(0).iter(), &[3]);
+        let diluted = bm.score_row(&idx, s.row(1).iter(), &[3]);
+        assert!(focused > diluted, "{focused} !> {diluted}");
+    }
+
+    #[test]
+    fn no_match_scores_zero() {
+        let (s, idx) = corpus();
+        let bm = Bm25::new(&idx, Bm25Params::default());
+        assert_eq!(bm.score_row(&idx, s.row(2).iter(), &[3]), 0.0);
+    }
+
+    #[test]
+    fn rare_terms_weigh_more() {
+        let (_, idx) = corpus();
+        let bm = Bm25::new(&idx, Bm25Params::default());
+        // term 5 appears in 1 doc, term 3 in 2 docs.
+        assert!(bm.idf(&idx, 5) > bm.idf(&idx, 3));
+        assert_eq!(bm.idf(&idx, 7), 0.0, "unseen term has zero idf");
+    }
+
+    #[test]
+    fn tf_saturates() {
+        let (_, idx) = corpus();
+        let bm = Bm25::new(&idx, Bm25Params::default());
+        let s1 = bm.score_row(&idx, vec![(3u32, 1.0)].into_iter(), &[3]);
+        let s10 = bm.score_row(&idx, vec![(3u32, 10.0)].into_iter(), &[3]);
+        let s100 = bm.score_row(&idx, vec![(3u32, 100.0)].into_iter(), &[3]);
+        assert!(s10 > s1);
+        assert!(
+            s100 - s10 < s10 - s1,
+            "BM25 gain must saturate: {s1} {s10} {s100}"
+        );
+    }
+
+    #[test]
+    fn rankings_agree_with_tfidf_on_clear_cases() {
+        // Both scorers must prefer the obviously-relevant page.
+        let (s, idx) = corpus();
+        let bm = Bm25::new(&idx, Bm25Params::default());
+        let tfidf0 = idx.score_row(s.row(0).iter(), &[3]);
+        let tfidf1 = idx.score_row(s.row(1).iter(), &[3]);
+        let bm0 = bm.score_row(&idx, s.row(0).iter(), &[3]);
+        let bm1 = bm.score_row(&idx, s.row(1).iter(), &[3]);
+        assert_eq!(tfidf0 > tfidf1, bm0 > bm1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Bounded top-k result collection.
+//!
+//! Search results are the `k` highest-scoring pages (the paper's accuracy
+//! metric is the overlap of retrieved vs. actual top 10). `TopK` keeps the
+//! best `k` (score, id) pairs seen, with deterministic tie-breaking by id.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scored document.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Hit {
+    /// Document id (component-local).
+    pub doc: u64,
+    /// Similarity score.
+    pub score: f64,
+}
+
+impl Eq for Hit {}
+
+impl PartialOrd for Hit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Hit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Lower score = "smaller"; ties: higher doc id is smaller, so that
+        // equal-score hits prefer the lower id deterministically.
+        self.score
+            .partial_cmp(&other.score)
+            .expect("NaN score")
+            .then_with(|| other.doc.cmp(&self.doc))
+    }
+}
+
+/// A bounded collection of the best `k` hits (min-heap of the current best).
+#[derive(Clone, Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<std::cmp::Reverse<Hit>>,
+}
+
+impl TopK {
+    /// Collector for the best `k` hits.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "TopK: k must be >= 1");
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Capacity `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of hits currently held (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no hit was offered yet.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Offer a hit; kept only if it beats the current k-th best.
+    pub fn push(&mut self, doc: u64, score: f64) {
+        let hit = Hit { doc, score };
+        if self.heap.len() < self.k {
+            self.heap.push(std::cmp::Reverse(hit));
+        } else if let Some(worst) = self.heap.peek() {
+            if hit > worst.0 {
+                self.heap.pop();
+                self.heap.push(std::cmp::Reverse(hit));
+            }
+        }
+    }
+
+    /// Current k-th best score (the bar new hits must clear), if full.
+    pub fn threshold(&self) -> Option<f64> {
+        if self.heap.len() == self.k {
+            self.heap.peek().map(|h| h.0.score)
+        } else {
+            None
+        }
+    }
+
+    /// Absorb all hits of another collector.
+    pub fn merge(&mut self, other: &TopK) {
+        for h in &other.heap {
+            self.push(h.0.doc, h.0.score);
+        }
+    }
+
+    /// Hits sorted best-first.
+    pub fn into_sorted(self) -> Vec<Hit> {
+        let mut v: Vec<Hit> = self.heap.into_iter().map(|r| r.0).collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v
+    }
+
+    /// Sorted copy without consuming.
+    pub fn sorted(&self) -> Vec<Hit> {
+        self.clone().into_sorted()
+    }
+
+    /// Doc ids best-first.
+    pub fn doc_ids(&self) -> Vec<u64> {
+        self.sorted().into_iter().map(|h| h.doc).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut t = TopK::new(3);
+        for (d, s) in [(1u64, 0.5), (2, 0.9), (3, 0.1), (4, 0.7), (5, 0.3)] {
+            t.push(d, s);
+        }
+        let ids = t.doc_ids();
+        assert_eq!(ids, vec![2, 4, 1]);
+    }
+
+    #[test]
+    fn fewer_than_k_keeps_all() {
+        let mut t = TopK::new(10);
+        t.push(1, 0.2);
+        t.push(2, 0.8);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.doc_ids(), vec![2, 1]);
+        assert_eq!(t.threshold(), None);
+    }
+
+    #[test]
+    fn ties_break_by_lower_doc_id() {
+        let mut t = TopK::new(2);
+        t.push(9, 0.5);
+        t.push(3, 0.5);
+        t.push(7, 0.5);
+        assert_eq!(t.doc_ids(), vec![3, 7]);
+    }
+
+    #[test]
+    fn threshold_is_kth_score() {
+        let mut t = TopK::new(2);
+        t.push(1, 0.9);
+        t.push(2, 0.4);
+        assert_eq!(t.threshold(), Some(0.4));
+        t.push(3, 0.6);
+        assert_eq!(t.threshold(), Some(0.6));
+    }
+
+    #[test]
+    fn merge_equals_joint_stream() {
+        let hits = [(1u64, 0.3), (2, 0.8), (3, 0.5), (4, 0.9), (5, 0.1), (6, 0.7)];
+        let mut joint = TopK::new(3);
+        for (d, s) in hits {
+            joint.push(d, s);
+        }
+        let mut a = TopK::new(3);
+        let mut b = TopK::new(3);
+        for (i, (d, s)) in hits.into_iter().enumerate() {
+            if i % 2 == 0 {
+                a.push(d, s);
+            } else {
+                b.push(d, s);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.doc_ids(), joint.doc_ids());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn zero_k_panics() {
+        TopK::new(0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Node-failure injection.
+//!
+//! The paper attributes component latency variance to "different hardware
+//! and software reasons" beyond interference; transient node outages
+//! (crashes, GC stalls measured in seconds, network partitions) are the
+//! extreme end of that spectrum and are what request reissue was designed
+//! for (Dean & Barroso's "tail at scale"). The trace marks each node
+//! unavailable during outage windows; a sub-operation whose service would
+//! start inside a window is deferred to the window's end.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use at_workloads::zipf::exponential;
+
+/// Failure-injection parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FailureConfig {
+    /// Mean time between failures per node (s).
+    pub mtbf_s: f64,
+    /// Mean time to recovery (s).
+    pub mttr_s: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig {
+            mtbf_s: 600.0,
+            mttr_s: 5.0,
+            seed: 0xFA11,
+        }
+    }
+}
+
+/// Per-node outage windows, sorted by start.
+#[derive(Clone, Debug)]
+pub struct FailureTrace {
+    per_node: Vec<Vec<(f64, f64)>>,
+}
+
+impl FailureTrace {
+    /// Generate outages over `[0, duration)` for `n_nodes` nodes:
+    /// exponential inter-failure gaps (mean `mtbf_s`), exponential outage
+    /// lengths (mean `mttr_s`).
+    pub fn generate(n_nodes: usize, duration: f64, cfg: FailureConfig) -> Self {
+        assert!(cfg.mtbf_s > 0.0 && cfg.mttr_s > 0.0, "failure times must be positive");
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let per_node = (0..n_nodes)
+            .map(|_| {
+                let mut windows = Vec::new();
+                let mut t = 0.0;
+                loop {
+                    t += exponential(&mut rng, 1.0 / cfg.mtbf_s);
+                    if t >= duration {
+                        break;
+                    }
+                    let end = t + exponential(&mut rng, 1.0 / cfg.mttr_s);
+                    windows.push((t, end));
+                    t = end;
+                }
+                windows
+            })
+            .collect();
+        FailureTrace { per_node }
+    }
+
+    /// A trace with no outages.
+    pub fn none(n_nodes: usize) -> Self {
+        FailureTrace {
+            per_node: vec![Vec::new(); n_nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.per_node.len()
+    }
+
+    /// Outage windows of `node`.
+    pub fn outages(&self, node: usize) -> &[(f64, f64)] {
+        &self.per_node[node]
+    }
+
+    /// Whether `node` is down at time `t`.
+    pub fn is_down(&self, node: usize, t: f64) -> bool {
+        let windows = &self.per_node[node];
+        let idx = windows.partition_point(|w| w.0 <= t);
+        idx > 0 && t < windows[idx - 1].1
+    }
+
+    /// The earliest time ≥ `t` at which `node` can serve (t itself when
+    /// up; the outage end when down).
+    pub fn next_available(&self, node: usize, t: f64) -> f64 {
+        let windows = &self.per_node[node];
+        let idx = windows.partition_point(|w| w.0 <= t);
+        if idx > 0 && t < windows[idx - 1].1 {
+            windows[idx - 1].1
+        } else {
+            t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> FailureTrace {
+        FailureTrace::generate(10, 10_000.0, FailureConfig::default())
+    }
+
+    #[test]
+    fn windows_are_disjoint_and_sorted() {
+        let t = trace();
+        for node in 0..10 {
+            let w = t.outages(node);
+            for pair in w.windows(2) {
+                assert!(pair[0].1 <= pair[1].0, "overlapping outages");
+            }
+            for &(s, e) in w {
+                assert!(s < e);
+            }
+        }
+    }
+
+    #[test]
+    fn outage_frequency_tracks_mtbf() {
+        let t = trace();
+        let total: usize = (0..10).map(|n| t.outages(n).len()).sum();
+        // 10 nodes x 10000s / 600s MTBF ≈ 166 outages.
+        assert!(
+            (80..300).contains(&total),
+            "unexpected outage count {total}"
+        );
+    }
+
+    #[test]
+    fn is_down_matches_windows() {
+        let t = trace();
+        let w = t.outages(0).first().copied().expect("has outages");
+        let mid = 0.5 * (w.0 + w.1);
+        assert!(t.is_down(0, mid));
+        assert!(!t.is_down(0, w.0 - 0.001));
+        assert!(!t.is_down(0, w.1 + 0.001));
+    }
+
+    #[test]
+    fn next_available_defers_into_recovery() {
+        let t = trace();
+        let w = t.outages(0).first().copied().expect("has outages");
+        let mid = 0.5 * (w.0 + w.1);
+        assert_eq!(t.next_available(0, mid), w.1);
+        assert_eq!(t.next_available(0, w.1 + 1.0), w.1 + 1.0);
+    }
+
+    #[test]
+    fn none_trace_is_always_up() {
+        let t = FailureTrace::none(3);
+        assert!(!t.is_down(2, 123.0));
+        assert_eq!(t.next_available(2, 123.0), 123.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = trace();
+        let b = trace();
+        assert_eq!(a.outages(5), b.outages(5));
+    }
+}

@@ -1,0 +1,138 @@
+//! Experiment drivers shared by the table/figure harnesses.
+
+use rayon::prelude::*;
+
+use at_workloads::{poisson_arrivals, variable_rate_arrivals, DiurnalPattern};
+
+use crate::cluster::{simulate, SimConfig, SimResult, Technique};
+
+/// One cell of Table 1/2: fixed-rate Poisson load for `duration_s`.
+pub fn run_fixed_rate(
+    rate: f64,
+    duration_s: f64,
+    technique: Technique,
+    cfg: &SimConfig,
+) -> SimResult {
+    let arrivals = poisson_arrivals(rate, duration_s, cfg.seed ^ 0xA11);
+    simulate(&arrivals, technique, cfg)
+}
+
+/// Sweep request arrival rates for one technique (Table 1/2 rows); cells
+/// run in parallel.
+pub fn sweep_rates(
+    rates: &[f64],
+    duration_s: f64,
+    technique: Technique,
+    cfg: &SimConfig,
+) -> Vec<SimResult> {
+    rates
+        .par_iter()
+        .map(|&r| run_fixed_rate(r, duration_s, technique, cfg))
+        .collect()
+}
+
+/// One hour of the diurnal pattern (Figures 5–8): 60 one-minute sessions
+/// with the within-hour rate trend of `pattern` (increasing for hour 9,
+/// steady for hour 10, decreasing for hour 24).
+pub fn run_hour(
+    pattern: &DiurnalPattern,
+    hour: usize,
+    technique: Technique,
+    cfg: &SimConfig,
+) -> SimResult {
+    run_hour_window(pattern, hour, 3600.0, technique, cfg)
+}
+
+/// Like [`run_hour`] but compressing the hour's within-hour rate trend
+/// into a `window_s`-second run (sessions shrink proportionally). Used to
+/// keep full-day sweeps laptop-sized while preserving each hour's
+/// increasing/steady/decreasing character. Bucket width follows suit
+/// (`window_s / 60` = one "minute" session per bucket).
+pub fn run_hour_window(
+    pattern: &DiurnalPattern,
+    hour: usize,
+    window_s: f64,
+    technique: Technique,
+    cfg: &SimConfig,
+) -> SimResult {
+    assert!(window_s > 0.0, "window must be positive");
+    let max_rate = (0..60)
+        .map(|m| pattern.minute_rate(hour, m))
+        .fold(0.0, f64::max)
+        .max(1e-9);
+    let arrivals = variable_rate_arrivals(
+        |t| {
+            let minute = ((t / window_s * 60.0) as usize).min(59);
+            pattern.minute_rate(hour, minute)
+        },
+        max_rate,
+        window_s,
+        cfg.seed ^ (hour as u64) << 8,
+    );
+    let cfg = SimConfig {
+        bucket_s: window_s / 60.0,
+        ..*cfg
+    };
+    simulate(&arrivals, technique, &cfg)
+}
+
+/// All 24 hours for one technique (Figure 7/8), hours in parallel.
+/// Returns per-hour results, hour 1 first.
+pub fn run_day(
+    pattern: &DiurnalPattern,
+    technique: Technique,
+    cfg: &SimConfig,
+) -> Vec<SimResult> {
+    (1..=24usize)
+        .into_par_iter()
+        .map(|h| run_hour(pattern, h, technique, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Technique;
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            n_components: 12,
+            n_nodes: 4,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_result_per_rate() {
+        let rs = sweep_rates(&[5.0, 20.0], 20.0, Technique::Basic, &cfg());
+        assert_eq!(rs.len(), 2);
+        assert!(rs.iter().all(|r| !r.latencies.is_empty()));
+        // Heavier load, worse tail.
+        assert!(rs[1].latencies.p999_ms() >= rs[0].latencies.p999_ms() * 0.5);
+    }
+
+    #[test]
+    fn hour_run_has_sixty_minute_buckets() {
+        let pattern = DiurnalPattern::sogou_like(3.0);
+        let r = run_hour(&pattern, 10, Technique::Basic, &cfg());
+        assert_eq!(r.bucketed.len(), 60);
+        let series = r.bucketed.p999_series_ms();
+        assert!(series.iter().filter(|s| s.is_some()).count() > 50);
+    }
+
+    #[test]
+    fn day_covers_24_hours() {
+        // Tiny rates to keep the test fast.
+        let pattern = DiurnalPattern::sogou_like(1.0);
+        let day = run_day(
+            &pattern,
+            Technique::AccuracyTrader {
+                deadline_s: 0.1,
+                imax: None,
+            },
+            &cfg(),
+        );
+        assert_eq!(day.len(), 24);
+        assert!(day.iter().all(|r| r.n_requests > 0));
+    }
+}

@@ -1,0 +1,141 @@
+//! The index file: aggregated data point → original data points.
+//!
+//! Paper §2.1: "The index file records the mapping relationship between each
+//! aggregated data point and the original data points aggregated by it."
+//! The mapping is keyed by the R-tree node that produced each aggregated
+//! point, so incremental updates can diff old vs. new membership per node.
+
+use at_rtree::NodeId;
+use std::collections::HashMap;
+
+/// Mapping from synopsis nodes (aggregated data points) to the ids of the
+/// original data points each aggregates.
+#[derive(Clone, Debug, Default)]
+pub struct IndexFile {
+    /// Depth of the R-tree level the synopsis was cut at.
+    depth: usize,
+    /// node -> sorted member ids.
+    groups: HashMap<NodeId, Vec<u64>>,
+}
+
+impl IndexFile {
+    /// Build from `(node, members)` pairs; member lists are sorted for
+    /// cheap equality diffing during updates.
+    pub fn new(depth: usize, entries: impl IntoIterator<Item = (NodeId, Vec<u64>)>) -> Self {
+        let mut groups = HashMap::new();
+        for (node, mut members) in entries {
+            members.sort_unstable();
+            groups.insert(node, members);
+        }
+        IndexFile { depth, groups }
+    }
+
+    /// R-tree depth this index was cut at.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of aggregated data points.
+    pub fn len(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// True when the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.groups.is_empty()
+    }
+
+    /// Sorted member ids of `node`, if it is an aggregated point.
+    pub fn members(&self, node: NodeId) -> Option<&[u64]> {
+        self.groups.get(&node).map(Vec::as_slice)
+    }
+
+    /// Iterate `(node, members)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[u64])> {
+        self.groups.iter().map(|(&n, m)| (n, m.as_slice()))
+    }
+
+    /// Total number of original points across all groups.
+    pub fn total_members(&self) -> usize {
+        self.groups.values().map(Vec::len).sum()
+    }
+
+    /// Average members per aggregated point — the paper reports 133.01
+    /// original users and 42.55 original pages per aggregated point.
+    pub fn mean_group_size(&self) -> f64 {
+        if self.groups.is_empty() {
+            0.0
+        } else {
+            self.total_members() as f64 / self.groups.len() as f64
+        }
+    }
+
+    /// Replace the membership of `node` (insert if new); returns `true`
+    /// when the stored membership actually changed.
+    pub fn set_members(&mut self, node: NodeId, mut members: Vec<u64>) -> bool {
+        members.sort_unstable();
+        match self.groups.get(&node) {
+            Some(old) if *old == members => false,
+            _ => {
+                self.groups.insert(node, members);
+                true
+            }
+        }
+    }
+
+    /// Drop a node that no longer exists at the synopsis depth.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        self.groups.remove(&node).is_some()
+    }
+
+    /// Node ids currently present, in unspecified order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.groups.keys().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: u32) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn build_and_query() {
+        let (a, b) = (node(0), node(1));
+        let idx = IndexFile::new(2, vec![(a, vec![3, 1, 2]), (b, vec![7])]);
+        assert_eq!(idx.depth(), 2);
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.members(a), Some(&[1, 2, 3][..]));
+        assert_eq!(idx.total_members(), 4);
+        assert_eq!(idx.mean_group_size(), 2.0);
+    }
+
+    #[test]
+    fn set_members_reports_changes() {
+        let a = node(0);
+        let mut idx = IndexFile::new(0, vec![(a, vec![1, 2])]);
+        assert!(!idx.set_members(a, vec![2, 1]), "same set, different order");
+        assert!(idx.set_members(a, vec![1, 2, 3]));
+        assert_eq!(idx.members(a), Some(&[1, 2, 3][..]));
+    }
+
+    #[test]
+    fn remove_node() {
+        let (a, b) = (node(0), node(1));
+        let mut idx = IndexFile::new(0, vec![(a, vec![1]), (b, vec![2])]);
+        assert!(idx.remove(a));
+        assert!(!idx.remove(a));
+        assert_eq!(idx.len(), 1);
+        assert!(idx.members(a).is_none());
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx = IndexFile::default();
+        assert!(idx.is_empty());
+        assert_eq!(idx.mean_group_size(), 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Multi-resolution synopses — the paper's deferred extension.
+//!
+//! §2.3: "Applying a load-adaptive approach that dynamically selects a
+//! synopsis of a different size according to the current load is possible
+//! and it is studied in our previous work \[18\], \[20\], but it is beyond the
+//! scope of this paper." This module implements that extension: cut the
+//! *same* R-tree at several depths, materialize one synopsis per depth, and
+//! let the online side pick a resolution per request.
+//!
+//! All resolutions share the tree and the reducer; only the index files and
+//! aggregated rows differ, so the extra memory is roughly the sum of the
+//! (small) synopses.
+
+use crate::build::{SynopsisConfig, SynopsisStore};
+use crate::dataset::{AggregationMode, RowStore};
+use crate::index_file::IndexFile;
+use crate::synopsis::{AggregatedPoint, Synopsis};
+use rayon::prelude::*;
+
+/// One resolution level of a [`MultiSynopsis`].
+#[derive(Clone, Debug)]
+pub struct Resolution {
+    /// R-tree depth this level was cut at.
+    pub depth: usize,
+    /// Aggregated points at this level.
+    pub synopsis: Synopsis,
+    /// Membership mapping at this level.
+    pub index: IndexFile,
+}
+
+impl Resolution {
+    /// Number of aggregated points (the per-request synopsis cost driver).
+    pub fn len(&self) -> usize {
+        self.synopsis.len()
+    }
+
+    /// True when this resolution holds no aggregated points.
+    pub fn is_empty(&self) -> bool {
+        self.synopsis.is_empty()
+    }
+}
+
+/// A stack of synopses of increasing resolution over one component's
+/// subset, plus the shared offline artifacts.
+#[derive(Clone, Debug)]
+pub struct MultiSynopsis {
+    /// The finest-resolution store (owns tree + reducer; used for updates).
+    base: SynopsisStore,
+    /// Levels sorted coarse → fine (fewer → more aggregated points).
+    levels: Vec<Resolution>,
+}
+
+impl MultiSynopsis {
+    /// Build resolutions for every tree level between the root's children
+    /// and the base store's cut depth (inclusive). The base store itself is
+    /// built with `config` as usual.
+    pub fn build(dataset: &RowStore, mode: AggregationMode, config: SynopsisConfig) -> Self {
+        let (base, _) = SynopsisStore::build(dataset, mode, config);
+        let max_depth = base.depth();
+        let tree = base.tree();
+        let mut levels: Vec<Resolution> = (1..=max_depth)
+            .into_par_iter()
+            .map(|depth| {
+                let nodes = tree.nodes_at_depth(depth);
+                let index = IndexFile::new(
+                    depth,
+                    nodes.iter().map(|&n| {
+                        let mut m = tree.items_under(n);
+                        m.sort_unstable();
+                        (n, m)
+                    }),
+                );
+                let mut synopsis = Synopsis::new(mode);
+                for (node, members) in index.iter() {
+                    synopsis.upsert(AggregatedPoint {
+                        node,
+                        info: dataset.aggregate(members, mode),
+                        member_count: members.len(),
+                    });
+                }
+                Resolution {
+                    depth,
+                    synopsis,
+                    index,
+                }
+            })
+            .collect();
+        levels.sort_by_key(|l| l.len());
+        // The deepest cut equals the base store's own synopsis; make sure
+        // it is present even when max_depth == 0 (single-level trees).
+        if levels.is_empty() {
+            levels.push(Resolution {
+                depth: base.depth(),
+                synopsis: base.synopsis().clone(),
+                index: base.index().clone(),
+            });
+        }
+        MultiSynopsis { base, levels }
+    }
+
+    /// The finest-resolution store (tree, reducer, update path).
+    pub fn base(&self) -> &SynopsisStore {
+        &self.base
+    }
+
+    /// Available resolutions, coarse → fine.
+    pub fn levels(&self) -> &[Resolution] {
+        &self.levels
+    }
+
+    /// The coarsest resolution (cheapest synopsis pass).
+    pub fn coarsest(&self) -> &Resolution {
+        &self.levels[0]
+    }
+
+    /// The finest resolution (best correlation estimates).
+    pub fn finest(&self) -> &Resolution {
+        self.levels.last().expect("at least one level")
+    }
+
+    /// Pick the finest resolution whose synopsis-processing cost fits a
+    /// budget of `max_points` aggregated points — the load-adaptive
+    /// selection rule: heavy load → small budget → coarse synopsis.
+    pub fn select(&self, max_points: usize) -> &Resolution {
+        self.levels
+            .iter()
+            .rev()
+            .find(|l| l.len() <= max_points.max(1))
+            .unwrap_or(&self.levels[0])
+    }
+
+    /// Translate a measured load level (utilization in `[0, 1+]`) into a
+    /// point budget: at idle the finest synopsis is used; approaching
+    /// saturation the budget shrinks toward the coarsest.
+    pub fn select_for_utilization(&self, utilization: f64) -> &Resolution {
+        let fine = self.finest().len() as f64;
+        let coarse = self.coarsest().len() as f64;
+        let u = utilization.clamp(0.0, 1.0);
+        // Geometric interpolation: synopsis sizes grow multiplicatively
+        // with depth, so interpolate in log space.
+        let budget = (fine.ln() * (1.0 - u) + coarse.ln() * u).exp();
+        self.select(budget.round() as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SparseRow;
+    use at_linalg::svd::SvdConfig;
+
+    fn dataset(n: usize) -> RowStore {
+        let mut s = RowStore::new(24);
+        for r in 0..n as u32 {
+            let base = if r % 2 == 0 { 1.5 } else { 4.0 };
+            s.push_row(SparseRow::from_pairs(
+                (0..24).map(|c| (c, base + ((r + c) % 3) as f64 * 0.2)).collect(),
+            ));
+        }
+        s
+    }
+
+    fn multi(n: usize) -> MultiSynopsis {
+        MultiSynopsis::build(
+            &dataset(n),
+            AggregationMode::Mean,
+            SynopsisConfig {
+                svd: SvdConfig::default().with_epochs(15),
+                size_ratio: 15,
+                ..SynopsisConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn levels_are_sorted_and_distinct() {
+        let m = multi(600);
+        assert!(m.levels().len() >= 2, "need multiple resolutions");
+        for w in m.levels().windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+        assert!(m.coarsest().len() < m.finest().len());
+    }
+
+    #[test]
+    fn every_level_partitions_the_dataset() {
+        let m = multi(400);
+        for level in m.levels() {
+            let mut all: Vec<u64> = level
+                .index
+                .iter()
+                .flat_map(|(_, members)| members.iter().copied())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                (0..400u64).collect::<Vec<_>>(),
+                "depth {} does not partition",
+                level.depth
+            );
+        }
+    }
+
+    #[test]
+    fn aggregated_info_is_exact_per_level() {
+        let data = dataset(300);
+        let m = MultiSynopsis::build(
+            &data,
+            AggregationMode::Mean,
+            SynopsisConfig {
+                svd: SvdConfig::default().with_epochs(15),
+                size_ratio: 10,
+                ..SynopsisConfig::default()
+            },
+        );
+        for level in m.levels() {
+            for p in level.synopsis.iter() {
+                let members = level.index.members(p.node).unwrap();
+                assert_eq!(p.info, data.aggregate(members, AggregationMode::Mean));
+            }
+        }
+    }
+
+    #[test]
+    fn select_respects_budget() {
+        let m = multi(600);
+        let coarse_len = m.coarsest().len();
+        let fine_len = m.finest().len();
+        assert_eq!(m.select(usize::MAX).len(), fine_len);
+        assert!(m.select(coarse_len).len() <= coarse_len);
+        // A budget below the coarsest still returns the coarsest (never
+        // fail a request outright).
+        assert_eq!(m.select(0).len(), coarse_len);
+    }
+
+    #[test]
+    fn utilization_mapping_is_monotone() {
+        let m = multi(600);
+        let sizes: Vec<usize> = [0.0, 0.3, 0.6, 0.9, 1.0]
+            .iter()
+            .map(|&u| m.select_for_utilization(u).len())
+            .collect();
+        for w in sizes.windows(2) {
+            assert!(w[1] <= w[0], "higher load must not pick finer: {sizes:?}");
+        }
+        assert_eq!(sizes[0], m.finest().len());
+        assert_eq!(*sizes.last().unwrap(), m.coarsest().len());
+    }
+}

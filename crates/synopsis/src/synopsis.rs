@@ -1,0 +1,138 @@
+//! The synopsis itself: the set of aggregated data points.
+
+use crate::dataset::{AggregationMode, SparseRow};
+use at_rtree::NodeId;
+use std::collections::HashMap;
+
+/// One aggregated data point: the folded information of a group of similar
+/// original data points (one R-tree node at the synopsis depth).
+#[derive(Clone, Debug)]
+pub struct AggregatedPoint {
+    /// The R-tree node this point was cut from (the index-file key).
+    pub node: NodeId,
+    /// Aggregated information (mean or merged sparse row).
+    pub info: SparseRow,
+    /// How many original points it aggregates.
+    pub member_count: usize,
+}
+
+/// A component's synopsis: aggregated data points keyed by R-tree node.
+///
+/// Paper §2.1: "The synopsis consists of multiple aggregated data points,
+/// each aggregates the information of multiple similar data points in the
+/// subset." It is deliberately small (≈100× smaller than the subset) so a
+/// component can always process it quickly.
+#[derive(Clone, Debug)]
+pub struct Synopsis {
+    mode: AggregationMode,
+    points: HashMap<NodeId, AggregatedPoint>,
+}
+
+impl Synopsis {
+    /// Empty synopsis with the given aggregation mode.
+    pub fn new(mode: AggregationMode) -> Self {
+        Synopsis {
+            mode,
+            points: HashMap::new(),
+        }
+    }
+
+    /// Aggregation mode (mean for numeric data, merge for text).
+    pub fn mode(&self) -> AggregationMode {
+        self.mode
+    }
+
+    /// Number of aggregated data points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the synopsis holds no aggregated points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Total stored entries across all aggregated rows (a size proxy for
+    /// the "sufficiently small" requirement).
+    pub fn total_entries(&self) -> usize {
+        self.points.values().map(|p| p.info.nnz()).sum()
+    }
+
+    /// The aggregated point cut from `node`, if present.
+    pub fn point(&self, node: NodeId) -> Option<&AggregatedPoint> {
+        self.points.get(&node)
+    }
+
+    /// Insert or replace the aggregated point for `node`.
+    pub fn upsert(&mut self, point: AggregatedPoint) {
+        self.points.insert(point.node, point);
+    }
+
+    /// Remove the point of a node that no longer exists at the synopsis
+    /// depth; returns whether it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        self.points.remove(&node).is_some()
+    }
+
+    /// Iterate aggregated points in deterministic (node-id) order.
+    pub fn iter(&self) -> impl Iterator<Item = &AggregatedPoint> {
+        let mut ids: Vec<&AggregatedPoint> = self.points.values().collect();
+        ids.sort_by_key(|p| p.node);
+        ids.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(i: u32, count: usize) -> AggregatedPoint {
+        AggregatedPoint {
+            node: NodeId::from_index(i),
+            info: SparseRow::from_pairs(vec![(0, i as f64)]),
+            member_count: count,
+        }
+    }
+
+    #[test]
+    fn upsert_and_lookup() {
+        let mut s = Synopsis::new(AggregationMode::Mean);
+        s.upsert(pt(3, 10));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.point(NodeId::from_index(3)).unwrap().member_count, 10);
+        s.upsert(pt(3, 20));
+        assert_eq!(s.len(), 1, "upsert replaces");
+        assert_eq!(s.point(NodeId::from_index(3)).unwrap().member_count, 20);
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut s = Synopsis::new(AggregationMode::Merge);
+        s.upsert(pt(1, 1));
+        assert!(s.remove(NodeId::from_index(1)));
+        assert!(!s.remove(NodeId::from_index(1)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_is_sorted_by_node() {
+        let mut s = Synopsis::new(AggregationMode::Mean);
+        for i in [5u32, 1, 9, 3] {
+            s.upsert(pt(i, 1));
+        }
+        let order: Vec<u32> = s.iter().map(|p| p.node.index()).collect();
+        assert_eq!(order, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn total_entries_sums_rows() {
+        let mut s = Synopsis::new(AggregationMode::Mean);
+        s.upsert(AggregatedPoint {
+            node: NodeId::from_index(0),
+            info: SparseRow::from_pairs(vec![(0, 1.0), (3, 1.0)]),
+            member_count: 2,
+        });
+        s.upsert(pt(1, 1));
+        assert_eq!(s.total_entries(), 3);
+    }
+}

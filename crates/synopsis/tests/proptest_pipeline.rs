@@ -1,0 +1,128 @@
+//! Property-based tests: the synopsis store's consistency invariants must
+//! survive arbitrary sequences of additions and changes, and aggregation
+//! must be exact at all times.
+
+use at_linalg::svd::SvdConfig;
+use at_synopsis::{
+    AggregationMode, DataUpdate, RowStore, SparseRow, SynopsisConfig, SynopsisStore,
+};
+use proptest::prelude::*;
+
+fn base_dataset(n: usize) -> RowStore {
+    let mut s = RowStore::new(16);
+    for r in 0..n as u32 {
+        let base = if r % 2 == 0 { 1.0 } else { 4.0 };
+        s.push_row(SparseRow::from_pairs(
+            (0..16)
+                .filter(|c| (r + c) % 5 != 0)
+                .map(|c| (c, base + ((r + c) % 3) as f64 * 0.3))
+                .collect(),
+        ));
+    }
+    s
+}
+
+fn quick_config() -> SynopsisConfig {
+    SynopsisConfig {
+        svd: SvdConfig::default().with_epochs(8),
+        size_ratio: 12,
+        ..SynopsisConfig::default()
+    }
+}
+
+/// A randomly generated update against a dataset of (at least) `n` rows.
+#[derive(Clone, Debug)]
+enum Op {
+    Add(Vec<(u8, u8)>),
+    Change(u16, Vec<(u8, u8)>),
+}
+
+fn row_strategy() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec((0u8..16, 1u8..=5), 1..12)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        row_strategy().prop_map(Op::Add),
+        (0u16..150, row_strategy()).prop_map(|(id, row)| Op::Change(id, row)),
+    ]
+}
+
+fn to_row(pairs: &[(u8, u8)]) -> SparseRow {
+    SparseRow::from_pairs(
+        pairs
+            .iter()
+            .map(|&(c, v)| (c as u32, v as f64))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn store_stays_consistent_under_random_updates(ops in prop::collection::vec(op_strategy(), 1..25)) {
+        let mut data = base_dataset(150);
+        let (mut store, _) = SynopsisStore::build(&data, AggregationMode::Mean, quick_config());
+        let updates: Vec<DataUpdate> = ops
+            .iter()
+            .map(|op| match op {
+                Op::Add(pairs) => DataUpdate::Add(to_row(pairs)),
+                Op::Change(id, pairs) => DataUpdate::Change {
+                    id: *id as u64 % 150,
+                    row: to_row(pairs),
+                },
+            })
+            .collect();
+        store.apply_updates(&mut data, updates);
+        store.validate().map_err(TestCaseError::fail)?;
+
+        // Membership partitions the updated id space exactly.
+        let mut all: Vec<u64> = store
+            .index()
+            .iter()
+            .flat_map(|(_, m)| m.iter().copied())
+            .collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..data.len() as u64).collect::<Vec<_>>());
+
+        // Aggregated info is exact for every group.
+        for p in store.synopsis().iter() {
+            let members = store.index().members(p.node).expect("indexed");
+            prop_assert_eq!(&p.info, &data.aggregate(members, AggregationMode::Mean));
+        }
+    }
+
+    #[test]
+    fn batched_and_oneshot_updates_agree_on_membership(ops in prop::collection::vec(op_strategy(), 2..16)) {
+        // Applying updates in one batch or one-at-a-time must end with the
+        // same dataset and a valid store either way.
+        let updates: Vec<DataUpdate> = ops
+            .iter()
+            .map(|op| match op {
+                Op::Add(pairs) => DataUpdate::Add(to_row(pairs)),
+                Op::Change(id, pairs) => DataUpdate::Change {
+                    id: *id as u64 % 100,
+                    row: to_row(pairs),
+                },
+            })
+            .collect();
+
+        let mut data_a = base_dataset(100);
+        let (mut store_a, _) = SynopsisStore::build(&data_a, AggregationMode::Mean, quick_config());
+        store_a.apply_updates(&mut data_a, updates.clone());
+        store_a.validate().map_err(TestCaseError::fail)?;
+
+        let mut data_b = base_dataset(100);
+        let (mut store_b, _) = SynopsisStore::build(&data_b, AggregationMode::Mean, quick_config());
+        for u in updates {
+            store_b.apply_updates(&mut data_b, vec![u]);
+        }
+        store_b.validate().map_err(TestCaseError::fail)?;
+
+        prop_assert_eq!(data_a.len(), data_b.len());
+        for id in 0..data_a.len() as u64 {
+            prop_assert_eq!(data_a.row(id), data_b.row(id), "row {} diverged", id);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Request arrival processes.
+//!
+//! Table 1/2 use fixed-rate Poisson arrivals (20–100 req/s); Figures 5–8
+//! replay the diurnal pattern via a non-homogeneous Poisson process
+//! (thinning). All generators return sorted arrival offsets in seconds.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::zipf::exponential;
+
+/// Homogeneous Poisson arrivals at `rate` req/s over `[0, duration)` s.
+pub fn poisson_arrivals(rate: f64, duration: f64, seed: u64) -> Vec<f64> {
+    assert!(rate >= 0.0 && duration >= 0.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    if rate == 0.0 {
+        return out;
+    }
+    let mut t = 0.0;
+    loop {
+        t += exponential(&mut rng, rate);
+        if t >= duration {
+            break;
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Non-homogeneous Poisson arrivals with instantaneous rate `rate_fn(t)`
+/// (≤ `max_rate`) over `[0, duration)`, by Lewis–Shedler thinning.
+pub fn variable_rate_arrivals(
+    rate_fn: impl Fn(f64) -> f64,
+    max_rate: f64,
+    duration: f64,
+    seed: u64,
+) -> Vec<f64> {
+    assert!(max_rate > 0.0 && duration >= 0.0);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t += exponential(&mut rng, max_rate);
+        if t >= duration {
+            break;
+        }
+        let r = rate_fn(t);
+        debug_assert!(r <= max_rate * (1.0 + 1e-9), "rate_fn exceeds max_rate");
+        if rng.random::<f64>() < r / max_rate {
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_count_matches_rate() {
+        let arr = poisson_arrivals(50.0, 100.0, 7);
+        let expected = 50.0 * 100.0;
+        assert!(
+            (arr.len() as f64 - expected).abs() < expected * 0.1,
+            "got {} arrivals, expected ~{expected}",
+            arr.len()
+        );
+    }
+
+    #[test]
+    fn poisson_sorted_and_in_range() {
+        let arr = poisson_arrivals(20.0, 10.0, 3);
+        for w in arr.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(arr.iter().all(|&t| (0.0..10.0).contains(&t)));
+    }
+
+    #[test]
+    fn poisson_zero_rate_empty() {
+        assert!(poisson_arrivals(0.0, 10.0, 1).is_empty());
+    }
+
+    #[test]
+    fn poisson_deterministic() {
+        assert_eq!(poisson_arrivals(10.0, 5.0, 9), poisson_arrivals(10.0, 5.0, 9));
+        assert_ne!(poisson_arrivals(10.0, 5.0, 9), poisson_arrivals(10.0, 5.0, 10));
+    }
+
+    #[test]
+    fn variable_rate_tracks_rate_fn() {
+        // Rate 10 in the first half, 90 in the second.
+        let arr = variable_rate_arrivals(
+            |t| if t < 50.0 { 10.0 } else { 90.0 },
+            90.0,
+            100.0,
+            5,
+        );
+        let first = arr.iter().filter(|&&t| t < 50.0).count();
+        let second = arr.len() - first;
+        assert!(
+            second > first * 5,
+            "second half should dominate: {first} vs {second}"
+        );
+    }
+
+    #[test]
+    fn variable_rate_constant_matches_poisson_intensity() {
+        let arr = variable_rate_arrivals(|_| 30.0, 30.0, 200.0, 11);
+        let expected = 30.0 * 200.0;
+        assert!(
+            (arr.len() as f64 - expected).abs() < expected * 0.1,
+            "got {}",
+            arr.len()
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Flash-crowd (burst) arrival processes.
+//!
+//! The diurnal pattern captures slow load variation; real services also see
+//! sudden flash crowds (breaking news, sales events) that stress tail-
+//! latency techniques differently: the queue jump is instantaneous rather
+//! than gradual. This generator superimposes Poisson bursts on a base rate.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::zipf::exponential;
+
+/// Flash-crowd parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BurstConfig {
+    /// Steady background rate (req/s).
+    pub base_rate: f64,
+    /// Burst arrival intensity (bursts per second, e.g. 1/120).
+    pub burst_rate: f64,
+    /// Mean burst duration (s).
+    pub burst_duration_s: f64,
+    /// Rate multiplier while a burst is active.
+    pub amplification: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BurstConfig {
+    fn default() -> Self {
+        BurstConfig {
+            base_rate: 20.0,
+            burst_rate: 1.0 / 120.0,
+            burst_duration_s: 10.0,
+            amplification: 5.0,
+            seed: 0xB0B5,
+        }
+    }
+}
+
+/// Burst windows plus the arrival times they shape.
+#[derive(Clone, Debug)]
+pub struct BurstTrace {
+    /// `(start, end)` of each burst, sorted, non-overlapping.
+    pub windows: Vec<(f64, f64)>,
+    /// Request arrival times over the horizon.
+    pub arrivals: Vec<f64>,
+}
+
+/// Generate a bursty arrival trace over `[0, duration)`.
+pub fn flash_crowd_arrivals(cfg: BurstConfig, duration: f64) -> BurstTrace {
+    assert!(cfg.base_rate > 0.0 && cfg.amplification >= 1.0);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+
+    // Burst windows: Poisson starts, exponential lengths, merged if they
+    // overlap.
+    let mut windows: Vec<(f64, f64)> = Vec::new();
+    if cfg.burst_rate > 0.0 {
+        let mut t = 0.0;
+        loop {
+            t += exponential(&mut rng, cfg.burst_rate);
+            if t >= duration {
+                break;
+            }
+            let end = (t + exponential(&mut rng, 1.0 / cfg.burst_duration_s)).min(duration);
+            match windows.last_mut() {
+                Some(last) if last.1 >= t => last.1 = last.1.max(end),
+                _ => windows.push((t, end)),
+            }
+        }
+    }
+
+    // Thinning against the peak rate.
+    let peak = cfg.base_rate * cfg.amplification;
+    let in_burst = |t: f64| {
+        let i = windows.partition_point(|w| w.0 <= t);
+        i > 0 && t < windows[i - 1].1
+    };
+    let mut arrivals = Vec::new();
+    let mut t = 0.0;
+    loop {
+        t += exponential(&mut rng, peak);
+        if t >= duration {
+            break;
+        }
+        let rate = if in_burst(t) { peak } else { cfg.base_rate };
+        if rng.random::<f64>() < rate / peak {
+            arrivals.push(t);
+        }
+    }
+    BurstTrace { windows, arrivals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> BurstTrace {
+        flash_crowd_arrivals(BurstConfig::default(), 1200.0)
+    }
+
+    #[test]
+    fn windows_sorted_and_disjoint() {
+        let t = trace();
+        for w in t.windows.windows(2) {
+            assert!(w[0].1 <= w[1].0);
+        }
+        for &(s, e) in &t.windows {
+            assert!(s < e && e <= 1200.0);
+        }
+        assert!(!t.windows.is_empty(), "20 min should contain bursts");
+    }
+
+    #[test]
+    fn arrivals_sorted() {
+        let t = trace();
+        for w in t.arrivals.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn burst_windows_are_denser() {
+        let t = trace();
+        let burst_len: f64 = t.windows.iter().map(|&(s, e)| e - s).sum();
+        let calm_len = 1200.0 - burst_len;
+        assert!(burst_len > 1.0, "need measurable burst time");
+        let in_burst = |x: f64| {
+            t.windows
+                .iter()
+                .any(|&(s, e)| (s..e).contains(&x))
+        };
+        let burst_count = t.arrivals.iter().filter(|&&a| in_burst(a)).count();
+        let calm_count = t.arrivals.len() - burst_count;
+        let burst_rate = burst_count as f64 / burst_len;
+        let calm_rate = calm_count as f64 / calm_len;
+        assert!(
+            burst_rate > calm_rate * 3.0,
+            "bursts must be much denser: {burst_rate:.1} vs {calm_rate:.1} req/s"
+        );
+    }
+
+    #[test]
+    fn no_bursts_reduces_to_poisson() {
+        let t = flash_crowd_arrivals(
+            BurstConfig {
+                burst_rate: 0.0,
+                ..BurstConfig::default()
+            },
+            600.0,
+        );
+        assert!(t.windows.is_empty());
+        let expected = 20.0 * 600.0;
+        assert!(
+            (t.arrivals.len() as f64 - expected).abs() < expected * 0.1,
+            "got {}",
+            t.arrivals.len()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = trace();
+        let b = trace();
+        assert_eq!(a.arrivals.len(), b.arrivals.len());
+        assert_eq!(a.windows, b.windows);
+    }
+}

@@ -1,0 +1,152 @@
+//! 24-hour diurnal arrival-rate pattern (Sogou query-log substitute).
+//!
+//! The paper replays a 24-hour Sogou user-query log: hours 2–8 are light
+//! (where request reissue wins), hour 9 ramps up, hour 10 is steady, the
+//! evening peaks, and hour 24 declines (Figures 5(a)/(e)/(i) and 7(a)).
+//! [`DiurnalPattern::sogou_like`] encodes that shape; per-minute rates are
+//! interpolated so within-hour trends (increasing/steady/decreasing) match
+//! the paper's three characteristic hours.
+
+/// Normalized 24-hour load shape (hour 1 at index 0). Peak = 1.0 at hour 22.
+const SHAPE: [f64; 24] = [
+    0.30, 0.18, 0.12, 0.08, 0.07, 0.08, 0.12, 0.25, // hours 1-8: night/light
+    0.45, 0.60, 0.70, 0.72, 0.68, 0.70, 0.72, 0.74, // hours 9-16: ramp + day
+    0.70, 0.65, 0.68, 0.80, 0.95, 1.00, 0.75, 0.45, // hours 17-24: evening peak + decline
+];
+
+/// Average request arrival rate per hour of day.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiurnalPattern {
+    hourly: Vec<f64>,
+}
+
+impl DiurnalPattern {
+    /// The Sogou-like shape scaled so the busiest hour averages
+    /// `peak_rps` requests/second.
+    pub fn sogou_like(peak_rps: f64) -> Self {
+        assert!(peak_rps > 0.0, "peak_rps must be > 0");
+        DiurnalPattern {
+            hourly: SHAPE.iter().map(|s| s * peak_rps).collect(),
+        }
+    }
+
+    /// Custom hourly rates (must be 24 non-negative values, hour 1 first).
+    pub fn from_hourly(hourly: Vec<f64>) -> Self {
+        assert_eq!(hourly.len(), 24, "need exactly 24 hourly rates");
+        assert!(hourly.iter().all(|&r| r >= 0.0), "rates must be >= 0");
+        DiurnalPattern { hourly }
+    }
+
+    /// Average rate of `hour` (1-based, 1..=24), requests/second.
+    pub fn hourly_rate(&self, hour: usize) -> f64 {
+        assert!((1..=24).contains(&hour), "hour must be 1..=24");
+        self.hourly[hour - 1]
+    }
+
+    /// Interpolated rate at `minute` (0..60) within `hour`: the hour's
+    /// average sits at its midpoint and the rate moves linearly toward the
+    /// neighbouring hours' averages (wrapping hour 24 → hour 1).
+    pub fn minute_rate(&self, hour: usize, minute: usize) -> f64 {
+        assert!((1..=24).contains(&hour), "hour must be 1..=24");
+        assert!(minute < 60, "minute must be 0..60");
+        let cur = self.hourly[hour - 1];
+        let frac = (minute as f64 + 0.5) / 60.0;
+        if frac < 0.5 {
+            let prev = self.hourly[(hour + 22) % 24];
+            let mid_prev = 0.5 * (prev + cur);
+            mid_prev + (cur - mid_prev) * (frac * 2.0)
+        } else {
+            let next = self.hourly[hour % 24];
+            let mid_next = 0.5 * (cur + next);
+            cur + (mid_next - cur) * ((frac - 0.5) * 2.0)
+        }
+    }
+
+    /// All 24 hourly rates (hour 1 first).
+    pub fn hourly(&self) -> &[f64] {
+        &self.hourly
+    }
+
+    /// The paper's three characteristic hours: (increasing, steady,
+    /// decreasing) = (9, 10, 24).
+    pub fn characteristic_hours() -> (usize, usize, usize) {
+        (9, 10, 24)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_scaling() {
+        let p = DiurnalPattern::sogou_like(100.0);
+        let max = p.hourly().iter().cloned().fold(0.0, f64::max);
+        assert_eq!(max, 100.0);
+        assert_eq!(p.hourly_rate(22), 100.0);
+    }
+
+    #[test]
+    fn light_hours_are_light() {
+        // Paper: reissue wins between hour 2 and hour 8 because load is low.
+        let p = DiurnalPattern::sogou_like(100.0);
+        for h in 2..=8 {
+            assert!(
+                p.hourly_rate(h) < 0.5 * p.hourly_rate(12),
+                "hour {h} not light"
+            );
+        }
+    }
+
+    #[test]
+    fn hour9_increases_within_hour() {
+        let p = DiurnalPattern::sogou_like(100.0);
+        let start = p.minute_rate(9, 0);
+        let end = p.minute_rate(9, 59);
+        assert!(end > start, "hour 9 must ramp: {start} -> {end}");
+    }
+
+    #[test]
+    fn hour10_is_steady() {
+        let p = DiurnalPattern::sogou_like(100.0);
+        let start = p.minute_rate(10, 0);
+        let end = p.minute_rate(10, 59);
+        let avg = p.hourly_rate(10);
+        assert!((end - start).abs() < 0.3 * avg, "hour 10 should be steady");
+    }
+
+    #[test]
+    fn hour24_decreases_within_hour() {
+        let p = DiurnalPattern::sogou_like(100.0);
+        let start = p.minute_rate(24, 0);
+        let end = p.minute_rate(24, 59);
+        assert!(end < start, "hour 24 must decline: {start} -> {end}");
+    }
+
+    #[test]
+    fn minute_rates_are_continuous_across_hours() {
+        let p = DiurnalPattern::sogou_like(50.0);
+        for h in 1..24 {
+            let end = p.minute_rate(h, 59);
+            let next = p.minute_rate(h + 1, 0);
+            let step = (end - next).abs();
+            assert!(
+                step < 0.12 * p.hourly().iter().cloned().fold(0.0, f64::max),
+                "jump of {step} between hour {h} and {}",
+                h + 1
+            );
+        }
+    }
+
+    #[test]
+    fn from_hourly_validates() {
+        let p = DiurnalPattern::from_hourly(vec![1.0; 24]);
+        assert_eq!(p.minute_rate(5, 30), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "24 hourly")]
+    fn wrong_length_panics() {
+        DiurnalPattern::from_hourly(vec![1.0; 23]);
+    }
+}

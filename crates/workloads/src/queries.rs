@@ -1,0 +1,114 @@
+//! Search-query generation (Sogou query-log substitute).
+//!
+//! Queries pick a topic (Zipf-skewed — some topics are hot) and draw 1–4
+//! terms from that topic's characteristic head, optionally mixing in a
+//! background term, mimicking how real query terms concentrate on topical
+//! vocabulary.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::corpus::Corpus;
+use crate::zipf::Zipf;
+
+/// A search query: the terms to match.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// Term ids, deduplicated and sorted.
+    pub terms: Vec<u32>,
+    /// Ground-truth dominant topic (for analyses only).
+    pub topic: u32,
+}
+
+/// Deterministic query generator bound to a corpus.
+#[derive(Clone, Debug)]
+pub struct QueryGenerator {
+    topic_pop: Zipf,
+    head_size: usize,
+    rng: SmallRng,
+}
+
+impl QueryGenerator {
+    /// Create a generator over the corpus's topics.
+    pub fn new(corpus: &Corpus, seed: u64) -> Self {
+        QueryGenerator {
+            topic_pop: Zipf::new(corpus.n_topics(), 0.9),
+            head_size: 12,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw the next query.
+    pub fn next_query(&mut self, corpus: &Corpus) -> Query {
+        let topic = self.topic_pop.sample(&mut self.rng) as u32;
+        let head = corpus.topic_head_terms(topic, self.head_size);
+        let n_terms = self.rng.random_range(1..=4usize);
+        let mut terms = std::collections::BTreeSet::new();
+        for _ in 0..n_terms {
+            let idx = self.rng.random_range(0..head.len());
+            terms.insert(head[idx]);
+        }
+        Query {
+            terms: terms.into_iter().collect(),
+            topic,
+        }
+    }
+
+    /// Draw a batch.
+    pub fn batch(&mut self, corpus: &Corpus, n: usize) -> Vec<Query> {
+        (0..n).map(|_| self.next_query(corpus)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+
+    #[test]
+    fn queries_have_one_to_four_sorted_terms() {
+        let corpus = Corpus::generate(CorpusConfig::small());
+        let mut generator = QueryGenerator::new(&corpus, 3);
+        for q in generator.batch(&corpus, 500) {
+            assert!((1..=4).contains(&q.terms.len()));
+            for w in q.terms.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!((q.topic as usize) < corpus.n_topics());
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let corpus = Corpus::generate(CorpusConfig::small());
+        let a = QueryGenerator::new(&corpus, 5).batch(&corpus, 50);
+        let b = QueryGenerator::new(&corpus, 5).batch(&corpus, 50);
+        assert_eq!(a, b);
+        let c = QueryGenerator::new(&corpus, 6).batch(&corpus, 50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn hot_topics_queried_more() {
+        let corpus = Corpus::generate(CorpusConfig::small());
+        let mut generator = QueryGenerator::new(&corpus, 11);
+        let mut counts = vec![0usize; corpus.n_topics()];
+        for q in generator.batch(&corpus, 4000) {
+            counts[q.topic as usize] += 1;
+        }
+        assert!(counts[0] > counts[corpus.n_topics() - 1]);
+    }
+
+    #[test]
+    fn query_terms_match_topic_pages() {
+        // A query's terms should appear in at least one page of its topic.
+        let corpus = Corpus::generate(CorpusConfig::small());
+        let mut generator = QueryGenerator::new(&corpus, 21);
+        for q in generator.batch(&corpus, 50) {
+            let hit = corpus.docs.iter().any(|d| {
+                d.topic == q.topic && q.terms.iter().any(|t| d.terms.iter().any(|&(dt, _)| dt == *t))
+            });
+            assert!(hit, "query {q:?} matches no page of its topic");
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Zipf-distributed sampling and simple distribution helpers.
+//!
+//! Web-page term frequencies, item popularity, and query-term choice are all
+//! heavily skewed; a deterministic Zipf sampler (inverse-CDF over a
+//! precomputed table) backs every generator in this crate.
+//! Normal deviates (Box–Muller) are included here as well so the workspace
+//! needs no extra distribution crate.
+
+use rand::{Rng, RngExt};
+
+/// Zipf(α) sampler over ranks `0..n` (rank 0 most popular).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative probabilities, cdf[i] = P(rank <= i).
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `alpha` (≥ 0; 0 is
+    /// uniform, ~1 is classic web skew).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha < 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf: n must be >= 1");
+        assert!(alpha >= 0.0, "Zipf: alpha must be >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Always false (n ≥ 1 by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw a rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability of rank `i`.
+    pub fn pmf(&self, i: usize) -> f64 {
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+/// One standard-normal deviate via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + std * z
+}
+
+/// Exponential deviate with rate `lambda` (mean `1/lambda`) — Poisson
+/// inter-arrival times.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "exponential: lambda must be > 0");
+    let u: f64 = rng.random::<f64>().max(1e-12);
+    -u.ln() / lambda
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|i| z.pmf(i)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let z = Zipf::new(1000, 1.0);
+        assert!(z.pmf(0) > z.pmf(10) && z.pmf(10) > z.pmf(500));
+        // Rank 0 should dominate: p(0)/p(99) = 100 under alpha=1.
+        assert!((z.pmf(0) / z.pmf(99) - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zipf_alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for i in 0..10 {
+            assert!((z.pmf(i) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_follow_skew() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0usize; 50];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > 2000, "rank 0 should be common: {}", counts[0]);
+        assert_eq!(counts.iter().sum::<usize>(), 20_000);
+    }
+
+    #[test]
+    fn zipf_sample_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..50_000).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let xs: Vec<f64> = (0..50_000).map(|_| exponential(&mut rng, 4.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+        assert!(xs.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "n must be")]
+    fn zipf_zero_n_panics() {
+        Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Quickstart: build one component's synopsis offline, then answer a
+//! request online with accuracy-aware approximate processing.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use accuracytrader::prelude::*;
+
+fn main() {
+    // ------------------------------------------------------------------
+    // Offline: one component's subset of input data — a user-item rating
+    // matrix of 1 000 users × 200 items.
+    // ------------------------------------------------------------------
+    let data = RatingsDataset::generate(RatingsConfig {
+        n_users: 1000,
+        n_items: 200,
+        ratings_per_user: 60,
+        ..RatingsConfig::small()
+    });
+    let matrix = rating_matrix(1000, 200, &data.ratings);
+    println!(
+        "subset: {} users, {} items, {} ratings",
+        1000,
+        200,
+        data.len()
+    );
+
+    // Synopsis creation: SVD reduction -> R-tree grouping -> aggregation.
+    let config = SynopsisConfig {
+        size_ratio: 40, // synopsis ~40x smaller than the subset
+        ..SynopsisConfig::default()
+    };
+    let (component, report) =
+        Component::build(matrix, AggregationMode::Mean, config, CfService);
+    println!(
+        "synopsis: {} aggregated users (mean group {:.1}), built in {:.0} ms \
+         (SVD {:.0} ms, R-tree {:.0} ms, aggregation {:.0} ms)",
+        report.n_aggregated,
+        report.mean_group_size,
+        report.total_time().as_secs_f64() * 1000.0,
+        report.reduce_time.as_secs_f64() * 1000.0,
+        report.organize_time.as_secs_f64() * 1000.0,
+        report.aggregate_time.as_secs_f64() * 1000.0,
+    );
+
+    // ------------------------------------------------------------------
+    // Online: an active user wants rating predictions for two items.
+    // ------------------------------------------------------------------
+    let profile: Vec<(u32, f64)> = data
+        .ratings
+        .iter()
+        .filter(|r| r.user == 0 && r.item > 1)
+        .map(|r| (r.item, r.stars))
+        .collect();
+    let active = ActiveUser::new(SparseRow::from_pairs(profile), vec![0, 1]);
+
+    // Exact baseline: full computation over the entire subset.
+    let exact = compose_predictions(&active, &[component.exact(&active)]);
+
+    // Approximate processing under increasing budgets (ranked sets of
+    // original users, most accuracy-correlated first).
+    println!("\n{:<22} {:>10} {:>10} {:>12}", "budget", "item 0", "item 1", "sets used");
+    for budget in [0usize, 2, 8, usize::MAX] {
+        let outcome = component.approx_budgeted(&active, None, budget);
+        let sets = outcome.sets_processed;
+        let preds = compose_predictions(&active, &[outcome.output]);
+        let label = if budget == usize::MAX {
+            "all sets (= exact)".to_string()
+        } else {
+            format!("{budget} ranked sets")
+        };
+        println!(
+            "{:<22} {:>10.3} {:>10.3} {:>12}",
+            label, preds[0], preds[1], sets
+        );
+    }
+    println!(
+        "{:<22} {:>10.3} {:>10.3} {:>12}",
+        "exact baseline", exact[0], exact[1], "-"
+    );
+}

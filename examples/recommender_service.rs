@@ -1,0 +1,113 @@
+//! A fan-out CF recommender service: the paper's first evaluated workload.
+//!
+//! Partitions a rating matrix across parallel components, builds every
+//! component's synopsis, then compares exact vs. accuracy-aware approximate
+//! processing — both prediction quality (RMSE vs. held-out ratings) and the
+//! amount of input data actually touched.
+//!
+//! ```text
+//! cargo run --release --example recommender_service
+//! ```
+
+use accuracytrader::prelude::*;
+use accuracytrader::recommender::rmse;
+
+fn main() {
+    let n_components = 8;
+    let n_users = 2400;
+    let n_items = 200;
+
+    // Generate MovieLens-like data and hold out 20% of each user's ratings.
+    let data = RatingsDataset::generate(RatingsConfig {
+        n_users,
+        n_items,
+        ratings_per_user: 60,
+        ..RatingsConfig::small()
+    });
+    let (train, holdout) = data.holdout_split(0.8, 99);
+
+    // Partition users round-robin across components, build synopses.
+    let matrix = rating_matrix(n_users, n_items, &train);
+    let rows: Vec<SparseRow> = matrix.ids().map(|id| matrix.row(id).clone()).collect();
+    let subsets = partition_rows(n_items, rows, n_components);
+    let service = FanOutService::build(
+        subsets,
+        AggregationMode::Mean,
+        SynopsisConfig {
+            size_ratio: 20,
+            ..SynopsisConfig::default()
+        },
+        || CfService,
+    );
+    println!(
+        "deployment: {} components, {} users, {} train ratings",
+        service.len(),
+        n_users,
+        train.len()
+    );
+
+    // Evaluate 40 active users.
+    let mut evals = Vec::new();
+    for user in 0..40u32 {
+        let profile: Vec<(u32, f64)> = train
+            .iter()
+            .filter(|r| r.user == user)
+            .map(|r| (r.item, r.stars))
+            .collect();
+        let mut held: Vec<(u32, f64)> = holdout
+            .iter()
+            .filter(|r| r.user == user)
+            .map(|r| (r.item, r.stars))
+            .collect();
+        // ActiveUser sorts its targets; keep the actuals parallel.
+        held.sort_by_key(|h| h.0);
+        if held.is_empty() || profile.len() < 4 {
+            continue;
+        }
+        let targets: Vec<u32> = held.iter().map(|h| h.0).collect();
+        let actual: Vec<f64> = held.iter().map(|h| h.1).collect();
+        evals.push((ActiveUser::new(SparseRow::from_pairs(profile), targets), actual));
+    }
+
+    println!("\n{:<18} {:>10} {:>14}", "mode", "RMSE", "data touched");
+    for budget in [0usize, 1, 4, usize::MAX] {
+        let mut preds = Vec::new();
+        let mut actuals = Vec::new();
+        let mut touched = 0usize;
+        let mut available = 0usize;
+        for (active, actual) in &evals {
+            let outcomes = service.broadcast_budgeted(active, None, budget);
+            touched += outcomes.iter().map(|o| o.sets_processed).sum::<usize>();
+            available += outcomes.iter().map(|o| o.sets_total).sum::<usize>();
+            let parts: Vec<_> = outcomes.into_iter().map(|o| o.output).collect();
+            preds.extend(compose_predictions(active, &parts));
+            actuals.extend_from_slice(actual);
+        }
+        let label = if budget == usize::MAX {
+            "all ranked sets".to_string()
+        } else {
+            format!("{budget} sets/comp")
+        };
+        println!(
+            "{:<18} {:>10.4} {:>13.1}%",
+            label,
+            rmse(&preds, &actuals),
+            touched as f64 / available as f64 * 100.0
+        );
+    }
+
+    // The exact baseline for reference.
+    let mut preds = Vec::new();
+    let mut actuals = Vec::new();
+    for (active, actual) in &evals {
+        let parts = service.broadcast_exact(active);
+        preds.extend(compose_predictions(active, &parts));
+        actuals.extend_from_slice(actual);
+    }
+    println!(
+        "{:<18} {:>10.4} {:>13.1}%",
+        "exact",
+        rmse(&preds, &actuals),
+        100.0
+    );
+}

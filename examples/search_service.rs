@@ -1,0 +1,105 @@
+//! A fan-out web search engine: the paper's second evaluated workload.
+//!
+//! Builds per-component inverted indexes and synopses over a synthetic
+//! Sogou-like corpus, then shows how top-10 retrieval accuracy grows with
+//! the number of ranked page-groups each component processes — the paper's
+//! key observation that a small fraction of top-ranked groups holds nearly
+//! all actual top-10 pages.
+//!
+//! ```text
+//! cargo run --release --example search_service
+//! ```
+
+use accuracytrader::core::Component;
+use accuracytrader::prelude::*;
+use accuracytrader::search::topk_overlap;
+
+fn main() {
+    let n_components = 6;
+    let corpus = Corpus::generate(CorpusConfig {
+        n_docs: 3000,
+        vocab: 5000,
+        n_topics: 20,
+        ..CorpusConfig::default()
+    });
+    println!(
+        "corpus: {} pages, {} terms, {} topics",
+        corpus.len(),
+        corpus.config.vocab,
+        corpus.n_topics()
+    );
+
+    // Partition pages, index each subset, build merge-mode synopses.
+    let rows: Vec<SparseRow> = corpus
+        .docs
+        .iter()
+        .map(|d| SparseRow::from_pairs(d.terms.clone()))
+        .collect();
+    let subsets = partition_rows(corpus.config.vocab, rows, n_components);
+    let components: Vec<Component<SearchService>> = subsets
+        .into_iter()
+        .map(|subset| {
+            let engine = SearchService::build(&subset, 10);
+            Component::build(
+                subset,
+                AggregationMode::Merge,
+                SynopsisConfig {
+                    size_ratio: 25,
+                    ..SynopsisConfig::default()
+                },
+                engine,
+            )
+            .0
+        })
+        .collect();
+    let service = FanOutService::from_components(components);
+    let n_sets = service.components()[0].store().synopsis().len();
+    println!("deployment: {n_components} components, ~{n_sets} aggregated page-groups each\n");
+
+    // Issue 50 queries; measure mean top-10 overlap vs. exact retrieval at
+    // several per-component group budgets.
+    let mut generator = QueryGenerator::new(&corpus, 5);
+    let queries: Vec<SearchRequest> = generator
+        .batch(&corpus, 50)
+        .iter()
+        .map(SearchRequest::from)
+        .collect();
+
+    println!("{:<24} {:>16} {:>14}", "budget (groups/comp)", "top-10 overlap", "groups used");
+    for budget in [1usize, 2, 4, 8, usize::MAX] {
+        let mut overlap_sum = 0.0;
+        let mut used = 0usize;
+        let mut avail = 0usize;
+        for q in &queries {
+            // Exact global top-10 (namespaced by component).
+            let stride = 1u64 << 32;
+            let mut exact = TopK::new(10);
+            for (i, out) in service.broadcast_exact(q).into_iter().enumerate() {
+                for h in out.sorted() {
+                    exact.push(i as u64 * stride + h.doc, h.score);
+                }
+            }
+            // Approximate under the budget.
+            let mut approx = TopK::new(10);
+            for (i, out) in service.broadcast_budgeted(q, None, budget).into_iter().enumerate() {
+                used += out.sets_processed;
+                avail += out.sets_total;
+                for h in out.output.sorted() {
+                    approx.push(i as u64 * stride + h.doc, h.score);
+                }
+            }
+            overlap_sum += topk_overlap(&exact.doc_ids(), &approx.doc_ids());
+        }
+        let label = if budget == usize::MAX {
+            "all groups".to_string()
+        } else {
+            format!("{budget}")
+        };
+        println!(
+            "{:<24} {:>15.1}% {:>13.1}%",
+            label,
+            overlap_sum / queries.len() as f64 * 100.0,
+            used as f64 / avail as f64 * 100.0
+        );
+    }
+}

@@ -1,0 +1,87 @@
+//! Incremental synopsis maintenance under a changing input dataset —
+//! the paper's offline-module evaluation (Figure 3).
+//!
+//! Creates a synopsis once, then streams batches of additions and content
+//! changes through `apply_updates`, showing that (a) updates are much
+//! cheaper than re-creation and (b) only the affected aggregated points are
+//! regenerated.
+//!
+//! ```text
+//! cargo run --release --example synopsis_maintenance
+//! ```
+
+use accuracytrader::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // A component's subset: 3 000 users × 300 items.
+    let data = RatingsDataset::generate(RatingsConfig {
+        n_users: 3000,
+        n_items: 300,
+        ratings_per_user: 60,
+        ..RatingsConfig::small()
+    });
+    let mut store_rows = accuracytrader::recommender::rating_matrix(3000, 300, &data.ratings);
+
+    let t0 = Instant::now();
+    let (mut store, report) = SynopsisStore::build(
+        &store_rows,
+        AggregationMode::Mean,
+        SynopsisConfig {
+            size_ratio: 50,
+            ..SynopsisConfig::default()
+        },
+    );
+    let create_ms = t0.elapsed().as_secs_f64() * 1000.0;
+    println!(
+        "created synopsis: {} points -> {} aggregated, {:.0} ms",
+        report.n_points, report.n_aggregated, create_ms
+    );
+
+    println!(
+        "\n{:<28} {:>10} {:>12} {:>14} {:>12}",
+        "update batch", "time (ms)", "vs create", "regenerated", "groups"
+    );
+    for pct in [1usize, 2, 5, 10] {
+        // Category 1: pct% new users arrive.
+        let n = store_rows.len() * pct / 100;
+        let adds: Vec<DataUpdate> = (0..n)
+            .map(|i| DataUpdate::Add(store_rows.row((i * 13 % store_rows.len()) as u64).clone()))
+            .collect();
+        let rep = store.apply_updates(&mut store_rows, adds);
+        println!(
+            "{:<28} {:>10.1} {:>11.1}x {:>9}/{:<4} {:>12}",
+            format!("add {pct}% new users"),
+            rep.duration.as_secs_f64() * 1000.0,
+            create_ms / (rep.duration.as_secs_f64() * 1000.0),
+            rep.regenerated,
+            rep.group_count,
+            rep.group_count
+        );
+
+        // Category 2: pct% of existing users change their ratings.
+        let changes: Vec<DataUpdate> = (0..n)
+            .map(|i| {
+                let id = (i * 31 % 3000) as u64;
+                let row = store_rows.row(id);
+                let bumped = SparseRow::from_pairs(
+                    row.iter().map(|(c, v)| (c, (v + 1.0).min(5.0))).collect(),
+                );
+                DataUpdate::Change { id, row: bumped }
+            })
+            .collect();
+        let rep = store.apply_updates(&mut store_rows, changes);
+        println!(
+            "{:<28} {:>10.1} {:>11.1}x {:>9}/{:<4} {:>12}",
+            format!("change {pct}% of users"),
+            rep.duration.as_secs_f64() * 1000.0,
+            create_ms / (rep.duration.as_secs_f64() * 1000.0),
+            rep.regenerated,
+            rep.group_count,
+            rep.group_count
+        );
+    }
+
+    store.validate().expect("store consistent after all updates");
+    println!("\nstore validated: tree, index file, and synopsis agree.");
+}

@@ -1,0 +1,92 @@
+//! Tail-latency shoot-out on the simulated cluster — a miniature of the
+//! paper's Table 1 plus the partial-execution deadline-miss analysis.
+//!
+//! Simulates a 108-component fan-out service co-located with MapReduce
+//! jobs, under rising request rates, comparing all four techniques.
+//!
+//! ```text
+//! cargo run --release --example tail_latency_sim
+//! ```
+
+use accuracytrader::prelude::*;
+use accuracytrader::workloads::poisson_arrivals;
+
+fn main() {
+    let cfg = SimConfig {
+        n_components: 108,
+        n_nodes: 30,
+        sample_every: 100,
+        ..SimConfig::default()
+    };
+    println!(
+        "cluster: {} components on {} nodes; exact cost {:.1} ms, synopsis {:.2} ms, {} ranked sets",
+        cfg.n_components,
+        cfg.n_nodes,
+        cfg.cost.exact_s * 1000.0,
+        cfg.cost.synopsis_s * 1000.0,
+        cfg.cost.n_sets
+    );
+
+    println!(
+        "\n{:<8} {:>12} {:>12} {:>14} {:>18} {:>16}",
+        "rate", "Basic p999", "Reissue p999", "AT p999 (ms)", "Partial made-dl", "AT sets (mean)"
+    );
+    for rate in [20.0, 40.0, 60.0, 80.0, 100.0] {
+        let arrivals = poisson_arrivals(rate, 30.0, 7);
+
+        let basic = simulate(&arrivals, Technique::Basic, &cfg);
+        let reissue = simulate(
+            &arrivals,
+            Technique::Reissue {
+                trigger_percentile: 95.0,
+            },
+            &cfg,
+        );
+        let partial = simulate(&arrivals, Technique::Partial { deadline_s: 0.1 }, &cfg);
+        let at = simulate(
+            &arrivals,
+            Technique::AccuracyTrader {
+                deadline_s: 0.1,
+                imax: None,
+            },
+            &cfg,
+        );
+
+        let made: usize = partial
+            .samples
+            .iter()
+            .flat_map(|s| s.made_deadline.as_ref().expect("mask"))
+            .map(|&m| usize::from(m))
+            .sum();
+        let total: usize = partial
+            .samples
+            .iter()
+            .map(|s| s.made_deadline.as_ref().expect("mask").len())
+            .sum();
+        let sets: usize = at
+            .samples
+            .iter()
+            .flat_map(|s| s.sets_processed.as_ref().expect("sets"))
+            .sum();
+        let n_sets: usize = at
+            .samples
+            .iter()
+            .map(|s| s.sets_processed.as_ref().expect("sets").len())
+            .sum();
+
+        println!(
+            "{:<8.0} {:>12.0} {:>12.0} {:>14.0} {:>17.1}% {:>16.1}",
+            rate,
+            basic.latencies.p999_ms(),
+            reissue.latencies.p999_ms(),
+            at.latencies.p999_ms(),
+            made as f64 / total as f64 * 100.0,
+            sets as f64 / n_sets as f64,
+        );
+    }
+    println!(
+        "\nReading: Basic saturates past ~40 req/s; reissue delays the cliff;\n\
+         AccuracyTrader holds its ~100 ms deadline by shrinking the improvement\n\
+         budget (right column) while partial execution misses ever more deadlines."
+    );
+}

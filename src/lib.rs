@@ -1,0 +1,82 @@
+//! # accuracytrader
+//!
+//! A from-scratch Rust reproduction of **AccuracyTrader** (Rui Han, Siguang
+//! Huang, Fei Tang, Fugui Chang, Jianfeng Zhan — *AccuracyTrader:
+//! Accuracy-aware Approximate Processing for Low Tail Latency and High
+//! Result Accuracy in Cloud Online Services*, ICPP 2016).
+//!
+//! AccuracyTrader trades a *little* result accuracy for a *lot* of tail
+//! latency in fan-out online services. Offline, each component compresses
+//! its subset of input data into a small **synopsis** of aggregated data
+//! points (incremental SVD → R-tree → per-group aggregation). Online, every
+//! request is answered from the synopsis first — fast even under heavy load
+//! — and then improved with the original data **most correlated with this
+//! request's accuracy**, best groups first, until the latency deadline.
+//!
+//! This facade re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`linalg`] | dense/sparse matrices, incremental (Funk) SVD, Pearson, percentiles |
+//! | [`rtree`] | depth-balanced R-tree (insert/delete/bulk-load/levels) |
+//! | [`synopsis`] | offline module: synopsis creation, index file, incremental updating |
+//! | [`core`] | online module: Algorithm 1, components, fan-out services |
+//! | [`recommender`] | user-based CF service + AccuracyTrader adapter |
+//! | [`search`] | inverted-index search engine + AccuracyTrader adapter |
+//! | [`sim`] | discrete-event cluster simulator (queueing, interference, 4 techniques) |
+//! | [`workloads`] | synthetic datasets, query logs, arrival processes, interference traces |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use accuracytrader::prelude::*;
+//!
+//! // A component's subset: 200 users × 40 items of ratings.
+//! let data = RatingsDataset::generate(RatingsConfig {
+//!     n_users: 200, n_items: 40, ratings_per_user: 20,
+//!     ..RatingsConfig::small()
+//! });
+//! let matrix = rating_matrix(200, 40, &data.ratings);
+//!
+//! // Offline: build the synopsis. Online: answer under a budget.
+//! let cfg = SynopsisConfig { size_ratio: 15, ..SynopsisConfig::default() };
+//! let (component, _) = Component::build(matrix, AggregationMode::Mean, cfg, CfService);
+//!
+//! let active = ActiveUser::new(
+//!     SparseRow::from_pairs(vec![(0, 5.0), (1, 3.0), (2, 1.0)]),
+//!     vec![5, 7],
+//! );
+//! let outcome = component.approx_budgeted(&active, None, 3); // 3 best groups
+//! let predictions = compose_predictions(&active, &[outcome.output]);
+//! assert_eq!(predictions.len(), 2);
+//! ```
+
+pub use at_core as core;
+pub use at_linalg as linalg;
+pub use at_recommender as recommender;
+pub use at_rtree as rtree;
+pub use at_search as search;
+pub use at_sim as sim;
+pub use at_synopsis as synopsis;
+pub use at_workloads as workloads;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use at_core::{
+        partition_rows, Algorithm1, ApproximateService, Component, Correlation, Ctx,
+        FanOutService, Outcome, ProcessingConfig,
+    };
+    pub use at_linalg::svd::{IncrementalSvd, SvdConfig};
+    pub use at_recommender::{
+        compose_predictions, rating_matrix, ActiveUser, CfService, PredictionAcc,
+    };
+    pub use at_rtree::{RTree, RTreeConfig};
+    pub use at_search::{SearchRequest, SearchService, TopK};
+    pub use at_sim::{simulate, CostModel, SimConfig, Technique};
+    pub use at_synopsis::{
+        AggregationMode, DataUpdate, RowStore, SparseRow, SynopsisConfig, SynopsisStore,
+    };
+    pub use at_workloads::{
+        Corpus, CorpusConfig, DiurnalPattern, QueryGenerator, RatingsConfig, RatingsDataset,
+    };
+}

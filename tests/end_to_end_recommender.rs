@@ -1,0 +1,157 @@
+//! End-to-end recommender pipeline across all crates: generate ratings →
+//! partition → offline synopsis creation → online approximate processing →
+//! compose → accuracy.
+
+use accuracytrader::prelude::*;
+use accuracytrader::recommender::rmse;
+
+fn deployment() -> (FanOutService<CfService>, RatingsDataset, Vec<(ActiveUser, Vec<f64>)>) {
+    let n_users = 900;
+    let n_items = 120;
+    let data = RatingsDataset::generate(RatingsConfig {
+        n_users,
+        n_items,
+        ratings_per_user: 60,
+        // Strong taste signal so exact CF clearly beats the user-mean
+        // baseline even at this small test scale.
+        noise: 0.25,
+        ..RatingsConfig::small()
+    });
+    let (train, holdout) = data.holdout_split(0.8, 5);
+    let matrix = accuracytrader::recommender::rating_matrix(n_users, n_items, &train);
+    let rows: Vec<SparseRow> = matrix.ids().map(|id| matrix.row(id).clone()).collect();
+    let subsets = partition_rows(n_items, rows, 5);
+    let service = FanOutService::build(
+        subsets,
+        AggregationMode::Mean,
+        SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(20),
+            size_ratio: 15,
+            ..SynopsisConfig::default()
+        },
+        || CfService,
+    );
+
+    let mut evals = Vec::new();
+    for user in 0..25u32 {
+        let profile: Vec<(u32, f64)> = train
+            .iter()
+            .filter(|r| r.user == user)
+            .map(|r| (r.item, r.stars))
+            .collect();
+        let mut held: Vec<(u32, f64)> = holdout
+            .iter()
+            .filter(|r| r.user == user)
+            .map(|r| (r.item, r.stars))
+            .collect();
+        // ActiveUser sorts its targets; keep actuals parallel.
+        held.sort_by_key(|h| h.0);
+        if held.is_empty() || profile.len() < 4 {
+            continue;
+        }
+        evals.push((
+            ActiveUser::new(
+                SparseRow::from_pairs(profile),
+                held.iter().map(|h| h.0).collect(),
+            ),
+            held.iter().map(|h| h.1).collect(),
+        ));
+    }
+    (service, data, evals)
+}
+
+#[test]
+fn full_budget_broadcast_equals_exact() {
+    let (service, _, evals) = deployment();
+    for (active, _) in evals.iter().take(5) {
+        let approx: Vec<_> = service
+            .broadcast_budgeted(active, None, usize::MAX)
+            .into_iter()
+            .map(|o| o.output)
+            .collect();
+        let exact = service.broadcast_exact(active);
+        let pa = compose_predictions(active, &approx);
+        let pe = compose_predictions(active, &exact);
+        for (a, e) in pa.iter().zip(&pe) {
+            assert!((a - e).abs() < 1e-9, "approx {a} != exact {e}");
+        }
+    }
+}
+
+#[test]
+fn predictions_beat_user_mean_baseline() {
+    let (service, _, evals) = deployment();
+    let mut cf_preds = Vec::new();
+    let mut base_preds = Vec::new();
+    let mut actuals = Vec::new();
+    for (active, actual) in &evals {
+        let exact = service.broadcast_exact(active);
+        cf_preds.extend(compose_predictions(active, &exact));
+        base_preds.extend(vec![active.mean_rating(); actual.len()]);
+        actuals.extend_from_slice(actual);
+    }
+    let cf = rmse(&cf_preds, &actuals);
+    let base = rmse(&base_preds, &actuals);
+    assert!(
+        cf < base,
+        "exact CF (rmse {cf}) must beat the user-mean baseline (rmse {base})"
+    );
+}
+
+#[test]
+fn synopsis_estimate_close_to_exact_accuracy() {
+    // The paper's central claim at the component level: the synopsis-only
+    // result (budget 0, aggregated users standing in for their groups)
+    // already lands near the exact accuracy.
+    let (service, _, evals) = deployment();
+    let mut synopsis_preds = Vec::new();
+    let mut exact_preds = Vec::new();
+    let mut actuals = Vec::new();
+    for (active, actual) in &evals {
+        let syn: Vec<_> = service
+            .broadcast_budgeted(active, None, 0)
+            .into_iter()
+            .map(|o| o.output)
+            .collect();
+        synopsis_preds.extend(compose_predictions(active, &syn));
+        exact_preds.extend(compose_predictions(active, &service.broadcast_exact(active)));
+        actuals.extend_from_slice(actual);
+    }
+    let syn_rmse = rmse(&synopsis_preds, &actuals);
+    let exact_rmse = rmse(&exact_preds, &actuals);
+    let loss = accuracytrader::recommender::accuracy_loss_pct(exact_rmse, syn_rmse);
+    assert!(
+        loss < 25.0,
+        "synopsis-only loss should be modest, got {loss}% (syn {syn_rmse} vs exact {exact_rmse})"
+    );
+}
+
+#[test]
+fn data_updates_keep_service_consistent() {
+    let (mut service, data, evals) = deployment();
+    // Stream new users into every component.
+    for c in service.components_mut() {
+        let row = SparseRow::from_pairs(
+            data.ratings[..30]
+                .iter()
+                .map(|r| (r.item, r.stars))
+                .collect(),
+        );
+        let rep = c.apply_updates(vec![DataUpdate::Add(row)]);
+        assert_eq!(rep.added, 1);
+        c.validate().expect("component consistent after update");
+    }
+    // The service still answers correctly after updates.
+    let (active, _) = &evals[0];
+    let approx: Vec<_> = service
+        .broadcast_budgeted(active, None, usize::MAX)
+        .into_iter()
+        .map(|o| o.output)
+        .collect();
+    let exact = service.broadcast_exact(active);
+    let pa = compose_predictions(active, &approx);
+    let pe = compose_predictions(active, &exact);
+    for (a, e) in pa.iter().zip(&pe) {
+        assert!((a - e).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end search pipeline across all crates: generate corpus →
+//! partition → index → synopsis → approximate retrieval → merged top-10
+//! accuracy.
+
+use accuracytrader::core::Component;
+use accuracytrader::prelude::*;
+use accuracytrader::search::topk_overlap;
+
+fn deployment() -> (FanOutService<SearchService>, Corpus, Vec<SearchRequest>) {
+    let corpus = Corpus::generate(CorpusConfig {
+        n_docs: 1600,
+        vocab: 2500,
+        n_topics: 12,
+        ..CorpusConfig::default()
+    });
+    let rows: Vec<SparseRow> = corpus
+        .docs
+        .iter()
+        .map(|d| SparseRow::from_pairs(d.terms.clone()))
+        .collect();
+    let subsets = partition_rows(corpus.config.vocab, rows, 4);
+    let components: Vec<Component<SearchService>> = subsets
+        .into_iter()
+        .map(|subset| {
+            let engine = SearchService::build(&subset, 10);
+            Component::build(
+                subset,
+                AggregationMode::Merge,
+                SynopsisConfig {
+                    svd: SvdConfig::default().with_epochs(20),
+                    size_ratio: 15,
+                    ..SynopsisConfig::default()
+                },
+                engine,
+            )
+            .0
+        })
+        .collect();
+    let service = FanOutService::from_components(components);
+    let mut generator = QueryGenerator::new(&corpus, 17);
+    let queries = generator
+        .batch(&corpus, 30)
+        .iter()
+        .map(SearchRequest::from)
+        .collect();
+    (service, corpus, queries)
+}
+
+fn merged_topk(parts: Vec<TopK>) -> Vec<u64> {
+    let stride = 1u64 << 32;
+    let mut merged = TopK::new(10);
+    for (i, t) in parts.into_iter().enumerate() {
+        for h in t.sorted() {
+            merged.push(i as u64 * stride + h.doc, h.score);
+        }
+    }
+    merged.doc_ids()
+}
+
+#[test]
+fn full_budget_equals_exact_globally() {
+    let (service, _, queries) = deployment();
+    for q in queries.iter().take(8) {
+        let approx = merged_topk(
+            service
+                .broadcast_budgeted(q, None, usize::MAX)
+                .into_iter()
+                .map(|o| o.output)
+                .collect(),
+        );
+        let exact = merged_topk(service.broadcast_exact(q));
+        assert_eq!(approx, exact);
+    }
+}
+
+#[test]
+fn top_40pct_of_sets_capture_most_top10() {
+    // The paper's headline search observation: the top 40% of ranked sets
+    // contain over 98% of the actual top-10 pages. At our scale we demand
+    // > 85% on average.
+    let (service, _, queries) = deployment();
+    let mut total = 0.0;
+    let mut n = 0;
+    for q in &queries {
+        let exact = merged_topk(service.broadcast_exact(q));
+        if exact.is_empty() {
+            continue;
+        }
+        let n_sets = service.components()[0].store().synopsis().len();
+        let budget = (n_sets as f64 * 0.4).ceil() as usize;
+        let approx = merged_topk(
+            service
+                .broadcast_budgeted(q, None, budget)
+                .into_iter()
+                .map(|o| o.output)
+                .collect(),
+        );
+        total += topk_overlap(&exact, &approx);
+        n += 1;
+    }
+    let mean = total / n as f64;
+    assert!(
+        mean > 0.85,
+        "top-40% budget should capture most actual top-10 pages, got {mean}"
+    );
+}
+
+#[test]
+fn overlap_is_monotone_in_budget_on_average() {
+    let (service, _, queries) = deployment();
+    let budgets = [1usize, 4, 16, usize::MAX];
+    let mut means = Vec::new();
+    for &b in &budgets {
+        let mut total = 0.0;
+        for q in &queries {
+            let exact = merged_topk(service.broadcast_exact(q));
+            let approx = merged_topk(
+                service
+                    .broadcast_budgeted(q, None, b)
+                    .into_iter()
+                    .map(|o| o.output)
+                    .collect(),
+            );
+            total += topk_overlap(&exact, &approx);
+        }
+        means.push(total / queries.len() as f64);
+    }
+    for w in means.windows(2) {
+        assert!(
+            w[1] >= w[0] - 0.02,
+            "mean overlap should grow with budget: {means:?}"
+        );
+    }
+    assert!((means.last().unwrap() - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,125 @@
+//! Cross-crate offline-module properties: synopsis creation and
+//! incremental updating behave as §4.2 reports.
+
+use accuracytrader::prelude::*;
+use accuracytrader::recommender::rating_matrix;
+
+fn subset(n: usize) -> RowStore {
+    let data = RatingsDataset::generate(RatingsConfig {
+        n_users: n,
+        n_items: 150,
+        ratings_per_user: 40,
+        ..RatingsConfig::small()
+    });
+    rating_matrix(n, 150, &data.ratings)
+}
+
+fn config(ratio: usize) -> SynopsisConfig {
+    SynopsisConfig {
+        svd: SvdConfig::default().with_epochs(20),
+        size_ratio: ratio,
+        ..SynopsisConfig::default()
+    }
+}
+
+#[test]
+fn updating_is_much_cheaper_than_recreation() {
+    // Paper §4.2: "all the updating processes were completed much faster
+    // than the synopsis creation processes."
+    let mut rows = subset(1500);
+    let t0 = std::time::Instant::now();
+    let (mut store, _) = SynopsisStore::build(&rows, AggregationMode::Mean, config(40));
+    let create = t0.elapsed();
+
+    let updates: Vec<DataUpdate> = (0..15) // 1% of the subset
+        .map(|i| DataUpdate::Add(rows.row(i as u64).clone()))
+        .collect();
+    let report = store.apply_updates(&mut rows, updates);
+    assert!(
+        report.duration < create / 3,
+        "1% update ({:?}) should be far cheaper than creation ({:?})",
+        report.duration,
+        create
+    );
+    store.validate().unwrap();
+}
+
+#[test]
+fn update_cost_scales_with_change_fraction() {
+    // Figure 3's x-axis trend: bigger batches take longer.
+    let rows = subset(1500);
+    let (store, _) = SynopsisStore::build(&rows, AggregationMode::Mean, config(40));
+    let run_pct = |pct: usize| {
+        let mut d = rows.clone();
+        let mut s = store.clone();
+        let n = d.len() * pct / 100;
+        let updates: Vec<DataUpdate> = (0..n)
+            .map(|i| DataUpdate::Add(d.row((i % 1500) as u64).clone()))
+            .collect();
+        s.apply_updates(&mut d, updates).duration
+    };
+    let small = run_pct(1);
+    let large = run_pct(10);
+    assert!(
+        large > small,
+        "10% batch ({large:?}) should cost more than 1% ({small:?})"
+    );
+}
+
+#[test]
+fn incremental_equals_rebuild_semantically() {
+    // After updates, the incrementally maintained synopsis must describe
+    // exactly the same dataset partitioning a fresh build would: every
+    // aggregated point equals a fresh aggregation of its members, and the
+    // members partition the full id space.
+    let mut rows = subset(800);
+    let (mut store, _) = SynopsisStore::build(&rows, AggregationMode::Mean, config(25));
+    let updates: Vec<DataUpdate> = (0..40)
+        .map(|i| {
+            if i % 2 == 0 {
+                DataUpdate::Add(rows.row(i as u64).clone())
+            } else {
+                let id = (i * 13 % 800) as u64;
+                let row = rows.row(id);
+                DataUpdate::Change {
+                    id,
+                    row: SparseRow::from_pairs(
+                        row.iter().map(|(c, v)| (c, (v + 1.0).min(5.0))).collect(),
+                    ),
+                }
+            }
+        })
+        .collect();
+    store.apply_updates(&mut rows, updates);
+    store.validate().unwrap();
+
+    let mut all: Vec<u64> = store
+        .index()
+        .iter()
+        .flat_map(|(_, m)| m.iter().copied())
+        .collect();
+    all.sort_unstable();
+    assert_eq!(all, (0..rows.len() as u64).collect::<Vec<_>>());
+    for p in store.synopsis().iter() {
+        let members = store.index().members(p.node).unwrap();
+        let expect = rows.aggregate(members, AggregationMode::Mean);
+        assert_eq!(p.info, expect, "stale aggregation for {:?}", p.node);
+    }
+}
+
+#[test]
+fn aggregation_ratio_tracks_config() {
+    // §4.2 reports mean group sizes (133.01 users / 42.55 pages): the
+    // achieved ratio must sit near the requested size_ratio (within the
+    // R-tree's level granularity).
+    let rows = subset(2000);
+    for ratio in [20usize, 60] {
+        let (_, report) = SynopsisStore::build(&rows, AggregationMode::Mean, config(ratio));
+        assert!(
+            report.mean_group_size > ratio as f64 / 4.0
+                && report.mean_group_size < ratio as f64 * 4.0,
+            "ratio {ratio}: mean group size {} too far off",
+            report.mean_group_size
+        );
+    }
+}

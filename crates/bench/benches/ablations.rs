@@ -7,13 +7,14 @@
 //! 2. **`i_max` cap** — the top-40% cut-off the search engine uses.
 //! 3. **Reissue trigger percentile** — the 95th-percentile setting.
 
-use at_core::Component;
+use at_core::{Component, ExecutionPolicy};
 use at_linalg::svd::SvdConfig;
 use at_recommender::{rating_matrix, ActiveUser, CfService};
 use at_sim::{run_fixed_rate, Technique};
 use at_synopsis::{AggregationMode, SparseRow, SynopsisConfig};
 use at_workloads::{RatingsConfig, RatingsDataset};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
 
 fn bench_synopsis_ratio(c: &mut Criterion) {
     let n = 1200usize;
@@ -45,7 +46,9 @@ fn bench_synopsis_ratio(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("synopsis_pass", ratio),
             &component,
-            |b, comp| b.iter(|| comp.approx_budgeted(&active, None, 0)),
+            |b, comp| {
+                b.iter(|| comp.execute(&active, &ExecutionPolicy::SynopsisOnly, Instant::now()))
+            },
         );
     }
     group.finish();

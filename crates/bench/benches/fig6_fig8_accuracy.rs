@@ -45,12 +45,10 @@ fn bench_accuracy_series(c: &mut Criterion) {
                 },
                 &cfg,
             );
-            search_accuracy_loss(&deployment, &sim.samples, |s| {
-                Budget::Sets {
-                    sets: s.sets_processed.as_ref().expect("sets"),
-                    sim_total: CostModel::default().n_sets,
-                    imax_frac: Some(0.4),
-                }
+            search_accuracy_loss(&deployment, &sim.samples, |s| Budget::Sets {
+                sets: s.sets_processed.as_ref().expect("sets"),
+                sim_total: CostModel::default().n_sets,
+                imax_frac: Some(0.4),
             })
         })
     });

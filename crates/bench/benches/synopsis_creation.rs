@@ -83,7 +83,7 @@ fn bench_creation(c: &mut Criterion) {
             groups
                 .iter()
                 .map(|g| rec.aggregate(g, AggregationMode::Mean))
-                .count()
+                .collect::<Vec<_>>()
         })
     });
     group.finish();

@@ -31,16 +31,12 @@ fn bench_table1(c: &mut Criterion) {
                 },
             ),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, rate as u64),
-                &rate,
-                |b, &rate| {
-                    b.iter(|| {
-                        let r = run_fixed_rate(rate, 10.0, technique, &cfg);
-                        r.latencies.p999_ms()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, rate as u64), &rate, |b, &rate| {
+                b.iter(|| {
+                    let r = run_fixed_rate(rate, 10.0, technique, &cfg);
+                    r.latencies.p999_ms()
+                })
+            });
         }
     }
     group.finish();

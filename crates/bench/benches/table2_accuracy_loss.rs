@@ -22,12 +22,8 @@ fn bench_table2(c: &mut Criterion) {
             &rate,
             |b, &rate| {
                 b.iter(|| {
-                    let sim = run_fixed_rate(
-                        rate,
-                        10.0,
-                        Technique::Partial { deadline_s: 0.1 },
-                        &cfg,
-                    );
+                    let sim =
+                        run_fixed_rate(rate, 10.0, Technique::Partial { deadline_s: 0.1 }, &cfg);
                     rec_accuracy_loss(&deployment, &sim.samples, |s| {
                         Budget::Mask(s.made_deadline.as_ref().expect("mask"))
                     })
@@ -48,12 +44,10 @@ fn bench_table2(c: &mut Criterion) {
                         },
                         &cfg,
                     );
-                    rec_accuracy_loss(&deployment, &sim.samples, |s| {
-                        Budget::Sets {
-                            sets: s.sets_processed.as_ref().expect("sets"),
-                            sim_total: CostModel::default().n_sets,
-                            imax_frac: None,
-                        }
+                    rec_accuracy_loss(&deployment, &sim.samples, |s| Budget::Sets {
+                        sets: s.sets_processed.as_ref().expect("sets"),
+                        sim_total: CostModel::default().n_sets,
+                        imax_frac: None,
                     })
                 })
             },

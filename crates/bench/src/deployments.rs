@@ -124,7 +124,8 @@ pub fn build_recommender(scale: DeployScale) -> RecDeployment {
     for id in matrix.ids() {
         rows.push(matrix.row(id).clone());
     }
-    let subsets = partition_rows(scale.n_columns, rows, scale.n_components);
+    let subsets = partition_rows(scale.n_columns, rows, scale.n_components)
+        .expect("deployment scale has >= 1 component");
     let config = SynopsisConfig {
         svd: SvdConfig::default().with_epochs(30).with_seed(scale.seed),
         size_ratio: 12,
@@ -158,7 +159,8 @@ pub fn build_search(scale: DeployScale) -> SearchDeployment {
         .iter()
         .map(|d| SparseRow::from_pairs(d.terms.clone()))
         .collect();
-    let subsets = partition_rows(corpus.config.vocab, rows, scale.n_components);
+    let subsets = partition_rows(corpus.config.vocab, rows, scale.n_components)
+        .expect("deployment scale has >= 1 component");
     let config = SynopsisConfig {
         svd: SvdConfig::default().with_epochs(30).with_seed(scale.seed),
         size_ratio: 12,

@@ -374,7 +374,10 @@ pub fn fig4b(scale: &ExpScale) -> Fig4 {
 
 /// Print Figure 4(a) or (b).
 pub fn print_fig4(label: &str, f: &Fig4) {
-    println!("== Figure 4{label}: ranked sections vs. relatedness (avg over {} requests) ==", f.n_requests);
+    println!(
+        "== Figure 4{label}: ranked sections vs. relatedness (avg over {} requests) ==",
+        f.n_requests
+    );
     println!("{:<10} {:>10}", "section", "% related");
     for (i, s) in f.sections.iter().enumerate() {
         println!("{:<10} {:>10.2}", i + 1, s);
@@ -487,12 +490,10 @@ pub fn table2(scale: &ExpScale) -> Table2 {
             let partial_loss = rec_accuracy_loss(&deployment, &partial_sim.samples, |s| {
                 Budget::Mask(s.made_deadline.as_ref().expect("partial mask"))
             });
-            let at_loss = rec_accuracy_loss(&deployment, &at_sim.samples, |s| {
-                Budget::Sets {
-                    sets: s.sets_processed.as_ref().expect("AT sets"),
-                    sim_total: CostModel::default().n_sets,
-                    imax_frac: None,
-                }
+            let at_loss = rec_accuracy_loss(&deployment, &at_sim.samples, |s| Budget::Sets {
+                sets: s.sets_processed.as_ref().expect("AT sets"),
+                sim_total: CostModel::default().n_sets,
+                imax_frac: None,
             });
             (partial_loss, at_loss)
         })
@@ -681,12 +682,10 @@ pub fn fig6(scale: &ExpScale) -> Vec<Fig6Hour> {
                     let a_loss = if a_samples.is_empty() {
                         0.0
                     } else {
-                        search_accuracy_loss(&deployment, &a_samples, |s| {
-                            Budget::Sets {
-                                sets: s.sets_processed.as_ref().expect("sets"),
-                                sim_total: CostModel::default().n_sets,
-                                imax_frac: Some(0.4),
-                            }
+                        search_accuracy_loss(&deployment, &a_samples, |s| Budget::Sets {
+                            sets: s.sets_processed.as_ref().expect("sets"),
+                            sim_total: CostModel::default().n_sets,
+                            imax_frac: Some(0.4),
                         })
                     };
                     (p_loss, a_loss)
@@ -815,12 +814,10 @@ pub fn fig8(scale: &ExpScale) -> Fig8 {
             let p_loss = search_accuracy_loss(&deployment, &partial.samples, |s| {
                 Budget::Mask(s.made_deadline.as_ref().expect("mask"))
             });
-            let a_loss = search_accuracy_loss(&deployment, &at.samples, |s| {
-                Budget::Sets {
-                    sets: s.sets_processed.as_ref().expect("sets"),
-                    sim_total: CostModel::default().n_sets,
-                    imax_frac: Some(0.4),
-                }
+            let a_loss = search_accuracy_loss(&deployment, &at.samples, |s| Budget::Sets {
+                sets: s.sets_processed.as_ref().expect("sets"),
+                sim_total: CostModel::default().n_sets,
+                imax_frac: Some(0.4),
             });
             (p_loss, a_loss)
         })
@@ -885,25 +882,30 @@ pub fn summary(t1: &Table1, t2: &Table2, f7: &Fig7, f8: &Fig8) -> Summary {
         .filter(|(_, &r)| r > median)
         .map(|(i, _)| i)
         .collect();
-    let reissue = &f7.series.iter().find(|(n, _)| *n == "Reissue").expect("reissue").1;
+    let reissue = &f7
+        .series
+        .iter()
+        .find(|(n, _)| *n == "Reissue")
+        .expect("reissue")
+        .1;
     let at = &f7
         .series
         .iter()
         .find(|(n, _)| *n == "AccuracyTrader")
         .expect("AT")
         .1;
-    let latency_reduction_search =
-        mean_ratio(busy.iter().map(|&i| reissue[i]), busy.iter().map(|&i| at[i]));
+    let latency_reduction_search = mean_ratio(
+        busy.iter().map(|&i| reissue[i]),
+        busy.iter().map(|&i| at[i]),
+    );
 
     let at_loss_cf = at_linalg::stats::mean(&t2.accuracy_trader);
     let loss_reduction_cf = mean_ratio(
         t2.partial.iter().copied(),
         t2.accuracy_trader.iter().copied(),
     );
-    let loss_reduction_search = mean_ratio(
-        f8.hours.iter().map(|h| h.0),
-        f8.hours.iter().map(|h| h.1),
-    );
+    let loss_reduction_search =
+        mean_ratio(f8.hours.iter().map(|h| h.0), f8.hours.iter().map(|h| h.1));
     Summary {
         latency_reduction_cf,
         latency_reduction_search,
@@ -913,10 +915,7 @@ pub fn summary(t1: &Table1, t2: &Table2, f7: &Fig7, f8: &Fig8) -> Summary {
     }
 }
 
-fn mean_ratio(
-    num: impl Iterator<Item = f64>,
-    den: impl Iterator<Item = f64>,
-) -> f64 {
+fn mean_ratio(num: impl Iterator<Item = f64>, den: impl Iterator<Item = f64>) -> f64 {
     let pairs: Vec<(f64, f64)> = num.zip(den).filter(|&(_, d)| d > 1e-9).collect();
     if pairs.is_empty() {
         return f64::NAN;

@@ -18,6 +18,8 @@ pub mod deployments;
 pub mod experiments;
 pub mod replay;
 
-pub use deployments::{build_recommender, build_search, DeployScale, RecDeployment, SearchDeployment};
+pub use deployments::{
+    build_recommender, build_search, DeployScale, RecDeployment, SearchDeployment,
+};
 pub use experiments::ExpScale;
 pub use replay::{rec_accuracy_loss, rec_rmse, search_accuracy_loss, search_overlap, Budget};

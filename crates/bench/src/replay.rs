@@ -8,7 +8,10 @@
 //! [`crate::deployments`] and evaluates RMSE / top-10 overlap exactly as
 //! the paper defines them (§4.1).
 
-use at_recommender::{accuracy_loss_pct as rec_loss_pct, compose_predictions, rmse};
+use std::time::Instant;
+
+use at_core::{ComposableService, ExecutionPolicy};
+use at_recommender::{accuracy_loss_pct as rec_loss_pct, rmse, CfService};
 use at_search::{accuracy_loss_pct as search_loss_pct, topk_overlap, TopK};
 use at_sim::RequestSample;
 use rayon::prelude::*;
@@ -61,47 +64,49 @@ fn mapped<T: Copy>(values: &[T], component: usize) -> T {
     values[component % values.len()]
 }
 
+/// The [`ExecutionPolicy`] simulated component `i`'s record implies for a
+/// real component with `real_total` ranked sets; `None` = the component is
+/// skipped entirely (partial execution past the deadline).
+fn policy_for(budget: &Budget<'_>, component: usize, real_total: usize) -> Option<ExecutionPolicy> {
+    match budget {
+        Budget::Exact => Some(ExecutionPolicy::Exact),
+        Budget::Sets {
+            sets,
+            sim_total,
+            imax_frac,
+        } => {
+            let k = scale_budget(mapped(sets, component), *sim_total, real_total);
+            let imax = imax_frac.map(|f| ExecutionPolicy::imax_for_fraction(real_total, f));
+            Some(ExecutionPolicy::Budgeted { sets: k, imax })
+        }
+        Budget::Mask(mask) => mapped(mask, component).then_some(ExecutionPolicy::Exact),
+    }
+}
+
 /// Replay one request against the recommender deployment and return the
 /// `(prediction, actual)` pairs it contributes to the RMSE population.
-fn rec_predict(
-    deployment: &RecDeployment,
-    req_idx: usize,
-    budget: &Budget<'_>,
-) -> Vec<(f64, f64)> {
+fn rec_predict(deployment: &RecDeployment, req_idx: usize, budget: &Budget<'_>) -> Vec<(f64, f64)> {
     let request = &deployment.requests[req_idx];
     let parts: Vec<_> = deployment
         .service
         .components()
         .iter()
         .enumerate()
-        .filter_map(|(i, c)| match budget {
-            Budget::Exact => Some(c.exact(&request.active)),
-            Budget::Sets {
-                sets,
-                sim_total,
-                imax_frac,
-            } => {
-                let real_total = c.store().synopsis().len();
-                let k = scale_budget(mapped(sets, i), *sim_total, real_total);
-                let imax = imax_frac.map(|f| ((real_total as f64 * f).ceil() as usize).max(1));
-                Some(c.approx_budgeted(&request.active, imax, k).output)
-            }
-            Budget::Mask(mask) => {
-                if mapped(mask, i) {
-                    Some(c.exact(&request.active))
-                } else {
-                    None // skipped: finished after the deadline
-                }
-            }
+        .filter_map(|(i, c)| {
+            let policy = policy_for(budget, i, c.store().synopsis().len())?;
+            Some(c.execute(&request.active, &policy, Instant::now()).output)
         })
         .collect();
     let preds = if parts.is_empty() {
         // Every component skipped: fall back to the user-mean baseline.
         vec![request.active.mean_rating(); request.actual.len()]
     } else {
-        compose_predictions(&request.active, &parts)
+        CfService.compose(&request.active, &parts)
     };
-    preds.into_iter().zip(request.actual.iter().copied()).collect()
+    preds
+        .into_iter()
+        .zip(request.actual.iter().copied())
+        .collect()
 }
 
 /// RMSE of the recommender deployment over `samples` under `budget_of`
@@ -137,48 +142,28 @@ pub fn rec_accuracy_loss(
 
 /// Replay one query against the search deployment and return its top-10
 /// overlap with the exact top-10.
-fn search_overlap_one(
-    deployment: &SearchDeployment,
-    req_idx: usize,
-    budget: &Budget<'_>,
-) -> f64 {
+fn search_overlap_one(deployment: &SearchDeployment, req_idx: usize, budget: &Budget<'_>) -> f64 {
     let request = &deployment.requests[req_idx];
-    let k = 10usize;
-    // Global ids: component * stride + local doc id.
-    let stride = 1u64 << 32;
-    let mut exact_merged = TopK::new(k);
-    let mut approx_merged = TopK::new(k);
+    let composer = deployment.service.components()[0].service();
+    let mut exact_parts = Vec::with_capacity(deployment.service.len());
+    let mut approx_parts = Vec::with_capacity(deployment.service.len());
     for (i, c) in deployment.service.components().iter().enumerate() {
-        let exact = c.exact(request);
-        for h in exact.sorted() {
-            exact_merged.push(i as u64 * stride + h.doc, h.score);
-        }
-        let approx: Option<TopK> = match budget {
-            Budget::Exact => Some(exact),
-            Budget::Sets {
-                sets,
-                sim_total,
-                imax_frac,
-            } => {
-                let real_total = c.store().synopsis().len();
-                let kb = scale_budget(mapped(sets, i), *sim_total, real_total);
-                let imax = imax_frac.map(|f| ((real_total as f64 * f).ceil() as usize).max(1));
-                Some(c.approx_budgeted(request, imax, kb).output)
-            }
-            Budget::Mask(mask) => {
-                if mapped(mask, i) {
-                    Some(exact)
-                } else {
-                    None
-                }
-            }
+        let exact = c
+            .execute(request, &ExecutionPolicy::Exact, Instant::now())
+            .output;
+        // A skipped component contributes an empty heap so surviving
+        // components keep their position (compose namespaces document ids
+        // by slice position).
+        let approx = match policy_for(budget, i, c.store().synopsis().len()) {
+            Some(ExecutionPolicy::Exact) => exact.clone(),
+            Some(policy) => c.execute(request, &policy, Instant::now()).output,
+            None => TopK::new(composer.k()),
         };
-        if let Some(t) = approx {
-            for h in t.sorted() {
-                approx_merged.push(i as u64 * stride + h.doc, h.score);
-            }
-        }
+        exact_parts.push(exact);
+        approx_parts.push(approx);
     }
+    let exact_merged = composer.compose(request, &exact_parts);
+    let approx_merged = composer.compose(request, &approx_parts);
     topk_overlap(&exact_merged.doc_ids(), &approx_merged.doc_ids())
 }
 
@@ -238,12 +223,10 @@ mod tests {
     fn full_budget_equals_exact_rmse() {
         let d = build_recommender(DeployScale::quick());
         let samples = fake_samples(6, usize::MAX, 108, true);
-        let loss = rec_accuracy_loss(&d, &samples, |s| {
-            Budget::Sets {
-                sets: s.sets_processed.as_ref().unwrap(),
-                sim_total: 30,
-                imax_frac: None,
-            }
+        let loss = rec_accuracy_loss(&d, &samples, |s| Budget::Sets {
+            sets: s.sets_processed.as_ref().unwrap(),
+            sim_total: 30,
+            imax_frac: None,
         });
         assert!(loss < 1e-6, "full-budget AT must match exact, loss {loss}");
     }
@@ -257,25 +240,24 @@ mod tests {
         let d = build_recommender(DeployScale::quick());
         for sets in [0usize, 1, 3, 8, usize::MAX] {
             let samples = fake_samples(6, sets, 108, true);
-            let loss = rec_accuracy_loss(&d, &samples, |s| {
-                Budget::Sets {
-                    sets: s.sets_processed.as_ref().unwrap(),
-                    sim_total: 30,
-                    imax_frac: None,
-                }
+            let loss = rec_accuracy_loss(&d, &samples, |s| Budget::Sets {
+                sets: s.sets_processed.as_ref().unwrap(),
+                sim_total: 30,
+                imax_frac: None,
             });
             assert!(loss.is_finite() && loss >= 0.0, "sets={sets}: loss {loss}");
             assert!(loss < 150.0, "sets={sets}: implausible loss {loss}");
         }
         let full = fake_samples(6, usize::MAX, 108, true);
-        let loss_full = rec_accuracy_loss(&d, &full, |s| {
-            Budget::Sets {
-                sets: s.sets_processed.as_ref().unwrap(),
-                sim_total: 30,
-                imax_frac: None,
-            }
+        let loss_full = rec_accuracy_loss(&d, &full, |s| Budget::Sets {
+            sets: s.sets_processed.as_ref().unwrap(),
+            sim_total: 30,
+            imax_frac: None,
         });
-        assert!(loss_full < 1e-6, "full budget must equal exact: {loss_full}");
+        assert!(
+            loss_full < 1e-6,
+            "full budget must equal exact: {loss_full}"
+        );
     }
 
     #[test]
@@ -307,19 +289,15 @@ mod tests {
         let d = build_search(DeployScale::quick());
         let lo = fake_samples(8, 1, 108, true);
         let hi = fake_samples(8, usize::MAX, 108, true);
-        let o_lo = search_overlap(&d, &lo, |s| {
-            Budget::Sets {
-                sets: s.sets_processed.as_ref().unwrap(),
-                sim_total: 30,
-                imax_frac: None,
-            }
+        let o_lo = search_overlap(&d, &lo, |s| Budget::Sets {
+            sets: s.sets_processed.as_ref().unwrap(),
+            sim_total: 30,
+            imax_frac: None,
         });
-        let o_hi = search_overlap(&d, &hi, |s| {
-            Budget::Sets {
-                sets: s.sets_processed.as_ref().unwrap(),
-                sim_total: 30,
-                imax_frac: None,
-            }
+        let o_hi = search_overlap(&d, &hi, |s| Budget::Sets {
+            sets: s.sets_processed.as_ref().unwrap(),
+            sim_total: 30,
+            imax_frac: None,
         });
         assert!(o_hi >= o_lo);
         assert!((o_hi - 1.0).abs() < 1e-9, "all sets = exact, got {o_hi}");
@@ -332,6 +310,9 @@ mod tests {
         let loss = search_accuracy_loss(&d, &none, |s| {
             Budget::Mask(s.made_deadline.as_ref().unwrap())
         });
-        assert!((loss - 100.0).abs() < 1e-9, "all skipped = total loss, {loss}");
+        assert!(
+            (loss - 100.0).abs() < 1e-9,
+            "all skipped = total loss, {loss}"
+        );
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! The paper deploys 108 parallel components, each processing one subset.
 //! A [`Component`] owns the subset ([`RowStore`]), the offline artifacts
-//! ([`SynopsisStore`]), and the service hooks; it exposes the approximate
-//! and exact processing paths plus incremental data updating.
+//! ([`SynopsisStore`]), and the service hooks; it exposes one online entry
+//! point — [`execute`](Component::execute) under an [`ExecutionPolicy`] —
+//! plus incremental data updating.
 
 use std::time::Instant;
 
@@ -11,8 +12,10 @@ use at_synopsis::{
     AggregationMode, DataUpdate, RowStore, SynopsisConfig, SynopsisStore, UpdateReport,
 };
 
-use crate::config::ProcessingConfig;
 use crate::outcome::Outcome;
+use crate::policy::ExecutionPolicy;
+#[allow(deprecated)]
+use crate::policy::ProcessingConfig;
 use crate::processor::{Algorithm1, ApproximateService, Ctx};
 
 /// One parallel component of an online service.
@@ -74,33 +77,16 @@ impl<S: ApproximateService> Component<S> {
         }
     }
 
-    /// Accuracy-aware approximate processing with a fixed set budget
-    /// (deterministic; the simulator converts deadlines into budgets).
-    pub fn approx_budgeted(
+    /// Process one request under `policy`. `submitted` is the request
+    /// submission instant, so upstream queueing delay counts against a
+    /// deadline policy exactly as in the paper.
+    pub fn execute(
         &self,
         req: &S::Request,
-        imax: Option<usize>,
-        budget_sets: usize,
-    ) -> Outcome<S::Output> {
-        Algorithm1::new(&self.dataset, &self.store, &self.service)
-            .run_budgeted(req, imax, budget_sets)
-    }
-
-    /// Accuracy-aware approximate processing against the wall clock
-    /// (Algorithm 1 verbatim). `submitted` is the request submission time.
-    pub fn approx_deadline(
-        &self,
-        req: &S::Request,
-        config: &ProcessingConfig,
+        policy: &ExecutionPolicy,
         submitted: Instant,
     ) -> Outcome<S::Output> {
-        Algorithm1::new(&self.dataset, &self.store, &self.service)
-            .run_deadline(req, config, submitted)
-    }
-
-    /// Exact processing over the entire subset (the baseline techniques).
-    pub fn exact(&self, req: &S::Request) -> S::Output {
-        Algorithm1::new(&self.dataset, &self.store, &self.service).run_exact(req)
+        Algorithm1::new(&self.dataset, &self.store, &self.service).execute(req, policy, submitted)
     }
 
     /// Apply input-data changes and incrementally update the synopsis.
@@ -111,6 +97,47 @@ impl<S: ApproximateService> Component<S> {
     /// Consistency check of the offline artifacts.
     pub fn validate(&self) -> Result<(), String> {
         self.store.validate()
+    }
+
+    // ------------------------------------------------------------------
+    // Deprecated pre-`ExecutionPolicy` method family (one release).
+    // ------------------------------------------------------------------
+
+    /// Approximate processing with a fixed set budget.
+    #[deprecated(note = "use Component::execute with ExecutionPolicy::Budgeted instead")]
+    pub fn approx_budgeted(
+        &self,
+        req: &S::Request,
+        imax: Option<usize>,
+        budget_sets: usize,
+    ) -> Outcome<S::Output> {
+        self.execute(
+            req,
+            &ExecutionPolicy::Budgeted {
+                sets: budget_sets,
+                imax,
+            },
+            Instant::now(),
+        )
+    }
+
+    /// Approximate processing against the wall clock.
+    #[deprecated(note = "use Component::execute with ExecutionPolicy::Deadline instead")]
+    #[allow(deprecated)]
+    pub fn approx_deadline(
+        &self,
+        req: &S::Request,
+        config: &ProcessingConfig,
+        submitted: Instant,
+    ) -> Outcome<S::Output> {
+        self.execute(req, &config.to_policy(), submitted)
+    }
+
+    /// Exact processing over the entire subset.
+    #[deprecated(note = "use Component::execute with ExecutionPolicy::Exact instead")]
+    pub fn exact(&self, req: &S::Request) -> S::Output {
+        self.execute(req, &ExecutionPolicy::Exact, Instant::now())
+            .output
     }
 }
 
@@ -180,9 +207,10 @@ mod tests {
         assert_eq!(report.n_points, 150);
         c.validate().unwrap();
         // Full budget processes every member exactly once.
-        let o = c.approx_budgeted(&(), None, usize::MAX);
+        let o = c.execute(&(), &ExecutionPolicy::budgeted(usize::MAX), Instant::now());
         assert_eq!(o.output, 150);
-        assert_eq!(c.exact(&()), 150);
+        let exact = c.execute(&(), &ExecutionPolicy::Exact, Instant::now());
+        assert_eq!(exact.output, 150);
     }
 
     #[test]
@@ -191,9 +219,13 @@ mod tests {
         let row = SparseRow::from_pairs((0..8).map(|x| (x, 1.0)).collect());
         let rep = c.apply_updates(vec![DataUpdate::Add(row)]);
         assert_eq!(rep.added, 1);
-        c.validate().unwrap();
-        assert_eq!(c.exact(&()), 101);
-        let o = c.approx_budgeted(&(), None, usize::MAX);
+        c.validate().expect("component consistent after update");
+        assert_eq!(
+            c.execute(&(), &ExecutionPolicy::Exact, Instant::now())
+                .output,
+            101
+        );
+        let o = c.execute(&(), &ExecutionPolicy::budgeted(usize::MAX), Instant::now());
         assert_eq!(o.output, 101);
     }
 }

@@ -45,7 +45,9 @@ pub fn rank(mut correlations: Vec<Correlation>) -> Vec<Correlation> {
 pub fn sections(ranked: &[Correlation], k: usize) -> Vec<&[Correlation]> {
     assert!(k > 0, "sections: k must be >= 1");
     let n = ranked.len();
-    (0..k).map(|i| &ranked[i * n / k..(i + 1) * n / k]).collect()
+    (0..k)
+        .map(|i| &ranked[i * n / k..(i + 1) * n / k])
+        .collect()
 }
 
 #[cfg(test)]

@@ -4,26 +4,35 @@
 //! AccuracyTrader reproduction (Han et al., ICPP 2016) — Algorithm 1 and
 //! the component/service plumbing around it.
 //!
+//! * [`ExecutionPolicy`] — first-class request-execution policy: `Exact`,
+//!   `SynopsisOnly`, `Budgeted`, or `Deadline` (the paper's `l_spe` /
+//!   `i_max` knobs as an API object).
 //! * [`ApproximateService`] — the three service-specific hooks (process the
-//!   synopsis, improve with one ranked set, exact baseline).
+//!   synopsis, improve with one ranked set, exact baseline);
+//!   [`ComposableService`] adds the response-composition hook.
 //! * [`Algorithm1`] — the engine: estimate correlations, rank aggregated
-//!   points, improve the initial result best-sets-first under a deadline
-//!   (`run_deadline`) or a deterministic set budget (`run_budgeted`).
+//!   points, improve the initial result best-sets-first under any policy
+//!   via [`Algorithm1::execute`].
 //! * [`Component`] / [`FanOutService`] — one subset + synopsis per parallel
-//!   component, rayon fan-out across components.
+//!   component; [`FanOutService::serve`] is the end-to-end request
+//!   lifecycle (rayon fan-out → compose → [`ServiceResponse`] telemetry).
 //!
 //! Service adapters live in `at-recommender` and `at-search`.
 
 pub mod component;
-pub mod config;
 pub mod correlation;
 pub mod outcome;
+pub mod policy;
 pub mod processor;
 pub mod service;
 
 pub use component::Component;
-pub use config::ProcessingConfig;
 pub use correlation::{rank, sections, Correlation};
 pub use outcome::Outcome;
-pub use processor::{Algorithm1, ApproximateService, Ctx};
-pub use service::{partition_rows, FanOutService};
+pub use policy::ExecutionPolicy;
+#[allow(deprecated)]
+pub use policy::ProcessingConfig;
+pub use processor::{Algorithm1, ApproximateService, ComposableService, Ctx};
+pub use service::{
+    partition_rows, ComponentTelemetry, FanOutService, ServiceError, ServiceResponse,
+};

@@ -11,6 +11,9 @@ pub struct Outcome<T> {
     pub sets_processed: usize,
     /// Total ranked sets available (synopsis size `m`).
     pub sets_total: usize,
+    /// Ranked sets skipped because their aggregated point had no index-file
+    /// entry (stale synopsis); nonzero values signal index corruption.
+    pub sets_skipped: usize,
 }
 
 impl<T> Outcome<T> {
@@ -30,6 +33,18 @@ impl<T> Outcome<T> {
             output: f(self.output),
             sets_processed: self.sets_processed,
             sets_total: self.sets_total,
+            sets_skipped: self.sets_skipped,
+        }
+    }
+
+    /// Drop the output, keeping only the telemetry counters (the
+    /// per-component records of a [`ServiceResponse`](crate::ServiceResponse)).
+    pub fn stats(&self) -> Outcome<()> {
+        Outcome {
+            output: (),
+            sets_processed: self.sets_processed,
+            sets_total: self.sets_total,
+            sets_skipped: self.sets_skipped,
         }
     }
 }
@@ -44,6 +59,7 @@ mod tests {
             output: (),
             sets_processed: 3,
             sets_total: 12,
+            sets_skipped: 0,
         };
         assert_eq!(o.coverage(), 0.25);
     }
@@ -54,6 +70,7 @@ mod tests {
             output: (),
             sets_processed: 0,
             sets_total: 0,
+            sets_skipped: 0,
         };
         assert_eq!(o.coverage(), 1.0);
     }
@@ -64,10 +81,12 @@ mod tests {
             output: 21,
             sets_processed: 1,
             sets_total: 2,
+            sets_skipped: 1,
         };
         let o = o.map(|x| x * 2);
         assert_eq!(o.output, 42);
         assert_eq!(o.sets_processed, 1);
         assert_eq!(o.sets_total, 2);
+        assert_eq!(o.sets_skipped, 1);
     }
 }

@@ -1,0 +1,232 @@
+//! First-class execution policies: *how much* work a request may spend.
+//!
+//! The paper exposes one knob pair — the latency deadline `l_spe` and the
+//! ranked-set cap `i_max` (Algorithm 1) — but a serving system needs the
+//! same request driven in several modes: exactly (the baseline
+//! techniques), from the synopsis alone (heaviest load shedding), under a
+//! deterministic set budget (accuracy evaluations, the simulator's
+//! deadline→budget conversion), or against the wall clock (production).
+//! [`ExecutionPolicy`] makes that choice a value, so every layer —
+//! [`Algorithm1`](crate::Algorithm1), [`Component`](crate::Component),
+//! [`FanOutService`](crate::FanOutService) — is driven through one
+//! `execute`/`serve` call instead of per-mode method families.
+
+use std::time::Duration;
+
+/// How to process one request (Algorithm 1's degrees of freedom).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ExecutionPolicy {
+    /// Full computation over the entire original input data — the paper's
+    /// Basic / request-reissue / partial-execution baselines.
+    Exact,
+    /// Answer from the synopsis only (a zero-set budget): the fastest,
+    /// least accurate response; what an already-expired deadline degrades
+    /// to.
+    SynopsisOnly,
+    /// Improve the synopsis result with the top `sets` ranked sets of
+    /// original points, deterministically (no clock involved). The
+    /// simulator converts deadlines into such budgets via its
+    /// queueing/interference model.
+    Budgeted {
+        /// Ranked sets to process (`usize::MAX` = all of them).
+        sets: usize,
+        /// Optional `i_max` cap on processed sets (paper: top 40% for the
+        /// search engine); `None` processes as many as the budget allows.
+        imax: Option<usize>,
+    },
+    /// Algorithm 1 verbatim: keep improving best-correlated-sets-first
+    /// while `elapsed < l_spe && i <= i_max` (lines 4–10).
+    Deadline {
+        /// Specified service-latency deadline `l_spe` (paper: 100 ms),
+        /// measured from the request's submission instant.
+        l_spe: Duration,
+        /// Optional `i_max` cap on processed sets.
+        imax: Option<usize>,
+    },
+}
+
+impl ExecutionPolicy {
+    /// Deterministic budget of `sets` ranked sets, no `i_max` cap.
+    pub fn budgeted(sets: usize) -> Self {
+        ExecutionPolicy::Budgeted { sets, imax: None }
+    }
+
+    /// Wall-clock deadline `l_spe`, no `i_max` cap.
+    pub fn deadline(l_spe: Duration) -> Self {
+        ExecutionPolicy::Deadline { l_spe, imax: None }
+    }
+
+    /// The paper's CF-recommender setting: 100 ms deadline, no `i_max`
+    /// ("process as many original data points as possible").
+    pub fn recommender() -> Self {
+        ExecutionPolicy::deadline(Duration::from_millis(100))
+    }
+
+    /// The paper's search-engine setting: 100 ms deadline, `i_max` capped
+    /// at the top `fraction` (0.4) of `total_sets` ranked sets — they
+    /// contain >98% of the actual top-10 pages.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn search(total_sets: usize, fraction: f64) -> Self {
+        ExecutionPolicy::Deadline {
+            l_spe: Duration::from_millis(100),
+            imax: Some(Self::imax_for_fraction(total_sets, fraction)),
+        }
+    }
+
+    /// The `i_max` capping processing at the top `fraction` of
+    /// `total_sets` ranked sets: rounded up, floored at one set.
+    ///
+    /// # Panics
+    /// Panics if `fraction` is outside `[0, 1]`.
+    pub fn imax_for_fraction(total_sets: usize, fraction: f64) -> usize {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        ((total_sets as f64 * fraction).ceil() as usize).max(1)
+    }
+
+    /// The `i_max` cap this policy implies, if any.
+    pub fn imax(&self) -> Option<usize> {
+        match *self {
+            ExecutionPolicy::Exact | ExecutionPolicy::SynopsisOnly => None,
+            ExecutionPolicy::Budgeted { imax, .. } | ExecutionPolicy::Deadline { imax, .. } => imax,
+        }
+    }
+
+    /// Upper bound on the `sets_processed` this policy can report against a
+    /// synopsis of `total_sets` sets — the number an admission controller
+    /// should budget for. Consistent with execution telemetry: `Exact`
+    /// reports full coverage (`total_sets`), `SynopsisOnly` none.
+    pub fn effective_cap(&self, total_sets: usize) -> usize {
+        let imax_cap = self.imax().map_or(total_sets, |m| m.min(total_sets));
+        match *self {
+            ExecutionPolicy::Exact => total_sets,
+            ExecutionPolicy::SynopsisOnly => 0,
+            ExecutionPolicy::Budgeted { sets, .. } => sets.min(imax_cap),
+            ExecutionPolicy::Deadline { .. } => imax_cap,
+        }
+    }
+}
+
+/// Online-processing limits (Algorithm 1's `l_spe` and `i_max`).
+///
+/// Absorbed into [`ExecutionPolicy`]; convert with
+/// [`ProcessingConfig::to_policy`].
+#[deprecated(note = "use ExecutionPolicy::Deadline (via to_policy()) instead")]
+#[derive(Clone, Copy, Debug)]
+pub struct ProcessingConfig {
+    /// Specified service-latency deadline `l_spe` (paper: 100 ms).
+    pub deadline: Duration,
+    /// Maximum number of ranked sets of original points to process
+    /// (`i_max`); `None` means all sets.
+    pub imax: Option<usize>,
+}
+
+#[allow(deprecated)]
+impl Default for ProcessingConfig {
+    fn default() -> Self {
+        ProcessingConfig {
+            deadline: Duration::from_millis(100),
+            imax: None,
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl ProcessingConfig {
+    /// The paper's CF-recommender setting.
+    pub fn recommender() -> Self {
+        ProcessingConfig::default()
+    }
+
+    /// The paper's search-engine setting: cap at the top `fraction` of
+    /// `total_sets`.
+    pub fn search(total_sets: usize, fraction: f64) -> Self {
+        match ExecutionPolicy::search(total_sets, fraction) {
+            ExecutionPolicy::Deadline { l_spe, imax } => ProcessingConfig {
+                deadline: l_spe,
+                imax,
+            },
+            _ => unreachable!("search() builds a Deadline policy"),
+        }
+    }
+
+    /// Effective set cap given the synopsis size.
+    pub fn effective_imax(&self, total_sets: usize) -> usize {
+        self.imax.map_or(total_sets, |m| m.min(total_sets))
+    }
+
+    /// The equivalent first-class policy.
+    pub fn to_policy(&self) -> ExecutionPolicy {
+        ExecutionPolicy::Deadline {
+            l_spe: self.deadline,
+            imax: self.imax,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recommender_matches_paper() {
+        let p = ExecutionPolicy::recommender();
+        assert_eq!(
+            p,
+            ExecutionPolicy::Deadline {
+                l_spe: Duration::from_millis(100),
+                imax: None,
+            }
+        );
+        assert_eq!(p.effective_cap(42), 42);
+    }
+
+    #[test]
+    fn search_caps_at_fraction() {
+        let p = ExecutionPolicy::search(100, 0.4);
+        assert_eq!(p.imax(), Some(40));
+        assert_eq!(p.effective_cap(100), 40);
+        assert_eq!(p.effective_cap(10), 10, "cap cannot exceed total");
+    }
+
+    #[test]
+    fn search_fraction_rounds_up_and_floors_at_one() {
+        assert_eq!(ExecutionPolicy::search(3, 0.4).imax(), Some(2));
+        assert_eq!(ExecutionPolicy::search(1, 0.01).imax(), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        ExecutionPolicy::search(10, 1.5);
+    }
+
+    #[test]
+    fn effective_cap_by_variant() {
+        assert_eq!(ExecutionPolicy::Exact.effective_cap(9), 9);
+        assert_eq!(ExecutionPolicy::SynopsisOnly.effective_cap(9), 0);
+        assert_eq!(ExecutionPolicy::budgeted(3).effective_cap(9), 3);
+        assert_eq!(ExecutionPolicy::budgeted(usize::MAX).effective_cap(9), 9);
+        let capped = ExecutionPolicy::Budgeted {
+            sets: usize::MAX,
+            imax: Some(4),
+        };
+        assert_eq!(capped.effective_cap(9), 4);
+        assert_eq!(
+            ExecutionPolicy::deadline(Duration::from_secs(1)).effective_cap(9),
+            9
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn processing_config_converts() {
+        let cfg = ProcessingConfig::search(100, 0.4);
+        assert_eq!(cfg.imax, Some(40));
+        assert_eq!(cfg.effective_imax(10), 10);
+        let p = cfg.to_policy();
+        assert_eq!(p.imax(), Some(40));
+        assert!(matches!(p, ExecutionPolicy::Deadline { .. }));
+    }
+}

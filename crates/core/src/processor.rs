@@ -2,23 +2,29 @@
 //!
 //! The engine is generic over an [`ApproximateService`] that supplies the
 //! three service-specific operations (synopsis processing, improvement with
-//! one ranked set, and the exact baseline). Two drivers are provided:
+//! one ranked set, and the exact baseline). One driver runs them all:
 //!
-//! * [`run_budgeted`](Algorithm1::run_budgeted) — processes the synopsis
-//!   plus a caller-fixed number of ranked sets. Deterministic; used by the
-//!   accuracy evaluations and by the cluster simulator, which converts a
-//!   deadline into a set budget via its queueing/interference model.
-//! * [`run_deadline`](Algorithm1::run_deadline) — the literal wall-clock
-//!   loop of Algorithm 1 (lines 4–10), checking `l_ela < l_spe` between
-//!   sets.
+//! * [`execute`](Algorithm1::execute) — drive a request under any
+//!   [`ExecutionPolicy`]: the exact baseline, the synopsis alone, a
+//!   deterministic set budget (accuracy evaluations; the simulator converts
+//!   deadlines into budgets via its queueing/interference model), or the
+//!   literal wall-clock loop of Algorithm 1 (lines 4–10, checking
+//!   `l_ela < l_spe` between sets).
+//!
+//! Ranked sets whose aggregated point has gone stale (present in the
+//! synopsis but missing from the index file) are *skipped*, not fatal:
+//! they are counted in [`Outcome::sets_skipped`] so operators can alarm on
+//! index corruption without the serving path crashing.
 
 use std::time::Instant;
 
 use at_synopsis::{RowStore, SynopsisStore};
 
-use crate::config::ProcessingConfig;
 use crate::correlation::{rank, Correlation};
 use crate::outcome::Outcome;
+use crate::policy::ExecutionPolicy;
+#[allow(deprecated)]
+use crate::policy::ProcessingConfig;
 
 /// Read-only view a service implementation gets of a component's state.
 #[derive(Clone, Copy)]
@@ -45,8 +51,11 @@ pub trait ApproximateService {
     /// Stage 1: produce the initial approximate result from the synopsis
     /// and estimate each aggregated point's correlation to result accuracy
     /// (Algorithm 1, line 1).
-    fn process_synopsis(&self, ctx: Ctx<'_>, req: &Self::Request)
-        -> (Self::Output, Vec<Correlation>);
+    fn process_synopsis(
+        &self,
+        ctx: Ctx<'_>,
+        req: &Self::Request,
+    ) -> (Self::Output, Vec<Correlation>);
 
     /// Stage 2: improve the result using the original data points of one
     /// ranked set (Algorithm 1, line 7). `node` identifies the aggregated
@@ -66,6 +75,21 @@ pub trait ApproximateService {
     fn process_exact(&self, ctx: Ctx<'_>, req: &Self::Request) -> Self::Output;
 }
 
+/// A fan-out service that can merge ordered per-component partial outputs
+/// into the final user-visible response (the paper's composing component,
+/// §4.3).
+///
+/// `parts` arrive in component order, so implementations that namespace
+/// results per component (e.g. the search engine's global document ids)
+/// can use the slice position.
+pub trait ComposableService: ApproximateService {
+    /// The user-visible response (predictions per target; merged top-k; …).
+    type Response;
+
+    /// Compose per-component outputs into the final response.
+    fn compose(&self, req: &Self::Request, parts: &[Self::Output]) -> Self::Response;
+}
+
 /// The Algorithm 1 engine bound to one component's state.
 pub struct Algorithm1<'a, S> {
     ctx: Ctx<'a>,
@@ -81,85 +105,151 @@ impl<'a, S: ApproximateService> Algorithm1<'a, S> {
         }
     }
 
-    /// Stage 1 + ranking only: initial result and the ranked sets, without
-    /// any improvement. Exposed for the Figure-4 style effectiveness
-    /// analyses.
-    pub fn rank_only(&self, req: &S::Request) -> (S::Output, Vec<Correlation>) {
+    /// Stage 1 + ranking: initial synopsis result and the ranked sets,
+    /// without any improvement (the Figure-4 style effectiveness
+    /// analyses).
+    pub fn ranked(&self, req: &S::Request) -> (S::Output, Vec<Correlation>) {
         let (out, corr) = self.service.process_synopsis(self.ctx, req);
         (out, rank(corr))
     }
 
-    /// Run Algorithm 1 with a **set budget**: improve with the top
-    /// `budget_sets` ranked sets (still capped by `imax`). Deterministic.
+    /// Run one request under `policy`. `submitted` is the request
+    /// submission instant: queueing delay upstream of this call counts
+    /// against a [`ExecutionPolicy::Deadline`] exactly as in the paper.
+    pub fn execute(
+        &self,
+        req: &S::Request,
+        policy: &ExecutionPolicy,
+        submitted: Instant,
+    ) -> Outcome<S::Output> {
+        if let ExecutionPolicy::Exact = policy {
+            // The exact path touches all original data; report full
+            // coverage so telemetry is uniform across policies. (The sets
+            // count is the synopsis size — stage 1 never runs here, so a
+            // service emitting extra/fewer correlations than synopsis
+            // points reports the canonical count instead.)
+            let total = self.ctx.store.synopsis().len();
+            return Outcome {
+                output: self.service.process_exact(self.ctx, req),
+                sets_processed: total,
+                sets_total: total,
+                sets_skipped: 0,
+            };
+        }
+
+        // Load-shedding short-circuit: when no set can ever be processed
+        // (SynopsisOnly, a zero budget, or a deadline that expired while
+        // queueing), skip the O(m log m) correlation ranking and answer
+        // straight from the synopsis pass.
+        let shed = match *policy {
+            ExecutionPolicy::SynopsisOnly => true,
+            ExecutionPolicy::Budgeted { sets: 0, .. } => true,
+            ExecutionPolicy::Deadline { l_spe, .. } => submitted.elapsed() >= l_spe,
+            _ => false,
+        };
+        if shed {
+            let (out, corr) = self.service.process_synopsis(self.ctx, req);
+            return Outcome {
+                output: out,
+                sets_processed: 0,
+                sets_total: corr.len(),
+                sets_skipped: 0,
+            };
+        }
+
+        let (mut out, ranked) = self.ranked(req);
+        let total = ranked.len();
+        // `i_max` bounds which *ranks* may ever be considered (Algorithm 1's
+        // `i <= i_max` loop condition) — a stale entry inside the cut must
+        // not pull in sets beyond it. The set budget bounds *work done*, so
+        // skipped (unprocessable) sets do not consume it.
+        let rank_bound = policy.imax().map_or(total, |m| m.min(total));
+        let (work_cap, deadline) = match *policy {
+            ExecutionPolicy::SynopsisOnly => (0, None),
+            ExecutionPolicy::Budgeted { sets, .. } => (sets, None),
+            ExecutionPolicy::Deadline { l_spe, .. } => (usize::MAX, Some(l_spe)),
+            ExecutionPolicy::Exact => unreachable!("handled above"),
+        };
+        let mut processed = 0usize;
+        let mut skipped = 0usize;
+        for corr in ranked.iter().take(rank_bound) {
+            if processed >= work_cap {
+                break;
+            }
+            if let Some(l_spe) = deadline {
+                if submitted.elapsed() >= l_spe {
+                    break;
+                }
+            }
+            match self.ctx.store.index().members(corr.node) {
+                Some(members) => {
+                    self.service
+                        .improve(self.ctx, req, &mut out, corr.node, members);
+                    processed += 1;
+                }
+                // Stale synopsis entry (e.g. an index-file update raced or
+                // was corrupted): degrade gracefully, keep serving.
+                None => skipped += 1,
+            }
+        }
+        Outcome {
+            output: out,
+            sets_processed: processed,
+            sets_total: total,
+            sets_skipped: skipped,
+        }
+    }
+
+    /// The component context (for adapters needing direct access).
+    pub fn ctx(&self) -> Ctx<'a> {
+        self.ctx
+    }
+
+    // ------------------------------------------------------------------
+    // Deprecated pre-`ExecutionPolicy` driver family (one release).
+    // ------------------------------------------------------------------
+
+    /// Stage 1 + ranking only.
+    #[deprecated(note = "use Algorithm1::ranked instead")]
+    pub fn rank_only(&self, req: &S::Request) -> (S::Output, Vec<Correlation>) {
+        self.ranked(req)
+    }
+
+    /// Run with a set budget.
+    #[deprecated(note = "use Algorithm1::execute with ExecutionPolicy::Budgeted instead")]
     pub fn run_budgeted(
         &self,
         req: &S::Request,
         imax: Option<usize>,
         budget_sets: usize,
     ) -> Outcome<S::Output> {
-        let (mut out, ranked) = self.rank_only(req);
-        let total = ranked.len();
-        let cap = imax.map_or(total, |m| m.min(total)).min(budget_sets);
-        let mut processed = 0usize;
-        for corr in ranked.iter().take(cap) {
-            let members = self
-                .ctx
-                .store
-                .index()
-                .members(corr.node)
-                .expect("ranked node missing from index file");
-            self.service.improve(self.ctx, req, &mut out, corr.node, members);
-            processed += 1;
-        }
-        Outcome {
-            output: out,
-            sets_processed: processed,
-            sets_total: total,
-        }
+        self.execute(
+            req,
+            &ExecutionPolicy::Budgeted {
+                sets: budget_sets,
+                imax,
+            },
+            Instant::now(),
+        )
     }
 
-    /// Run Algorithm 1 against the wall clock: keep improving while
-    /// `elapsed < deadline && i <= i_max` (lines 4–10). `start` is the
-    /// request submission instant, so queueing delay counts against the
-    /// deadline exactly as in the paper.
+    /// Run against the wall clock.
+    #[deprecated(note = "use Algorithm1::execute with ExecutionPolicy::Deadline instead")]
+    #[allow(deprecated)]
     pub fn run_deadline(
         &self,
         req: &S::Request,
         config: &ProcessingConfig,
         start: Instant,
     ) -> Outcome<S::Output> {
-        let (mut out, ranked) = self.rank_only(req);
-        let total = ranked.len();
-        let cap = config.effective_imax(total);
-        let mut processed = 0usize;
-        for corr in ranked.iter().take(cap) {
-            if start.elapsed() >= config.deadline {
-                break;
-            }
-            let members = self
-                .ctx
-                .store
-                .index()
-                .members(corr.node)
-                .expect("ranked node missing from index file");
-            self.service.improve(self.ctx, req, &mut out, corr.node, members);
-            processed += 1;
-        }
-        Outcome {
-            output: out,
-            sets_processed: processed,
-            sets_total: total,
-        }
+        self.execute(req, &config.to_policy(), start)
     }
 
     /// The exact baseline over the full subset.
+    #[deprecated(note = "use Algorithm1::execute with ExecutionPolicy::Exact instead")]
     pub fn run_exact(&self, req: &S::Request) -> S::Output {
-        self.service.process_exact(self.ctx, req)
-    }
-
-    /// The component context (for adapters needing direct access).
-    pub fn ctx(&self) -> Ctx<'a> {
-        self.ctx
+        self.execute(req, &ExecutionPolicy::Exact, Instant::now())
+            .output
     }
 }
 
@@ -227,6 +317,39 @@ mod tests {
         }
     }
 
+    /// `SumService` that additionally reports one bogus (stale) ranked set
+    /// with the highest correlation score.
+    struct StaleIndexService;
+
+    impl ApproximateService for StaleIndexService {
+        type Request = u32;
+        type Output = f64;
+
+        fn process_synopsis(&self, ctx: Ctx<'_>, req: &u32) -> (f64, Vec<Correlation>) {
+            let (out, mut corr) = SumService.process_synopsis(ctx, req);
+            corr.push(Correlation {
+                node: at_rtree::NodeId::from_index(u32::MAX),
+                score: f64::INFINITY,
+            });
+            (out, corr)
+        }
+
+        fn improve(
+            &self,
+            ctx: Ctx<'_>,
+            req: &u32,
+            out: &mut f64,
+            node: at_rtree::NodeId,
+            members: &[u64],
+        ) {
+            SumService.improve(ctx, req, out, node, members);
+        }
+
+        fn process_exact(&self, ctx: Ctx<'_>, req: &u32) -> f64 {
+            SumService.process_exact(ctx, req)
+        }
+    }
+
     fn setup() -> (RowStore, SynopsisStore) {
         let mut data = RowStore::new(12);
         for r in 0..120u32 {
@@ -245,17 +368,34 @@ mod tests {
         (data, store)
     }
 
+    fn exact_of(engine: &Algorithm1<'_, SumService>, req: u32) -> f64 {
+        engine
+            .execute(&req, &ExecutionPolicy::Exact, Instant::now())
+            .output
+    }
+
     #[test]
-    fn zero_budget_returns_synopsis_estimate() {
+    fn synopsis_only_returns_synopsis_estimate() {
         let (data, store) = setup();
         let svc = SumService;
         let engine = Algorithm1::new(&data, &store, &svc);
-        let o = engine.run_budgeted(&3, None, 0);
+        let o = engine.execute(&3, &ExecutionPolicy::SynopsisOnly, Instant::now());
         assert_eq!(o.sets_processed, 0);
+        assert_eq!(o.sets_skipped, 0);
         assert!(o.sets_total > 0);
         // Mean-aggregation estimate of a dense column is exact up to FP.
-        let exact = engine.run_exact(&3);
-        assert!((o.output - exact).abs() < 1e-6);
+        assert!((o.output - exact_of(&engine, 3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn synopsis_only_equals_zero_budget() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        let a = engine.execute(&3, &ExecutionPolicy::SynopsisOnly, Instant::now());
+        let b = engine.execute(&3, &ExecutionPolicy::budgeted(0), Instant::now());
+        assert_eq!(a.output, b.output);
+        assert_eq!(a.sets_processed, b.sets_processed);
     }
 
     #[test]
@@ -263,10 +403,20 @@ mod tests {
         let (data, store) = setup();
         let svc = SumService;
         let engine = Algorithm1::new(&data, &store, &svc);
-        let o = engine.run_budgeted(&5, None, usize::MAX);
+        let o = engine.execute(&5, &ExecutionPolicy::budgeted(usize::MAX), Instant::now());
         assert_eq!(o.sets_processed, o.sets_total);
-        let exact = engine.run_exact(&5);
+        let exact = exact_of(&engine, 5);
         assert!((o.output - exact).abs() < 1e-6, "{} vs {exact}", o.output);
+    }
+
+    #[test]
+    fn exact_policy_reports_full_coverage() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        let o = engine.execute(&5, &ExecutionPolicy::Exact, Instant::now());
+        assert_eq!(o.sets_processed, o.sets_total);
+        assert_eq!(o.coverage(), 1.0);
     }
 
     #[test]
@@ -274,7 +424,14 @@ mod tests {
         let (data, store) = setup();
         let svc = SumService;
         let engine = Algorithm1::new(&data, &store, &svc);
-        let o = engine.run_budgeted(&0, Some(2), usize::MAX);
+        let o = engine.execute(
+            &0,
+            &ExecutionPolicy::Budgeted {
+                sets: usize::MAX,
+                imax: Some(2),
+            },
+            Instant::now(),
+        );
         assert_eq!(o.sets_processed, 2);
     }
 
@@ -283,7 +440,7 @@ mod tests {
         let (data, store) = setup();
         let svc = SumService;
         let engine = Algorithm1::new(&data, &store, &svc);
-        let o = engine.run_budgeted(&0, None, 3);
+        let o = engine.execute(&0, &ExecutionPolicy::budgeted(3), Instant::now());
         assert_eq!(o.sets_processed, 3.min(o.sets_total));
     }
 
@@ -292,7 +449,7 @@ mod tests {
         let (data, store) = setup();
         let svc = SumService;
         let engine = Algorithm1::new(&data, &store, &svc);
-        let (_, ranked) = engine.rank_only(&0);
+        let (_, ranked) = engine.ranked(&0);
         for w in ranked.windows(2) {
             assert!(w[0].score >= w[1].score, "ranking not descending");
         }
@@ -303,13 +460,10 @@ mod tests {
         let (data, store) = setup();
         let svc = SumService;
         let engine = Algorithm1::new(&data, &store, &svc);
-        let cfg = ProcessingConfig {
-            deadline: Duration::from_millis(10),
-            imax: None,
-        };
+        let policy = ExecutionPolicy::deadline(Duration::from_millis(10));
         // Request "submitted" well before the deadline window.
         let start = Instant::now() - Duration::from_millis(50);
-        let o = engine.run_deadline(&1, &cfg, start);
+        let o = engine.execute(&1, &policy, start);
         assert_eq!(
             o.sets_processed, 0,
             "expired deadline must still return the synopsis result"
@@ -321,11 +475,74 @@ mod tests {
         let (data, store) = setup();
         let svc = SumService;
         let engine = Algorithm1::new(&data, &store, &svc);
-        let cfg = ProcessingConfig {
-            deadline: Duration::from_secs(30),
-            imax: None,
-        };
-        let o = engine.run_deadline(&1, &cfg, Instant::now());
+        let policy = ExecutionPolicy::deadline(Duration::from_secs(30));
+        let o = engine.execute(&1, &policy, Instant::now());
         assert_eq!(o.sets_processed, o.sets_total);
+    }
+
+    #[test]
+    fn stale_index_entry_is_skipped_not_fatal() {
+        let (data, store) = setup();
+        let svc = StaleIndexService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        // The bogus set ranks first (infinite correlation); the driver must
+        // skip it, process every real set, and still match exact.
+        let o = engine.execute(&2, &ExecutionPolicy::budgeted(usize::MAX), Instant::now());
+        assert_eq!(o.sets_skipped, 1);
+        assert_eq!(o.sets_processed, o.sets_total - 1);
+        let exact = engine
+            .execute(&2, &ExecutionPolicy::Exact, Instant::now())
+            .output;
+        assert!((o.output - exact).abs() < 1e-6);
+    }
+
+    #[test]
+    fn skipped_sets_do_not_consume_budget() {
+        let (data, store) = setup();
+        let svc = StaleIndexService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        let o = engine.execute(&2, &ExecutionPolicy::budgeted(2), Instant::now());
+        assert_eq!(o.sets_skipped, 1, "the bogus top-ranked set is skipped");
+        assert_eq!(o.sets_processed, 2, "budget buys 2 real sets");
+    }
+
+    #[test]
+    fn imax_bounds_ranks_not_processed_count() {
+        let (data, store) = setup();
+        let svc = StaleIndexService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        // The bogus set ranks first (infinite correlation). With
+        // `i_max = 2`, only ranks 0..2 may ever be considered (Algorithm
+        // 1's `i <= i_max`): the skip must not pull in rank 2.
+        let o = engine.execute(
+            &2,
+            &ExecutionPolicy::Budgeted {
+                sets: usize::MAX,
+                imax: Some(2),
+            },
+            Instant::now(),
+        );
+        assert_eq!(o.sets_skipped, 1);
+        assert_eq!(
+            o.sets_processed, 1,
+            "only one real set inside the i_max cut"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_agree_with_execute() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        let old = engine.run_budgeted(&4, None, 3);
+        let new = engine.execute(&4, &ExecutionPolicy::budgeted(3), Instant::now());
+        assert_eq!(old.output, new.output);
+        assert_eq!(old.sets_processed, new.sets_processed);
+        let old_exact = engine.run_exact(&4);
+        let new_exact = engine
+            .execute(&4, &ExecutionPolicy::Exact, Instant::now())
+            .output;
+        assert_eq!(old_exact, new_exact);
     }
 }

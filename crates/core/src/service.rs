@@ -5,6 +5,15 @@
 //! parallel processing components, one composing component. In-process we
 //! fan out with rayon (the Storm-topology substitute); the latency behaviour
 //! of a *distributed* deployment is modelled separately by `at-sim`.
+//!
+//! [`FanOutService::serve`] is the single request-lifecycle entry point:
+//! it fans the request out under one [`ExecutionPolicy`], composes the
+//! per-component partial outputs through the service's
+//! [`ComposableService::compose`] hook, and returns the response together
+//! with aggregated telemetry ([`ServiceResponse`]).
+
+use std::fmt;
+use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
@@ -12,18 +21,105 @@ use at_synopsis::{AggregationMode, RowStore, SparseRow, SynopsisConfig};
 
 use crate::component::Component;
 use crate::outcome::Outcome;
-use crate::processor::ApproximateService;
+use crate::policy::ExecutionPolicy;
+use crate::processor::{ApproximateService, ComposableService};
+
+/// Errors from service construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// A partitioning or construction call asked for zero components.
+    ZeroComponents,
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::ZeroComponents => {
+                write!(f, "a fan-out service needs at least one component")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
 
 /// Split rows round-robin into `n` subsets of a `feature_dim`-column space —
 /// the "entire input data is divided into n subsets" step. Round-robin keeps
 /// subset sizes within one row of each other.
-pub fn partition_rows(feature_dim: usize, rows: Vec<SparseRow>, n: usize) -> Vec<RowStore> {
-    assert!(n > 0, "partition_rows: n must be >= 1");
+///
+/// Returns [`ServiceError::ZeroComponents`] when `n == 0`.
+pub fn partition_rows(
+    feature_dim: usize,
+    rows: Vec<SparseRow>,
+    n: usize,
+) -> Result<Vec<RowStore>, ServiceError> {
+    if n == 0 {
+        return Err(ServiceError::ZeroComponents);
+    }
     let mut subsets: Vec<RowStore> = (0..n).map(|_| RowStore::new(feature_dim)).collect();
     for (i, row) in rows.into_iter().enumerate() {
         subsets[i % n].push_row(row);
     }
-    subsets
+    Ok(subsets)
+}
+
+/// Per-component processing counters of one served request: an
+/// [`Outcome`] stripped of its output (see [`Outcome::stats`]), so the
+/// counters and [`coverage`](Outcome::coverage) live in one place.
+pub type ComponentTelemetry = Outcome<()>;
+
+/// A composed response plus the request's aggregated telemetry.
+#[derive(Clone, Debug)]
+pub struct ServiceResponse<R> {
+    /// The user-visible composed response.
+    pub response: R,
+    /// Per-component counters, in component order.
+    pub components: Vec<ComponentTelemetry>,
+    /// Wall-clock time from submission to composed response.
+    pub elapsed: Duration,
+}
+
+impl<R> ServiceResponse<R> {
+    /// Mean per-component coverage of ranked sets, in `[0, 1]`.
+    pub fn mean_coverage(&self) -> f64 {
+        if self.components.is_empty() {
+            return 1.0;
+        }
+        self.components.iter().map(|c| c.coverage()).sum::<f64>() / self.components.len() as f64
+    }
+
+    /// Worst per-component coverage (the straggler), in `[0, 1]`.
+    pub fn min_coverage(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.coverage())
+            .fold(1.0, f64::min)
+    }
+
+    /// Ranked sets processed, summed over components.
+    pub fn sets_processed(&self) -> usize {
+        self.components.iter().map(|c| c.sets_processed).sum()
+    }
+
+    /// Ranked sets available, summed over components.
+    pub fn sets_total(&self) -> usize {
+        self.components.iter().map(|c| c.sets_total).sum()
+    }
+
+    /// Stale sets skipped, summed over components; nonzero signals index
+    /// corruption somewhere in the deployment.
+    pub fn sets_skipped(&self) -> usize {
+        self.components.iter().map(|c| c.sets_skipped).sum()
+    }
+
+    /// Map the response, keeping the telemetry.
+    pub fn map<U>(self, f: impl FnOnce(R) -> U) -> ServiceResponse<U> {
+        ServiceResponse {
+            response: f(self.response),
+            components: self.components,
+            elapsed: self.elapsed,
+        }
+    }
 }
 
 /// An online service fanned out over parallel components.
@@ -47,6 +143,7 @@ where
     where
         S: Send,
     {
+        assert!(!subsets.is_empty(), "service needs >= 1 component");
         let components: Vec<Component<S>> = subsets
             .into_par_iter()
             .map(|subset| Component::build(subset, mode, config, make_service()).0)
@@ -55,6 +152,12 @@ where
     }
 
     /// Wrap pre-built components.
+    ///
+    /// # Panics
+    /// Panics on an empty component list: a zero-component service is a
+    /// construction bug, not a runtime condition (data-driven partitioning
+    /// reports [`ServiceError::ZeroComponents`] from [`partition_rows`]
+    /// before ever reaching a constructor).
     pub fn from_components(components: Vec<Component<S>>) -> Self {
         assert!(!components.is_empty(), "service needs >= 1 component");
         FanOutService { components }
@@ -80,23 +183,82 @@ where
         &mut self.components
     }
 
-    /// Fan a request out to all components with a per-component set budget;
-    /// results arrive in component order.
+    /// Fan a request out to all components under one policy; raw outcomes
+    /// arrive in component order. Prefer [`serve`](Self::serve) when the
+    /// service composes a user-visible response.
+    pub fn broadcast(
+        &self,
+        req: &S::Request,
+        policy: &ExecutionPolicy,
+        submitted: Instant,
+    ) -> Vec<Outcome<S::Output>> {
+        self.components
+            .par_iter()
+            .map(|c| c.execute(req, policy, submitted))
+            .collect()
+    }
+
+    /// Serve one request end to end: fan out under `policy`, compose the
+    /// partial outputs, and aggregate telemetry. The request is treated as
+    /// submitted now; use [`serve_at`](Self::serve_at) when upstream
+    /// queueing delay must count against a deadline policy.
+    pub fn serve(&self, req: &S::Request, policy: &ExecutionPolicy) -> ServiceResponse<S::Response>
+    where
+        S: ComposableService,
+    {
+        self.serve_at(req, policy, Instant::now())
+    }
+
+    /// [`serve`](Self::serve) with an explicit submission instant.
+    pub fn serve_at(
+        &self,
+        req: &S::Request,
+        policy: &ExecutionPolicy,
+        submitted: Instant,
+    ) -> ServiceResponse<S::Response>
+    where
+        S: ComposableService,
+    {
+        let outcomes = self.broadcast(req, policy, submitted);
+        let components: Vec<ComponentTelemetry> = outcomes.iter().map(Outcome::stats).collect();
+        let parts: Vec<S::Output> = outcomes.into_iter().map(|o| o.output).collect();
+        let response = self.components[0].service().compose(req, &parts);
+        ServiceResponse {
+            response,
+            components,
+            elapsed: submitted.elapsed(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deprecated pre-`ExecutionPolicy` broadcast family (one release).
+    // ------------------------------------------------------------------
+
+    /// Fan out with a per-component set budget.
+    #[deprecated(note = "use FanOutService::serve (or broadcast) with ExecutionPolicy::Budgeted")]
     pub fn broadcast_budgeted(
         &self,
         req: &S::Request,
         imax: Option<usize>,
         budget_sets: usize,
     ) -> Vec<Outcome<S::Output>> {
-        self.components
-            .par_iter()
-            .map(|c| c.approx_budgeted(req, imax, budget_sets))
-            .collect()
+        self.broadcast(
+            req,
+            &ExecutionPolicy::Budgeted {
+                sets: budget_sets,
+                imax,
+            },
+            Instant::now(),
+        )
     }
 
-    /// Fan a request out for exact processing on all components.
+    /// Fan out for exact processing.
+    #[deprecated(note = "use FanOutService::serve (or broadcast) with ExecutionPolicy::Exact")]
     pub fn broadcast_exact(&self, req: &S::Request) -> Vec<S::Output> {
-        self.components.par_iter().map(|c| c.exact(req)).collect()
+        self.broadcast(req, &ExecutionPolicy::Exact, Instant::now())
+            .into_iter()
+            .map(|o| o.output)
+            .collect()
     }
 }
 
@@ -142,15 +304,33 @@ mod tests {
         }
     }
 
+    impl ComposableService for CountService {
+        type Response = usize;
+
+        fn compose(&self, _r: &(), parts: &[usize]) -> usize {
+            parts.iter().sum()
+        }
+    }
+
     fn rows(n: usize) -> Vec<SparseRow> {
         (0..n as u32)
             .map(|r| SparseRow::from_pairs((0..6).map(|c| (c, ((r + c) % 4) as f64)).collect()))
             .collect()
     }
 
+    fn quick_service(n_rows: usize, n_components: usize) -> FanOutService<CountService> {
+        let subsets = partition_rows(6, rows(n_rows), n_components).unwrap();
+        let cfg = SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(8),
+            size_ratio: 10,
+            ..SynopsisConfig::default()
+        };
+        FanOutService::build(subsets, AggregationMode::Mean, cfg, || CountService)
+    }
+
     #[test]
     fn partition_is_balanced_and_complete() {
-        let subsets = partition_rows(6, rows(103), 10);
+        let subsets = partition_rows(6, rows(103), 10).unwrap();
         assert_eq!(subsets.len(), 10);
         let sizes: Vec<usize> = subsets.iter().map(|s| s.len()).collect();
         assert_eq!(sizes.iter().sum::<usize>(), 103);
@@ -158,25 +338,83 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "n must be")]
-    fn partition_zero_panics() {
-        partition_rows(6, vec![], 0);
+    fn partition_zero_is_an_error() {
+        let err = partition_rows(6, vec![], 0).unwrap_err();
+        assert_eq!(err, ServiceError::ZeroComponents);
+        let msg = ServiceError::ZeroComponents.to_string();
+        assert!(msg.contains("at least one component"), "got: {msg}");
     }
 
     #[test]
-    fn broadcast_covers_all_subsets() {
-        let subsets = partition_rows(6, rows(120), 4);
-        let cfg = SynopsisConfig {
-            svd: SvdConfig::default().with_epochs(8),
-            size_ratio: 10,
-            ..SynopsisConfig::default()
-        };
-        let svc = FanOutService::build(subsets, AggregationMode::Mean, cfg, || CountService);
+    fn serve_covers_all_subsets() {
+        let svc = quick_service(120, 4);
         assert_eq!(svc.len(), 4);
-        let outs = svc.broadcast_budgeted(&(), None, usize::MAX);
-        let total: usize = outs.iter().map(|o| o.output).sum();
-        assert_eq!(total, 120, "all components processed their whole subset");
+        let full = svc.serve(&(), &ExecutionPolicy::budgeted(usize::MAX));
+        assert_eq!(
+            full.response, 120,
+            "all components processed their whole subset"
+        );
+        assert_eq!(full.components.len(), 4);
+        assert_eq!(full.mean_coverage(), 1.0);
+        assert_eq!(full.min_coverage(), 1.0);
+        assert_eq!(full.sets_skipped(), 0);
+        let exact = svc.serve(&(), &ExecutionPolicy::Exact);
+        assert_eq!(exact.response, 120);
+    }
+
+    #[test]
+    fn serve_synopsis_only_touches_nothing() {
+        let svc = quick_service(120, 4);
+        let r = svc.serve(&(), &ExecutionPolicy::SynopsisOnly);
+        assert_eq!(r.response, 0, "no members processed under SynopsisOnly");
+        assert_eq!(r.sets_processed(), 0);
+        assert!(r.sets_total() > 0);
+        assert_eq!(r.mean_coverage(), 0.0);
+    }
+
+    #[test]
+    fn serve_telemetry_tracks_partial_budgets() {
+        let svc = quick_service(160, 4);
+        let r = svc.serve(&(), &ExecutionPolicy::budgeted(1));
+        assert_eq!(r.components.len(), 4);
+        for c in &r.components {
+            assert_eq!(c.sets_processed, 1.min(c.sets_total));
+        }
+        assert!(r.mean_coverage() > 0.0 && r.mean_coverage() < 1.0);
+        assert!(r.min_coverage() <= r.mean_coverage());
+        assert!(r.elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn serve_expired_deadline_degrades_to_synopsis() {
+        let svc = quick_service(120, 3);
+        let submitted = Instant::now() - Duration::from_millis(50);
+        let r = svc.serve_at(
+            &(),
+            &ExecutionPolicy::deadline(Duration::from_millis(10)),
+            submitted,
+        );
+        let synopsis_only = svc.serve(&(), &ExecutionPolicy::SynopsisOnly);
+        assert_eq!(r.response, synopsis_only.response);
+        assert_eq!(r.sets_processed(), 0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_broadcasts_agree_with_policy_broadcast() {
+        let svc = quick_service(100, 2);
+        let old: usize = svc
+            .broadcast_budgeted(&(), None, usize::MAX)
+            .into_iter()
+            .map(|o| o.output)
+            .sum();
+        let new: usize = svc
+            .broadcast(&(), &ExecutionPolicy::budgeted(usize::MAX), Instant::now())
+            .into_iter()
+            .map(|o| o.output)
+            .sum();
+        assert_eq!(old, new);
         let exact: usize = svc.broadcast_exact(&()).iter().sum();
-        assert_eq!(exact, 120);
+        assert_eq!(exact, 100);
     }
 }

@@ -127,12 +127,7 @@ mod tests {
     #[test]
     fn common_intersection_basic() {
         // User A rated items 1,2,3; user B rated 2,3,4. Common = {2,3}.
-        let (w, n) = pearson_on_common(
-            &[1, 2, 3],
-            &[5.0, 1.0, 2.0],
-            &[2, 3, 4],
-            &[2.0, 4.0, 1.0],
-        );
+        let (w, n) = pearson_on_common(&[1, 2, 3], &[5.0, 1.0, 2.0], &[2, 3, 4], &[2.0, 4.0, 1.0]);
         assert_eq!(n, 2);
         // Two points always correlate perfectly (here positively: 1<2, 2<4).
         assert!((w - 1.0).abs() < 1e-12);

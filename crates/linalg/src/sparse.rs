@@ -47,7 +47,10 @@ impl SparseMatrix {
     #[inline]
     pub fn row(&self, r: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
         let (s, e) = self.row_range(r);
-        self.col_idx[s..e].iter().copied().zip(self.values[s..e].iter().copied())
+        self.col_idx[s..e]
+            .iter()
+            .copied()
+            .zip(self.values[s..e].iter().copied())
     }
 
     /// Column indices of row `r` (sorted ascending).

@@ -300,8 +300,12 @@ mod tests {
             epochs_per_dim: 250,
             ..SvdConfig::default()
         };
-        let e1 = IncrementalSvd::new(cfg1).fit(&data).reconstruction_rmse(&data);
-        let e3 = IncrementalSvd::new(cfg3).fit(&data).reconstruction_rmse(&data);
+        let e1 = IncrementalSvd::new(cfg1)
+            .fit(&data)
+            .reconstruction_rmse(&data);
+        let e3 = IncrementalSvd::new(cfg3)
+            .fit(&data)
+            .reconstruction_rmse(&data);
         assert!(
             e3 < e1 * 0.8,
             "3 dims should fit rank-2 data much better: e1={e1} e3={e3}"
@@ -382,8 +386,8 @@ mod tests {
         let v = model.fold_in_row(&cols, &vals, 400);
         let mut se = 0.0;
         for (&c, &actual) in cols.iter().zip(&vals) {
-            let pred = model.global_mean()
-                + crate::vector::dot(&v, model.col_factors().row(c as usize));
+            let pred =
+                model.global_mean() + crate::vector::dot(&v, model.col_factors().row(c as usize));
             se += (pred - actual) * (pred - actual);
         }
         let rmse = (se / vals.len() as f64).sqrt();

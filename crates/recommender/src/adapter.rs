@@ -11,7 +11,7 @@
 //! * **Improvement** — replace one aggregated user's estimated contribution
 //!   with the exact contributions of its member users.
 
-use at_core::{ApproximateService, Correlation, Ctx};
+use at_core::{ApproximateService, ComposableService, Correlation, Ctx};
 use at_rtree::NodeId;
 
 use crate::predict::{accumulate_neighbor, user_weight, PredictionAcc};
@@ -25,11 +25,7 @@ impl ApproximateService for CfService {
     type Request = ActiveUser;
     type Output = Vec<PredictionAcc>;
 
-    fn process_synopsis(
-        &self,
-        ctx: Ctx<'_>,
-        req: &ActiveUser,
-    ) -> (Self::Output, Vec<Correlation>) {
+    fn process_synopsis(&self, ctx: Ctx<'_>, req: &ActiveUser) -> (Self::Output, Vec<Correlation>) {
         let mut acc = vec![PredictionAcc::default(); req.targets.len()];
         let mut corr = Vec::with_capacity(ctx.store.synopsis().len());
         for p in ctx.store.synopsis().iter() {
@@ -70,18 +66,29 @@ impl ApproximateService for CfService {
     }
 }
 
-/// Compose per-component partial sums into final predictions (one per
-/// target), using the active user's mean as the baseline.
-pub fn compose_predictions(req: &ActiveUser, parts: &[Vec<PredictionAcc>]) -> Vec<f64> {
-    let mut total = vec![PredictionAcc::default(); req.targets.len()];
-    for part in parts {
-        assert_eq!(part.len(), total.len(), "component output arity mismatch");
-        for (t, p) in total.iter_mut().zip(part) {
-            t.merge(p);
+impl ComposableService for CfService {
+    type Response = Vec<f64>;
+
+    /// Merge per-component partial sums into final predictions (one per
+    /// target), using the active user's mean as the baseline — the paper's
+    /// composing component for the recommender.
+    fn compose(&self, req: &ActiveUser, parts: &[Vec<PredictionAcc>]) -> Vec<f64> {
+        let mut total = vec![PredictionAcc::default(); req.targets.len()];
+        for part in parts {
+            assert_eq!(part.len(), total.len(), "component output arity mismatch");
+            for (t, p) in total.iter_mut().zip(part) {
+                t.merge(p);
+            }
         }
+        let mean = req.mean_rating();
+        total.iter().map(|a| a.predict(mean)).collect()
     }
-    let mean = req.mean_rating();
-    total.iter().map(|a| a.predict(mean)).collect()
+}
+
+/// Compose per-component partial sums into final predictions.
+#[deprecated(note = "use CfService's ComposableService::compose (FanOutService::serve) instead")]
+pub fn compose_predictions(req: &ActiveUser, parts: &[Vec<PredictionAcc>]) -> Vec<f64> {
+    CfService.compose(req, parts)
 }
 
 /// Figure 4(a) analysis: rank aggregated users by |weight| to `req`, split
@@ -125,10 +132,11 @@ pub fn section_relatedness(
 mod tests {
     use super::*;
     use crate::ratings::rating_matrix;
-    use at_core::Component;
+    use at_core::{Component, ExecutionPolicy};
     use at_linalg::svd::SvdConfig;
     use at_synopsis::{AggregationMode, SparseRow, SynopsisConfig};
     use at_workloads::{RatingsConfig, RatingsDataset};
+    use std::time::Instant;
 
     fn component() -> (Component<CfService>, RatingsDataset) {
         let data = RatingsDataset::generate(RatingsConfig {
@@ -147,6 +155,10 @@ mod tests {
         (c, data)
     }
 
+    fn compose(req: &ActiveUser, parts: &[Vec<PredictionAcc>]) -> Vec<f64> {
+        CfService.compose(req, parts)
+    }
+
     fn active(data: &RatingsDataset, user: u32, targets: Vec<u32>) -> ActiveUser {
         let pairs: Vec<(u32, f64)> = data
             .ratings
@@ -161,10 +173,10 @@ mod tests {
     fn full_budget_matches_exact() {
         let (c, data) = component();
         let req = active(&data, 3, vec![1, 5, 9]);
-        let approx = c.approx_budgeted(&req, None, usize::MAX);
-        let exact = c.exact(&req);
-        let pa = compose_predictions(&req, &[approx.output]);
-        let pe = compose_predictions(&req, &[exact]);
+        let approx = c.execute(&req, &ExecutionPolicy::budgeted(usize::MAX), Instant::now());
+        let exact = c.execute(&req, &ExecutionPolicy::Exact, Instant::now());
+        let pa = compose(&req, &[approx.output]);
+        let pe = compose(&req, &[exact.output]);
         for (a, e) in pa.iter().zip(&pe) {
             assert!(
                 (a - e).abs() < 1e-6,
@@ -177,8 +189,8 @@ mod tests {
     fn zero_budget_predictions_are_plausible() {
         let (c, data) = component();
         let req = active(&data, 10, vec![2, 4]);
-        let o = c.approx_budgeted(&req, None, 0);
-        let preds = compose_predictions(&req, &[o.output]);
+        let o = c.execute(&req, &ExecutionPolicy::SynopsisOnly, Instant::now());
+        let preds = compose(&req, &[o.output]);
         for p in preds {
             assert!((1.0..=5.0).contains(&p));
         }
@@ -195,9 +207,18 @@ mod tests {
             let mut n = 0;
             for user in [1u32, 7, 21, 40] {
                 let req = active(&data, user, vec![0, 3, 6]);
-                let approx =
-                    compose_predictions(&req, &[c.approx_budgeted(&req, None, budget).output]);
-                let exact = compose_predictions(&req, &[c.exact(&req)]);
+                let approx = compose(
+                    &req,
+                    &[
+                        c.execute(&req, &ExecutionPolicy::budgeted(budget), Instant::now())
+                            .output,
+                    ],
+                );
+                let exact = compose(
+                    &req,
+                    &[c.execute(&req, &ExecutionPolicy::Exact, Instant::now())
+                        .output],
+                );
                 for (a, e) in approx.iter().zip(&exact) {
                     err += (a - e).abs();
                     n += 1;
@@ -265,10 +286,12 @@ mod tests {
     fn compose_merges_components() {
         let (c, data) = component();
         let req = active(&data, 2, vec![1]);
-        let exact = c.exact(&req);
+        let exact = c
+            .execute(&req, &ExecutionPolicy::Exact, Instant::now())
+            .output;
         // Splitting one component's output into two halves then composing
         // must equal composing the whole.
-        let whole = compose_predictions(&req, &[exact.clone()]);
+        let whole = compose(&req, std::slice::from_ref(&exact));
         let half: Vec<PredictionAcc> = exact
             .iter()
             .map(|a| PredictionAcc {
@@ -276,7 +299,7 @@ mod tests {
                 den: a.den / 2.0,
             })
             .collect();
-        let split = compose_predictions(&req, &[half.clone(), half]);
+        let split = compose(&req, &[half.clone(), half]);
         assert!((whole[0] - split[0]).abs() < 1e-9);
     }
 }

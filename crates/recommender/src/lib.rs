@@ -8,8 +8,10 @@
 //! * [`predict`] — Pearson weights and weighted-average prediction with
 //!   mergeable partial sums (for fan-out composition).
 //! * [`mod@rmse`] — RMSE and the paper's accuracy-loss percentage.
-//! * [`adapter`] — [`CfService`]: the [`at_core::ApproximateService`]
-//!   implementation plus the Figure-4(a) section-relatedness analysis.
+//! * [`adapter`] — [`CfService`]: the [`at_core::ApproximateService`] +
+//!   [`at_core::ComposableService`] implementation (per-component partial
+//!   sums composed into final predictions) plus the Figure-4(a)
+//!   section-relatedness analysis.
 
 pub mod adapter;
 pub mod predict;
@@ -17,7 +19,9 @@ pub mod ratings;
 pub mod rmse;
 pub mod topn;
 
-pub use adapter::{compose_predictions, section_relatedness, CfService};
+#[allow(deprecated)]
+pub use adapter::compose_predictions;
+pub use adapter::{section_relatedness, CfService};
 pub use predict::{accumulate_neighbor, predict_partial, user_weight, PredictionAcc};
 pub use ratings::{rating_matrix, ActiveUser};
 pub use rmse::{accuracy_loss_pct, rmse};

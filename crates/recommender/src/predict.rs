@@ -46,12 +46,7 @@ impl PredictionAcc {
 /// The Pearson weight between the active user and one neighbour row.
 /// Returns `(weight, common_items)`; weight is 0 below [`MIN_COMMON_ITEMS`].
 pub fn user_weight(active: &SparseRow, neighbor: &SparseRow) -> (f64, usize) {
-    let (w, common) = pearson_on_common(
-        &active.cols,
-        &active.vals,
-        &neighbor.cols,
-        &neighbor.vals,
-    );
+    let (w, common) = pearson_on_common(&active.cols, &active.vals, &neighbor.cols, &neighbor.vals);
     if common < MIN_COMMON_ITEMS {
         (0.0, common)
     } else {
@@ -154,9 +149,15 @@ mod tests {
 
     #[test]
     fn prediction_clamped_to_star_scale() {
-        let acc = PredictionAcc { num: 100.0, den: 1.0 };
+        let acc = PredictionAcc {
+            num: 100.0,
+            den: 1.0,
+        };
         assert_eq!(acc.predict(3.0), 5.0);
-        let acc = PredictionAcc { num: -100.0, den: 1.0 };
+        let acc = PredictionAcc {
+            num: -100.0,
+            den: 1.0,
+        };
         assert_eq!(acc.predict(3.0), 1.0);
     }
 

@@ -56,9 +56,21 @@ mod tests {
     #[test]
     fn matrix_places_ratings() {
         let ratings = vec![
-            Rating { user: 0, item: 2, stars: 4.0 },
-            Rating { user: 2, item: 0, stars: 1.0 },
-            Rating { user: 0, item: 1, stars: 5.0 },
+            Rating {
+                user: 0,
+                item: 2,
+                stars: 4.0,
+            },
+            Rating {
+                user: 2,
+                item: 0,
+                stars: 1.0,
+            },
+            Rating {
+                user: 0,
+                item: 1,
+                stars: 5.0,
+            },
         ];
         let m = rating_matrix(3, 4, &ratings);
         assert_eq!(m.len(), 3);
@@ -71,12 +83,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn out_of_range_user_panics() {
-        rating_matrix(1, 1, &[Rating { user: 5, item: 0, stars: 3.0 }]);
+        rating_matrix(
+            1,
+            1,
+            &[Rating {
+                user: 5,
+                item: 0,
+                stars: 3.0,
+            }],
+        );
     }
 
     #[test]
     fn active_user_normalizes_targets() {
-        let u = ActiveUser::new(SparseRow::from_pairs(vec![(0, 4.0), (1, 2.0)]), vec![3, 1, 3]);
+        let u = ActiveUser::new(
+            SparseRow::from_pairs(vec![(0, 4.0), (1, 2.0)]),
+            vec![3, 1, 3],
+        );
         assert_eq!(u.targets, vec![1, 3]);
         assert_eq!(u.mean_rating(), 3.0);
     }

@@ -24,11 +24,7 @@ pub struct Recommendation {
 
 /// Recommend the `n` best unrated items for `active`, scoring against all
 /// rows of `neighbors`. Ties break toward lower item ids.
-pub fn recommend_top_n(
-    active: &ActiveUser,
-    neighbors: &RowStore,
-    n: usize,
-) -> Vec<Recommendation> {
+pub fn recommend_top_n(active: &ActiveUser, neighbors: &RowStore, n: usize) -> Vec<Recommendation> {
     // Candidates: every item the active user has NOT rated.
     let rated: std::collections::HashSet<u32> = active.profile.cols.iter().copied().collect();
     let candidates: Vec<u32> = (0..neighbors.feature_dim() as u32)
@@ -57,11 +53,7 @@ pub fn recommend_top_n(
         b.predicted
             .partial_cmp(&a.predicted)
             .expect("finite prediction")
-            .then_with(|| {
-                b.support
-                    .partial_cmp(&a.support)
-                    .expect("finite support")
-            })
+            .then_with(|| b.support.partial_cmp(&a.support).expect("finite support"))
             .then_with(|| a.item.cmp(&b.item))
     });
     recs.truncate(n);
@@ -113,7 +105,11 @@ mod tests {
     fn rated_items_are_excluded() {
         let recs = recommend_top_n(&active(), &neighbors(), 10);
         for r in &recs {
-            assert!(![2u32, 3, 4].contains(&r.item), "item {} was already rated", r.item);
+            assert!(
+                ![2u32, 3, 4].contains(&r.item),
+                "item {} was already rated",
+                r.item
+            );
         }
     }
 

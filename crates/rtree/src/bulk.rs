@@ -133,8 +133,7 @@ fn str_tile(
     });
     // Slab count along this axis: the dims-th root of the group count, so
     // tiling ends up roughly square.
-    let slabs = ((n_groups as f64).powf(1.0 / dims as f64).ceil() as usize)
-        .clamp(1, n_groups);
+    let slabs = ((n_groups as f64).powf(1.0 / dims as f64).ceil() as usize).clamp(1, n_groups);
     // Distribute groups across slabs (sizes differ by at most one), then
     // give each slab an entry share proportional to its group share.
     let n = entries.len();
@@ -233,7 +232,10 @@ mod tests {
         (0..n)
             .map(|i| {
                 let f = i as f64;
-                (i as u64, vec![(f * 0.37).sin() * 10.0, (f * 0.73).cos() * 10.0])
+                (
+                    i as u64,
+                    vec![(f * 0.37).sin() * 10.0, (f * 0.73).cos() * 10.0],
+                )
             })
             .collect()
     }

@@ -182,7 +182,11 @@ mod tests {
             all.extend(items);
         }
         all.sort_unstable();
-        assert_eq!(all, (0..200u64).collect::<Vec<_>>(), "level must partition items");
+        assert_eq!(
+            all,
+            (0..200u64).collect::<Vec<_>>(),
+            "level must partition items"
+        );
     }
 
     #[test]
@@ -191,8 +195,7 @@ mod tests {
         let sizes = t.level_sizes();
         for target in [1usize, 4, 20, 100, 100_000] {
             let d = t.select_depth(target);
-            let dist =
-                |count: usize| (count as f64 / target.max(1) as f64).ln().abs();
+            let dist = |count: usize| (count as f64 / target.max(1) as f64).ln().abs();
             let best = sizes.iter().map(|&c| dist(c)).fold(f64::INFINITY, f64::min);
             assert_eq!(
                 dist(sizes[d]),

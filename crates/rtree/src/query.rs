@@ -104,10 +104,16 @@ impl RTree {
                             .map(|(a, b)| (a - b) * (a - b))
                             .sum();
                         if best.len() < k {
-                            best.push(Candidate { dist2: d2, item: e.item });
+                            best.push(Candidate {
+                                dist2: d2,
+                                item: e.item,
+                            });
                         } else if d2 < best.peek().expect("non-empty").dist2 {
                             best.pop();
-                            best.push(Candidate { dist2: d2, item: e.item });
+                            best.push(Candidate {
+                                dist2: d2,
+                                item: e.item,
+                            });
                         }
                     }
                 }

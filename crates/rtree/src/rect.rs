@@ -147,11 +147,7 @@ impl Rect {
     /// Whether `self` fully contains `other`.
     pub fn contains(&self, other: &Rect) -> bool {
         !other.is_empty()
-            && self
-                .min
-                .iter()
-                .zip(&other.min)
-                .all(|(a, b)| a <= b)
+            && self.min.iter().zip(&other.min).all(|(a, b)| a <= b)
             && self.max.iter().zip(&other.max).all(|(a, b)| a >= b)
     }
 
@@ -168,10 +164,7 @@ impl Rect {
         if self.is_empty() || other.is_empty() {
             return false;
         }
-        self.min
-            .iter()
-            .zip(&other.max)
-            .all(|(lo, hi)| lo <= hi)
+        self.min.iter().zip(&other.max).all(|(lo, hi)| lo <= hi)
             && other.min.iter().zip(&self.max).all(|(lo, hi)| lo <= hi)
     }
 

@@ -124,9 +124,7 @@ impl RTree {
     /// # Panics
     /// Panics on a dangling id.
     pub fn node(&self, id: NodeId) -> &Node {
-        self.nodes[id.0 as usize]
-            .as_ref()
-            .expect("dangling NodeId")
+        self.nodes[id.0 as usize].as_ref().expect("dangling NodeId")
     }
 
     /// Whether `id` refers to a live node.
@@ -150,9 +148,7 @@ impl RTree {
     }
 
     fn node_mut(&mut self, id: NodeId) -> &mut Node {
-        self.nodes[id.0 as usize]
-            .as_mut()
-            .expect("dangling NodeId")
+        self.nodes[id.0 as usize].as_mut().expect("dangling NodeId")
     }
 
     /// Run a closure with mutable access to a node (crate-internal; used by
@@ -347,7 +343,10 @@ impl RTree {
             sibling
         } else {
             let children = std::mem::take(self.node_mut(id).children_mut());
-            let rects: Vec<Rect> = children.iter().map(|&c| self.node(c).rect.clone()).collect();
+            let rects: Vec<Rect> = children
+                .iter()
+                .map(|&c| self.node(c).rect.clone())
+                .collect();
             let (ga, gb) = quadratic_partition(&rects, self.cfg.min_entries);
             let (mut ca, mut cb) = (Vec::new(), Vec::new());
             let mut take = vec![false; children.len()];
@@ -387,7 +386,13 @@ impl RTree {
             NodeKind::Internal(children) => {
                 let mut r = Rect::empty(self.dims);
                 for &c in children {
-                    r.union_assign(&self.nodes[c.0 as usize].as_ref().expect("child").rect.clone());
+                    r.union_assign(
+                        &self.nodes[c.0 as usize]
+                            .as_ref()
+                            .expect("child")
+                            .rect
+                            .clone(),
+                    );
                 }
                 r
             }
@@ -679,11 +684,13 @@ mod tests {
             for id in (1..36).step_by(2) {
                 t.remove(id as u64);
             }
-            t.validate().unwrap_or_else(|e| panic!("round {round} after removes: {e}"));
+            t.validate()
+                .unwrap_or_else(|e| panic!("round {round} after removes: {e}"));
             for id in (1..36).step_by(2) {
                 t.insert(id as u64, &[(id % 6) as f64 + 0.5, (id / 6) as f64 + 0.5]);
             }
-            t.validate().unwrap_or_else(|e| panic!("round {round} after inserts: {e}"));
+            t.validate()
+                .unwrap_or_else(|e| panic!("round {round} after inserts: {e}"));
         }
         assert_eq!(t.len(), 36);
     }
@@ -753,10 +760,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "min_entries")]
     fn invalid_config_panics() {
-        RTree::new(2, RTreeConfig {
-            max_entries: 4,
-            min_entries: 3,
-        });
+        RTree::new(
+            2,
+            RTreeConfig {
+                max_entries: 4,
+                min_entries: 3,
+            },
+        );
     }
 
     #[test]

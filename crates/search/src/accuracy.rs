@@ -18,7 +18,10 @@ pub fn topk_overlap(actual: &[u64], retrieved: &[u64]) -> f64 {
 /// Accuracy-loss percentage versus exact processing. Exact retrieval has
 /// overlap 1 by definition, so the loss is simply `100 × (1 − overlap)`.
 pub fn accuracy_loss_pct(overlap: f64) -> f64 {
-    assert!((0.0..=1.0 + 1e-9).contains(&overlap), "overlap out of range");
+    assert!(
+        (0.0..=1.0 + 1e-9).contains(&overlap),
+        "overlap out of range"
+    );
     ((1.0 - overlap) * 100.0).max(0.0)
 }
 

@@ -13,7 +13,7 @@
 //! * **Improvement** — score the original pages of one ranked set exactly
 //!   and fold them into the top-k heap.
 
-use at_core::{ApproximateService, Correlation, Ctx};
+use at_core::{ApproximateService, ComposableService, Correlation, Ctx};
 use at_rtree::NodeId;
 use at_synopsis::RowStore;
 
@@ -108,7 +108,9 @@ impl ApproximateService for SearchService {
         members: &[u64],
     ) {
         for &doc in members {
-            let score = self.index.score_row(ctx.dataset.row(doc).iter(), &req.terms);
+            let score = self
+                .index
+                .score_row(ctx.dataset.row(doc).iter(), &req.terms);
             if score > 0.0 {
                 out.push(doc, score);
             }
@@ -117,6 +119,27 @@ impl ApproximateService for SearchService {
 
     fn process_exact(&self, _ctx: Ctx<'_>, req: &SearchRequest) -> Self::Output {
         search_exact(&self.index, &req.terms, self.k)
+    }
+}
+
+/// Stride namespacing component-local document ids into the global id
+/// space: global id = `component * COMPONENT_STRIDE + local doc`.
+pub const COMPONENT_STRIDE: u64 = 1 << 32;
+
+impl ComposableService for SearchService {
+    type Response = TopK;
+
+    /// Merge per-component top-k heaps into the global top-k — the paper's
+    /// composing component for the search engine. Document ids are
+    /// namespaced by component position via [`COMPONENT_STRIDE`].
+    fn compose(&self, _req: &SearchRequest, parts: &[TopK]) -> TopK {
+        let mut merged = TopK::new(self.k);
+        for (component, part) in parts.iter().enumerate() {
+            for h in part.sorted() {
+                merged.push(component as u64 * COMPONENT_STRIDE + h.doc, h.score);
+            }
+        }
+        merged
     }
 }
 
@@ -143,7 +166,10 @@ pub fn section_top_k_coverage(
             let mut hits = 0usize;
             for c in *sec {
                 let members = ctx.store.index().members(c.node).expect("indexed node");
-                hits += actual.iter().filter(|d| members.binary_search(d).is_ok()).count();
+                hits += actual
+                    .iter()
+                    .filter(|d| members.binary_search(d).is_ok())
+                    .count();
             }
             hits as f64 / actual.len() as f64 * 100.0
         })
@@ -154,10 +180,11 @@ pub fn section_top_k_coverage(
 mod tests {
     use super::*;
     use crate::accuracy::topk_overlap;
-    use at_core::Component;
+    use at_core::{Component, ExecutionPolicy};
     use at_linalg::svd::SvdConfig;
     use at_synopsis::{AggregationMode, SparseRow, SynopsisConfig};
     use at_workloads::{Corpus, CorpusConfig, QueryGenerator};
+    use std::time::Instant;
 
     fn component() -> (Component<SearchService>, Corpus) {
         let corpus = Corpus::generate(CorpusConfig::small());
@@ -185,8 +212,12 @@ mod tests {
         let (c, corpus) = component();
         for seed in 0..5u64 {
             let req = some_query(&corpus, seed);
-            let approx = c.approx_budgeted(&req, None, usize::MAX).output;
-            let exact = c.exact(&req);
+            let approx = c
+                .execute(&req, &ExecutionPolicy::budgeted(usize::MAX), Instant::now())
+                .output;
+            let exact = c
+                .execute(&req, &ExecutionPolicy::Exact, Instant::now())
+                .output;
             assert_eq!(
                 approx.doc_ids(),
                 exact.doc_ids(),
@@ -199,7 +230,7 @@ mod tests {
     fn zero_budget_returns_empty_topk() {
         let (c, corpus) = component();
         let req = some_query(&corpus, 1);
-        let o = c.approx_budgeted(&req, None, 0);
+        let o = c.execute(&req, &ExecutionPolicy::SynopsisOnly, Instant::now());
         assert!(o.output.is_empty());
         assert_eq!(o.sets_processed, 0);
     }
@@ -211,9 +242,15 @@ mod tests {
         let mut overlaps = vec![0.0; budgets.len()];
         for seed in 0..8u64 {
             let req = some_query(&corpus, seed);
-            let actual = c.exact(&req).doc_ids();
+            let actual = c
+                .execute(&req, &ExecutionPolicy::Exact, Instant::now())
+                .output
+                .doc_ids();
             for (i, &b) in budgets.iter().enumerate() {
-                let got = c.approx_budgeted(&req, None, b).output.doc_ids();
+                let got = c
+                    .execute(&req, &ExecutionPolicy::budgeted(b), Instant::now())
+                    .output
+                    .doc_ids();
                 overlaps[i] += topk_overlap(&actual, &got);
             }
         }
@@ -238,11 +275,17 @@ mod tests {
         let mut n = 0;
         for seed in 0..20u64 {
             let req = some_query(&corpus, seed);
-            let actual = c.exact(&req).doc_ids();
+            let actual = c
+                .execute(&req, &ExecutionPolicy::Exact, Instant::now())
+                .output
+                .doc_ids();
             if actual.is_empty() {
                 continue;
             }
-            let got = c.approx_budgeted(&req, None, budget).output.doc_ids();
+            let got = c
+                .execute(&req, &ExecutionPolicy::budgeted(budget), Instant::now())
+                .output
+                .doc_ids();
             total_overlap += topk_overlap(&actual, &got);
             n += 1;
         }
@@ -273,10 +316,7 @@ mod tests {
             acc[0] > acc[3],
             "top section must hold more of the actual top-10: {acc:?}"
         );
-        assert!(
-            acc[0] + acc[1] > 50.0,
-            "top half should dominate: {acc:?}"
-        );
+        assert!(acc[0] + acc[1] > 50.0, "top half should dominate: {acc:?}");
     }
 
     #[test]

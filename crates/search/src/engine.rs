@@ -8,7 +8,10 @@ use crate::topk::TopK;
 /// `k` pages. Documents are scored by summed sublinear tf-idf with length
 /// normalization — the similarity score the paper ranks by.
 pub fn search_exact(index: &InvertedIndex, terms: &[u32], k: usize) -> TopK {
-    debug_assert!(terms.windows(2).all(|w| w[0] < w[1]), "terms must be sorted");
+    debug_assert!(
+        terms.windows(2).all(|w| w[0] < w[1]),
+        "terms must be sorted"
+    );
     // Accumulate scores doc-at-a-time over the union of posting lists.
     let mut scores: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
     for &t in terms {

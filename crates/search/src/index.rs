@@ -46,9 +46,7 @@ impl InvertedIndex {
 
     /// Document frequency of `term`.
     pub fn df(&self, term: u32) -> usize {
-        self.postings
-            .get(term as usize)
-            .map_or(0, |p| p.len())
+        self.postings.get(term as usize).map_or(0, |p| p.len())
     }
 
     /// Inverse document frequency: `ln(1 + N / df)`; 0 for unseen terms.
@@ -63,9 +61,7 @@ impl InvertedIndex {
 
     /// Posting list of `term` (doc ascending).
     pub fn postings(&self, term: u32) -> &[(u64, f64)] {
-        self.postings
-            .get(term as usize)
-            .map_or(&[], Vec::as_slice)
+        self.postings.get(term as usize).map_or(&[], Vec::as_slice)
     }
 
     /// A document's length norm.
@@ -85,11 +81,7 @@ impl InvertedIndex {
     /// Score an arbitrary term-count row against query `terms` using this
     /// index's corpus statistics (used for synopsis/aggregated pages and
     /// for improving with original rows).
-    pub fn score_row<'a>(
-        &self,
-        row: impl Iterator<Item = (u32, f64)> + 'a,
-        terms: &[u32],
-    ) -> f64 {
+    pub fn score_row<'a>(&self, row: impl Iterator<Item = (u32, f64)> + 'a, terms: &[u32]) -> f64 {
         let mut score = 0.0;
         let mut len = 0.0;
         for (t, c) in row {

@@ -13,8 +13,8 @@
 //!   implementation plus the Figure-4(b) section-coverage analysis.
 
 pub mod accuracy;
-pub mod cache;
 pub mod adapter;
+pub mod cache;
 pub mod engine;
 pub mod index;
 pub mod score;
@@ -22,8 +22,8 @@ pub mod tokenize;
 pub mod topk;
 
 pub use accuracy::{accuracy_loss_pct, topk_overlap};
+pub use adapter::{section_top_k_coverage, SearchRequest, SearchService, COMPONENT_STRIDE};
 pub use cache::QueryCache;
-pub use adapter::{section_top_k_coverage, SearchRequest, SearchService};
 pub use engine::search_exact;
 pub use index::InvertedIndex;
 pub use score::{Bm25, Bm25Params};

@@ -162,7 +162,14 @@ mod tests {
 
     #[test]
     fn merge_equals_joint_stream() {
-        let hits = [(1u64, 0.3), (2, 0.8), (3, 0.5), (4, 0.9), (5, 0.1), (6, 0.7)];
+        let hits = [
+            (1u64, 0.3),
+            (2, 0.8),
+            (3, 0.5),
+            (4, 0.9),
+            (5, 0.1),
+            (6, 0.7),
+        ];
         let mut joint = TopK::new(3);
         for (d, s) in hits {
             joint.push(d, s);

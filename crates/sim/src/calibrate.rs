@@ -8,7 +8,7 @@
 
 use std::time::Instant;
 
-use at_core::{Algorithm1, ApproximateService, Component};
+use at_core::{Algorithm1, ApproximateService, Component, ExecutionPolicy};
 
 use crate::cost::CostModel;
 
@@ -27,21 +27,25 @@ pub fn calibrate<S: ApproximateService>(
     let t0 = Instant::now();
     for req in requests {
         let engine = Algorithm1::new(component.dataset(), component.store(), component.service());
-        std::hint::black_box(engine.rank_only(req));
+        std::hint::black_box(engine.ranked(req));
     }
     let synopsis_s = t0.elapsed().as_secs_f64() / requests.len() as f64;
 
     // Full improvement (synopsis + every set) — per-set cost by difference.
     let t1 = Instant::now();
     for req in requests {
-        std::hint::black_box(component.approx_budgeted(req, None, usize::MAX));
+        std::hint::black_box(component.execute(
+            req,
+            &ExecutionPolicy::budgeted(usize::MAX),
+            Instant::now(),
+        ));
     }
     let full_s = t1.elapsed().as_secs_f64() / requests.len() as f64;
 
     // Exact baseline.
     let t2 = Instant::now();
     for req in requests {
-        std::hint::black_box(component.exact(req));
+        std::hint::black_box(component.execute(req, &ExecutionPolicy::Exact, Instant::now()));
     }
     let exact_s = t2.elapsed().as_secs_f64() / requests.len() as f64;
 

@@ -555,7 +555,10 @@ mod tests {
             light > heavy,
             "deadline hit rate must fall with load: {light} -> {heavy}"
         );
-        assert!(light > 0.5, "light load should mostly make the deadline: {light}");
+        assert!(
+            light > 0.5,
+            "light load should mostly make the deadline: {light}"
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl FailureTrace {
     /// exponential inter-failure gaps (mean `mtbf_s`), exponential outage
     /// lengths (mean `mttr_s`).
     pub fn generate(n_nodes: usize, duration: f64, cfg: FailureConfig) -> Self {
-        assert!(cfg.mtbf_s > 0.0 && cfg.mttr_s > 0.0, "failure times must be positive");
+        assert!(
+            cfg.mtbf_s > 0.0 && cfg.mttr_s > 0.0,
+            "failure times must be positive"
+        );
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
         let per_node = (0..n_nodes)
             .map(|_| {

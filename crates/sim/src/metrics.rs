@@ -84,7 +84,13 @@ impl BucketedLatencies {
     pub fn p999_series_ms(&self) -> Vec<Option<f64>> {
         self.buckets
             .iter()
-            .map(|b| if b.is_empty() { None } else { Some(b.p999_ms()) })
+            .map(|b| {
+                if b.is_empty() {
+                    None
+                } else {
+                    Some(b.p999_ms())
+                }
+            })
             .collect()
     }
 

@@ -78,11 +78,7 @@ pub fn run_hour_window(
 
 /// All 24 hours for one technique (Figure 7/8), hours in parallel.
 /// Returns per-hour results, hour 1 first.
-pub fn run_day(
-    pattern: &DiurnalPattern,
-    technique: Technique,
-    cfg: &SimConfig,
-) -> Vec<SimResult> {
+pub fn run_day(pattern: &DiurnalPattern, technique: Technique, cfg: &SimConfig) -> Vec<SimResult> {
     (1..=24usize)
         .into_par_iter()
         .map(|h| run_hour(pattern, h, technique, cfg))

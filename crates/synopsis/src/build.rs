@@ -118,10 +118,8 @@ impl SynopsisStore {
         // Step 3: aggregate original information per group (rayon-parallel,
         // replacing the paper's Spark step).
         let t2 = Instant::now();
-        let groups: Vec<(at_rtree::NodeId, Vec<u64>)> = index
-            .iter()
-            .map(|(n, m)| (n, m.to_vec()))
-            .collect();
+        let groups: Vec<(at_rtree::NodeId, Vec<u64>)> =
+            index.iter().map(|(n, m)| (n, m.to_vec())).collect();
         let aggregated: Vec<AggregatedPoint> = groups
             .par_iter()
             .map(|(node, members)| AggregatedPoint {
@@ -181,7 +179,9 @@ impl SynopsisStore {
 
     /// The depth currently cut for the synopsis.
     pub fn depth(&self) -> usize {
-        self.tree.height().saturating_sub(1 + self.level_above_leaves)
+        self.tree
+            .height()
+            .saturating_sub(1 + self.level_above_leaves)
     }
 
     /// Aggregation mode.

@@ -139,7 +139,7 @@ impl RowStore {
 
     /// All row ids (`0..len`).
     pub fn ids(&self) -> impl Iterator<Item = u64> + '_ {
-        (0..self.rows.len() as u64).into_iter()
+        0..self.rows.len() as u64
     }
 
     /// Convert to CSR for SVD training.
@@ -157,7 +157,8 @@ impl RowStore {
     /// the result is sorted ascending; empty member list gives an empty row.
     pub fn aggregate(&self, members: &[u64], mode: AggregationMode) -> SparseRow {
         // Merge member rows column-wise: (sum, count) per column.
-        let mut acc: std::collections::BTreeMap<u32, (f64, u32)> = std::collections::BTreeMap::new();
+        let mut acc: std::collections::BTreeMap<u32, (f64, u32)> =
+            std::collections::BTreeMap::new();
         for &id in members {
             for (c, v) in self.rows[id as usize].iter() {
                 let e = acc.entry(c).or_insert((0.0, 0));

@@ -154,7 +154,9 @@ mod tests {
         for r in 0..n as u32 {
             let base = if r % 2 == 0 { 1.5 } else { 4.0 };
             s.push_row(SparseRow::from_pairs(
-                (0..24).map(|c| (c, base + ((r + c) % 3) as f64 * 0.2)).collect(),
+                (0..24)
+                    .map(|c| (c, base + ((r + c) % 3) as f64 * 0.2))
+                    .collect(),
             ));
         }
         s

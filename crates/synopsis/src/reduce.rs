@@ -91,7 +91,8 @@ mod tests {
         let mut err_proj = 0.0;
         let mut err_fit = 0.0;
         for (c, v) in row.iter() {
-            let pp = m.global_mean() + at_linalg::vector::dot(&proj, m.col_factors().row(c as usize));
+            let pp =
+                m.global_mean() + at_linalg::vector::dot(&proj, m.col_factors().row(c as usize));
             let pf = m.predict(3, c as usize);
             err_proj += (pp - v) * (pp - v);
             err_fit += (pf - v) * (pf - v);

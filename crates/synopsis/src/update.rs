@@ -57,7 +57,11 @@ impl SynopsisStore {
     ///
     /// # Panics
     /// Panics if a `Change` references an id not present in `dataset`.
-    pub fn apply_updates(&mut self, dataset: &mut RowStore, updates: Vec<DataUpdate>) -> UpdateReport {
+    pub fn apply_updates(
+        &mut self,
+        dataset: &mut RowStore,
+        updates: Vec<DataUpdate>,
+    ) -> UpdateReport {
         let start = Instant::now();
         let mut report = UpdateReport::default();
 

@@ -49,12 +49,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn to_row(pairs: &[(u8, u8)]) -> SparseRow {
-    SparseRow::from_pairs(
-        pairs
-            .iter()
-            .map(|&(c, v)| (c as u32, v as f64))
-            .collect(),
-    )
+    SparseRow::from_pairs(pairs.iter().map(|&(c, v)| (c as u32, v as f64)).collect())
 }
 
 proptest! {

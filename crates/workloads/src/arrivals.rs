@@ -85,19 +85,20 @@ mod tests {
 
     #[test]
     fn poisson_deterministic() {
-        assert_eq!(poisson_arrivals(10.0, 5.0, 9), poisson_arrivals(10.0, 5.0, 9));
-        assert_ne!(poisson_arrivals(10.0, 5.0, 9), poisson_arrivals(10.0, 5.0, 10));
+        assert_eq!(
+            poisson_arrivals(10.0, 5.0, 9),
+            poisson_arrivals(10.0, 5.0, 9)
+        );
+        assert_ne!(
+            poisson_arrivals(10.0, 5.0, 9),
+            poisson_arrivals(10.0, 5.0, 10)
+        );
     }
 
     #[test]
     fn variable_rate_tracks_rate_fn() {
         // Rate 10 in the first half, 90 in the second.
-        let arr = variable_rate_arrivals(
-            |t| if t < 50.0 { 10.0 } else { 90.0 },
-            90.0,
-            100.0,
-            5,
-        );
+        let arr = variable_rate_arrivals(|t| if t < 50.0 { 10.0 } else { 90.0 }, 90.0, 100.0, 5);
         let first = arr.iter().filter(|&&t| t < 50.0).count();
         let second = arr.len() - first;
         assert!(

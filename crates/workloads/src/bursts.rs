@@ -124,11 +124,7 @@ mod tests {
         let burst_len: f64 = t.windows.iter().map(|&(s, e)| e - s).sum();
         let calm_len = 1200.0 - burst_len;
         assert!(burst_len > 1.0, "need measurable burst time");
-        let in_burst = |x: f64| {
-            t.windows
-                .iter()
-                .any(|&(s, e)| (s..e).contains(&x))
-        };
+        let in_burst = |x: f64| t.windows.iter().any(|&(s, e)| (s..e).contains(&x));
         let burst_count = t.arrivals.iter().filter(|&&a| in_burst(a)).count();
         let calm_count = t.arrivals.len() - burst_count;
         let burst_rate = burst_count as f64 / burst_len;

@@ -102,9 +102,9 @@ impl Corpus {
         let mut docs = Vec::with_capacity(config.n_docs);
         for _ in 0..config.n_docs {
             let topic = rng.random_range(0..config.n_topics) as u32;
-            let len = (config.doc_len_mean / 2)
-                + rng.random_range(0..config.doc_len_mean.max(1));
-            let mut counts: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+            let len = (config.doc_len_mean / 2) + rng.random_range(0..config.doc_len_mean.max(1));
+            let mut counts: std::collections::BTreeMap<u32, f64> =
+                std::collections::BTreeMap::new();
             for _ in 0..len {
                 let term = if rng.random::<f64>() < config.topic_mix {
                     topic_base[topic as usize] + topic_dist.sample(&mut rng) as u32

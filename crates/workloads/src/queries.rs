@@ -106,7 +106,10 @@ mod tests {
         let mut generator = QueryGenerator::new(&corpus, 21);
         for q in generator.batch(&corpus, 50) {
             let hit = corpus.docs.iter().any(|d| {
-                d.topic == q.topic && q.terms.iter().any(|t| d.terms.iter().any(|&(dt, _)| dt == *t))
+                d.topic == q.topic
+                    && q.terms
+                        .iter()
+                        .any(|t| d.terms.iter().any(|&(dt, _)| dt == *t))
             });
             assert!(hit, "query {q:?} matches no page of its topic");
         }

@@ -96,10 +96,18 @@ impl RatingsDataset {
 
         // Taste prototypes and item latent vectors.
         let tastes: Vec<Vec<f64>> = (0..config.n_tastes)
-            .map(|_| (0..config.latent_dim).map(|_| normal(&mut rng, 0.0, 1.0)).collect())
+            .map(|_| {
+                (0..config.latent_dim)
+                    .map(|_| normal(&mut rng, 0.0, 1.0))
+                    .collect()
+            })
             .collect();
         let items: Vec<Vec<f64>> = (0..config.n_items)
-            .map(|_| (0..config.latent_dim).map(|_| normal(&mut rng, 0.0, 1.0)).collect())
+            .map(|_| {
+                (0..config.latent_dim)
+                    .map(|_| normal(&mut rng, 0.0, 1.0))
+                    .collect()
+            })
             .collect();
         let popularity = Zipf::new(config.n_items, config.popularity_skew);
 
@@ -225,7 +233,10 @@ mod tests {
             let user = d.ratings[i].user;
             let mut seen = std::collections::HashSet::new();
             while i < d.ratings.len() && d.ratings[i].user == user {
-                assert!(seen.insert(d.ratings[i].item), "duplicate item for user {user}");
+                assert!(
+                    seen.insert(d.ratings[i].item),
+                    "duplicate item for user {user}"
+                );
                 i += 1;
             }
         }
@@ -240,7 +251,10 @@ mod tests {
         }
         let head: usize = counts[..12].iter().sum();
         let tail: usize = counts[108..].iter().sum();
-        assert!(head > tail * 2, "head {head} not much bigger than tail {tail}");
+        assert!(
+            head > tail * 2,
+            "head {head} not much bigger than tail {tail}"
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ fn main() {
     // Partition users round-robin across components, build synopses.
     let matrix = rating_matrix(n_users, n_items, &train);
     let rows: Vec<SparseRow> = matrix.ids().map(|id| matrix.row(id).clone()).collect();
-    let subsets = partition_rows(n_items, rows, n_components);
+    let subsets = partition_rows(n_items, rows, n_components).expect("n_components >= 1");
     let service = FanOutService::build(
         subsets,
         AggregationMode::Mean,
@@ -66,7 +66,10 @@ fn main() {
         }
         let targets: Vec<u32> = held.iter().map(|h| h.0).collect();
         let actual: Vec<f64> = held.iter().map(|h| h.1).collect();
-        evals.push((ActiveUser::new(SparseRow::from_pairs(profile), targets), actual));
+        evals.push((
+            ActiveUser::new(SparseRow::from_pairs(profile), targets),
+            actual,
+        ));
     }
 
     println!("\n{:<18} {:>10} {:>14}", "mode", "RMSE", "data touched");
@@ -75,12 +78,12 @@ fn main() {
         let mut actuals = Vec::new();
         let mut touched = 0usize;
         let mut available = 0usize;
+        let policy = ExecutionPolicy::budgeted(budget);
         for (active, actual) in &evals {
-            let outcomes = service.broadcast_budgeted(active, None, budget);
-            touched += outcomes.iter().map(|o| o.sets_processed).sum::<usize>();
-            available += outcomes.iter().map(|o| o.sets_total).sum::<usize>();
-            let parts: Vec<_> = outcomes.into_iter().map(|o| o.output).collect();
-            preds.extend(compose_predictions(active, &parts));
+            let served = service.serve(active, &policy);
+            touched += served.sets_processed();
+            available += served.sets_total();
+            preds.extend(served.response);
             actuals.extend_from_slice(actual);
         }
         let label = if budget == usize::MAX {
@@ -100,8 +103,7 @@ fn main() {
     let mut preds = Vec::new();
     let mut actuals = Vec::new();
     for (active, actual) in &evals {
-        let parts = service.broadcast_exact(active);
-        preds.extend(compose_predictions(active, &parts));
+        preds.extend(service.serve(active, &ExecutionPolicy::Exact).response);
         actuals.extend_from_slice(actual);
     }
     println!(

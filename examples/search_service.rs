@@ -35,7 +35,8 @@ fn main() {
         .iter()
         .map(|d| SparseRow::from_pairs(d.terms.clone()))
         .collect();
-    let subsets = partition_rows(corpus.config.vocab, rows, n_components);
+    let subsets =
+        partition_rows(corpus.config.vocab, rows, n_components).expect("n_components >= 1");
     let components: Vec<Component<SearchService>> = subsets
         .into_iter()
         .map(|subset| {
@@ -65,30 +66,24 @@ fn main() {
         .map(SearchRequest::from)
         .collect();
 
-    println!("{:<24} {:>16} {:>14}", "budget (groups/comp)", "top-10 overlap", "groups used");
+    println!(
+        "{:<24} {:>16} {:>14}",
+        "budget (groups/comp)", "top-10 overlap", "groups used"
+    );
     for budget in [1usize, 2, 4, 8, usize::MAX] {
         let mut overlap_sum = 0.0;
         let mut used = 0usize;
         let mut avail = 0usize;
+        let policy = ExecutionPolicy::budgeted(budget);
         for q in &queries {
-            // Exact global top-10 (namespaced by component).
-            let stride = 1u64 << 32;
-            let mut exact = TopK::new(10);
-            for (i, out) in service.broadcast_exact(q).into_iter().enumerate() {
-                for h in out.sorted() {
-                    exact.push(i as u64 * stride + h.doc, h.score);
-                }
-            }
-            // Approximate under the budget.
-            let mut approx = TopK::new(10);
-            for (i, out) in service.broadcast_budgeted(q, None, budget).into_iter().enumerate() {
-                used += out.sets_processed;
-                avail += out.sets_total;
-                for h in out.output.sorted() {
-                    approx.push(i as u64 * stride + h.doc, h.score);
-                }
-            }
-            overlap_sum += topk_overlap(&exact.doc_ids(), &approx.doc_ids());
+            // `serve` fans out, merges per-component top-10s into the
+            // global top-10 (ids namespaced by component), and reports
+            // how many ranked groups were touched.
+            let exact = service.serve(q, &ExecutionPolicy::Exact);
+            let approx = service.serve(q, &policy);
+            used += approx.sets_processed();
+            avail += approx.sets_total();
+            overlap_sum += topk_overlap(&exact.response.doc_ids(), &approx.response.doc_ids());
         }
         let label = if budget == usize::MAX {
             "all groups".to_string()

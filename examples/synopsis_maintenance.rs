@@ -82,6 +82,8 @@ fn main() {
         );
     }
 
-    store.validate().expect("store consistent after all updates");
+    store
+        .validate()
+        .expect("store consistent after all updates");
     println!("\nstore validated: tree, index file, and synopsis agree.");
 }

@@ -13,6 +13,16 @@
 //! — and then improved with the original data **most correlated with this
 //! request's accuracy**, best groups first, until the latency deadline.
 //!
+//! The online API is policy-driven: an
+//! [`ExecutionPolicy`](crate::core::ExecutionPolicy) (`Exact`,
+//! `SynopsisOnly`, `Budgeted`, `Deadline`) says how much work one request
+//! may spend, and [`FanOutService::serve`](crate::core::FanOutService::serve)
+//! runs the whole lifecycle — rayon fan-out over components, composition
+//! through the service's [`ComposableService`](crate::core::ComposableService)
+//! hook, and aggregated telemetry (per-component coverage, skipped stale
+//! sets, wall-clock elapsed) in the returned
+//! [`ServiceResponse`](crate::core::ServiceResponse).
+//!
 //! This facade re-exports the whole workspace:
 //!
 //! | crate | contents |
@@ -20,7 +30,7 @@
 //! | [`linalg`] | dense/sparse matrices, incremental (Funk) SVD, Pearson, percentiles |
 //! | [`rtree`] | depth-balanced R-tree (insert/delete/bulk-load/levels) |
 //! | [`synopsis`] | offline module: synopsis creation, index file, incremental updating |
-//! | [`core`] | online module: Algorithm 1, components, fan-out services |
+//! | [`core`] | online module: execution policies, Algorithm 1, components, fan-out services |
 //! | [`recommender`] | user-based CF service + AccuracyTrader adapter |
 //! | [`search`] | inverted-index search engine + AccuracyTrader adapter |
 //! | [`sim`] | discrete-event cluster simulator (queueing, interference, 4 techniques) |
@@ -31,24 +41,37 @@
 //! ```
 //! use accuracytrader::prelude::*;
 //!
-//! // A component's subset: 200 users × 40 items of ratings.
+//! // 600 users × 40 items of ratings, partitioned over 3 components.
 //! let data = RatingsDataset::generate(RatingsConfig {
-//!     n_users: 200, n_items: 40, ratings_per_user: 20,
+//!     n_users: 600, n_items: 40, ratings_per_user: 20,
 //!     ..RatingsConfig::small()
 //! });
-//! let matrix = rating_matrix(200, 40, &data.ratings);
+//! let matrix = rating_matrix(600, 40, &data.ratings);
+//! let rows: Vec<SparseRow> = matrix.ids().map(|id| matrix.row(id).clone()).collect();
+//! let subsets = partition_rows(40, rows, 3).expect("n >= 1");
 //!
-//! // Offline: build the synopsis. Online: answer under a budget.
+//! // Offline: build every component's synopsis (parallel pipeline).
 //! let cfg = SynopsisConfig { size_ratio: 15, ..SynopsisConfig::default() };
-//! let (component, _) = Component::build(matrix, AggregationMode::Mean, cfg, CfService);
+//! let service = FanOutService::build(subsets, AggregationMode::Mean, cfg, || CfService);
 //!
+//! // Online: serve one request end to end under different policies.
 //! let active = ActiveUser::new(
 //!     SparseRow::from_pairs(vec![(0, 5.0), (1, 3.0), (2, 1.0)]),
 //!     vec![5, 7],
 //! );
-//! let outcome = component.approx_budgeted(&active, None, 3); // 3 best groups
-//! let predictions = compose_predictions(&active, &[outcome.output]);
-//! assert_eq!(predictions.len(), 2);
+//! // Fast path: answer from the synopses, improve with the 3 best
+//! // correlated groups per component.
+//! let approx = service.serve(&active, &ExecutionPolicy::budgeted(3));
+//! assert_eq!(approx.response.len(), 2); // one prediction per target item
+//! assert!(approx.mean_coverage() > 0.0);
+//!
+//! // Wall-clock production policy: the paper's 100 ms deadline.
+//! let timed = service.serve(&active, &ExecutionPolicy::recommender());
+//! assert_eq!(timed.response.len(), 2);
+//!
+//! // Baseline: exact processing over all original data.
+//! let exact = service.serve(&active, &ExecutionPolicy::Exact);
+//! assert_eq!(exact.min_coverage(), 1.0);
 //! ```
 
 pub use at_core as core;
@@ -62,14 +85,17 @@ pub use at_workloads as workloads;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use at_core::ProcessingConfig;
     pub use at_core::{
-        partition_rows, Algorithm1, ApproximateService, Component, Correlation, Ctx,
-        FanOutService, Outcome, ProcessingConfig,
+        partition_rows, Algorithm1, ApproximateService, Component, ComponentTelemetry,
+        ComposableService, Correlation, Ctx, ExecutionPolicy, FanOutService, Outcome, ServiceError,
+        ServiceResponse,
     };
     pub use at_linalg::svd::{IncrementalSvd, SvdConfig};
-    pub use at_recommender::{
-        compose_predictions, rating_matrix, ActiveUser, CfService, PredictionAcc,
-    };
+    #[allow(deprecated)]
+    pub use at_recommender::compose_predictions;
+    pub use at_recommender::{rating_matrix, ActiveUser, CfService, PredictionAcc};
     pub use at_rtree::{RTree, RTreeConfig};
     pub use at_search::{SearchRequest, SearchService, TopK};
     pub use at_sim::{simulate, CostModel, SimConfig, Technique};

@@ -1,11 +1,14 @@
 //! End-to-end recommender pipeline across all crates: generate ratings →
-//! partition → offline synopsis creation → online approximate processing →
-//! compose → accuracy.
+//! partition → offline synopsis creation → `FanOutService::serve` under an
+//! execution policy → composed predictions → accuracy.
 
 use accuracytrader::prelude::*;
 use accuracytrader::recommender::rmse;
+use std::time::{Duration, Instant};
 
-fn deployment() -> (FanOutService<CfService>, RatingsDataset, Vec<(ActiveUser, Vec<f64>)>) {
+type Evals = Vec<(ActiveUser, Vec<f64>)>;
+
+fn deployment() -> (FanOutService<CfService>, RatingsDataset, Evals) {
     let n_users = 900;
     let n_items = 120;
     let data = RatingsDataset::generate(RatingsConfig {
@@ -20,7 +23,7 @@ fn deployment() -> (FanOutService<CfService>, RatingsDataset, Vec<(ActiveUser, V
     let (train, holdout) = data.holdout_split(0.8, 5);
     let matrix = accuracytrader::recommender::rating_matrix(n_users, n_items, &train);
     let rows: Vec<SparseRow> = matrix.ids().map(|id| matrix.row(id).clone()).collect();
-    let subsets = partition_rows(n_items, rows, 5);
+    let subsets = partition_rows(n_items, rows, 5).expect("5 components");
     let service = FanOutService::build(
         subsets,
         AggregationMode::Mean,
@@ -61,21 +64,82 @@ fn deployment() -> (FanOutService<CfService>, RatingsDataset, Vec<(ActiveUser, V
 }
 
 #[test]
-fn full_budget_broadcast_equals_exact() {
+fn full_budget_serve_equals_exact() {
     let (service, _, evals) = deployment();
     for (active, _) in evals.iter().take(5) {
-        let approx: Vec<_> = service
-            .broadcast_budgeted(active, None, usize::MAX)
-            .into_iter()
-            .map(|o| o.output)
-            .collect();
-        let exact = service.broadcast_exact(active);
-        let pa = compose_predictions(active, &approx);
-        let pe = compose_predictions(active, &exact);
-        for (a, e) in pa.iter().zip(&pe) {
+        let approx = service.serve(active, &ExecutionPolicy::budgeted(usize::MAX));
+        let exact = service.serve(active, &ExecutionPolicy::Exact);
+        assert_eq!(approx.mean_coverage(), 1.0);
+        assert_eq!(exact.min_coverage(), 1.0);
+        for (a, e) in approx.response.iter().zip(&exact.response) {
             assert!((a - e).abs() < 1e-9, "approx {a} != exact {e}");
         }
     }
+}
+
+#[test]
+fn synopsis_only_serve_equals_zero_budget() {
+    let (service, _, evals) = deployment();
+    for (active, _) in evals.iter().take(5) {
+        let syn = service.serve(active, &ExecutionPolicy::SynopsisOnly);
+        let zero = service.serve(active, &ExecutionPolicy::budgeted(0));
+        assert_eq!(syn.response, zero.response);
+        assert_eq!(syn.sets_processed(), 0);
+        assert_eq!(zero.sets_processed(), 0);
+    }
+}
+
+#[test]
+fn expired_deadline_serve_returns_synopsis_only_response() {
+    let (service, _, evals) = deployment();
+    let (active, _) = &evals[0];
+    // Submitted long before serve_at runs: the deadline is already blown,
+    // so every component must degrade to its synopsis-only result.
+    let submitted = Instant::now() - Duration::from_millis(80);
+    let served = service.serve_at(
+        active,
+        &ExecutionPolicy::deadline(Duration::from_millis(10)),
+        submitted,
+    );
+    assert_eq!(served.sets_processed(), 0, "no improvement after deadline");
+    assert_eq!(served.mean_coverage(), 0.0);
+    let synopsis_only = service.serve(active, &ExecutionPolicy::SynopsisOnly);
+    assert_eq!(served.response, synopsis_only.response);
+    assert!(
+        served.elapsed >= Duration::from_millis(80),
+        "elapsed counts queueing"
+    );
+}
+
+#[test]
+fn generous_deadline_serve_matches_exact() {
+    let (service, _, evals) = deployment();
+    let (active, _) = &evals[0];
+    let served = service.serve(active, &ExecutionPolicy::deadline(Duration::from_secs(30)));
+    assert_eq!(
+        served.mean_coverage(),
+        1.0,
+        "long deadline improves everything"
+    );
+    let exact = service.serve(active, &ExecutionPolicy::Exact);
+    for (a, e) in served.response.iter().zip(&exact.response) {
+        assert!((a - e).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn serve_telemetry_is_consistent() {
+    let (service, _, evals) = deployment();
+    let (active, _) = &evals[0];
+    let served = service.serve(active, &ExecutionPolicy::budgeted(2));
+    assert_eq!(served.components.len(), service.len());
+    for c in &served.components {
+        assert_eq!(c.sets_processed, 2.min(c.sets_total));
+        assert_eq!(c.sets_skipped, 0);
+    }
+    assert!(served.min_coverage() <= served.mean_coverage());
+    assert_eq!(served.sets_skipped(), 0);
+    assert!(served.elapsed > Duration::ZERO);
 }
 
 #[test]
@@ -85,8 +149,7 @@ fn predictions_beat_user_mean_baseline() {
     let mut base_preds = Vec::new();
     let mut actuals = Vec::new();
     for (active, actual) in &evals {
-        let exact = service.broadcast_exact(active);
-        cf_preds.extend(compose_predictions(active, &exact));
+        cf_preds.extend(service.serve(active, &ExecutionPolicy::Exact).response);
         base_preds.extend(vec![active.mean_rating(); actual.len()]);
         actuals.extend_from_slice(actual);
     }
@@ -100,21 +163,20 @@ fn predictions_beat_user_mean_baseline() {
 
 #[test]
 fn synopsis_estimate_close_to_exact_accuracy() {
-    // The paper's central claim at the component level: the synopsis-only
-    // result (budget 0, aggregated users standing in for their groups)
-    // already lands near the exact accuracy.
+    // The paper's central claim at the service level: the synopsis-only
+    // response (aggregated users standing in for their groups) already
+    // lands near the exact accuracy.
     let (service, _, evals) = deployment();
     let mut synopsis_preds = Vec::new();
     let mut exact_preds = Vec::new();
     let mut actuals = Vec::new();
     for (active, actual) in &evals {
-        let syn: Vec<_> = service
-            .broadcast_budgeted(active, None, 0)
-            .into_iter()
-            .map(|o| o.output)
-            .collect();
-        synopsis_preds.extend(compose_predictions(active, &syn));
-        exact_preds.extend(compose_predictions(active, &service.broadcast_exact(active)));
+        synopsis_preds.extend(
+            service
+                .serve(active, &ExecutionPolicy::SynopsisOnly)
+                .response,
+        );
+        exact_preds.extend(service.serve(active, &ExecutionPolicy::Exact).response);
         actuals.extend_from_slice(actual);
     }
     let syn_rmse = rmse(&synopsis_preds, &actuals);
@@ -143,15 +205,14 @@ fn data_updates_keep_service_consistent() {
     }
     // The service still answers correctly after updates.
     let (active, _) = &evals[0];
-    let approx: Vec<_> = service
-        .broadcast_budgeted(active, None, usize::MAX)
-        .into_iter()
-        .map(|o| o.output)
-        .collect();
-    let exact = service.broadcast_exact(active);
-    let pa = compose_predictions(active, &approx);
-    let pe = compose_predictions(active, &exact);
-    for (a, e) in pa.iter().zip(&pe) {
+    let approx = service.serve(active, &ExecutionPolicy::budgeted(usize::MAX));
+    let exact = service.serve(active, &ExecutionPolicy::Exact);
+    assert_eq!(
+        approx.sets_skipped(),
+        0,
+        "updates left no stale index entries"
+    );
+    for (a, e) in approx.response.iter().zip(&exact.response) {
         assert!((a - e).abs() < 1e-9);
     }
 }

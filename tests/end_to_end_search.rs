@@ -1,10 +1,11 @@
 //! End-to-end search pipeline across all crates: generate corpus →
-//! partition → index → synopsis → approximate retrieval → merged top-10
+//! partition → index → synopsis → `FanOutService::serve` → merged top-10
 //! accuracy.
 
 use accuracytrader::core::Component;
 use accuracytrader::prelude::*;
 use accuracytrader::search::topk_overlap;
+use std::time::{Duration, Instant};
 
 fn deployment() -> (FanOutService<SearchService>, Corpus, Vec<SearchRequest>) {
     let corpus = Corpus::generate(CorpusConfig {
@@ -18,7 +19,7 @@ fn deployment() -> (FanOutService<SearchService>, Corpus, Vec<SearchRequest>) {
         .iter()
         .map(|d| SparseRow::from_pairs(d.terms.clone()))
         .collect();
-    let subsets = partition_rows(corpus.config.vocab, rows, 4);
+    let subsets = partition_rows(corpus.config.vocab, rows, 4).expect("4 components");
     let components: Vec<Component<SearchService>> = subsets
         .into_iter()
         .map(|subset| {
@@ -46,31 +47,44 @@ fn deployment() -> (FanOutService<SearchService>, Corpus, Vec<SearchRequest>) {
     (service, corpus, queries)
 }
 
-fn merged_topk(parts: Vec<TopK>) -> Vec<u64> {
-    let stride = 1u64 << 32;
-    let mut merged = TopK::new(10);
-    for (i, t) in parts.into_iter().enumerate() {
-        for h in t.sorted() {
-            merged.push(i as u64 * stride + h.doc, h.score);
-        }
+#[test]
+fn full_budget_serve_equals_exact_globally() {
+    let (service, _, queries) = deployment();
+    for q in queries.iter().take(8) {
+        let approx = service.serve(q, &ExecutionPolicy::budgeted(usize::MAX));
+        let exact = service.serve(q, &ExecutionPolicy::Exact);
+        assert_eq!(approx.response.doc_ids(), exact.response.doc_ids());
+        assert_eq!(approx.mean_coverage(), 1.0);
     }
-    merged.doc_ids()
 }
 
 #[test]
-fn full_budget_equals_exact_globally() {
+fn synopsis_only_serve_equals_zero_budget() {
     let (service, _, queries) = deployment();
     for q in queries.iter().take(8) {
-        let approx = merged_topk(
-            service
-                .broadcast_budgeted(q, None, usize::MAX)
-                .into_iter()
-                .map(|o| o.output)
-                .collect(),
-        );
-        let exact = merged_topk(service.broadcast_exact(q));
-        assert_eq!(approx, exact);
+        let syn = service.serve(q, &ExecutionPolicy::SynopsisOnly);
+        let zero = service.serve(q, &ExecutionPolicy::budgeted(0));
+        assert_eq!(syn.response.doc_ids(), zero.response.doc_ids());
+        // Aggregated pages are not returnable results: the synopsis-only
+        // top-k is empty, improvement fills it in.
+        assert!(syn.response.is_empty());
+        assert_eq!(syn.sets_processed(), 0);
     }
+}
+
+#[test]
+fn expired_deadline_serve_returns_synopsis_only_response() {
+    let (service, _, queries) = deployment();
+    let q = &queries[0];
+    let submitted = Instant::now() - Duration::from_millis(80);
+    let served = service.serve_at(
+        q,
+        &ExecutionPolicy::deadline(Duration::from_millis(10)),
+        submitted,
+    );
+    assert_eq!(served.sets_processed(), 0);
+    let synopsis_only = service.serve(q, &ExecutionPolicy::SynopsisOnly);
+    assert_eq!(served.response.doc_ids(), synopsis_only.response.doc_ids());
 }
 
 #[test]
@@ -82,20 +96,14 @@ fn top_40pct_of_sets_capture_most_top10() {
     let mut total = 0.0;
     let mut n = 0;
     for q in &queries {
-        let exact = merged_topk(service.broadcast_exact(q));
-        if exact.is_empty() {
+        let exact = service.serve(q, &ExecutionPolicy::Exact);
+        if exact.response.is_empty() {
             continue;
         }
         let n_sets = service.components()[0].store().synopsis().len();
         let budget = (n_sets as f64 * 0.4).ceil() as usize;
-        let approx = merged_topk(
-            service
-                .broadcast_budgeted(q, None, budget)
-                .into_iter()
-                .map(|o| o.output)
-                .collect(),
-        );
-        total += topk_overlap(&exact, &approx);
+        let approx = service.serve(q, &ExecutionPolicy::budgeted(budget));
+        total += topk_overlap(&exact.response.doc_ids(), &approx.response.doc_ids());
         n += 1;
     }
     let mean = total / n as f64;
@@ -111,17 +119,12 @@ fn overlap_is_monotone_in_budget_on_average() {
     let budgets = [1usize, 4, 16, usize::MAX];
     let mut means = Vec::new();
     for &b in &budgets {
+        let policy = ExecutionPolicy::budgeted(b);
         let mut total = 0.0;
         for q in &queries {
-            let exact = merged_topk(service.broadcast_exact(q));
-            let approx = merged_topk(
-                service
-                    .broadcast_budgeted(q, None, b)
-                    .into_iter()
-                    .map(|o| o.output)
-                    .collect(),
-            );
-            total += topk_overlap(&exact, &approx);
+            let exact = service.serve(q, &ExecutionPolicy::Exact);
+            let approx = service.serve(q, &policy);
+            total += topk_overlap(&exact.response.doc_ids(), &approx.response.doc_ids());
         }
         means.push(total / queries.len() as f64);
     }
@@ -132,4 +135,21 @@ fn overlap_is_monotone_in_budget_on_average() {
         );
     }
     assert!((means.last().unwrap() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn search_policy_imax_caps_coverage() {
+    // The paper's search setting (i_max = 40% of sets) must cap coverage
+    // even under an effectively unlimited deadline.
+    let (service, _, queries) = deployment();
+    let n_sets = service.components()[0].store().synopsis().len();
+    let policy = ExecutionPolicy::Deadline {
+        l_spe: Duration::from_secs(30),
+        imax: Some(n_sets.div_ceil(2)),
+    };
+    let served = service.serve(&queries[0], &policy);
+    for c in &served.components {
+        assert!(c.sets_processed <= n_sets.div_ceil(2));
+    }
+    assert!(served.mean_coverage() <= 0.75);
 }

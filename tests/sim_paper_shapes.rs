@@ -99,8 +99,14 @@ fn partial_skips_grow_with_load() {
     let light = frac_made(20.0);
     let mid = frac_made(60.0);
     let heavy = frac_made(100.0);
-    assert!(light > 0.95, "light load should make nearly all deadlines: {light}");
-    assert!(heavy < mid && mid < light, "skips must grow: {light} {mid} {heavy}");
+    assert!(
+        light > 0.95,
+        "light load should make nearly all deadlines: {light}"
+    );
+    assert!(
+        heavy < mid && mid < light,
+        "skips must grow: {light} {mid} {heavy}"
+    );
     assert!(heavy < 0.5, "heavy load must skip most components: {heavy}");
 }
 
@@ -128,7 +134,10 @@ fn accuracy_trader_budget_shrinks_with_load_but_never_dies() {
         light > 0.6 * CostModel::default().n_sets as f64,
         "light load should process most sets: {light}"
     );
-    assert!(heavy > 0.0, "even saturated, the synopsis floor guarantees ranking");
+    assert!(
+        heavy > 0.0,
+        "even saturated, the synopsis floor guarantees ranking"
+    );
 }
 
 #[test]
@@ -149,7 +158,10 @@ fn diurnal_day_reproduces_figure7_ordering() {
     let r22 = hour_tail(22, REISSUE);
     let a22 = hour_tail(22, AT);
     assert!(a22 < r22 && a22 < b22, "hour 22: AT {a22} vs {r22}/{b22}");
-    assert!(b22 > b4 * 5.0, "hour 22 must be much worse than hour 4 for basic");
+    assert!(
+        b22 > b4 * 5.0,
+        "hour 22 must be much worse than hour 4 for basic"
+    );
 }
 
 #[test]
@@ -258,5 +270,8 @@ fn hybrid_reissue_cuts_accuracy_traders_outage_tail() {
     )
     .latencies
     .p999_ms();
-    assert!(h_calm < 250.0, "hybrid without failures stays near deadline: {h_calm}");
+    assert!(
+        h_calm < 250.0,
+        "hybrid without failures stays near deadline: {h_calm}"
+    );
 }

@@ -1,0 +1,216 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment has no access to crates.io, so this vendor crate
+//! provides a minimal wall-clock timing harness behind criterion's API
+//! names (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_batched`). Each benchmark runs a handful of timed iterations and
+//! prints the mean — enough to compare runs by hand; no statistics,
+//! plots, or outlier analysis.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimiser value sink (re-exported name).
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How `iter_batched` amortises setup; ignored by this shim.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    last_mean: Duration,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            last_mean: Duration::ZERO,
+        }
+    }
+
+    /// Time `routine` over the configured number of samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            total += start.elapsed();
+            hint::black_box(&out);
+        }
+        self.last_mean = total / self.samples as u32;
+    }
+
+    /// Time `routine` with untimed per-sample `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            total += start.elapsed();
+            hint::black_box(&out);
+        }
+        self.last_mean = total / self.samples as u32;
+    }
+}
+
+const SHIM_SAMPLES: usize = 3;
+
+fn report(group: &str, id: &str, mean: Duration) {
+    if group.is_empty() {
+        println!("bench {id:<40} mean {mean:?} ({SHIM_SAMPLES} samples)");
+    } else {
+        println!("bench {group}/{id:<40} mean {mean:?} ({SHIM_SAMPLES} samples)");
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion's minimum is 10; the shim always uses its own tiny count,
+    /// so this only exists for API compatibility.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher::new(SHIM_SAMPLES);
+        f(&mut b);
+        report(&self.name, &id, b.last_mean);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        let mut b = Bencher::new(SHIM_SAMPLES);
+        f(&mut b, input);
+        report(&self.name, &id, b.last_mean);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry object handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher::new(SHIM_SAMPLES);
+        f(&mut b);
+        report("", &id, b.last_mean);
+        self
+    }
+}
+
+/// Define a function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Define `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

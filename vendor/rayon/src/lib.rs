@@ -1,0 +1,280 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no access to crates.io, so this vendor crate
+//! provides the (small) subset of rayon's parallel-iterator API that the
+//! workspace actually uses, with the same names and bounds. Work is really
+//! executed in parallel: each `map`/`flat_map_iter` stage fans its items out
+//! over `std::thread::scope` chunks sized by `available_parallelism`, and
+//! results are returned in input order, exactly like rayon's indexed
+//! parallel iterators.
+//!
+//! Supported surface:
+//!
+//! * `par_iter()` on slices / `Vec` (via deref), `into_par_iter()` on
+//!   `Vec<T>`, arrays, `Range<{u32,usize,u64,i32}>`, `RangeInclusive<usize>`.
+//! * Adapters: `map`, `enumerate`, `flat_map_iter`.
+//! * Consumers: `collect`, `sum`, `reduce(identity, op)`.
+
+use std::thread;
+
+/// Evaluate `f` over `items` in parallel, preserving input order.
+fn parallel_map<T, O, F>(items: Vec<T>, f: &F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let n = items.len();
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    thread::scope(|s| {
+        let mut items = items;
+        let mut out_chunks: Vec<&mut [Option<O>]> = slots.chunks_mut(chunk).collect();
+        // Drain input chunks front-to-back so chunk i lines up with the
+        // i-th output slice.
+        let mut in_chunks: Vec<Vec<T>> = Vec::with_capacity(out_chunks.len());
+        while !items.is_empty() {
+            let take = chunk.min(items.len());
+            in_chunks.push(items.drain(..take).collect());
+        }
+        for (input, output) in in_chunks.into_iter().zip(out_chunks.drain(..)) {
+            s.spawn(move || {
+                for (slot, item) in output.iter_mut().zip(input) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("parallel_map: worker filled every slot"))
+        .collect()
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace relies on.
+///
+/// Adapters are lazy descriptions; [`ParallelIterator::run`] materialises
+/// the items, executing closure stages in parallel.
+pub trait ParallelIterator: Sized + Send
+where
+    Self::Item: Send,
+{
+    type Item;
+
+    /// Evaluate the pipeline into an ordered `Vec`.
+    fn run(self) -> Vec<Self::Item>;
+
+    fn map<O: Send, F: Fn(Self::Item) -> O + Sync + Send>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Map each item to a serial iterator and flatten (rayon's
+    /// `flat_map_iter`): `f` runs in parallel, flattening is sequential.
+    fn flat_map_iter<I, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        I: IntoIterator,
+        I::Item: Send,
+        F: Fn(Self::Item) -> I + Sync + Send,
+    {
+        FlatMapIter { base: self, f }
+    }
+
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Fold all items with `op`, starting from `identity()` (rayon's
+    /// shape; associativity is the caller's contract).
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        self.run().into_iter().fold(identity(), op)
+    }
+}
+
+/// Eagerly materialised source of a parallel pipeline.
+pub struct IterBridge<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for IterBridge<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, O, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    P::Item: Send,
+    O: Send,
+    F: Fn(P::Item) -> O + Sync + Send,
+{
+    type Item = O;
+
+    fn run(self) -> Vec<O> {
+        parallel_map(self.base.run(), &self.f)
+    }
+}
+
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P> ParallelIterator for Enumerate<P>
+where
+    P: ParallelIterator,
+    P::Item: Send,
+{
+    type Item = (usize, P::Item);
+
+    fn run(self) -> Vec<(usize, P::Item)> {
+        self.base.run().into_iter().enumerate().collect()
+    }
+}
+
+pub struct FlatMapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, I, F> ParallelIterator for FlatMapIter<P, F>
+where
+    P: ParallelIterator,
+    P::Item: Send,
+    I: IntoIterator,
+    I::Item: Send,
+    F: Fn(P::Item) -> I + Sync + Send,
+{
+    type Item = I::Item;
+
+    fn run(self) -> Vec<I::Item> {
+        let f = &self.f;
+        let nested = parallel_map(self.base.run(), &|item| {
+            f(item).into_iter().collect::<Vec<_>>()
+        });
+        nested.into_iter().flatten().collect()
+    }
+}
+
+/// Owned conversion into a parallel iterator (`into_par_iter`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> IterBridge<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IterBridge<T> {
+        IterBridge { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> IterBridge<T> {
+        IterBridge {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+macro_rules! impl_range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> IterBridge<$t> {
+                IterBridge { items: self.collect() }
+            }
+        }
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Item = $t;
+            fn into_par_iter(self) -> IterBridge<$t> {
+                IterBridge { items: self.collect() }
+            }
+        }
+    )*};
+}
+
+impl_range_into_par_iter!(u32, u64, usize, i32, i64);
+
+/// Borrowed conversion (`par_iter`); implemented on `[T]` so `Vec` and
+/// slices both pick it up through deref.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> IterBridge<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> IterBridge<&T> {
+        IterBridge {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<i32> = (0..1000).collect();
+        let doubled: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_ranges() {
+        let hours: Vec<usize> = (1..=24usize).into_par_iter().map(|h| h).collect();
+        assert_eq!(hours, (1..=24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn enumerate_flat_map_sum_reduce() {
+        let v = [1usize, 2, 3, 4];
+        let pairs: Vec<(usize, usize)> = v
+            .par_iter()
+            .enumerate()
+            .flat_map_iter(|(i, &x)| std::iter::repeat_n((i, x), 2))
+            .collect();
+        assert_eq!(pairs.len(), 8);
+        let s: usize = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 10);
+        let r = v.par_iter().map(|&x| vec![x as f64]).reduce(
+            || vec![0.0],
+            |mut a, b| {
+                a[0] += b[0];
+                a
+            },
+        );
+        assert_eq!(r, vec![10.0]);
+    }
+}

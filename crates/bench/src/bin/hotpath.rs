@@ -1,0 +1,147 @@
+//! Hot-path before/after microbenchmarks → `BENCH_hotpath.json`.
+//!
+//! ```text
+//! hotpath [--quick] [--out PATH]
+//! ```
+//!
+//! Records the serving-path perf trajectory of the zero-allocation pass as
+//! three before/after pairs (nanoseconds per operation, smaller is
+//! better):
+//!
+//! * `pearson` — allocating two-pass [`at_linalg::pearson_on_common_alloc`]
+//!   vs the streaming single-pass [`at_linalg::pearson_on_common`].
+//! * `rank` — eager full `O(m log m)` [`at_core::rank`] vs budget-bounded
+//!   lazy [`at_core::rank_top`].
+//! * `budgeted_replay` — a `Budgeted{sets: 5}` replay of the recommender
+//!   deployment through the PR-1 eager/allocating path
+//!   ([`at_bench::baseline`]) vs the current lazy/streaming
+//!   `Component::execute`.
+//!
+//! The JSON is intentionally flat and hand-written (no serde in the
+//! dependency closure): one object per pair with `name`, `before_ns`,
+//! `after_ns`, and the derived `speedup`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use at_bench::baseline::{pearson_inputs, replay_baseline, replay_current, synthetic_correlations};
+use at_bench::deployments::{build_recommender, DeployScale};
+use at_core::{rank, rank_top};
+use at_linalg::{pearson_on_common, pearson_on_common_alloc};
+
+struct Pair {
+    name: &'static str,
+    before_ns: f64,
+    after_ns: f64,
+}
+
+/// Mean ns/iteration of `f` over `iters` runs (after one warmup run).
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let t = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    t.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    let (micro_iters, replay_rounds) = if quick { (2_000, 2) } else { (20_000, 6) };
+    let mut pairs = Vec::new();
+
+    // 1. Streaming vs allocating Pearson (one CF weight, 200-nnz rows).
+    let (ca, va, cb, vb) = pearson_inputs(200);
+    let before = time_ns(micro_iters, || {
+        std::hint::black_box(pearson_on_common_alloc(&ca, &va, &cb, &vb));
+    });
+    let after = time_ns(micro_iters, || {
+        std::hint::black_box(pearson_on_common(&ca, &va, &cb, &vb));
+    });
+    pairs.push(Pair {
+        name: "pearson",
+        before_ns: before,
+        after_ns: after,
+    });
+
+    // 2. Lazy vs eager ranking (m = 1024 sets, budget 5 — the shape of a
+    // Budgeted{5} request against a large synopsis). Clone cost is paid
+    // identically on both sides.
+    let corr = synthetic_correlations(1024);
+    let before = time_ns(micro_iters, || {
+        std::hint::black_box(rank(corr.clone()));
+    });
+    let after = time_ns(micro_iters, || {
+        let mut c = corr.clone();
+        let mut prefix = rank_top(&mut c, 5);
+        std::hint::black_box(prefix.get(4));
+    });
+    pairs.push(Pair {
+        name: "rank",
+        before_ns: before,
+        after_ns: after,
+    });
+
+    // 3. Budgeted recommender replay: every request against every
+    // component under Budgeted{sets: 5}, current vs PR-1 baseline path.
+    eprintln!("building recommender deployment...");
+    let deployment = build_recommender(DeployScale::quick());
+    let n_execs = deployment.requests.len() * deployment.service.len();
+    // Warmup both paths once, then alternate rounds and keep the mean.
+    replay_current(&deployment, 5);
+    replay_baseline(&deployment, 5);
+    let mut before_s = 0.0;
+    let mut after_s = 0.0;
+    for _ in 0..replay_rounds {
+        before_s += replay_baseline(&deployment, 5);
+        after_s += replay_current(&deployment, 5);
+    }
+    pairs.push(Pair {
+        name: "budgeted_replay",
+        before_ns: before_s * 1e9 / (replay_rounds * n_execs) as f64,
+        after_ns: after_s * 1e9 / (replay_rounds * n_execs) as f64,
+    });
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"hotpath\",\n");
+    let _ = writeln!(
+        json,
+        "  \"scale\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    json.push_str("  \"unit\": \"ns_per_op\",\n  \"entries\": [\n");
+    for (i, p) in pairs.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"before_ns\": {:.1}, \"after_ns\": {:.1}, \"speedup\": {:.3}}}",
+            p.name,
+            p.before_ns,
+            p.after_ns,
+            p.before_ns / p.after_ns
+        );
+        json.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_hotpath.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    for p in &pairs {
+        eprintln!(
+            "{:<16} before {:>12.1} ns  after {:>12.1} ns  speedup {:>6.2}x",
+            p.name,
+            p.before_ns,
+            p.after_ns,
+            p.before_ns / p.after_ns
+        );
+    }
+}

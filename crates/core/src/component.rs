@@ -14,8 +14,6 @@ use at_synopsis::{
 
 use crate::outcome::Outcome;
 use crate::policy::ExecutionPolicy;
-#[allow(deprecated)]
-use crate::policy::ProcessingConfig;
 use crate::processor::{Algorithm1, ApproximateService, Ctx};
 
 /// One parallel component of an online service.
@@ -98,47 +96,6 @@ impl<S: ApproximateService> Component<S> {
     pub fn validate(&self) -> Result<(), String> {
         self.store.validate()
     }
-
-    // ------------------------------------------------------------------
-    // Deprecated pre-`ExecutionPolicy` method family (one release).
-    // ------------------------------------------------------------------
-
-    /// Approximate processing with a fixed set budget.
-    #[deprecated(note = "use Component::execute with ExecutionPolicy::Budgeted instead")]
-    pub fn approx_budgeted(
-        &self,
-        req: &S::Request,
-        imax: Option<usize>,
-        budget_sets: usize,
-    ) -> Outcome<S::Output> {
-        self.execute(
-            req,
-            &ExecutionPolicy::Budgeted {
-                sets: budget_sets,
-                imax,
-            },
-            Instant::now(),
-        )
-    }
-
-    /// Approximate processing against the wall clock.
-    #[deprecated(note = "use Component::execute with ExecutionPolicy::Deadline instead")]
-    #[allow(deprecated)]
-    pub fn approx_deadline(
-        &self,
-        req: &S::Request,
-        config: &ProcessingConfig,
-        submitted: Instant,
-    ) -> Outcome<S::Output> {
-        self.execute(req, &config.to_policy(), submitted)
-    }
-
-    /// Exact processing over the entire subset.
-    #[deprecated(note = "use Component::execute with ExecutionPolicy::Exact instead")]
-    pub fn exact(&self, req: &S::Request) -> S::Output {
-        self.execute(req, &ExecutionPolicy::Exact, Instant::now())
-            .output
-    }
 }
 
 #[cfg(test)]
@@ -154,17 +111,12 @@ mod tests {
         type Request = ();
         type Output = usize;
 
-        fn process_synopsis(&self, ctx: Ctx<'_>, _req: &()) -> (usize, Vec<Correlation>) {
-            let corr = ctx
-                .store
-                .synopsis()
-                .iter()
-                .map(|p| Correlation {
-                    node: p.node,
-                    score: p.member_count as f64,
-                })
-                .collect();
-            (0, corr)
+        fn process_synopsis(&self, ctx: Ctx<'_>, _req: &(), corr: &mut Vec<Correlation>) -> usize {
+            corr.extend(ctx.store.synopsis().iter().map(|p| Correlation {
+                node: p.node,
+                score: p.member_count as f64,
+            }));
+            0
         }
 
         fn improve(

@@ -20,23 +20,109 @@ pub struct Correlation {
     pub score: f64,
 }
 
+/// The ranking order of Algorithm 1, line 2: descending by score with ties
+/// broken by node id for determinism; NaN scores sink to the end (treated
+/// as minus infinity). Total over all inputs, so eager sorting and lazy
+/// partial selection produce byte-identical prefixes.
+pub fn cmp_ranked(a: &Correlation, b: &Correlation) -> std::cmp::Ordering {
+    b.score
+        .partial_cmp(&a.score)
+        .unwrap_or_else(|| match (a.score.is_nan(), b.score.is_nan()) {
+            (true, false) => std::cmp::Ordering::Greater,
+            (false, true) => std::cmp::Ordering::Less,
+            _ => std::cmp::Ordering::Equal,
+        })
+        .then_with(|| a.node.cmp(&b.node))
+}
+
 /// Rank correlations descending by score (Algorithm 1, line 2); ties break
 /// by node id for determinism. NaN scores sink to the end.
+///
+/// This is the **eager** `O(m log m)` path, kept for the Figure-4 style
+/// [`sections`] analyses that genuinely need the whole ranking. The serving
+/// path uses [`rank_top`], whose sort work is proportional to the policy's
+/// set budget.
 pub fn rank(mut correlations: Vec<Correlation>) -> Vec<Correlation> {
-    correlations.sort_by(|a, b| {
-        b.score
-            .partial_cmp(&a.score)
-            .unwrap_or_else(|| {
-                // Treat NaN as minus infinity.
-                match (a.score.is_nan(), b.score.is_nan()) {
-                    (true, false) => std::cmp::Ordering::Greater,
-                    (false, true) => std::cmp::Ordering::Less,
-                    _ => std::cmp::Ordering::Equal,
-                }
-            })
-            .then_with(|| a.node.cmp(&b.node))
-    });
+    correlations.sort_by(cmp_ranked);
     correlations
+}
+
+/// Lazily ranked correlations: only a prefix is ever put in ranked order,
+/// and the prefix grows on demand.
+///
+/// Backed by `select_nth_unstable_by` partitioning (average `O(m)`) plus a
+/// sort of just the requested prefix — `O(m + b log b)` for a bound `b`
+/// instead of the eager `O(m log m)`. When stale (skipped) sets force the
+/// driver past its initial bound, the sorted prefix is extended
+/// geometrically, so an overrun costs amortised `O(m)` extra, not a select
+/// per rank.
+///
+/// The produced order is identical to [`rank`] for every prefix, including
+/// tie and NaN ordering, because both use [`cmp_ranked`] — a total order in
+/// which distinct elements never compare equal (node ids are unique per
+/// synopsis).
+#[derive(Debug)]
+pub struct RankedPrefix<'a> {
+    items: &'a mut [Correlation],
+    sorted: usize,
+}
+
+/// Partially rank `items` in place so that the best `bound` correlations
+/// are in final ranked order at the front; the tail stays unordered until
+/// [`RankedPrefix::get`] demands more.
+pub fn rank_top(items: &mut [Correlation], bound: usize) -> RankedPrefix<'_> {
+    let mut prefix = RankedPrefix { items, sorted: 0 };
+    prefix.ensure(bound);
+    prefix
+}
+
+impl RankedPrefix<'_> {
+    /// Total number of correlations (ranked or not).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when there are no correlations at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// How many leading items are already in final ranked order.
+    pub fn sorted_len(&self) -> usize {
+        self.sorted
+    }
+
+    /// The rank-`i` correlation (0 = best), extending the sorted prefix
+    /// geometrically if `i` lies beyond it; `None` past the end.
+    pub fn get(&mut self, i: usize) -> Option<Correlation> {
+        if i >= self.items.len() {
+            return None;
+        }
+        if i >= self.sorted {
+            // Grow by at least doubling so a run of stale sets costs one
+            // select per doubling, not one per rank.
+            let target = (self.sorted.max(4) * 2).max(i + 1).min(self.items.len());
+            self.ensure(target);
+        }
+        Some(self.items[i])
+    }
+
+    /// Make the first `n` items (capped at `len`) final-ranked.
+    fn ensure(&mut self, n: usize) {
+        let n = n.min(self.items.len());
+        if n <= self.sorted {
+            return;
+        }
+        let tail = &mut self.items[self.sorted..];
+        let k = n - self.sorted;
+        if k < tail.len() {
+            // Partition: best k of the tail to its front (unordered)...
+            tail.select_nth_unstable_by(k - 1, cmp_ranked);
+        }
+        // ...then order just those k.
+        tail[..k].sort_unstable_by(cmp_ranked);
+        self.sorted = n;
+    }
 }
 
 /// Split a ranked list into `k` near-equal contiguous sections (Figure 4
@@ -86,6 +172,63 @@ mod tests {
     #[test]
     fn rank_empty() {
         assert!(rank(vec![]).is_empty());
+    }
+
+    #[test]
+    fn rank_top_prefix_matches_eager_rank() {
+        let raw: Vec<Correlation> = (0..40).map(|i| c(i, ((i * 7) % 11) as f64 * 0.1)).collect();
+        let eager = rank(raw.clone());
+        for bound in [0usize, 1, 5, 39, 40, 100] {
+            let mut lazy = raw.clone();
+            let mut prefix = rank_top(&mut lazy, bound);
+            for (i, want) in eager.iter().enumerate().take(bound) {
+                assert_eq!(prefix.get(i), Some(*want), "bound {bound} rank {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_top_extends_past_initial_bound() {
+        let raw: Vec<Correlation> = (0..64).map(|i| c(i, (i % 9) as f64)).collect();
+        let eager = rank(raw.clone());
+        let mut lazy = raw.clone();
+        let mut prefix = rank_top(&mut lazy, 3);
+        assert_eq!(prefix.sorted_len(), 3);
+        // Walking past the bound (stale-set overrun) extends geometrically
+        // and still agrees with the eager ranking, all the way to the end.
+        for (i, want) in eager.iter().enumerate() {
+            assert_eq!(prefix.get(i), Some(*want), "rank {i}");
+        }
+        assert_eq!(prefix.get(64), None);
+        assert_eq!(prefix.len(), 64);
+    }
+
+    #[test]
+    fn rank_top_handles_ties_and_nan_like_rank() {
+        let raw = vec![
+            c(9, 0.5),
+            c(1, f64::NAN),
+            c(4, 0.5),
+            c(0, f64::NAN),
+            c(7, 0.9),
+            c(2, -1.0),
+        ];
+        let eager = rank(raw.clone());
+        let mut lazy = raw.clone();
+        let mut prefix = rank_top(&mut lazy, 2);
+        for (i, want) in eager.iter().enumerate() {
+            let got = prefix.get(i).unwrap();
+            assert_eq!(got.node, want.node, "rank {i}");
+            assert_eq!(got.score.is_nan(), want.score.is_nan());
+        }
+    }
+
+    #[test]
+    fn rank_top_empty() {
+        let mut empty: Vec<Correlation> = Vec::new();
+        let mut prefix = rank_top(&mut empty, 10);
+        assert!(prefix.is_empty());
+        assert_eq!(prefix.get(0), None);
     }
 
     #[test]

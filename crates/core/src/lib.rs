@@ -27,11 +27,9 @@ pub mod processor;
 pub mod service;
 
 pub use component::Component;
-pub use correlation::{rank, sections, Correlation};
+pub use correlation::{cmp_ranked, rank, rank_top, sections, Correlation, RankedPrefix};
 pub use outcome::Outcome;
 pub use policy::ExecutionPolicy;
-#[allow(deprecated)]
-pub use policy::ProcessingConfig;
 pub use processor::{Algorithm1, ApproximateService, ComposableService, Ctx};
 pub use service::{
     partition_rows, ComponentTelemetry, FanOutService, ServiceError, ServiceResponse,

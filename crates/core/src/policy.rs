@@ -108,63 +108,6 @@ impl ExecutionPolicy {
     }
 }
 
-/// Online-processing limits (Algorithm 1's `l_spe` and `i_max`).
-///
-/// Absorbed into [`ExecutionPolicy`]; convert with
-/// [`ProcessingConfig::to_policy`].
-#[deprecated(note = "use ExecutionPolicy::Deadline (via to_policy()) instead")]
-#[derive(Clone, Copy, Debug)]
-pub struct ProcessingConfig {
-    /// Specified service-latency deadline `l_spe` (paper: 100 ms).
-    pub deadline: Duration,
-    /// Maximum number of ranked sets of original points to process
-    /// (`i_max`); `None` means all sets.
-    pub imax: Option<usize>,
-}
-
-#[allow(deprecated)]
-impl Default for ProcessingConfig {
-    fn default() -> Self {
-        ProcessingConfig {
-            deadline: Duration::from_millis(100),
-            imax: None,
-        }
-    }
-}
-
-#[allow(deprecated)]
-impl ProcessingConfig {
-    /// The paper's CF-recommender setting.
-    pub fn recommender() -> Self {
-        ProcessingConfig::default()
-    }
-
-    /// The paper's search-engine setting: cap at the top `fraction` of
-    /// `total_sets`.
-    pub fn search(total_sets: usize, fraction: f64) -> Self {
-        match ExecutionPolicy::search(total_sets, fraction) {
-            ExecutionPolicy::Deadline { l_spe, imax } => ProcessingConfig {
-                deadline: l_spe,
-                imax,
-            },
-            _ => unreachable!("search() builds a Deadline policy"),
-        }
-    }
-
-    /// Effective set cap given the synopsis size.
-    pub fn effective_imax(&self, total_sets: usize) -> usize {
-        self.imax.map_or(total_sets, |m| m.min(total_sets))
-    }
-
-    /// The equivalent first-class policy.
-    pub fn to_policy(&self) -> ExecutionPolicy {
-        ExecutionPolicy::Deadline {
-            l_spe: self.deadline,
-            imax: self.imax,
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,16 +160,5 @@ mod tests {
             ExecutionPolicy::deadline(Duration::from_secs(1)).effective_cap(9),
             9
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn processing_config_converts() {
-        let cfg = ProcessingConfig::search(100, 0.4);
-        assert_eq!(cfg.imax, Some(40));
-        assert_eq!(cfg.effective_imax(10), 10);
-        let p = cfg.to_policy();
-        assert_eq!(p.imax(), Some(40));
-        assert!(matches!(p, ExecutionPolicy::Deadline { .. }));
     }
 }

@@ -15,16 +15,55 @@
 //! synopsis but missing from the index file) are *skipped*, not fatal:
 //! they are counted in [`Outcome::sets_skipped`] so operators can alarm on
 //! index corruption without the serving path crashing.
+//!
+//! # Hot-path invariants
+//!
+//! `execute` is the per-request serving path and holds two invariants:
+//!
+//! * **No per-set allocation.** The correlation vector is a per-worker
+//!   scratch buffer reused across requests (a thread-local, so every rayon
+//!   worker in [`FanOutService::serve`](crate::FanOutService::serve) keeps
+//!   its own); [`ApproximateService::process_synopsis`] fills it in place.
+//!   Weight computation ([`at_linalg::pearson_on_common`]) is a streaming
+//!   merge with no intermediate vectors, and neighbour means come from the
+//!   [`at_linalg::RowStats`] caches in the stores.
+//! * **Sort work proportional to the budget.** Ranking goes through
+//!   [`rank_top`](crate::correlation::rank_top): only the top `bound` ranks
+//!   implied by the policy (`i_max`, set budget; full for a live deadline)
+//!   are put in order — `O(m + b log b)` instead of `O(m log m)` — and the
+//!   prefix extends geometrically only when stale-set skips force the loop
+//!   past its initial bound. The eager [`rank`] stays available for the
+//!   Figure-4 `sections` analyses, and both orders are identical for every
+//!   prefix (same total comparator, [`crate::correlation::cmp_ranked`]).
 
+use std::cell::RefCell;
 use std::time::Instant;
 
 use at_synopsis::{RowStore, SynopsisStore};
 
-use crate::correlation::{rank, Correlation};
+use crate::correlation::{rank, rank_top, Correlation};
 use crate::outcome::Outcome;
 use crate::policy::ExecutionPolicy;
-#[allow(deprecated)]
-use crate::policy::ProcessingConfig;
+
+thread_local! {
+    /// Per-worker correlation scratch, reused across requests. Capacity
+    /// converges to the largest synopsis this worker has served.
+    static CORR_SCRATCH: RefCell<Vec<Correlation>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with this worker's cleared correlation scratch buffer. Falls
+/// back to a fresh vector under re-entrancy (a service calling back into
+/// `execute` on the same thread) so the serving path can never deadlock on
+/// its own scratch.
+fn with_corr_scratch<R>(f: impl FnOnce(&mut Vec<Correlation>) -> R) -> R {
+    CORR_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => {
+            buf.clear();
+            f(&mut buf)
+        }
+        Err(_) => f(&mut Vec::new()),
+    })
+}
 
 /// Read-only view a service implementation gets of a component's state.
 #[derive(Clone, Copy)]
@@ -50,12 +89,18 @@ pub trait ApproximateService {
 
     /// Stage 1: produce the initial approximate result from the synopsis
     /// and estimate each aggregated point's correlation to result accuracy
-    /// (Algorithm 1, line 1).
+    /// (Algorithm 1, line 1), pushing one [`Correlation`] per aggregated
+    /// point into `corr`.
+    ///
+    /// `corr` arrives empty; it is a reusable scratch buffer owned by the
+    /// driver (per-worker, reused across requests), so implementations must
+    /// only push into it — never assume ownership or keep references.
     fn process_synopsis(
         &self,
         ctx: Ctx<'_>,
         req: &Self::Request,
-    ) -> (Self::Output, Vec<Correlation>);
+        corr: &mut Vec<Correlation>,
+    ) -> Self::Output;
 
     /// Stage 2: improve the result using the original data points of one
     /// ranked set (Algorithm 1, line 7). `node` identifies the aggregated
@@ -105,11 +150,12 @@ impl<'a, S: ApproximateService> Algorithm1<'a, S> {
         }
     }
 
-    /// Stage 1 + ranking: initial synopsis result and the ranked sets,
-    /// without any improvement (the Figure-4 style effectiveness
-    /// analyses).
+    /// Stage 1 + full eager ranking: initial synopsis result and the ranked
+    /// sets, without any improvement (the Figure-4 style effectiveness
+    /// analyses, which consume the entire ranking).
     pub fn ranked(&self, req: &S::Request) -> (S::Output, Vec<Correlation>) {
-        let (out, corr) = self.service.process_synopsis(self.ctx, req);
+        let mut corr = Vec::new();
+        let out = self.service.process_synopsis(self.ctx, req, &mut corr);
         (out, rank(corr))
     }
 
@@ -137,119 +183,67 @@ impl<'a, S: ApproximateService> Algorithm1<'a, S> {
             };
         }
 
-        // Load-shedding short-circuit: when no set can ever be processed
-        // (SynopsisOnly, a zero budget, or a deadline that expired while
-        // queueing), skip the O(m log m) correlation ranking and answer
-        // straight from the synopsis pass.
-        let shed = match *policy {
-            ExecutionPolicy::SynopsisOnly => true,
-            ExecutionPolicy::Budgeted { sets: 0, .. } => true,
-            ExecutionPolicy::Deadline { l_spe, .. } => submitted.elapsed() >= l_spe,
-            _ => false,
-        };
-        if shed {
-            let (out, corr) = self.service.process_synopsis(self.ctx, req);
-            return Outcome {
-                output: out,
-                sets_processed: 0,
-                sets_total: corr.len(),
-                sets_skipped: 0,
-            };
-        }
-
-        let (mut out, ranked) = self.ranked(req);
-        let total = ranked.len();
-        // `i_max` bounds which *ranks* may ever be considered (Algorithm 1's
-        // `i <= i_max` loop condition) — a stale entry inside the cut must
-        // not pull in sets beyond it. The set budget bounds *work done*, so
-        // skipped (unprocessable) sets do not consume it.
-        let rank_bound = policy.imax().map_or(total, |m| m.min(total));
+        // Work limits before touching any data: when no set can ever be
+        // processed (SynopsisOnly, a zero budget, or a deadline that
+        // expired while queueing) the bound is 0 and no sort work happens.
         let (work_cap, deadline) = match *policy {
             ExecutionPolicy::SynopsisOnly => (0, None),
             ExecutionPolicy::Budgeted { sets, .. } => (sets, None),
-            ExecutionPolicy::Deadline { l_spe, .. } => (usize::MAX, Some(l_spe)),
+            ExecutionPolicy::Deadline { l_spe, .. } => {
+                if submitted.elapsed() >= l_spe {
+                    (0, None)
+                } else {
+                    (usize::MAX, Some(l_spe))
+                }
+            }
             ExecutionPolicy::Exact => unreachable!("handled above"),
         };
-        let mut processed = 0usize;
-        let mut skipped = 0usize;
-        for corr in ranked.iter().take(rank_bound) {
-            if processed >= work_cap {
-                break;
-            }
-            if let Some(l_spe) = deadline {
-                if submitted.elapsed() >= l_spe {
-                    break;
+
+        with_corr_scratch(|corr| {
+            let mut out = self.service.process_synopsis(self.ctx, req, corr);
+            let total = corr.len();
+            // `i_max` bounds which *ranks* may ever be considered
+            // (Algorithm 1's `i <= i_max` loop condition) — a stale entry
+            // inside the cut must not pull in sets beyond it. The set
+            // budget bounds *work done*, so skipped (unprocessable) sets do
+            // not consume it, and a skip may extend the lazily ranked
+            // prefix past the initial bound (never past `rank_bound`).
+            let rank_bound = policy.imax().map_or(total, |m| m.min(total));
+            let mut ranked = rank_top(corr, work_cap.min(rank_bound));
+            let mut processed = 0usize;
+            let mut skipped = 0usize;
+            let mut i = 0usize;
+            while i < rank_bound && processed < work_cap {
+                if let Some(l_spe) = deadline {
+                    if submitted.elapsed() >= l_spe {
+                        break;
+                    }
                 }
-            }
-            match self.ctx.store.index().members(corr.node) {
-                Some(members) => {
-                    self.service
-                        .improve(self.ctx, req, &mut out, corr.node, members);
-                    processed += 1;
+                let corr = ranked.get(i).expect("i < rank_bound <= len");
+                match self.ctx.store.index().members(corr.node) {
+                    Some(members) => {
+                        self.service
+                            .improve(self.ctx, req, &mut out, corr.node, members);
+                        processed += 1;
+                    }
+                    // Stale synopsis entry (e.g. an index-file update raced
+                    // or was corrupted): degrade gracefully, keep serving.
+                    None => skipped += 1,
                 }
-                // Stale synopsis entry (e.g. an index-file update raced or
-                // was corrupted): degrade gracefully, keep serving.
-                None => skipped += 1,
+                i += 1;
             }
-        }
-        Outcome {
-            output: out,
-            sets_processed: processed,
-            sets_total: total,
-            sets_skipped: skipped,
-        }
+            Outcome {
+                output: out,
+                sets_processed: processed,
+                sets_total: total,
+                sets_skipped: skipped,
+            }
+        })
     }
 
     /// The component context (for adapters needing direct access).
     pub fn ctx(&self) -> Ctx<'a> {
         self.ctx
-    }
-
-    // ------------------------------------------------------------------
-    // Deprecated pre-`ExecutionPolicy` driver family (one release).
-    // ------------------------------------------------------------------
-
-    /// Stage 1 + ranking only.
-    #[deprecated(note = "use Algorithm1::ranked instead")]
-    pub fn rank_only(&self, req: &S::Request) -> (S::Output, Vec<Correlation>) {
-        self.ranked(req)
-    }
-
-    /// Run with a set budget.
-    #[deprecated(note = "use Algorithm1::execute with ExecutionPolicy::Budgeted instead")]
-    pub fn run_budgeted(
-        &self,
-        req: &S::Request,
-        imax: Option<usize>,
-        budget_sets: usize,
-    ) -> Outcome<S::Output> {
-        self.execute(
-            req,
-            &ExecutionPolicy::Budgeted {
-                sets: budget_sets,
-                imax,
-            },
-            Instant::now(),
-        )
-    }
-
-    /// Run against the wall clock.
-    #[deprecated(note = "use Algorithm1::execute with ExecutionPolicy::Deadline instead")]
-    #[allow(deprecated)]
-    pub fn run_deadline(
-        &self,
-        req: &S::Request,
-        config: &ProcessingConfig,
-        start: Instant,
-    ) -> Outcome<S::Output> {
-        self.execute(req, &config.to_policy(), start)
-    }
-
-    /// The exact baseline over the full subset.
-    #[deprecated(note = "use Algorithm1::execute with ExecutionPolicy::Exact instead")]
-    pub fn run_exact(&self, req: &S::Request) -> S::Output {
-        self.execute(req, &ExecutionPolicy::Exact, Instant::now())
-            .output
     }
 }
 
@@ -269,8 +263,7 @@ mod tests {
         type Request = u32;
         type Output = f64;
 
-        fn process_synopsis(&self, ctx: Ctx<'_>, req: &u32) -> (f64, Vec<Correlation>) {
-            let mut corr = Vec::new();
+        fn process_synopsis(&self, ctx: Ctx<'_>, req: &u32, corr: &mut Vec<Correlation>) -> f64 {
             for p in ctx.store.synopsis().iter() {
                 corr.push(Correlation {
                     node: p.node,
@@ -278,13 +271,11 @@ mod tests {
                 });
             }
             // Initial estimate: aggregated value × member count, summed.
-            let est = ctx
-                .store
+            ctx.store
                 .synopsis()
                 .iter()
                 .map(|p| p.info.get(*req).unwrap_or(0.0) * p.member_count as f64)
-                .sum();
-            (est, corr)
+                .sum()
         }
 
         fn improve(
@@ -325,13 +316,13 @@ mod tests {
         type Request = u32;
         type Output = f64;
 
-        fn process_synopsis(&self, ctx: Ctx<'_>, req: &u32) -> (f64, Vec<Correlation>) {
-            let (out, mut corr) = SumService.process_synopsis(ctx, req);
+        fn process_synopsis(&self, ctx: Ctx<'_>, req: &u32, corr: &mut Vec<Correlation>) -> f64 {
+            let out = SumService.process_synopsis(ctx, req, corr);
             corr.push(Correlation {
                 node: at_rtree::NodeId::from_index(u32::MAX),
                 score: f64::INFINITY,
             });
-            (out, corr)
+            out
         }
 
         fn improve(
@@ -372,6 +363,62 @@ mod tests {
         engine
             .execute(&req, &ExecutionPolicy::Exact, Instant::now())
             .output
+    }
+
+    /// The eager reference driver: full `rank()` sort, then the same
+    /// improvement loop — what `execute` ran before lazy ranking. Used to
+    /// prove `Outcome` equivalence of the lazy path for every policy.
+    fn execute_eager<S: ApproximateService>(
+        engine: &Algorithm1<'_, S>,
+        req: &S::Request,
+        policy: &ExecutionPolicy,
+        submitted: Instant,
+    ) -> Outcome<S::Output> {
+        if let ExecutionPolicy::Exact = policy {
+            let total = engine.ctx.store.synopsis().len();
+            return Outcome {
+                output: engine.service.process_exact(engine.ctx, req),
+                sets_processed: total,
+                sets_total: total,
+                sets_skipped: 0,
+            };
+        }
+        let (mut out, ranked) = engine.ranked(req);
+        let total = ranked.len();
+        let rank_bound = policy.imax().map_or(total, |m| m.min(total));
+        let (work_cap, deadline) = match *policy {
+            ExecutionPolicy::SynopsisOnly => (0, None),
+            ExecutionPolicy::Budgeted { sets, .. } => (sets, None),
+            ExecutionPolicy::Deadline { l_spe, .. } => (usize::MAX, Some(l_spe)),
+            ExecutionPolicy::Exact => unreachable!(),
+        };
+        let mut processed = 0usize;
+        let mut skipped = 0usize;
+        for corr in ranked.iter().take(rank_bound) {
+            if processed >= work_cap {
+                break;
+            }
+            if let Some(l_spe) = deadline {
+                if submitted.elapsed() >= l_spe {
+                    break;
+                }
+            }
+            match engine.ctx.store.index().members(corr.node) {
+                Some(members) => {
+                    engine
+                        .service
+                        .improve(engine.ctx, req, &mut out, corr.node, members);
+                    processed += 1;
+                }
+                None => skipped += 1,
+            }
+        }
+        Outcome {
+            output: out,
+            sets_processed: processed,
+            sets_total: total,
+            sets_skipped: skipped,
+        }
     }
 
     #[test]
@@ -529,20 +576,72 @@ mod tests {
         );
     }
 
+    /// The tentpole's correctness bar: the lazy-ranking `execute` must
+    /// produce an `Outcome` identical (all fields) to the eager full-sort
+    /// driver under every `ExecutionPolicy` variant, including with stale
+    /// sets forcing prefix extension past the initial bound.
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_agree_with_execute() {
+    fn lazy_execute_equals_eager_for_every_policy() {
+        let (data, store) = setup();
+        let policies = [
+            ExecutionPolicy::Exact,
+            ExecutionPolicy::SynopsisOnly,
+            ExecutionPolicy::budgeted(0),
+            ExecutionPolicy::budgeted(2),
+            ExecutionPolicy::budgeted(usize::MAX),
+            ExecutionPolicy::Budgeted {
+                sets: usize::MAX,
+                imax: Some(3),
+            },
+            ExecutionPolicy::Budgeted {
+                sets: 1,
+                imax: Some(2),
+            },
+            // Deterministic deadlines only: one generous (processes all),
+            // one already expired (processes none).
+            ExecutionPolicy::deadline(Duration::from_secs(600)),
+            ExecutionPolicy::deadline(Duration::from_nanos(1)),
+        ];
+        let svc = SumService;
+        let stale = StaleIndexService;
+        let plain = Algorithm1::new(&data, &store, &svc);
+        let staled = Algorithm1::new(&data, &store, &stale);
+        for policy in &policies {
+            for req in [0u32, 3, 7] {
+                let submitted = Instant::now();
+                let lazy = plain.execute(&req, policy, submitted);
+                let eager = execute_eager(&plain, &req, policy, submitted);
+                assert_eq!(lazy.output, eager.output, "{policy:?} req {req}");
+                assert_eq!(lazy.sets_processed, eager.sets_processed, "{policy:?}");
+                assert_eq!(lazy.sets_total, eager.sets_total, "{policy:?}");
+                assert_eq!(lazy.sets_skipped, eager.sets_skipped, "{policy:?}");
+
+                let lazy = staled.execute(&req, policy, submitted);
+                let eager = execute_eager(&staled, &req, policy, submitted);
+                assert_eq!(lazy.output, eager.output, "stale {policy:?} req {req}");
+                assert_eq!(
+                    lazy.sets_processed, eager.sets_processed,
+                    "stale {policy:?}"
+                );
+                assert_eq!(lazy.sets_total, eager.sets_total, "stale {policy:?}");
+                assert_eq!(lazy.sets_skipped, eager.sets_skipped, "stale {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_request_isolated() {
+        // Back-to-back requests on one thread share the scratch buffer;
+        // results must be identical to fresh-buffer execution.
         let (data, store) = setup();
         let svc = SumService;
         let engine = Algorithm1::new(&data, &store, &svc);
-        let old = engine.run_budgeted(&4, None, 3);
-        let new = engine.execute(&4, &ExecutionPolicy::budgeted(3), Instant::now());
-        assert_eq!(old.output, new.output);
-        assert_eq!(old.sets_processed, new.sets_processed);
-        let old_exact = engine.run_exact(&4);
-        let new_exact = engine
-            .execute(&4, &ExecutionPolicy::Exact, Instant::now())
-            .output;
-        assert_eq!(old_exact, new_exact);
+        let first = engine.execute(&1, &ExecutionPolicy::budgeted(3), Instant::now());
+        for _ in 0..4 {
+            let again = engine.execute(&1, &ExecutionPolicy::budgeted(3), Instant::now());
+            assert_eq!(first.output, again.output);
+            assert_eq!(first.sets_processed, again.sets_processed);
+            assert_eq!(first.sets_total, again.sets_total);
+        }
     }
 }

@@ -202,6 +202,12 @@ where
     /// partial outputs, and aggregate telemetry. The request is treated as
     /// submitted now; use [`serve_at`](Self::serve_at) when upstream
     /// queueing delay must count against a deadline policy.
+    ///
+    /// The per-component hot path is allocation-free across requests: each
+    /// rayon worker reuses a thread-local correlation scratch buffer inside
+    /// [`Algorithm1::execute`](crate::Algorithm1::execute), so steady-state
+    /// serving performs no per-set allocation (see the hot-path invariants
+    /// in [`crate::processor`]).
     pub fn serve(&self, req: &S::Request, policy: &ExecutionPolicy) -> ServiceResponse<S::Response>
     where
         S: ComposableService,
@@ -229,37 +235,6 @@ where
             elapsed: submitted.elapsed(),
         }
     }
-
-    // ------------------------------------------------------------------
-    // Deprecated pre-`ExecutionPolicy` broadcast family (one release).
-    // ------------------------------------------------------------------
-
-    /// Fan out with a per-component set budget.
-    #[deprecated(note = "use FanOutService::serve (or broadcast) with ExecutionPolicy::Budgeted")]
-    pub fn broadcast_budgeted(
-        &self,
-        req: &S::Request,
-        imax: Option<usize>,
-        budget_sets: usize,
-    ) -> Vec<Outcome<S::Output>> {
-        self.broadcast(
-            req,
-            &ExecutionPolicy::Budgeted {
-                sets: budget_sets,
-                imax,
-            },
-            Instant::now(),
-        )
-    }
-
-    /// Fan out for exact processing.
-    #[deprecated(note = "use FanOutService::serve (or broadcast) with ExecutionPolicy::Exact")]
-    pub fn broadcast_exact(&self, req: &S::Request) -> Vec<S::Output> {
-        self.broadcast(req, &ExecutionPolicy::Exact, Instant::now())
-            .into_iter()
-            .map(|o| o.output)
-            .collect()
-    }
 }
 
 #[cfg(test)]
@@ -275,17 +250,12 @@ mod tests {
         type Request = ();
         type Output = usize;
 
-        fn process_synopsis(&self, ctx: Ctx<'_>, _r: &()) -> (usize, Vec<Correlation>) {
-            let corr = ctx
-                .store
-                .synopsis()
-                .iter()
-                .map(|p| Correlation {
-                    node: p.node,
-                    score: 1.0,
-                })
-                .collect();
-            (0, corr)
+        fn process_synopsis(&self, ctx: Ctx<'_>, _r: &(), corr: &mut Vec<Correlation>) -> usize {
+            corr.extend(ctx.store.synopsis().iter().map(|p| Correlation {
+                node: p.node,
+                score: 1.0,
+            }));
+            0
         }
 
         fn improve(
@@ -400,21 +370,19 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_broadcasts_agree_with_policy_broadcast() {
+    fn broadcast_full_budget_covers_everything() {
         let svc = quick_service(100, 2);
-        let old: usize = svc
-            .broadcast_budgeted(&(), None, usize::MAX)
-            .into_iter()
-            .map(|o| o.output)
-            .sum();
-        let new: usize = svc
+        let total: usize = svc
             .broadcast(&(), &ExecutionPolicy::budgeted(usize::MAX), Instant::now())
             .into_iter()
             .map(|o| o.output)
             .sum();
-        assert_eq!(old, new);
-        let exact: usize = svc.broadcast_exact(&()).iter().sum();
+        assert_eq!(total, 100);
+        let exact: usize = svc
+            .broadcast(&(), &ExecutionPolicy::Exact, Instant::now())
+            .into_iter()
+            .map(|o| o.output)
+            .sum();
         assert_eq!(exact, 100);
     }
 }

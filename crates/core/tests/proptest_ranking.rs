@@ -1,0 +1,70 @@
+//! Property-based tests for the lazy ranking path: for any bound, the
+//! prefix produced by `rank_top` must be byte-identical to the eager
+//! `rank()` prefix — including tie ordering (node id) and NaN sinking.
+
+use at_core::{rank, rank_top, Correlation};
+use at_rtree::NodeId;
+use proptest::prelude::*;
+
+/// Scores drawn from a small discrete set to force heavy ties, plus NaN
+/// and infinities as occasional hostile inputs.
+fn score_from(code: u32) -> f64 {
+    match code % 12 {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 0.0,
+        4 => -0.0,
+        n => (n as f64 - 7.0) * 0.25,
+    }
+}
+
+fn correlations(codes: &[u32]) -> Vec<Correlation> {
+    codes
+        .iter()
+        .enumerate()
+        .map(|(i, &code)| Correlation {
+            node: NodeId::from_index(i as u32),
+            score: score_from(code),
+        })
+        .collect()
+}
+
+/// Equality under ranking semantics: same node and same score bits-or-NaN.
+fn same(a: &Correlation, b: &Correlation) -> bool {
+    a.node == b.node && (a.score == b.score || (a.score.is_nan() && b.score.is_nan()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn rank_top_prefix_equals_rank_prefix(codes in prop::collection::vec(0u32..1000, 0..120),
+                                          bound in 0usize..140) {
+        let raw = correlations(&codes);
+        let eager = rank(raw.clone());
+        let mut lazy = raw.clone();
+        let mut prefix = rank_top(&mut lazy, bound);
+        for (i, want) in eager.iter().enumerate().take(bound) {
+            let got = prefix.get(i).expect("within len");
+            prop_assert!(same(&got, want),
+                         "rank {} differs: {:?} vs {:?}", i, got, want);
+        }
+    }
+
+    #[test]
+    fn rank_top_extension_equals_full_rank(codes in prop::collection::vec(0u32..1000, 0..120),
+                                           bound in 0usize..8) {
+        // Start from a tiny bound and walk to the very end, the way
+        // stale-set skips extend the prefix during execution.
+        let raw = correlations(&codes);
+        let eager = rank(raw.clone());
+        let mut lazy = raw.clone();
+        let mut prefix = rank_top(&mut lazy, bound);
+        for (i, want) in eager.iter().enumerate() {
+            let got = prefix.get(i).expect("within len");
+            prop_assert!(same(&got, want), "rank {} differs after extension", i);
+        }
+        prop_assert_eq!(prefix.get(raw.len()), None);
+    }
+}

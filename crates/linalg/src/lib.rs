@@ -27,8 +27,8 @@ pub mod svd;
 pub mod vector;
 
 pub use matrix::Matrix;
-pub use pearson::{pearson, pearson_on_common};
+pub use pearson::{pearson, pearson_on_common, pearson_on_common_alloc};
 pub use sparse::{SparseMatrix, SparseMatrixBuilder};
-pub use stats::{mean, percentile, rmse, stddev, variance, Percentiles, StreamingStats};
+pub use stats::{mean, percentile, rmse, stddev, variance, Percentiles, RowStats, StreamingStats};
 pub use svd::{IncrementalSvd, SvdConfig, SvdModel};
 pub use vector::{add_assign, dot, euclidean, norm2, scale, sub};

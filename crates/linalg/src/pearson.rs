@@ -4,6 +4,18 @@
 //! neighbourhood user is Pearson's correlation computed over the items both
 //! users have rated (§3.2), and the same weight against *aggregated* users
 //! is the correlation estimate `c_i` of Algorithm 1.
+//!
+//! # Hot-path invariants
+//!
+//! [`pearson_on_common`] sits on the per-request serving path: every
+//! synopsis weight and every exact neighbour weight goes through it, so it
+//! must be **allocation-free and single-pass**. The intersection of the two
+//! sorted column slices is consumed by a streaming merge that folds each
+//! co-rated pair into Welford running moments — no intermediate `xs`/`ys`
+//! vectors, no second pass over the common values. The allocating two-pass
+//! formulation is retained as [`pearson_on_common_alloc`] strictly as the
+//! differential-test oracle and the benchmark baseline; serving code must
+//! never call it.
 
 /// Pearson correlation of two equal-length samples.
 ///
@@ -47,7 +59,64 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// This is the exact CF weight of the paper: "the weight (similarity)
 /// between user u and any neighbourhood user who has rated the same item".
+///
+/// Single-pass streaming merge: co-rated pairs are folded into Welford
+/// running moments (mean, co-moment, second moments) as the merge advances,
+/// so the call performs **no heap allocation** and touches each input entry
+/// at most once.
 pub fn pearson_on_common(
+    cols_a: &[u32],
+    vals_a: &[f64],
+    cols_b: &[u32],
+    vals_b: &[f64],
+) -> (f64, usize) {
+    debug_assert_eq!(cols_a.len(), vals_a.len());
+    debug_assert_eq!(cols_b.len(), vals_b.len());
+    let mut n = 0usize;
+    let mut mean_x = 0.0f64;
+    let mut mean_y = 0.0f64;
+    let mut m2x = 0.0f64;
+    let mut m2y = 0.0f64;
+    let mut cxy = 0.0f64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < cols_a.len() && j < cols_b.len() {
+        match cols_a[i].cmp(&cols_b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                let (x, y) = (vals_a[i], vals_b[j]);
+                n += 1;
+                let inv = 1.0 / n as f64;
+                let dx = x - mean_x;
+                let dy = y - mean_y;
+                mean_x += dx * inv;
+                mean_y += dy * inv;
+                // Post-update deltas: Welford's numerically stable form.
+                let dx2 = x - mean_x;
+                let dy2 = y - mean_y;
+                m2x += dx * dx2;
+                m2y += dy * dy2;
+                cxy += dx * dy2;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if n < 2 || m2x <= 0.0 || m2y <= 0.0 {
+        (0.0, n)
+    } else {
+        ((cxy / (m2x.sqrt() * m2y.sqrt())).clamp(-1.0, 1.0), n)
+    }
+}
+
+/// The pre-streaming, allocating formulation of [`pearson_on_common`]:
+/// materialises the intersection into two vectors, then runs the two-pass
+/// dense [`pearson`] over them.
+///
+/// Kept **only** as the differential-test oracle (the streaming merge must
+/// agree with it on random sparse rows) and as the "before" baseline of the
+/// hot-path benchmarks. Not for serving-path use.
+pub fn pearson_on_common_alloc(
     cols_a: &[u32],
     vals_a: &[f64],
     cols_b: &[u32],
@@ -157,5 +226,27 @@ mod tests {
         assert_eq!(n, 4); // items 1,2,3,5
         let dense = pearson(&[4.0, 2.0, 5.0, 3.0], &[2.0, 1.0, 4.0, 2.0]);
         assert!((w - dense).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_constant_side_gives_zero() {
+        // A constant common side must yield exactly 0 (Welford's m2 is
+        // exactly zero for constant input, not merely tiny).
+        let cols = [0u32, 1, 2, 3];
+        let (w, n) = pearson_on_common(&cols, &[2.5; 4], &cols, &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(n, 4);
+        assert_eq!(w, 0.0);
+    }
+
+    #[test]
+    fn streaming_matches_allocating_oracle() {
+        let cols_a = [0u32, 2, 3, 5, 8, 9];
+        let vals_a = [1.0, 4.5, 2.0, 5.0, 3.0, 0.5];
+        let cols_b = [1u32, 2, 3, 4, 5, 9];
+        let vals_b = [2.0, 1.0, 4.0, 9.0, 2.0, 4.5];
+        let (ws, ns) = pearson_on_common(&cols_a, &vals_a, &cols_b, &vals_b);
+        let (wa, na) = pearson_on_common_alloc(&cols_a, &vals_a, &cols_b, &vals_b);
+        assert_eq!(ns, na);
+        assert!((ws - wa).abs() < 1e-12, "{ws} vs {wa}");
     }
 }

@@ -127,6 +127,41 @@ impl Percentiles {
     }
 }
 
+/// Cached summary of one sparse row's stored values: sum, entry count, and
+/// the derived mean.
+///
+/// The CF prediction path needs a neighbour's mean rating for every
+/// accumulated neighbour; recomputing it per request turns an `O(1)` lookup
+/// into an `O(nnz)` scan on the hot path. Stores cache a `RowStats` next to
+/// each row (and each aggregated synopsis point) and invalidate it whenever
+/// the row changes.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RowStats {
+    /// Sum of the stored values.
+    pub sum: f64,
+    /// Number of stored entries (`nnz`).
+    pub nnz: usize,
+}
+
+impl RowStats {
+    /// Compute the stats of one row's value slice.
+    pub fn of(vals: &[f64]) -> Self {
+        RowStats {
+            sum: vals.iter().sum(),
+            nnz: vals.len(),
+        }
+    }
+
+    /// Mean of the stored values; `0.0` for an empty row.
+    pub fn mean(&self) -> f64 {
+        if self.nnz == 0 {
+            0.0
+        } else {
+            self.sum / self.nnz as f64
+        }
+    }
+}
+
 /// Online mean/variance accumulator (Welford). Used where samples stream in
 /// (e.g. per-component service-time calibration) and storing them all would
 /// be wasteful.
@@ -306,6 +341,17 @@ mod tests {
         xs.extend(vec![1000.0; 20]);
         let p = Percentiles::new(xs);
         assert!(p.p999() > p.median() * 100.0);
+    }
+
+    #[test]
+    fn row_stats_sum_nnz_mean() {
+        let s = RowStats::of(&[1.0, 2.0, 6.0]);
+        assert_eq!(s.sum, 9.0);
+        assert_eq!(s.nnz, 3);
+        assert_eq!(s.mean(), 3.0);
+        let empty = RowStats::of(&[]);
+        assert_eq!(empty.nnz, 0);
+        assert_eq!(empty.mean(), 0.0);
     }
 
     #[test]

@@ -1,8 +1,22 @@
 //! Property-based tests for the numeric substrate.
 
 use at_linalg::stats::{mean, percentile, variance, Percentiles, StreamingStats};
-use at_linalg::{pearson, pearson_on_common};
+use at_linalg::{pearson, pearson_on_common, pearson_on_common_alloc};
 use proptest::prelude::*;
+
+/// Build one sorted sparse row from a dense mask: entry `i` is present when
+/// `mask[i]` is true, with value `vals[i]`.
+fn sparse_row(mask: &[bool], vals: &[f64]) -> (Vec<u32>, Vec<f64>) {
+    let mut cols = Vec::new();
+    let mut out = Vec::new();
+    for (i, (&m, &v)) in mask.iter().zip(vals).enumerate() {
+        if m {
+            cols.push(i as u32);
+            out.push(v);
+        }
+    }
+    (cols, out)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
@@ -74,6 +88,42 @@ proptest! {
         let r1 = pearson(&a, &b);
         let r2 = pearson(&a2, &b);
         prop_assert!((r1 - r2).abs() < 1e-6, "{} vs {}", r1, r2);
+    }
+
+    #[test]
+    fn streaming_pearson_equals_allocating_on_random_sparse_rows(
+        entries in prop::collection::vec((0u32..2, 0u32..2, 0.5f64..5.0, 0.5f64..5.0), 0..80),
+    ) {
+        // Random presence masks produce arbitrary partial overlap between
+        // the two rows (including empty and single-item intersections).
+        let mask_a: Vec<bool> = entries.iter().map(|e| e.0 == 1).collect();
+        let mask_b: Vec<bool> = entries.iter().map(|e| e.1 == 1).collect();
+        let vals_a: Vec<f64> = entries.iter().map(|e| e.2).collect();
+        let vals_b: Vec<f64> = entries.iter().map(|e| e.3).collect();
+        let (ca, va) = sparse_row(&mask_a, &vals_a);
+        let (cb, vb) = sparse_row(&mask_b, &vals_b);
+        let (w_stream, n_stream) = pearson_on_common(&ca, &va, &cb, &vb);
+        let (w_alloc, n_alloc) = pearson_on_common_alloc(&ca, &va, &cb, &vb);
+        prop_assert_eq!(n_stream, n_alloc);
+        prop_assert!((w_stream - w_alloc).abs() < 1e-9,
+                     "streaming {} vs allocating {}", w_stream, w_alloc);
+    }
+
+    #[test]
+    fn streaming_pearson_bounded_and_symmetric(
+        entries in prop::collection::vec((0u32..2, 0u32..2, -100.0f64..100.0, -100.0f64..100.0), 0..60),
+    ) {
+        let mask_a: Vec<bool> = entries.iter().map(|e| e.0 == 1).collect();
+        let mask_b: Vec<bool> = entries.iter().map(|e| e.1 == 1).collect();
+        let vals_a: Vec<f64> = entries.iter().map(|e| e.2).collect();
+        let vals_b: Vec<f64> = entries.iter().map(|e| e.3).collect();
+        let (ca, va) = sparse_row(&mask_a, &vals_a);
+        let (cb, vb) = sparse_row(&mask_b, &vals_b);
+        let (ab, n1) = pearson_on_common(&ca, &va, &cb, &vb);
+        let (ba, n2) = pearson_on_common(&cb, &vb, &ca, &va);
+        prop_assert_eq!(n1, n2);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+        prop_assert!((ab - ba).abs() < 1e-9);
     }
 
     #[test]

@@ -18,6 +18,11 @@ use crate::predict::{accumulate_neighbor, user_weight, PredictionAcc};
 use crate::ratings::ActiveUser;
 
 /// The user-based CF service, AccuracyTrader-enabled.
+///
+/// The per-request path computes each neighbour's Pearson weight **exactly
+/// once** (it serves both as the correlation estimate and the prediction
+/// weight) and reads neighbour means from the stores' cached
+/// [`at_linalg::RowStats`] — no per-neighbour allocation or value rescans.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CfService;
 
@@ -25,18 +30,32 @@ impl ApproximateService for CfService {
     type Request = ActiveUser;
     type Output = Vec<PredictionAcc>;
 
-    fn process_synopsis(&self, ctx: Ctx<'_>, req: &ActiveUser) -> (Self::Output, Vec<Correlation>) {
+    fn process_synopsis(
+        &self,
+        ctx: Ctx<'_>,
+        req: &ActiveUser,
+        corr: &mut Vec<Correlation>,
+    ) -> Self::Output {
         let mut acc = vec![PredictionAcc::default(); req.targets.len()];
-        let mut corr = Vec::with_capacity(ctx.store.synopsis().len());
-        for p in ctx.store.synopsis().iter() {
+        corr.reserve(ctx.store.synopsis().len());
+        for (p, stats) in ctx.store.synopsis().iter_with_stats() {
+            // One weight per aggregated user: it is both the correlation
+            // estimate c_i and the prediction weight.
             let (w, _) = user_weight(&req.profile, &p.info);
             corr.push(Correlation {
                 node: p.node,
                 score: w.abs(),
             });
-            accumulate_neighbor(req, &p.info, p.member_count as f64, &mut acc);
+            accumulate_neighbor(
+                req,
+                &p.info,
+                w,
+                stats.mean(),
+                p.member_count as f64,
+                &mut acc,
+            );
         }
-        (acc, corr)
+        acc
     }
 
     fn improve(
@@ -48,19 +67,24 @@ impl ApproximateService for CfService {
         members: &[u64],
     ) {
         // Back out the aggregated user's estimated contribution...
-        if let Some(p) = ctx.store.synopsis().point(node) {
-            accumulate_neighbor(req, &p.info, -(p.member_count as f64), out);
+        if let Some((p, stats)) = ctx.store.synopsis().point_with_stats(node) {
+            let (w, _) = user_weight(&req.profile, &p.info);
+            accumulate_neighbor(req, &p.info, w, stats.mean(), -(p.member_count as f64), out);
         }
         // ...and put in the exact contributions of its original users.
         for &m in members {
-            accumulate_neighbor(req, ctx.dataset.row(m), 1.0, out);
+            let row = ctx.dataset.row(m);
+            let (w, _) = user_weight(&req.profile, row);
+            accumulate_neighbor(req, row, w, ctx.dataset.row_stats(m).mean(), 1.0, out);
         }
     }
 
     fn process_exact(&self, ctx: Ctx<'_>, req: &ActiveUser) -> Self::Output {
         let mut acc = vec![PredictionAcc::default(); req.targets.len()];
         for id in ctx.dataset.ids() {
-            accumulate_neighbor(req, ctx.dataset.row(id), 1.0, &mut acc);
+            let row = ctx.dataset.row(id);
+            let (w, _) = user_weight(&req.profile, row);
+            accumulate_neighbor(req, row, w, ctx.dataset.row_stats(id).mean(), 1.0, &mut acc);
         }
         acc
     }
@@ -85,12 +109,6 @@ impl ComposableService for CfService {
     }
 }
 
-/// Compose per-component partial sums into final predictions.
-#[deprecated(note = "use CfService's ComposableService::compose (FanOutService::serve) instead")]
-pub fn compose_predictions(req: &ActiveUser, parts: &[Vec<PredictionAcc>]) -> Vec<f64> {
-    CfService.compose(req, parts)
-}
-
 /// Figure 4(a) analysis: rank aggregated users by |weight| to `req`, split
 /// into `n_sections`, and return each section's percentage of *original*
 /// users that are highly related (|weight| > `threshold`, paper: 0.8).
@@ -101,7 +119,8 @@ pub fn section_relatedness(
     n_sections: usize,
 ) -> Vec<f64> {
     let service = CfService;
-    let (_, corr) = service.process_synopsis(ctx, req);
+    let mut corr = Vec::new();
+    service.process_synopsis(ctx, req, &mut corr);
     let ranked = at_core::rank(corr);
     let sections = at_core::sections(&ranked, n_sections);
     sections
@@ -238,7 +257,8 @@ mod tests {
         let (c, data) = component();
         let req = active(&data, 5, vec![0]);
         let svc = CfService;
-        let (_, corr) = svc.process_synopsis(c.ctx(), &req);
+        let mut corr = Vec::new();
+        svc.process_synopsis(c.ctx(), &req, &mut corr);
         assert_eq!(corr.len(), c.store().synopsis().len());
         for cr in &corr {
             assert!((0.0..=1.0).contains(&cr.score), "|w| out of range");

@@ -19,10 +19,10 @@ pub mod ratings;
 pub mod rmse;
 pub mod topn;
 
-#[allow(deprecated)]
-pub use adapter::compose_predictions;
 pub use adapter::{section_relatedness, CfService};
-pub use predict::{accumulate_neighbor, predict_partial, user_weight, PredictionAcc};
+pub use predict::{
+    accumulate_neighbor, predict_partial, user_weight, weigh_and_accumulate, PredictionAcc,
+};
 pub use ratings::{rating_matrix, ActiveUser};
 pub use rmse::{accuracy_loss_pct, rmse};
 pub use topn::{recommend_top_n, Recommendation};

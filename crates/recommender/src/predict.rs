@@ -56,31 +56,70 @@ pub fn user_weight(active: &SparseRow, neighbor: &SparseRow) -> (f64, usize) {
 
 /// Fold one neighbour's ratings into the per-target accumulators.
 ///
+/// `weight` is the precomputed Pearson weight of this neighbour (from
+/// [`user_weight`]) and `neighbor_mean` its precomputed mean rating (from a
+/// [`at_linalg::RowStats`] cache) — callers that already weighed the
+/// neighbour for correlation ranking pass both in, so the hot path computes
+/// each weight **exactly once** and never rescans the neighbour's values.
+///
 /// `multiplier` scales the contribution (1 for an original user; the member
 /// count when the "neighbour" is an aggregated user standing in for many).
-/// `acc` is parallel to `active.targets`.
+/// `acc` is parallel to `active.targets` (sorted ascending); the
+/// neighbour's targets are found by one linear merge over its sorted
+/// columns instead of a binary search per target.
 pub fn accumulate_neighbor(
+    active: &ActiveUser,
+    neighbor: &SparseRow,
+    weight: f64,
+    neighbor_mean: f64,
+    multiplier: f64,
+    acc: &mut [PredictionAcc],
+) {
+    debug_assert_eq!(acc.len(), active.targets.len());
+    // The merge below requires sorted targets — guaranteed by
+    // `ActiveUser::new`, but `targets` is a public field.
+    debug_assert!(
+        active.targets.windows(2).all(|w| w[0] < w[1]),
+        "accumulate_neighbor: active.targets must be sorted and deduplicated"
+    );
+    if weight == 0.0 {
+        return;
+    }
+    // Both `targets` and `cols` are sorted ascending: advance whichever is
+    // behind (galloping through `cols` once instead of per-target binary
+    // searches).
+    let cols = &neighbor.cols;
+    let (mut t, mut j) = (0usize, 0usize);
+    while t < active.targets.len() && j < cols.len() {
+        match cols[j].cmp(&active.targets[t]) {
+            std::cmp::Ordering::Less => j += 1,
+            std::cmp::Ordering::Greater => t += 1,
+            std::cmp::Ordering::Equal => {
+                let a = &mut acc[t];
+                a.num += weight * (neighbor.vals[j] - neighbor_mean) * multiplier;
+                a.den += weight.abs() * multiplier;
+                t += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Weigh one neighbour against the active user and fold it into the
+/// accumulators: the one-off convenience wrapper around [`user_weight`] +
+/// [`accumulate_neighbor`] for callers without a stats cache.
+pub fn weigh_and_accumulate(
     active: &ActiveUser,
     neighbor: &SparseRow,
     multiplier: f64,
     acc: &mut [PredictionAcc],
 ) {
-    debug_assert_eq!(acc.len(), active.targets.len());
     let (w, _) = user_weight(&active.profile, neighbor);
     if w == 0.0 {
         return;
     }
-    let neighbor_mean = if neighbor.vals.is_empty() {
-        return;
-    } else {
-        neighbor.vals.iter().sum::<f64>() / neighbor.vals.len() as f64
-    };
-    for (t, a) in active.targets.iter().zip(acc.iter_mut()) {
-        if let Some(r) = neighbor.get(*t) {
-            a.num += w * (r - neighbor_mean) * multiplier;
-            a.den += w.abs() * multiplier;
-        }
-    }
+    let mean = at_linalg::RowStats::of(&neighbor.vals).mean();
+    accumulate_neighbor(active, neighbor, w, mean, multiplier, acc);
 }
 
 /// Full user-based CF over a set of neighbour rows: returns one prediction
@@ -91,7 +130,7 @@ pub fn predict_partial(
 ) -> Vec<PredictionAcc> {
     let mut acc = vec![PredictionAcc::default(); active.targets.len()];
     for n in neighbors {
-        accumulate_neighbor(active, n.borrow(), 1.0, &mut acc);
+        weigh_and_accumulate(active, n.borrow(), 1.0, &mut acc);
     }
     acc
 }
@@ -179,11 +218,31 @@ mod tests {
         let active = ActiveUser::new(row(vec![(0, 5.0), (1, 1.0)]), vec![7]);
         let n = row(vec![(0, 4.0), (1, 2.0), (7, 5.0)]);
         let mut one = vec![PredictionAcc::default()];
-        accumulate_neighbor(&active, &n, 1.0, &mut one);
+        weigh_and_accumulate(&active, &n, 1.0, &mut one);
         let mut ten = vec![PredictionAcc::default()];
-        accumulate_neighbor(&active, &n, 10.0, &mut ten);
+        weigh_and_accumulate(&active, &n, 10.0, &mut ten);
         assert!((ten[0].num - 10.0 * one[0].num).abs() < 1e-12);
         // Prediction itself is scale-invariant for a single neighbour.
         assert!((ten[0].predict(3.0) - one[0].predict(3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precomputed_weight_path_matches_wrapper() {
+        // Multiple targets interleaved with non-target columns exercise the
+        // linear merge; it must agree with the weigh-and-accumulate wrapper
+        // (which itself recomputes weight and mean from scratch).
+        let active = ActiveUser::new(row(vec![(0, 5.0), (1, 1.0), (2, 3.0)]), vec![3, 5, 7, 9]);
+        let n = row(vec![(0, 4.0), (1, 2.0), (4, 1.0), (5, 5.0), (9, 2.0)]);
+        let mut via_wrapper = vec![PredictionAcc::default(); 4];
+        weigh_and_accumulate(&active, &n, 2.0, &mut via_wrapper);
+        let (w, _) = user_weight(&active.profile, &n);
+        let mean = at_linalg::RowStats::of(&n.vals).mean();
+        let mut via_precomputed = vec![PredictionAcc::default(); 4];
+        accumulate_neighbor(&active, &n, w, mean, 2.0, &mut via_precomputed);
+        assert_eq!(via_wrapper, via_precomputed);
+        // Target 5 and 9 are rated; 3 and 7 are not.
+        assert!(via_precomputed[1].den > 0.0 && via_precomputed[3].den > 0.0);
+        assert_eq!(via_precomputed[0], PredictionAcc::default());
+        assert_eq!(via_precomputed[2], PredictionAcc::default());
     }
 }

@@ -7,7 +7,7 @@
 
 use at_synopsis::RowStore;
 
-use crate::predict::{accumulate_neighbor, PredictionAcc};
+use crate::predict::{accumulate_neighbor, user_weight, PredictionAcc};
 use crate::ratings::ActiveUser;
 
 /// One recommended item.
@@ -36,7 +36,16 @@ pub fn recommend_top_n(active: &ActiveUser, neighbors: &RowStore, n: usize) -> V
     let probe = ActiveUser::new(active.profile.clone(), candidates.clone());
     let mut acc = vec![PredictionAcc::default(); probe.targets.len()];
     for id in neighbors.ids() {
-        accumulate_neighbor(&probe, neighbors.row(id), 1.0, &mut acc);
+        let row = neighbors.row(id);
+        let (w, _) = user_weight(&probe.profile, row);
+        accumulate_neighbor(
+            &probe,
+            row,
+            w,
+            neighbors.row_stats(id).mean(),
+            1.0,
+            &mut acc,
+        );
     }
     let mean = probe.mean_rating();
     let mut recs: Vec<Recommendation> = probe

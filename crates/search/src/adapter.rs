@@ -86,17 +86,14 @@ impl ApproximateService for SearchService {
         &self,
         ctx: Ctx<'_>,
         req: &SearchRequest,
-    ) -> (Self::Output, Vec<Correlation>) {
-        let corr = ctx
-            .store
-            .synopsis()
-            .iter()
-            .map(|p| Correlation {
-                node: p.node,
-                score: self.index.score_row(p.info.iter(), &req.terms),
-            })
-            .collect();
-        (TopK::new(self.k), corr)
+        corr: &mut Vec<Correlation>,
+    ) -> Self::Output {
+        corr.reserve(ctx.store.synopsis().len());
+        corr.extend(ctx.store.synopsis().iter().map(|p| Correlation {
+            node: p.node,
+            score: self.index.score_row(p.info.iter(), &req.terms),
+        }));
+        TopK::new(self.k)
     }
 
     fn improve(
@@ -157,7 +154,8 @@ pub fn section_top_k_coverage(
     if actual.is_empty() {
         return vec![0.0; n_sections];
     }
-    let (_, corr) = service.process_synopsis(ctx, req);
+    let mut corr = Vec::new();
+    service.process_synopsis(ctx, req, &mut corr);
     let ranked = at_core::rank(corr);
     let sections = at_core::sections(&ranked, n_sections);
     sections

@@ -8,12 +8,21 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 /// One scored document.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug)]
 pub struct Hit {
     /// Document id (component-local).
     pub doc: u64,
     /// Similarity score.
     pub score: f64,
+}
+
+// Equality must agree with `Ord` (which treats NaN as minus infinity), so
+// it is defined through `cmp` rather than derived — a derived `PartialEq`
+// would make a NaN hit unequal to itself while `cmp` calls it `Equal`.
+impl PartialEq for Hit {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
 }
 
 impl Eq for Hit {}
@@ -27,10 +36,21 @@ impl PartialOrd for Hit {
 impl Ord for Hit {
     fn cmp(&self, other: &Self) -> Ordering {
         // Lower score = "smaller"; ties: higher doc id is smaller, so that
-        // equal-score hits prefer the lower id deterministically.
-        self.score
-            .partial_cmp(&other.score)
-            .expect("NaN score")
+        // equal-score hits prefer the lower id deterministically. NaN
+        // scores order as minus infinity (matching the ranking path's NaN
+        // policy) instead of panicking the serving path.
+        let a = if self.score.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            self.score
+        };
+        let b = if other.score.is_nan() {
+            f64::NEG_INFINITY
+        } else {
+            other.score
+        };
+        a.partial_cmp(&b)
+            .expect("sanitised scores are never NaN")
             .then_with(|| other.doc.cmp(&self.doc))
     }
 }
@@ -70,8 +90,13 @@ impl TopK {
         self.heap.is_empty()
     }
 
-    /// Offer a hit; kept only if it beats the current k-th best.
+    /// Offer a hit; kept only if it beats the current k-th best. A NaN
+    /// score ranks as minus infinity and is dropped outright — one bad
+    /// similarity score must degrade that hit, not panic the serving path.
     pub fn push(&mut self, doc: u64, score: f64) {
+        if score.is_nan() {
+            return;
+        }
         let hit = Hit { doc, score };
         if self.heap.len() < self.k {
             self.heap.push(std::cmp::Reverse(hit));
@@ -191,5 +216,34 @@ mod tests {
     #[should_panic(expected = "k must be")]
     fn zero_k_panics() {
         TopK::new(0);
+    }
+
+    #[test]
+    fn nan_score_is_dropped_not_panicking() {
+        // Regression: Hit::cmp used to `expect("NaN score")`, so one NaN
+        // similarity panicked the serving path mid-request.
+        let mut t = TopK::new(2);
+        t.push(1, f64::NAN);
+        assert!(t.is_empty(), "NaN-only pushes keep the collector empty");
+        t.push(2, 0.8);
+        t.push(3, f64::NAN);
+        t.push(4, 0.5);
+        t.push(5, 0.9); // evicts 0.5 — heap comparison with a full heap
+        assert_eq!(t.doc_ids(), vec![5, 2]);
+        // Direct comparator use: NaN orders as minus infinity.
+        let nan = Hit {
+            doc: 1,
+            score: f64::NAN,
+        };
+        let low = Hit {
+            doc: 2,
+            score: f64::NEG_INFINITY,
+        };
+        assert_eq!(nan.cmp(&low), Ordering::Greater, "tie at -inf, doc 1 < 2");
+        assert_eq!(
+            nan.cmp(&Hit { doc: 0, score: 0.0 }),
+            Ordering::Less,
+            "NaN sinks below any real score"
+        );
     }
 }

@@ -72,17 +72,12 @@ mod tests {
         type Request = u32;
         type Output = f64;
 
-        fn process_synopsis(&self, ctx: Ctx<'_>, req: &u32) -> (f64, Vec<Correlation>) {
-            let corr = ctx
-                .store
-                .synopsis()
-                .iter()
-                .map(|p| Correlation {
-                    node: p.node,
-                    score: p.info.get(*req).unwrap_or(0.0),
-                })
-                .collect();
-            (0.0, corr)
+        fn process_synopsis(&self, ctx: Ctx<'_>, req: &u32, corr: &mut Vec<Correlation>) -> f64 {
+            corr.extend(ctx.store.synopsis().iter().map(|p| Correlation {
+                node: p.node,
+                score: p.info.get(*req).unwrap_or(0.0),
+            }));
+            0.0
         }
 
         fn improve(

@@ -8,6 +8,7 @@
 //! synopsis *updating* can add and change points in place.
 
 use at_linalg::sparse::{SparseMatrix, SparseMatrixBuilder};
+use at_linalg::RowStats;
 
 /// How a group of original rows is folded into one aggregated data point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -23,10 +24,16 @@ pub enum AggregationMode {
 
 /// A mutable collection of sparse feature rows, keyed by dense point ids
 /// `0..len` (u64 for R-tree compatibility).
+///
+/// Each row's [`RowStats`] (sum/mean/nnz) is cached alongside it and kept
+/// current by [`push_row`](RowStore::push_row) /
+/// [`replace_row`](RowStore::replace_row), so the per-request serving path
+/// reads a neighbour's mean in `O(1)` instead of rescanning its values.
 #[derive(Clone, Debug, Default)]
 pub struct RowStore {
     feature_dim: usize,
     rows: Vec<SparseRow>,
+    stats: Vec<RowStats>,
 }
 
 /// One sparse row: parallel `(cols, vals)` with `cols` sorted ascending.
@@ -75,6 +82,7 @@ impl RowStore {
         RowStore {
             feature_dim,
             rows: Vec::new(),
+            stats: Vec::new(),
         }
     }
 
@@ -105,6 +113,7 @@ impl RowStore {
                 self.feature_dim
             );
         }
+        self.stats.push(RowStats::of(&row.vals));
         self.rows.push(row);
         (self.rows.len() - 1) as u64
     }
@@ -126,6 +135,7 @@ impl RowStore {
             .rows
             .get_mut(id as usize)
             .unwrap_or_else(|| panic!("replace_row: id {id} out of range"));
+        self.stats[id as usize] = RowStats::of(&row.vals);
         *slot = row;
     }
 
@@ -135,6 +145,15 @@ impl RowStore {
     /// Panics if out of range.
     pub fn row(&self, id: u64) -> &SparseRow {
         &self.rows[id as usize]
+    }
+
+    /// Cached stats (sum/mean/nnz) of row `id`, maintained by
+    /// [`push_row`](Self::push_row) / [`replace_row`](Self::replace_row).
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn row_stats(&self, id: u64) -> RowStats {
+        self.stats[id as usize]
     }
 
     /// All row ids (`0..len`).
@@ -206,6 +225,20 @@ mod tests {
         assert_eq!(r.vals, vec![2.0, 9.0]);
         assert_eq!(r.get(3), Some(9.0));
         assert_eq!(r.get(0), None);
+    }
+
+    #[test]
+    fn row_stats_cache_tracks_mutations() {
+        let mut s = store();
+        let st = s.row_stats(0);
+        assert_eq!(st.nnz, 2);
+        assert_eq!(st.sum, 6.0);
+        assert_eq!(st.mean(), 3.0);
+        s.replace_row(0, SparseRow::from_pairs(vec![(1, 9.0)]));
+        let st = s.row_stats(0);
+        assert_eq!((st.nnz, st.sum), (1, 9.0));
+        let id = s.push_row(SparseRow::from_pairs(vec![(0, 1.0), (3, 2.0), (4, 3.0)]));
+        assert_eq!(s.row_stats(id).mean(), 2.0);
     }
 
     #[test]

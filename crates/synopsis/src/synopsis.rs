@@ -1,8 +1,8 @@
 //! The synopsis itself: the set of aggregated data points.
 
 use crate::dataset::{AggregationMode, SparseRow};
+use at_linalg::RowStats;
 use at_rtree::NodeId;
-use std::collections::HashMap;
 
 /// One aggregated data point: the folded information of a group of similar
 /// original data points (one R-tree node at the synopsis depth).
@@ -22,10 +22,23 @@ pub struct AggregatedPoint {
 /// each aggregates the information of multiple similar data points in the
 /// subset." It is deliberately small (≈100× smaller than the subset) so a
 /// component can always process it quickly.
+///
+/// Each point's [`RowStats`] (sum/mean/nnz of its aggregated row) is cached
+/// at [`upsert`](Synopsis::upsert) time — the per-request path reads the
+/// aggregated neighbour's mean in `O(1)` instead of rescanning its values,
+/// and incremental synopsis updates refresh the cache automatically because
+/// they go through `upsert`/`remove`.
+///
+/// Storage is a `Vec` kept sorted by node id: the per-request path iterates
+/// every point once per component, so [`iter`](Synopsis::iter) /
+/// [`iter_with_stats`](Synopsis::iter_with_stats) must be allocation- and
+/// sort-free. Mutation (binary search + shift on upsert/remove) pays the
+/// `O(m)` cost instead, on the offline/update path where it belongs.
 #[derive(Clone, Debug)]
 pub struct Synopsis {
     mode: AggregationMode,
-    points: HashMap<NodeId, AggregatedPoint>,
+    /// `(point, stats)` entries sorted ascending by `point.node`.
+    points: Vec<(AggregatedPoint, RowStats)>,
 }
 
 impl Synopsis {
@@ -33,8 +46,12 @@ impl Synopsis {
     pub fn new(mode: AggregationMode) -> Self {
         Synopsis {
             mode,
-            points: HashMap::new(),
+            points: Vec::new(),
         }
+    }
+
+    fn position(&self, node: NodeId) -> Result<usize, usize> {
+        self.points.binary_search_by_key(&node, |(p, _)| p.node)
     }
 
     /// Aggregation mode (mean for numeric data, merge for text).
@@ -55,30 +72,54 @@ impl Synopsis {
     /// Total stored entries across all aggregated rows (a size proxy for
     /// the "sufficiently small" requirement).
     pub fn total_entries(&self) -> usize {
-        self.points.values().map(|p| p.info.nnz()).sum()
+        self.points.iter().map(|(p, _)| p.info.nnz()).sum()
     }
 
     /// The aggregated point cut from `node`, if present.
     pub fn point(&self, node: NodeId) -> Option<&AggregatedPoint> {
-        self.points.get(&node)
+        self.position(node).ok().map(|i| &self.points[i].0)
     }
 
-    /// Insert or replace the aggregated point for `node`.
+    /// The aggregated point of `node` together with its cached row stats.
+    pub fn point_with_stats(&self, node: NodeId) -> Option<(&AggregatedPoint, RowStats)> {
+        self.position(node).ok().map(|i| {
+            let (p, s) = &self.points[i];
+            (p, *s)
+        })
+    }
+
+    /// Insert or replace the aggregated point for `node`, refreshing its
+    /// cached row stats.
     pub fn upsert(&mut self, point: AggregatedPoint) {
-        self.points.insert(point.node, point);
+        let stats = RowStats::of(&point.info.vals);
+        match self.position(point.node) {
+            Ok(i) => self.points[i] = (point, stats),
+            Err(i) => self.points.insert(i, (point, stats)),
+        }
     }
 
     /// Remove the point of a node that no longer exists at the synopsis
     /// depth; returns whether it was present.
     pub fn remove(&mut self, node: NodeId) -> bool {
-        self.points.remove(&node).is_some()
+        match self.position(node) {
+            Ok(i) => {
+                self.points.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// Iterate aggregated points in deterministic (node-id) order.
+    /// Allocation-free: this runs once per request per component.
     pub fn iter(&self) -> impl Iterator<Item = &AggregatedPoint> {
-        let mut ids: Vec<&AggregatedPoint> = self.points.values().collect();
-        ids.sort_by_key(|p| p.node);
-        ids.into_iter()
+        self.points.iter().map(|(p, _)| p)
+    }
+
+    /// Iterate aggregated points with their cached row stats, in
+    /// deterministic (node-id) order. Allocation-free, like [`iter`](Self::iter).
+    pub fn iter_with_stats(&self) -> impl Iterator<Item = (&AggregatedPoint, RowStats)> {
+        self.points.iter().map(|(p, s)| (p, *s))
     }
 }
 
@@ -122,6 +163,30 @@ mod tests {
         }
         let order: Vec<u32> = s.iter().map(|p| p.node.index()).collect();
         assert_eq!(order, vec![1, 3, 5, 9]);
+    }
+
+    #[test]
+    fn upsert_refreshes_cached_stats() {
+        let mut s = Synopsis::new(AggregationMode::Mean);
+        s.upsert(AggregatedPoint {
+            node: NodeId::from_index(7),
+            info: SparseRow::from_pairs(vec![(0, 2.0), (1, 4.0)]),
+            member_count: 3,
+        });
+        let (_, stats) = s.point_with_stats(NodeId::from_index(7)).unwrap();
+        assert_eq!((stats.nnz, stats.sum), (2, 6.0));
+        assert_eq!(stats.mean(), 3.0);
+        // Replacing the point must replace the cached stats with it.
+        s.upsert(AggregatedPoint {
+            node: NodeId::from_index(7),
+            info: SparseRow::from_pairs(vec![(2, 9.0)]),
+            member_count: 1,
+        });
+        let (_, stats) = s.point_with_stats(NodeId::from_index(7)).unwrap();
+        assert_eq!((stats.nnz, stats.sum), (1, 9.0));
+        let with_stats: Vec<_> = s.iter_with_stats().collect();
+        assert_eq!(with_stats.len(), 1);
+        assert_eq!(with_stats[0].1.mean(), 9.0);
     }
 
     #[test]

@@ -85,16 +85,12 @@ pub use at_workloads as workloads;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use at_core::ProcessingConfig;
     pub use at_core::{
         partition_rows, Algorithm1, ApproximateService, Component, ComponentTelemetry,
         ComposableService, Correlation, Ctx, ExecutionPolicy, FanOutService, Outcome, ServiceError,
         ServiceResponse,
     };
     pub use at_linalg::svd::{IncrementalSvd, SvdConfig};
-    #[allow(deprecated)]
-    pub use at_recommender::compose_predictions;
     pub use at_recommender::{rating_matrix, ActiveUser, CfService, PredictionAcc};
     pub use at_rtree::{RTree, RTreeConfig};
     pub use at_search::{SearchRequest, SearchService, TopK};

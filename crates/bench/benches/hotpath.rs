@@ -67,5 +67,35 @@ fn bench_budgeted_replay(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pearson, bench_ranking, bench_budgeted_replay);
+fn bench_batched_serve(c: &mut Criterion) {
+    let deployment = build_recommender(DeployScale::quick());
+    let policy = ExecutionPolicy::budgeted(5);
+    let batch: Vec<_> = (0..8)
+        .map(|i| {
+            deployment.requests[i % deployment.requests.len()]
+                .active
+                .clone()
+        })
+        .collect();
+    let mut g = c.benchmark_group("batched_serve");
+    g.bench_function("serve_batch_8", |b| {
+        b.iter(|| std::hint::black_box(deployment.service.serve_batch(&batch, &policy)))
+    });
+    g.bench_function("sequential_serve_baseline", |b| {
+        b.iter(|| {
+            for req in &batch {
+                std::hint::black_box(deployment.service.serve(req, &policy));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pearson,
+    bench_ranking,
+    bench_budgeted_replay,
+    bench_batched_serve
+);
 criterion_main!(benches);

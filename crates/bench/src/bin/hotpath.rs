@@ -16,6 +16,12 @@
 //!   deployment through the PR-1 eager/allocating path
 //!   ([`at_bench::baseline`]) vs the current lazy/streaming
 //!   `Component::execute`.
+//! * `serve_batch_{1,8,64}` — end-to-end `Budgeted{sets: 5}` replay of a
+//!   zipf-skewed request mix against the recommender deployment:
+//!   per-request `FanOutService::serve` mapped sequentially over a batch
+//!   (before) vs one `serve_batch` call sharing a single fan-out, synopsis
+//!   pass, duplicate-request collapsing, and pooled outputs (after), at
+//!   batch sizes 1, 8, and 64.
 //!
 //! The JSON is intentionally flat and hand-written (no serde in the
 //! dependency closure): one object per pair with `name`, `before_ns`,
@@ -109,6 +115,47 @@ fn main() {
         before_ns: before_s * 1e9 / (replay_rounds * n_execs) as f64,
         after_ns: after_s * 1e9 / (replay_rounds * n_execs) as f64,
     });
+
+    // 4. Batched vs sequential end-to-end serve: the same zipf-skewed
+    // request mix (hot requests repeat, as in the paper's query logs)
+    // through serve() one request at a time vs one serve_batch() call,
+    // per-request ns at batch sizes 1/8/64.
+    let policy = at_core::ExecutionPolicy::budgeted(5);
+    let serve_rounds = if quick { 4 } else { 12 };
+    let zipf = at_workloads::Zipf::new(deployment.requests.len(), 1.1);
+    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(0x5EED);
+    for &batch_size in &[1usize, 8, 64] {
+        let batch: Vec<_> = (0..batch_size)
+            .map(|_| deployment.requests[zipf.sample(&mut rng)].active.clone())
+            .collect();
+        // Warm both paths (and the output pool) once.
+        for req in &batch {
+            std::hint::black_box(deployment.service.serve(req, &policy));
+        }
+        std::hint::black_box(deployment.service.serve_batch(&batch, &policy));
+        let mut seq_s = 0.0;
+        let mut batch_s = 0.0;
+        for _ in 0..serve_rounds {
+            let t = Instant::now();
+            for req in &batch {
+                std::hint::black_box(deployment.service.serve(req, &policy));
+            }
+            seq_s += t.elapsed().as_secs_f64();
+            let t = Instant::now();
+            std::hint::black_box(deployment.service.serve_batch(&batch, &policy));
+            batch_s += t.elapsed().as_secs_f64();
+        }
+        let per_req = (serve_rounds * batch_size) as f64;
+        pairs.push(Pair {
+            name: match batch_size {
+                1 => "serve_batch_1",
+                8 => "serve_batch_8",
+                _ => "serve_batch_64",
+            },
+            before_ns: seq_s * 1e9 / per_req,
+            after_ns: batch_s * 1e9 / per_req,
+        });
+    }
 
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"hotpath\",\n");

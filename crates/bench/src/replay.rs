@@ -12,7 +12,7 @@ use std::time::Instant;
 
 use at_core::{ComposableService, ExecutionPolicy};
 use at_recommender::{accuracy_loss_pct as rec_loss_pct, rmse, CfService};
-use at_search::{accuracy_loss_pct as search_loss_pct, topk_overlap, TopK};
+use at_search::{accuracy_loss_pct as search_loss_pct, topk_overlap};
 use at_sim::RequestSample;
 use rayon::prelude::*;
 
@@ -85,23 +85,43 @@ fn policy_for(budget: &Budget<'_>, component: usize, real_total: usize) -> Optio
 
 /// Replay one request against the recommender deployment and return the
 /// `(prediction, actual)` pairs it contributes to the RMSE population.
+///
+/// Heterogeneous per-component budgets (`Budget::Sets`/`Exact`) go through
+/// [`FanOutService::serve_with`](at_core::FanOutService::serve_with) — the
+/// end-to-end path with one policy per component. `Budget::Mask` keeps the
+/// manual component loop because a skipped recommender component must be
+/// *omitted* from composition entirely (its synopsis estimate would still
+/// shift the prediction), which no `ExecutionPolicy` expresses.
 fn rec_predict(deployment: &RecDeployment, req_idx: usize, budget: &Budget<'_>) -> Vec<(f64, f64)> {
     let request = &deployment.requests[req_idx];
-    let parts: Vec<_> = deployment
-        .service
-        .components()
-        .iter()
-        .enumerate()
-        .filter_map(|(i, c)| {
-            let policy = policy_for(budget, i, c.store().synopsis().len())?;
-            Some(c.execute(&request.active, &policy, Instant::now()).output)
-        })
-        .collect();
-    let preds = if parts.is_empty() {
-        // Every component skipped: fall back to the user-mean baseline.
-        vec![request.active.mean_rating(); request.actual.len()]
-    } else {
-        CfService.compose(&request.active, &parts)
+    let preds = match budget {
+        Budget::Mask(_) => {
+            let parts: Vec<_> = deployment
+                .service
+                .components()
+                .iter()
+                .enumerate()
+                .filter_map(|(i, c)| {
+                    let policy = policy_for(budget, i, c.store().synopsis().len())?;
+                    Some(c.execute(&request.active, &policy, Instant::now()).output)
+                })
+                .collect();
+            if parts.is_empty() {
+                // Every component skipped: fall back to the user-mean baseline.
+                vec![request.active.mean_rating(); request.actual.len()]
+            } else {
+                CfService.compose(&request.active, &parts)
+            }
+        }
+        _ => {
+            deployment
+                .service
+                .serve_with(&request.active, |i| {
+                    let real_total = deployment.service.components()[i].store().synopsis().len();
+                    policy_for(budget, i, real_total).expect("Sets/Exact never skip")
+                })
+                .response
+        }
     };
     preds
         .into_iter()
@@ -142,29 +162,30 @@ pub fn rec_accuracy_loss(
 
 /// Replay one query against the search deployment and return its top-10
 /// overlap with the exact top-10.
+///
+/// Both sides ride
+/// [`FanOutService::serve_with`](at_core::FanOutService::serve_with) /
+/// `serve`: a component skipped by partial execution (`Budget::Mask`)
+/// degrades to `SynopsisOnly`, which for search *is* the empty top-k, so
+/// surviving components keep their slice position in composition (document
+/// ids are namespaced by position).
 fn search_overlap_one(deployment: &SearchDeployment, req_idx: usize, budget: &Budget<'_>) -> f64 {
     let request = &deployment.requests[req_idx];
-    let composer = deployment.service.components()[0].service();
-    let mut exact_parts = Vec::with_capacity(deployment.service.len());
-    let mut approx_parts = Vec::with_capacity(deployment.service.len());
-    for (i, c) in deployment.service.components().iter().enumerate() {
-        let exact = c
-            .execute(request, &ExecutionPolicy::Exact, Instant::now())
-            .output;
-        // A skipped component contributes an empty heap so surviving
-        // components keep their position (compose namespaces document ids
-        // by slice position).
-        let approx = match policy_for(budget, i, c.store().synopsis().len()) {
-            Some(ExecutionPolicy::Exact) => exact.clone(),
-            Some(policy) => c.execute(request, &policy, Instant::now()).output,
-            None => TopK::new(composer.k()),
-        };
-        exact_parts.push(exact);
-        approx_parts.push(approx);
+    let policies: Vec<ExecutionPolicy> = (0..deployment.service.len())
+        .map(|i| {
+            let real_total = deployment.service.components()[i].store().synopsis().len();
+            policy_for(budget, i, real_total).unwrap_or(ExecutionPolicy::SynopsisOnly)
+        })
+        .collect();
+    let exact = deployment.service.serve(request, &ExecutionPolicy::Exact);
+    let exact_ids = exact.response.doc_ids();
+    // An all-Exact budget replays the baseline itself: reuse the exact
+    // response instead of running process_exact on every component twice.
+    if policies.iter().all(|p| matches!(p, ExecutionPolicy::Exact)) {
+        return topk_overlap(&exact_ids, &exact_ids);
     }
-    let exact_merged = composer.compose(request, &exact_parts);
-    let approx_merged = composer.compose(request, &approx_parts);
-    topk_overlap(&exact_merged.doc_ids(), &approx_merged.doc_ids())
+    let approx = deployment.service.serve_with(request, |i| policies[i]);
+    topk_overlap(&exact_ids, &approx.response.doc_ids())
 }
 
 /// Mean top-10 overlap over `samples` under `budget_of`.
@@ -301,6 +322,47 @@ mod tests {
         });
         assert!(o_hi >= o_lo);
         assert!((o_hi - 1.0).abs() < 1e-9, "all sets = exact, got {o_hi}");
+    }
+
+    /// The bench's heterogeneous-budget replay rides `serve_with`; its
+    /// per-component policies must drive each component exactly like the
+    /// manual `Component::execute` loop the replay used before.
+    #[test]
+    fn serve_with_replay_equals_manual_component_loop() {
+        let d = build_recommender(DeployScale::quick());
+        let budget = Budget::Sets {
+            sets: &[1, 3, 0, 7, 2, 5],
+            sim_total: 30,
+            imax_frac: Some(0.4),
+        };
+        for request in d.requests.iter().take(4) {
+            let policies: Vec<ExecutionPolicy> = (0..d.service.len())
+                .map(|i| {
+                    policy_for(
+                        &budget,
+                        i,
+                        d.service.components()[i].store().synopsis().len(),
+                    )
+                    .expect("Sets never skips")
+                })
+                .collect();
+            let served = d.service.serve_with(&request.active, |i| policies[i]);
+            let manual: Vec<_> = d
+                .service
+                .components()
+                .iter()
+                .zip(&policies)
+                .map(|(c, p)| c.execute(&request.active, p, Instant::now()))
+                .collect();
+            for (got, want) in served.components.iter().zip(&manual) {
+                assert_eq!(got.sets_processed, want.sets_processed);
+                assert_eq!(got.sets_total, want.sets_total);
+                assert_eq!(got.sets_skipped, want.sets_skipped);
+            }
+            let parts: Vec<_> = manual.into_iter().map(|o| o.output).collect();
+            let want_preds = CfService.compose(&request.active, &parts);
+            assert_eq!(served.response, want_preds);
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@ use at_synopsis::{
 
 use crate::outcome::Outcome;
 use crate::policy::ExecutionPolicy;
+use crate::pool::OutputPool;
 use crate::processor::{Algorithm1, ApproximateService, Ctx};
 
 /// One parallel component of an online service.
@@ -85,6 +86,45 @@ impl<S: ApproximateService> Component<S> {
         submitted: Instant,
     ) -> Outcome<S::Output> {
         Algorithm1::new(&self.dataset, &self.store, &self.service).execute(req, policy, submitted)
+    }
+
+    /// [`execute`](Self::execute) with the output buffer drawn from (and
+    /// eventually returned to) `pool` by the caller.
+    pub fn execute_pooled(
+        &self,
+        req: &S::Request,
+        policy: &ExecutionPolicy,
+        submitted: Instant,
+        pool: &OutputPool<S::Output>,
+    ) -> Outcome<S::Output> {
+        Algorithm1::new(&self.dataset, &self.store, &self.service)
+            .execute_pooled(req, policy, submitted, pool)
+    }
+
+    /// Process a whole batch of requests under one `policy` through a
+    /// single shared synopsis pass; `submitted[i]` is request `i`'s
+    /// submission instant (see [`Algorithm1::execute_batch`]).
+    pub fn execute_batch(
+        &self,
+        reqs: &[S::Request],
+        policy: &ExecutionPolicy,
+        submitted: &[Instant],
+    ) -> Vec<Outcome<S::Output>> {
+        Algorithm1::new(&self.dataset, &self.store, &self.service)
+            .execute_batch(reqs, policy, submitted)
+    }
+
+    /// [`execute_batch`](Self::execute_batch) with output buffers recycled
+    /// through `pool`.
+    pub fn execute_batch_pooled(
+        &self,
+        reqs: &[S::Request],
+        policy: &ExecutionPolicy,
+        submitted: &[Instant],
+        pool: &OutputPool<S::Output>,
+    ) -> Vec<Outcome<S::Output>> {
+        Algorithm1::new(&self.dataset, &self.store, &self.service)
+            .execute_batch_pooled(reqs, policy, submitted, pool)
     }
 
     /// Apply input-data changes and incrementally update the synopsis.

@@ -15,7 +15,13 @@
 //!   via [`Algorithm1::execute`].
 //! * [`Component`] / [`FanOutService`] — one subset + synopsis per parallel
 //!   component; [`FanOutService::serve`] is the end-to-end request
-//!   lifecycle (rayon fan-out → compose → [`ServiceResponse`] telemetry).
+//!   lifecycle (rayon fan-out → compose → [`ServiceResponse`] telemetry),
+//!   [`FanOutService::serve_batch`] the batched equivalent (one fan-out and
+//!   one synopsis pass per component for a whole request stream), and
+//!   [`FanOutService::serve_with`] the heterogeneous per-component-policy
+//!   variant.
+//! * [`OutputPool`] — typed recycling of per-component output buffers, so
+//!   a warm service serves batches without steady-state allocation.
 //!
 //! Service adapters live in `at-recommender` and `at-search`.
 
@@ -23,6 +29,7 @@ pub mod component;
 pub mod correlation;
 pub mod outcome;
 pub mod policy;
+pub mod pool;
 pub mod processor;
 pub mod service;
 
@@ -30,6 +37,7 @@ pub use component::Component;
 pub use correlation::{cmp_ranked, rank, rank_top, sections, Correlation, RankedPrefix};
 pub use outcome::Outcome;
 pub use policy::ExecutionPolicy;
+pub use pool::{prepare_outputs, OutputPool};
 pub use processor::{Algorithm1, ApproximateService, ComposableService, Ctx};
 pub use service::{
     partition_rows, ComponentTelemetry, FanOutService, ServiceError, ServiceResponse,

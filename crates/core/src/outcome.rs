@@ -2,7 +2,7 @@
 
 /// What a component produced for a request, plus how much of the ranked
 /// input data it managed to process.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Outcome<T> {
     /// The (approximate) component result `ar`.
     pub output: T,

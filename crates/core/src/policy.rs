@@ -85,6 +85,15 @@ impl ExecutionPolicy {
         ((total_sets as f64 * fraction).ceil() as usize).max(1)
     }
 
+    /// True when the policy's outcome is a pure function of the request
+    /// and component state — `Exact`, `SynopsisOnly`, `Budgeted` — and
+    /// false for `Deadline`, whose work depends on the wall clock and the
+    /// request's submission instant. Clock-free policies let the batched
+    /// serving path collapse duplicate requests safely.
+    pub fn is_clock_free(&self) -> bool {
+        !matches!(self, ExecutionPolicy::Deadline { .. })
+    }
+
     /// The `i_max` cap this policy implies, if any.
     pub fn imax(&self) -> Option<usize> {
         match *self {
@@ -143,6 +152,15 @@ mod tests {
     #[should_panic(expected = "fraction")]
     fn bad_fraction_panics() {
         ExecutionPolicy::search(10, 1.5);
+    }
+
+    #[test]
+    fn clock_free_by_variant() {
+        assert!(ExecutionPolicy::Exact.is_clock_free());
+        assert!(ExecutionPolicy::SynopsisOnly.is_clock_free());
+        assert!(ExecutionPolicy::budgeted(3).is_clock_free());
+        assert!(!ExecutionPolicy::recommender().is_clock_free());
+        assert!(!ExecutionPolicy::deadline(Duration::from_secs(1)).is_clock_free());
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Typed recycling of per-component `Output` buffers.
+//!
+//! The per-request hot path stopped allocating correlation vectors in the
+//! zero-allocation pass (per-worker scratch in [`crate::processor`]), but
+//! every request still allocated its per-component output — a
+//! `Vec<PredictionAcc>` for the recommender, a `TopK` heap for the search
+//! engine. [`OutputPool`] closes that last steady-state allocation: the
+//! fan-out service checks buffers out before stage 1
+//! ([`ApproximateService::process_synopsis_into`](crate::ApproximateService::process_synopsis_into)
+//! resets them in place) and returns them after composing the response, so
+//! a **warm** server serves requests and whole batches without touching the
+//! heap for outputs.
+//!
+//! The pool is deliberately dumb: a mutex around a stack of buffers, with a
+//! retention cap so a one-off giant batch cannot pin memory forever. All
+//! buffers are interchangeable because every service resets a recycled
+//! buffer before use — a pool hit changes *where the storage came from*,
+//! never *what the request computes*.
+//!
+//! # Example
+//!
+//! ```
+//! use at_core::OutputPool;
+//!
+//! let pool: OutputPool<Vec<f64>> = OutputPool::new();
+//! assert!(pool.get().is_none(), "cold pool has nothing to recycle");
+//!
+//! // A request's output buffer comes back after composition...
+//! pool.put(vec![0.25, 0.5]);
+//! // ...and the next request reuses its storage instead of allocating.
+//! let recycled = pool.get().expect("warm pool serves the buffer back");
+//! assert_eq!(recycled.capacity() >= 2, true);
+//! assert_eq!(pool.reuses(), 1);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Buffers retained by default; `put` drops beyond this, bounding the
+/// memory a burst of huge batches can leave behind.
+const DEFAULT_RETAIN: usize = 4096;
+
+/// A typed recycler for request output buffers.
+///
+/// `get` pops a previously returned buffer (or `None` when cold — the
+/// caller then allocates fresh, exactly once per buffer ever in flight);
+/// `put` returns a buffer for the next request. Shared across rayon
+/// workers (`&OutputPool` is `Sync` for `T: Send`).
+#[derive(Debug)]
+pub struct OutputPool<T> {
+    free: Mutex<Vec<T>>,
+    retain: usize,
+    reuses: AtomicUsize,
+}
+
+impl<T> Default for OutputPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> OutputPool<T> {
+    /// An empty pool retaining at most [`DEFAULT_RETAIN`] buffers.
+    pub fn new() -> Self {
+        Self::with_retention(DEFAULT_RETAIN)
+    }
+
+    /// An empty pool retaining at most `retain` buffers; `put` beyond that
+    /// drops the buffer instead of growing the pool.
+    pub fn with_retention(retain: usize) -> Self {
+        OutputPool {
+            free: Mutex::new(Vec::new()),
+            retain,
+            reuses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Check a recycled buffer out, if any. The caller owns it until the
+    /// matching [`put`](Self::put).
+    pub fn get(&self) -> Option<T> {
+        let buf = self.free.lock().expect("output pool poisoned").pop();
+        if buf.is_some() {
+            self.reuses.fetch_add(1, Ordering::Relaxed);
+        }
+        buf
+    }
+
+    /// Check up to `n` recycled buffers out into `into` (used by the batch
+    /// path to seed one buffer per request in a single lock acquisition).
+    pub fn get_up_to(&self, n: usize, into: &mut Vec<T>) {
+        let mut free = self.free.lock().expect("output pool poisoned");
+        let take = n.min(free.len());
+        let keep = free.len() - take;
+        into.extend(free.drain(keep..));
+        drop(free);
+        self.reuses.fetch_add(take, Ordering::Relaxed);
+    }
+
+    /// Return a buffer for reuse; dropped silently once the retention cap
+    /// is reached.
+    pub fn put(&self, buf: T) {
+        let mut free = self.free.lock().expect("output pool poisoned");
+        if free.len() < self.retain {
+            free.push(buf);
+        }
+    }
+
+    /// Buffers currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("output pool poisoned").len()
+    }
+
+    /// True when no buffer is idle (a cold pool, or all checked out).
+    pub fn is_empty(&self) -> bool {
+        self.idle() == 0
+    }
+
+    /// Total buffers ever served back out of the pool. Monotone; a warm
+    /// server's reuse count grows with every request. For services that
+    /// override `process_synopsis_into` to reset buffers in place this
+    /// equals the output allocations avoided; a service on the default
+    /// hook overwrites the recycled buffer with a fresh allocation, so
+    /// there the count only measures pool traffic.
+    pub fn reuses(&self) -> usize {
+        self.reuses.load(Ordering::Relaxed)
+    }
+}
+
+/// Prepare `outs` as one output buffer per request of an `n`-request
+/// batch: buffers beyond `n` are dropped, recycled buffers (which may hold
+/// *any* prior request's state) are reset in place via `reset(buf, i)`,
+/// and the remainder is created fresh via `make(i)`.
+///
+/// This is the recycled-output prologue every
+/// [`ApproximateService::process_synopsis_batch`](crate::ApproximateService::process_synopsis_batch)
+/// override needs; sharing it keeps the subtle recycled-index bookkeeping
+/// in one place.
+pub fn prepare_outputs<T>(
+    outs: &mut Vec<T>,
+    n: usize,
+    mut reset: impl FnMut(&mut T, usize),
+    mut make: impl FnMut(usize) -> T,
+) {
+    outs.truncate(n);
+    for (i, out) in outs.iter_mut().enumerate() {
+        reset(out, i);
+    }
+    for i in outs.len()..n {
+        outs.push(make(i));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_outputs_resets_recycled_and_makes_fresh() {
+        let mut outs = vec![vec![9u8; 3], vec![8u8; 1], vec![7u8]];
+        // Shrinking batch: excess buffer dropped, survivors reset.
+        prepare_outputs(
+            &mut outs,
+            2,
+            |b, i| *b = vec![i as u8],
+            |i| vec![i as u8; 2],
+        );
+        assert_eq!(outs, vec![vec![0], vec![1]]);
+        // Growing batch: both recycled buffers reset, two made fresh.
+        prepare_outputs(
+            &mut outs,
+            4,
+            |b, i| *b = vec![i as u8],
+            |i| vec![i as u8; 2],
+        );
+        assert_eq!(outs, vec![vec![0], vec![1], vec![2, 2], vec![3, 3]]);
+    }
+
+    #[test]
+    fn cold_pool_yields_nothing() {
+        let pool: OutputPool<Vec<u8>> = OutputPool::new();
+        assert!(pool.get().is_none());
+        assert!(pool.is_empty());
+        assert_eq!(pool.reuses(), 0);
+    }
+
+    #[test]
+    fn put_then_get_recycles() {
+        let pool = OutputPool::new();
+        pool.put(vec![1u8, 2, 3]);
+        assert_eq!(pool.idle(), 1);
+        let buf = pool.get().unwrap();
+        assert_eq!(buf, vec![1, 2, 3]);
+        assert_eq!(pool.reuses(), 1);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn retention_cap_drops_excess() {
+        let pool = OutputPool::with_retention(2);
+        for i in 0..5u8 {
+            pool.put(vec![i]);
+        }
+        assert_eq!(pool.idle(), 2, "puts beyond the cap are dropped");
+    }
+
+    #[test]
+    fn get_up_to_takes_at_most_available() {
+        let pool = OutputPool::new();
+        pool.put(vec![1u8]);
+        pool.put(vec![2u8]);
+        let mut out = Vec::new();
+        pool.get_up_to(5, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(pool.is_empty());
+        assert_eq!(pool.reuses(), 2);
+        // And takes exactly n when more are idle.
+        for i in 0..4u8 {
+            pool.put(vec![i]);
+        }
+        let mut out = Vec::new();
+        pool.get_up_to(3, &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let pool: OutputPool<Vec<u64>> = OutputPool::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let pool = &pool;
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let mut buf = pool.get().unwrap_or_default();
+                        buf.clear();
+                        buf.push(t * 1000 + i);
+                        pool.put(buf);
+                    }
+                });
+            }
+        });
+        assert!(pool.idle() <= 4, "at most one buffer per thread in flight");
+    }
+}

@@ -10,6 +10,12 @@
 //!   deadlines into budgets via its queueing/interference model), or the
 //!   literal wall-clock loop of Algorithm 1 (lines 4–10, checking
 //!   `l_ela < l_spe` between sets).
+//! * [`execute_batch`](Algorithm1::execute_batch) — drive a whole batch of
+//!   requests through **one** stage-1 pass over the synopsis
+//!   ([`ApproximateService::process_synopsis_batch`]), each request keeping
+//!   its own deadline/budget accounting; bit-identical to mapping
+//!   `execute` over the batch. The `*_pooled` variants recycle output
+//!   buffers through an [`OutputPool`](crate::OutputPool).
 //!
 //! Ranked sets whose aggregated point has gone stale (present in the
 //! synopsis but missing from the index file) are *skipped*, not fatal:
@@ -44,11 +50,17 @@ use at_synopsis::{RowStore, SynopsisStore};
 use crate::correlation::{rank, rank_top, Correlation};
 use crate::outcome::Outcome;
 use crate::policy::ExecutionPolicy;
+use crate::pool::OutputPool;
 
 thread_local! {
     /// Per-worker correlation scratch, reused across requests. Capacity
     /// converges to the largest synopsis this worker has served.
     static CORR_SCRATCH: RefCell<Vec<Correlation>> = const { RefCell::new(Vec::new()) };
+
+    /// Per-worker batch correlation scratch: one vector per in-flight
+    /// request of a batch, reused across batches. Grows to the largest
+    /// batch this worker has served.
+    static BATCH_SCRATCH: RefCell<Vec<Vec<Correlation>>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Run `f` with this worker's cleared correlation scratch buffer. Falls
@@ -62,6 +74,27 @@ fn with_corr_scratch<R>(f: impl FnOnce(&mut Vec<Correlation>) -> R) -> R {
             f(&mut buf)
         }
         Err(_) => f(&mut Vec::new()),
+    })
+}
+
+/// Run `f` with `n` cleared correlation scratch buffers from this worker's
+/// batch scratch (fresh vectors under re-entrancy, like
+/// [`with_corr_scratch`]).
+fn with_batch_scratch<R>(n: usize, f: impl FnOnce(&mut [Vec<Correlation>]) -> R) -> R {
+    BATCH_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut bufs) => {
+            if bufs.len() < n {
+                bufs.resize_with(n, Vec::new);
+            }
+            for buf in &mut bufs[..n] {
+                buf.clear();
+            }
+            f(&mut bufs[..n])
+        }
+        Err(_) => {
+            let mut fresh = vec![Vec::new(); n];
+            f(&mut fresh)
+        }
     })
 }
 
@@ -101,6 +134,63 @@ pub trait ApproximateService {
         req: &Self::Request,
         corr: &mut Vec<Correlation>,
     ) -> Self::Output;
+
+    /// Stage 1 into a **recycled** output buffer: reset `out` in place to
+    /// exactly the value [`process_synopsis`](Self::process_synopsis)
+    /// would return, filling `corr` identically.
+    ///
+    /// The default overwrites `out` with a fresh allocation, which is
+    /// always correct; services participating in output pooling
+    /// ([`OutputPool`]) override this to reuse `out`'s storage so a warm
+    /// server allocates nothing for outputs. A recycled buffer may come
+    /// from *any* earlier request, so implementations must fully reset it
+    /// before accumulating.
+    fn process_synopsis_into(
+        &self,
+        ctx: Ctx<'_>,
+        req: &Self::Request,
+        corr: &mut Vec<Correlation>,
+        out: &mut Self::Output,
+    ) {
+        *out = self.process_synopsis(ctx, req, corr);
+    }
+
+    /// Stage 1 over a whole **batch** of requests.
+    ///
+    /// Contract: after the call, `outs.len() == reqs.len()` and for every
+    /// request `i`, `(corrs[i], outs[i])` equal what
+    /// [`process_synopsis_into`](Self::process_synopsis_into) would produce
+    /// for `reqs[i]` — same correlation order, same floating-point
+    /// operation order, so batched and sequential execution are
+    /// bit-identical. `outs` arrives holding up to `reqs.len()` recycled
+    /// buffers (from an [`OutputPool`]) which must be reset and reused;
+    /// missing buffers are created fresh. `corrs` arrives with one cleared
+    /// vector per request.
+    ///
+    /// The default runs the per-request hook once per request. Services
+    /// override it to make **one pass over the synopsis shared by every
+    /// request in the batch** (outer loop over aggregated points, inner
+    /// loop over requests), which keeps each point's row hot in cache and
+    /// amortizes the pass — the paper's Storm topology processes request
+    /// *streams*, and this hook is where that amortization lives.
+    fn process_synopsis_batch(
+        &self,
+        ctx: Ctx<'_>,
+        reqs: &[Self::Request],
+        corrs: &mut [Vec<Correlation>],
+        outs: &mut Vec<Self::Output>,
+    ) {
+        debug_assert_eq!(reqs.len(), corrs.len());
+        outs.truncate(reqs.len());
+        let recycled = outs.len();
+        for (i, (req, corr)) in reqs.iter().zip(corrs.iter_mut()).enumerate() {
+            if i < recycled {
+                self.process_synopsis_into(ctx, req, corr, &mut outs[i]);
+            } else {
+                outs.push(self.process_synopsis(ctx, req, corr));
+            }
+        }
+    }
 
     /// Stage 2: improve the result using the original data points of one
     /// ranked set (Algorithm 1, line 7). `node` identifies the aggregated
@@ -169,23 +259,155 @@ impl<'a, S: ApproximateService> Algorithm1<'a, S> {
         submitted: Instant,
     ) -> Outcome<S::Output> {
         if let ExecutionPolicy::Exact = policy {
-            // The exact path touches all original data; report full
-            // coverage so telemetry is uniform across policies. (The sets
-            // count is the synopsis size — stage 1 never runs here, so a
-            // service emitting extra/fewer correlations than synopsis
-            // points reports the canonical count instead.)
-            let total = self.ctx.store.synopsis().len();
-            return Outcome {
-                output: self.service.process_exact(self.ctx, req),
-                sets_processed: total,
-                sets_total: total,
-                sets_skipped: 0,
-            };
+            return self.execute_exact(req);
         }
+        with_corr_scratch(|corr| {
+            let mut out = self.service.process_synopsis(self.ctx, req, corr);
+            self.improve_best_first(req, policy, submitted, corr, &mut out)
+                .map(|()| out)
+        })
+    }
 
-        // Work limits before touching any data: when no set can ever be
+    /// [`execute`](Self::execute), drawing the output buffer from `pool`
+    /// when one is available (stage 1 then resets it in place via
+    /// [`ApproximateService::process_synopsis_into`]). The caller owns the
+    /// returned output and is responsible for returning it to the pool once
+    /// composed — [`FanOutService::serve`](crate::FanOutService::serve)
+    /// does both ends.
+    pub fn execute_pooled(
+        &self,
+        req: &S::Request,
+        policy: &ExecutionPolicy,
+        submitted: Instant,
+        pool: &OutputPool<S::Output>,
+    ) -> Outcome<S::Output> {
+        if let ExecutionPolicy::Exact = policy {
+            // The exact baseline rebuilds its output from all original
+            // data; it is not the steady-state serving path, so it is not
+            // pooled.
+            return self.execute_exact(req);
+        }
+        with_corr_scratch(|corr| {
+            let mut out = match pool.get() {
+                Some(mut buf) => {
+                    self.service
+                        .process_synopsis_into(self.ctx, req, corr, &mut buf);
+                    buf
+                }
+                None => self.service.process_synopsis(self.ctx, req, corr),
+            };
+            self.improve_best_first(req, policy, submitted, corr, &mut out)
+                .map(|()| out)
+        })
+    }
+
+    /// Run a whole **batch** of requests under one `policy`, making a
+    /// single stage-1 pass over the synopsis shared by every request
+    /// ([`ApproximateService::process_synopsis_batch`]) and then improving
+    /// each request independently. `submitted[i]` is request `i`'s
+    /// submission instant, so every request keeps its own deadline/budget
+    /// accounting and its own [`Outcome`] telemetry — under clock-free
+    /// policies, batched execution is bit-identical to mapping
+    /// [`execute`](Self::execute) over the batch (a *live*
+    /// [`ExecutionPolicy::Deadline`] additionally counts time spent behind
+    /// earlier batch members, like any queueing delay).
+    ///
+    /// # Panics
+    /// Panics when `reqs` and `submitted` differ in length.
+    pub fn execute_batch(
+        &self,
+        reqs: &[S::Request],
+        policy: &ExecutionPolicy,
+        submitted: &[Instant],
+    ) -> Vec<Outcome<S::Output>> {
+        self.execute_batch_with(reqs, policy, submitted, None)
+    }
+
+    /// [`execute_batch`](Self::execute_batch) with output buffers recycled
+    /// through `pool` (one `get` per request where the pool has buffers,
+    /// fresh allocations only for the remainder).
+    pub fn execute_batch_pooled(
+        &self,
+        reqs: &[S::Request],
+        policy: &ExecutionPolicy,
+        submitted: &[Instant],
+        pool: &OutputPool<S::Output>,
+    ) -> Vec<Outcome<S::Output>> {
+        self.execute_batch_with(reqs, policy, submitted, Some(pool))
+    }
+
+    fn execute_batch_with(
+        &self,
+        reqs: &[S::Request],
+        policy: &ExecutionPolicy,
+        submitted: &[Instant],
+        pool: Option<&OutputPool<S::Output>>,
+    ) -> Vec<Outcome<S::Output>> {
+        assert_eq!(
+            reqs.len(),
+            submitted.len(),
+            "execute_batch: one submission instant per request"
+        );
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        if let ExecutionPolicy::Exact = policy {
+            return reqs.iter().map(|req| self.execute_exact(req)).collect();
+        }
+        with_batch_scratch(reqs.len(), |corrs| {
+            let mut outs = Vec::with_capacity(reqs.len());
+            if let Some(pool) = pool {
+                pool.get_up_to(reqs.len(), &mut outs);
+            }
+            self.service
+                .process_synopsis_batch(self.ctx, reqs, corrs, &mut outs);
+            // Hard contract check (O(1) per batch): a short `outs` would
+            // otherwise silently truncate the zip below and serve the
+            // tail of the batch from nothing.
+            assert_eq!(
+                outs.len(),
+                reqs.len(),
+                "process_synopsis_batch must produce one output per request"
+            );
+            outs.into_iter()
+                .zip(corrs.iter_mut())
+                .zip(reqs.iter().zip(submitted))
+                .map(|((mut out, corr), (req, &sub))| {
+                    self.improve_best_first(req, policy, sub, corr, &mut out)
+                        .map(|()| out)
+                })
+                .collect()
+        })
+    }
+
+    /// The exact baseline with uniform full-coverage telemetry. (The sets
+    /// count is the synopsis size — stage 1 never runs here, so a service
+    /// emitting extra/fewer correlations than synopsis points reports the
+    /// canonical count instead.)
+    fn execute_exact(&self, req: &S::Request) -> Outcome<S::Output> {
+        let total = self.ctx.store.synopsis().len();
+        Outcome {
+            output: self.service.process_exact(self.ctx, req),
+            sets_processed: total,
+            sets_total: total,
+            sets_skipped: 0,
+        }
+    }
+
+    /// Stage 2, Algorithm 1 lines 2–10: rank `corr` lazily and improve
+    /// `out` best-sets-first within `policy`'s limits. Shared by the
+    /// single-request and batch drivers so both process identical sets.
+    fn improve_best_first(
+        &self,
+        req: &S::Request,
+        policy: &ExecutionPolicy,
+        submitted: Instant,
+        corr: &mut [Correlation],
+        out: &mut S::Output,
+    ) -> Outcome<()> {
+        // Work limits before any sort work: when no set can ever be
         // processed (SynopsisOnly, a zero budget, or a deadline that
-        // expired while queueing) the bound is 0 and no sort work happens.
+        // expired while queueing) the bound is 0 and no sorting happens.
         let (work_cap, deadline) = match *policy {
             ExecutionPolicy::SynopsisOnly => (0, None),
             ExecutionPolicy::Budgeted { sets, .. } => (sets, None),
@@ -196,49 +418,44 @@ impl<'a, S: ApproximateService> Algorithm1<'a, S> {
                     (usize::MAX, Some(l_spe))
                 }
             }
-            ExecutionPolicy::Exact => unreachable!("handled above"),
+            ExecutionPolicy::Exact => unreachable!("exact path never ranks"),
         };
-
-        with_corr_scratch(|corr| {
-            let mut out = self.service.process_synopsis(self.ctx, req, corr);
-            let total = corr.len();
-            // `i_max` bounds which *ranks* may ever be considered
-            // (Algorithm 1's `i <= i_max` loop condition) — a stale entry
-            // inside the cut must not pull in sets beyond it. The set
-            // budget bounds *work done*, so skipped (unprocessable) sets do
-            // not consume it, and a skip may extend the lazily ranked
-            // prefix past the initial bound (never past `rank_bound`).
-            let rank_bound = policy.imax().map_or(total, |m| m.min(total));
-            let mut ranked = rank_top(corr, work_cap.min(rank_bound));
-            let mut processed = 0usize;
-            let mut skipped = 0usize;
-            let mut i = 0usize;
-            while i < rank_bound && processed < work_cap {
-                if let Some(l_spe) = deadline {
-                    if submitted.elapsed() >= l_spe {
-                        break;
-                    }
+        let total = corr.len();
+        // `i_max` bounds which *ranks* may ever be considered
+        // (Algorithm 1's `i <= i_max` loop condition) — a stale entry
+        // inside the cut must not pull in sets beyond it. The set
+        // budget bounds *work done*, so skipped (unprocessable) sets do
+        // not consume it, and a skip may extend the lazily ranked
+        // prefix past the initial bound (never past `rank_bound`).
+        let rank_bound = policy.imax().map_or(total, |m| m.min(total));
+        let mut ranked = rank_top(corr, work_cap.min(rank_bound));
+        let mut processed = 0usize;
+        let mut skipped = 0usize;
+        let mut i = 0usize;
+        while i < rank_bound && processed < work_cap {
+            if let Some(l_spe) = deadline {
+                if submitted.elapsed() >= l_spe {
+                    break;
                 }
-                let corr = ranked.get(i).expect("i < rank_bound <= len");
-                match self.ctx.store.index().members(corr.node) {
-                    Some(members) => {
-                        self.service
-                            .improve(self.ctx, req, &mut out, corr.node, members);
-                        processed += 1;
-                    }
-                    // Stale synopsis entry (e.g. an index-file update raced
-                    // or was corrupted): degrade gracefully, keep serving.
-                    None => skipped += 1,
+            }
+            let corr = ranked.get(i).expect("i < rank_bound <= len");
+            match self.ctx.store.index().members(corr.node) {
+                Some(members) => {
+                    self.service.improve(self.ctx, req, out, corr.node, members);
+                    processed += 1;
                 }
-                i += 1;
+                // Stale synopsis entry (e.g. an index-file update raced
+                // or was corrupted): degrade gracefully, keep serving.
+                None => skipped += 1,
             }
-            Outcome {
-                output: out,
-                sets_processed: processed,
-                sets_total: total,
-                sets_skipped: skipped,
-            }
-        })
+            i += 1;
+        }
+        Outcome {
+            output: (),
+            sets_processed: processed,
+            sets_total: total,
+            sets_skipped: skipped,
+        }
     }
 
     /// The component context (for adapters needing direct access).
@@ -627,6 +844,117 @@ mod tests {
                 assert_eq!(lazy.sets_skipped, eager.sets_skipped, "stale {policy:?}");
             }
         }
+    }
+
+    /// Every policy the deterministic drivers can be compared under (live
+    /// deadlines excluded except the generous/expired extremes).
+    fn deterministic_policies() -> Vec<ExecutionPolicy> {
+        vec![
+            ExecutionPolicy::Exact,
+            ExecutionPolicy::SynopsisOnly,
+            ExecutionPolicy::budgeted(0),
+            ExecutionPolicy::budgeted(2),
+            ExecutionPolicy::budgeted(usize::MAX),
+            ExecutionPolicy::Budgeted {
+                sets: usize::MAX,
+                imax: Some(3),
+            },
+            ExecutionPolicy::deadline(Duration::from_secs(600)),
+            ExecutionPolicy::deadline(Duration::from_nanos(1)),
+        ]
+    }
+
+    #[test]
+    fn execute_batch_equals_mapped_execute_for_every_policy() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let stale = StaleIndexService;
+        let plain = Algorithm1::new(&data, &store, &svc);
+        let staled = Algorithm1::new(&data, &store, &stale);
+        let reqs: Vec<u32> = vec![0, 3, 7, 3, 11];
+        for policy in deterministic_policies() {
+            let submitted = vec![Instant::now(); reqs.len()];
+            let batch = plain.execute_batch(&reqs, &policy, &submitted);
+            assert_eq!(batch.len(), reqs.len());
+            for ((req, &sub), got) in reqs.iter().zip(&submitted).zip(&batch) {
+                let want = plain.execute(req, &policy, sub);
+                assert_eq!(got.output, want.output, "{policy:?} req {req}");
+                assert_eq!(got.stats(), want.stats(), "{policy:?} req {req}");
+            }
+            let batch = staled.execute_batch(&reqs, &policy, &submitted);
+            for ((req, &sub), got) in reqs.iter().zip(&submitted).zip(&batch) {
+                let want = staled.execute(req, &policy, sub);
+                assert_eq!(got.output, want.output, "stale {policy:?} req {req}");
+                assert_eq!(got.stats(), want.stats(), "stale {policy:?} req {req}");
+            }
+        }
+    }
+
+    #[test]
+    fn execute_batch_accounts_deadlines_per_request() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        let policy = ExecutionPolicy::deadline(Duration::from_secs(30));
+        // Request 1 was queued past its whole deadline; requests 0 and 2
+        // are fresh — only the expired one must degrade to synopsis-only.
+        let now = Instant::now();
+        let Some(past) = now.checked_sub(Duration::from_secs(60)) else {
+            return; // monotonic clock younger than the offset (fresh boot)
+        };
+        let submitted = vec![now, past, now];
+        let batch = engine.execute_batch(&[2u32, 2, 2], &policy, &submitted);
+        assert_eq!(batch[0].sets_processed, batch[0].sets_total);
+        assert_eq!(batch[1].sets_processed, 0, "expired request does no work");
+        assert_eq!(batch[2].sets_processed, batch[2].sets_total);
+    }
+
+    #[test]
+    #[should_panic(expected = "one submission instant per request")]
+    fn execute_batch_length_mismatch_panics() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        engine.execute_batch(&[1u32, 2], &ExecutionPolicy::budgeted(1), &[Instant::now()]);
+    }
+
+    #[test]
+    fn execute_batch_empty_is_empty() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        assert!(engine
+            .execute_batch(&[], &ExecutionPolicy::budgeted(1), &[])
+            .is_empty());
+    }
+
+    #[test]
+    fn pooled_execution_recycles_and_matches_unpooled() {
+        let (data, store) = setup();
+        let svc = SumService;
+        let engine = Algorithm1::new(&data, &store, &svc);
+        let pool = crate::OutputPool::new();
+        let reqs: Vec<u32> = vec![1, 4, 9];
+        let submitted = vec![Instant::now(); reqs.len()];
+        for policy in deterministic_policies() {
+            // Two rounds: the first warms the pool, the second reuses.
+            for _ in 0..2 {
+                let batch = engine.execute_batch_pooled(&reqs, &policy, &submitted, &pool);
+                for ((req, &sub), got) in reqs.iter().zip(&submitted).zip(batch) {
+                    let want = engine.execute(req, &policy, sub);
+                    assert_eq!(got.output, want.output, "{policy:?} req {req}");
+                    assert_eq!(got.stats(), want.stats(), "{policy:?} req {req}");
+                    pool.put(got.output);
+                }
+                let single = engine.execute_pooled(&reqs[0], &policy, submitted[0], &pool);
+                assert_eq!(
+                    single.output,
+                    engine.execute(&reqs[0], &policy, submitted[0]).output
+                );
+                pool.put(single.output);
+            }
+        }
+        assert!(pool.reuses() > 0, "warm pool must have served buffers");
     }
 
     #[test]

@@ -11,6 +11,16 @@
 //! per-component partial outputs through the service's
 //! [`ComposableService::compose`] hook, and returns the response together
 //! with aggregated telemetry ([`ServiceResponse`]).
+//!
+//! Request *streams* go through [`FanOutService::serve_batch`]: one
+//! fan-out and one per-component synopsis pass cover the whole batch, each
+//! request keeping its own submission instant, policy accounting, and
+//! telemetry — provably identical to serving the requests one at a time
+//! under every clock-free policy (live deadlines additionally count time
+//! spent waiting behind the batch, like any queueing delay).
+//! [`FanOutService::serve_with`] drives heterogeneous per-component
+//! policies through the same plumbing. Output buffers are recycled across
+//! all of these via the service's [`OutputPool`].
 
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -22,6 +32,7 @@ use at_synopsis::{AggregationMode, RowStore, SparseRow, SynopsisConfig};
 use crate::component::Component;
 use crate::outcome::Outcome;
 use crate::policy::ExecutionPolicy;
+use crate::pool::OutputPool;
 use crate::processor::{ApproximateService, ComposableService};
 
 /// Errors from service construction.
@@ -123,8 +134,14 @@ impl<R> ServiceResponse<R> {
 }
 
 /// An online service fanned out over parallel components.
-pub struct FanOutService<S> {
+///
+/// Owns an [`OutputPool`] of per-component output buffers: every serve
+/// call checks buffers out for stage 1 and returns them after composing
+/// the response, so a **warm** service serves requests and whole batches
+/// without allocating outputs (see [`crate::pool`]).
+pub struct FanOutService<S: ApproximateService> {
     components: Vec<Component<S>>,
+    pool: OutputPool<S::Output>,
 }
 
 impl<S> FanOutService<S>
@@ -148,7 +165,7 @@ where
             .into_par_iter()
             .map(|subset| Component::build(subset, mode, config, make_service()).0)
             .collect();
-        FanOutService { components }
+        Self::from_components(components)
     }
 
     /// Wrap pre-built components.
@@ -160,7 +177,16 @@ where
     /// before ever reaching a constructor).
     pub fn from_components(components: Vec<Component<S>>) -> Self {
         assert!(!components.is_empty(), "service needs >= 1 component");
-        FanOutService { components }
+        FanOutService {
+            components,
+            pool: OutputPool::new(),
+        }
+    }
+
+    /// The service's output-buffer recycler (telemetry: a warm server's
+    /// [`OutputPool::reuses`] grows with every request served).
+    pub fn pool(&self) -> &OutputPool<S::Output> {
+        &self.pool
     }
 
     /// Number of parallel components.
@@ -225,15 +251,240 @@ where
     where
         S: ComposableService,
     {
-        let outcomes = self.broadcast(req, policy, submitted);
+        self.serve_with_at(req, |_| *policy, submitted)
+    }
+
+    /// Serve one request with a **per-component** policy: component `i`
+    /// executes under `policy_of(i)`. This is how heterogeneous budgets are
+    /// driven — e.g. replaying a simulator's per-component set budgets, or
+    /// an admission controller degrading only overloaded components.
+    /// `serve` is the uniform special case (`policy_of = |_| policy`).
+    pub fn serve_with(
+        &self,
+        req: &S::Request,
+        policy_of: impl Fn(usize) -> ExecutionPolicy + Sync + Send,
+    ) -> ServiceResponse<S::Response>
+    where
+        S: ComposableService,
+    {
+        self.serve_with_at(req, policy_of, Instant::now())
+    }
+
+    /// [`serve_with`](Self::serve_with) with an explicit submission instant.
+    pub fn serve_with_at(
+        &self,
+        req: &S::Request,
+        policy_of: impl Fn(usize) -> ExecutionPolicy + Sync + Send,
+        submitted: Instant,
+    ) -> ServiceResponse<S::Response>
+    where
+        S: ComposableService,
+    {
+        let pool = &self.pool;
+        let policy_of = &policy_of;
+        let outcomes: Vec<Outcome<S::Output>> = self
+            .components
+            .par_iter()
+            .enumerate()
+            .map(|(i, c)| c.execute_pooled(req, &policy_of(i), submitted, pool))
+            .collect();
         let components: Vec<ComponentTelemetry> = outcomes.iter().map(Outcome::stats).collect();
         let parts: Vec<S::Output> = outcomes.into_iter().map(|o| o.output).collect();
         let response = self.components[0].service().compose(req, &parts);
+        for part in parts {
+            self.pool.put(part);
+        }
         ServiceResponse {
             response,
             components,
             elapsed: submitted.elapsed(),
         }
+    }
+
+    /// Serve a whole **batch** of requests end to end under one policy,
+    /// all treated as submitted now. One fan-out covers the entire batch:
+    /// each component worker makes a single stage-1 pass over its synopsis
+    /// shared by every request
+    /// ([`ApproximateService::process_synopsis_batch`]), then improves and
+    /// composes each request independently. Under
+    /// [clock-free](ExecutionPolicy::is_clock_free) policies (and the
+    /// degenerate deadline cases — already expired, or generous enough to
+    /// improve everything), responses and telemetry are identical to
+    /// mapping [`serve`](Self::serve) over the batch, at a fraction of the
+    /// fan-out and allocation cost. A *live* `Deadline` races the shared
+    /// batch pass against each request's own clock: every request keeps
+    /// its own accounting, but late-in-batch requests see more elapsed
+    /// time than they would served alone — exactly the paper's queueing
+    /// semantics, where waiting behind a batch *is* queueing delay.
+    ///
+    /// Under a [clock-free](ExecutionPolicy::is_clock_free) policy,
+    /// duplicate requests in the batch are **collapsed**: services are
+    /// deterministic functions of component state and request, so each
+    /// distinct request is processed once and its response re-composed per
+    /// occurrence. Zipf-skewed query mixes (the paper's workload shape)
+    /// repeat hot requests constantly, making this the dominant batching
+    /// win at peak load. `Deadline` batches are never collapsed — each
+    /// request's outcome legitimately depends on its own submission
+    /// instant.
+    ///
+    /// ```
+    /// use at_core::{partition_rows, ApproximateService, ComposableService,
+    ///               Correlation, Ctx, ExecutionPolicy, FanOutService};
+    /// use at_synopsis::{AggregationMode, SparseRow, SynopsisConfig};
+    ///
+    /// // A toy service: count the original rows each component processed.
+    /// struct CountRows;
+    /// impl ApproximateService for CountRows {
+    ///     type Request = ();
+    ///     type Output = usize;
+    ///     fn process_synopsis(&self, ctx: Ctx<'_>, _r: &(), corr: &mut Vec<Correlation>) -> usize {
+    ///         corr.extend(ctx.store.synopsis().iter().map(|p| Correlation {
+    ///             node: p.node,
+    ///             score: p.member_count as f64,
+    ///         }));
+    ///         0
+    ///     }
+    ///     fn improve(&self, _c: Ctx<'_>, _r: &(), out: &mut usize,
+    ///                _n: at_rtree::NodeId, members: &[u64]) {
+    ///         *out += members.len();
+    ///     }
+    ///     fn process_exact(&self, ctx: Ctx<'_>, _r: &()) -> usize {
+    ///         ctx.dataset.len()
+    ///     }
+    /// }
+    /// impl ComposableService for CountRows {
+    ///     type Response = usize;
+    ///     fn compose(&self, _r: &(), parts: &[usize]) -> usize {
+    ///         parts.iter().sum()
+    ///     }
+    /// }
+    ///
+    /// let rows: Vec<SparseRow> = (0..90u32)
+    ///     .map(|r| SparseRow::from_pairs((0..6).map(|c| (c, ((r + c) % 4) as f64)).collect()))
+    ///     .collect();
+    /// let subsets = partition_rows(6, rows, 3).expect("n >= 1");
+    /// let cfg = SynopsisConfig { size_ratio: 10, ..SynopsisConfig::default() };
+    /// let service = FanOutService::build(subsets, AggregationMode::Mean, cfg, || CountRows);
+    ///
+    /// // A burst of four requests shares one fan-out and synopsis pass.
+    /// let batch = vec![(); 4];
+    /// let policy = ExecutionPolicy::budgeted(usize::MAX);
+    /// let responses = service.serve_batch(&batch, &policy);
+    /// assert_eq!(responses.len(), 4);
+    /// for resp in &responses {
+    ///     assert_eq!(resp.response, 90);
+    ///     // Identical to serving the request alone.
+    ///     assert_eq!(resp.response, service.serve(&(), &policy).response);
+    /// }
+    /// ```
+    pub fn serve_batch(
+        &self,
+        reqs: &[S::Request],
+        policy: &ExecutionPolicy,
+    ) -> Vec<ServiceResponse<S::Response>>
+    where
+        S: ComposableService,
+        S::Request: Clone + PartialEq,
+    {
+        let submitted = vec![Instant::now(); reqs.len()];
+        self.serve_batch_at(reqs, policy, &submitted)
+    }
+
+    /// [`serve_batch`](Self::serve_batch) with one explicit submission
+    /// instant per request (from the accept loop), so upstream queueing
+    /// delay counts against each request's own deadline.
+    ///
+    /// # Panics
+    /// Panics when `reqs` and `submitted` differ in length.
+    pub fn serve_batch_at(
+        &self,
+        reqs: &[S::Request],
+        policy: &ExecutionPolicy,
+        submitted: &[Instant],
+    ) -> Vec<ServiceResponse<S::Response>>
+    where
+        S: ComposableService,
+        S::Request: Clone + PartialEq,
+    {
+        assert_eq!(
+            reqs.len(),
+            submitted.len(),
+            "serve_batch: one submission instant per request"
+        );
+        if reqs.is_empty() {
+            return Vec::new();
+        }
+        // Collapse duplicate requests (clock-free policies only; the
+        // linear scan is trivial next to even one synopsis pass):
+        // `firsts[u]` is the original index of unique request `u`,
+        // `unique_of[i]` the unique index serving original request `i`.
+        let mut firsts: Vec<usize> = Vec::new();
+        let mut unique_of: Vec<usize> = Vec::with_capacity(reqs.len());
+        if policy.is_clock_free() {
+            for (i, req) in reqs.iter().enumerate() {
+                match firsts.iter().position(|&f| reqs[f] == *req) {
+                    Some(u) => unique_of.push(u),
+                    None => {
+                        unique_of.push(firsts.len());
+                        firsts.push(i);
+                    }
+                }
+            }
+        } else {
+            firsts = (0..reqs.len()).collect();
+            unique_of = firsts.clone();
+        }
+
+        // One fan-out for the whole (collapsed) batch: `per_component[c][u]`
+        // is component c's outcome for unique request u.
+        let pool = &self.pool;
+        let per_component: Vec<Vec<Outcome<S::Output>>> = if firsts.len() < reqs.len() {
+            let unique_reqs: Vec<S::Request> = firsts.iter().map(|&i| reqs[i].clone()).collect();
+            let unique_submitted: Vec<Instant> = firsts.iter().map(|&i| submitted[i]).collect();
+            self.components
+                .par_iter()
+                .map(|c| c.execute_batch_pooled(&unique_reqs, policy, &unique_submitted, pool))
+                .collect()
+        } else {
+            self.components
+                .par_iter()
+                .map(|c| c.execute_batch_pooled(reqs, policy, submitted, pool))
+                .collect()
+        };
+
+        // Regroup by unique request, splitting telemetry from outputs.
+        let mut telemetry: Vec<Vec<ComponentTelemetry>> = (0..firsts.len())
+            .map(|_| Vec::with_capacity(self.components.len()))
+            .collect();
+        let mut parts: Vec<Vec<S::Output>> = (0..firsts.len())
+            .map(|_| Vec::with_capacity(self.components.len()))
+            .collect();
+        for outcomes in per_component {
+            for (u, outcome) in outcomes.into_iter().enumerate() {
+                telemetry[u].push(outcome.stats());
+                parts[u].push(outcome.output);
+            }
+        }
+
+        // Compose per original request (each from its unique's parts),
+        // then recycle every unique request's buffers.
+        let composer = self.components[0].service();
+        let responses = reqs
+            .iter()
+            .zip(submitted)
+            .zip(&unique_of)
+            .map(|((req, &sub), &u)| ServiceResponse {
+                response: composer.compose(req, &parts[u]),
+                components: telemetry[u].clone(),
+                elapsed: sub.elapsed(),
+            })
+            .collect();
+        for unique_parts in parts {
+            for part in unique_parts {
+                self.pool.put(part);
+            }
+        }
+        responses
     }
 }
 
@@ -367,6 +618,177 @@ mod tests {
         let synopsis_only = svc.serve(&(), &ExecutionPolicy::SynopsisOnly);
         assert_eq!(r.response, synopsis_only.response);
         assert_eq!(r.sets_processed(), 0);
+    }
+
+    #[test]
+    fn serve_batch_equals_mapped_serve() {
+        let svc = quick_service(120, 4);
+        let reqs = vec![(); 5];
+        for policy in [
+            ExecutionPolicy::Exact,
+            ExecutionPolicy::SynopsisOnly,
+            ExecutionPolicy::budgeted(2),
+            ExecutionPolicy::budgeted(usize::MAX),
+        ] {
+            let submitted = vec![Instant::now(); reqs.len()];
+            let batch = svc.serve_batch_at(&reqs, &policy, &submitted);
+            assert_eq!(batch.len(), reqs.len());
+            for ((req, &sub), got) in reqs.iter().zip(&submitted).zip(&batch) {
+                let want = svc.serve_at(req, &policy, sub);
+                assert_eq!(got.response, want.response, "{policy:?}");
+                assert_eq!(got.components, want.components, "{policy:?}");
+            }
+        }
+    }
+
+    /// `CountService` with an invocation counter on stage 1, to observe
+    /// how many requests actually reach the components.
+    struct MeteredService(std::sync::Arc<std::sync::atomic::AtomicUsize>);
+
+    impl ApproximateService for MeteredService {
+        type Request = u32;
+        type Output = usize;
+
+        fn process_synopsis(&self, ctx: Ctx<'_>, _r: &u32, corr: &mut Vec<Correlation>) -> usize {
+            self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            corr.extend(ctx.store.synopsis().iter().map(|p| Correlation {
+                node: p.node,
+                score: 1.0,
+            }));
+            0
+        }
+
+        fn improve(
+            &self,
+            _ctx: Ctx<'_>,
+            _r: &u32,
+            out: &mut usize,
+            _node: at_rtree::NodeId,
+            members: &[u64],
+        ) {
+            *out += members.len();
+        }
+
+        fn process_exact(&self, ctx: Ctx<'_>, _r: &u32) -> usize {
+            ctx.dataset.len()
+        }
+    }
+
+    impl ComposableService for MeteredService {
+        type Response = usize;
+
+        fn compose(&self, _r: &u32, parts: &[usize]) -> usize {
+            parts.iter().sum()
+        }
+    }
+
+    #[test]
+    fn duplicate_requests_collapse_only_under_clock_free_policies() {
+        let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let subsets = partition_rows(6, rows(90), 3).unwrap();
+        let cfg = SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(8),
+            size_ratio: 10,
+            ..SynopsisConfig::default()
+        };
+        let svc = FanOutService::build(subsets, AggregationMode::Mean, cfg, || {
+            MeteredService(calls.clone())
+        });
+        let batch = [7u32, 9, 7, 7, 9];
+
+        calls.store(0, std::sync::atomic::Ordering::Relaxed);
+        let responses = svc.serve_batch(&batch, &ExecutionPolicy::budgeted(1));
+        assert_eq!(responses.len(), batch.len(), "one response per occurrence");
+        assert_eq!(
+            calls.load(std::sync::atomic::Ordering::Relaxed),
+            2 * svc.len(),
+            "clock-free batch computes each distinct request once per component"
+        );
+        assert_eq!(responses[0].response, responses[2].response);
+        assert_eq!(responses[0].components, responses[2].components);
+
+        calls.store(0, std::sync::atomic::Ordering::Relaxed);
+        svc.serve_batch(&batch, &ExecutionPolicy::deadline(Duration::from_secs(30)));
+        assert_eq!(
+            calls.load(std::sync::atomic::Ordering::Relaxed),
+            batch.len() * svc.len(),
+            "deadline batches are never collapsed"
+        );
+    }
+
+    #[test]
+    fn serve_batch_empty_is_empty() {
+        let svc = quick_service(60, 2);
+        assert!(svc
+            .serve_batch(&[], &ExecutionPolicy::budgeted(1))
+            .is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one submission instant per request")]
+    fn serve_batch_length_mismatch_panics() {
+        let svc = quick_service(60, 2);
+        svc.serve_batch_at(&[(), ()], &ExecutionPolicy::budgeted(1), &[Instant::now()]);
+    }
+
+    #[test]
+    fn serve_batch_deadlines_are_per_request() {
+        let svc = quick_service(120, 3);
+        let now = Instant::now();
+        let Some(past) = now.checked_sub(Duration::from_secs(60)) else {
+            return; // monotonic clock younger than the offset (fresh boot)
+        };
+        // Middle request queued past its whole deadline.
+        let submitted = vec![now, past, now];
+        let policy = ExecutionPolicy::deadline(Duration::from_secs(30));
+        let batch = svc.serve_batch_at(&[(), (), ()], &policy, &submitted);
+        assert!(batch[0].mean_coverage() > 0.0);
+        assert_eq!(batch[1].sets_processed(), 0, "expired request sheds work");
+        assert!(batch[2].mean_coverage() > 0.0);
+        assert!(batch[1].elapsed >= Duration::from_secs(60));
+    }
+
+    #[test]
+    fn warm_service_recycles_output_buffers() {
+        let svc = quick_service(120, 4);
+        let policy = ExecutionPolicy::budgeted(1);
+        let cold = svc.serve(&(), &policy);
+        let before = svc.pool().reuses();
+        let warm = svc.serve(&(), &policy);
+        assert_eq!(cold.response, warm.response);
+        assert!(
+            svc.pool().reuses() > before,
+            "second request must reuse pooled outputs"
+        );
+        let batch = svc.serve_batch(&[(); 6], &policy);
+        assert!(batch.iter().all(|r| r.response == cold.response));
+        assert!(svc.pool().idle() > 0, "batch buffers returned to the pool");
+    }
+
+    #[test]
+    fn serve_with_uniform_policy_equals_serve() {
+        let svc = quick_service(120, 4);
+        for policy in [
+            ExecutionPolicy::Exact,
+            ExecutionPolicy::SynopsisOnly,
+            ExecutionPolicy::budgeted(2),
+        ] {
+            let a = svc.serve(&(), &policy);
+            let b = svc.serve_with(&(), |_| policy);
+            assert_eq!(a.response, b.response);
+            assert_eq!(a.components, b.components);
+        }
+    }
+
+    #[test]
+    fn serve_with_heterogeneous_budgets() {
+        let svc = quick_service(160, 4);
+        // Component i gets budget i: coverage must differ per component.
+        let r = svc.serve_with(&(), ExecutionPolicy::budgeted);
+        assert_eq!(r.components[0].sets_processed, 0);
+        for (i, c) in r.components.iter().enumerate() {
+            assert_eq!(c.sets_processed, i.min(c.sets_total));
+        }
     }
 
     #[test]

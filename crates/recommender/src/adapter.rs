@@ -23,8 +23,41 @@ use crate::ratings::ActiveUser;
 /// once** (it serves both as the correlation estimate and the prediction
 /// weight) and reads neighbour means from the stores' cached
 /// [`at_linalg::RowStats`] — no per-neighbour allocation or value rescans.
+///
+/// Batch-aware: `process_synopsis_batch` makes **one** pass over the
+/// synopsis shared by every request of a batch (aggregated users outer,
+/// requests inner — bit-identical to the per-request pass), and
+/// `process_synopsis_into` resets recycled accumulator buffers in place so
+/// pooled serving allocates nothing for outputs.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CfService;
+
+/// Reset a (possibly recycled) accumulator to one zeroed slot per target.
+fn reset_acc(acc: &mut Vec<PredictionAcc>, req: &ActiveUser) {
+    acc.clear();
+    acc.resize(req.targets.len(), PredictionAcc::default());
+}
+
+/// Process one aggregated user for one request: push its correlation
+/// estimate and fold its estimated contribution into the accumulator. The
+/// single op sequence shared by the per-request and batched stage-1 passes,
+/// so both produce bit-identical results.
+fn synopsis_step(
+    req: &ActiveUser,
+    p: &at_synopsis::AggregatedPoint,
+    stats: at_linalg::RowStats,
+    corr: &mut Vec<Correlation>,
+    acc: &mut [PredictionAcc],
+) {
+    // One weight per aggregated user: it is both the correlation
+    // estimate c_i and the prediction weight.
+    let (w, _) = user_weight(&req.profile, &p.info);
+    corr.push(Correlation {
+        node: p.node,
+        score: w.abs(),
+    });
+    accumulate_neighbor(req, &p.info, w, stats.mean(), p.member_count as f64, acc);
+}
 
 impl ApproximateService for CfService {
     type Request = ActiveUser;
@@ -36,26 +69,51 @@ impl ApproximateService for CfService {
         req: &ActiveUser,
         corr: &mut Vec<Correlation>,
     ) -> Self::Output {
-        let mut acc = vec![PredictionAcc::default(); req.targets.len()];
+        let mut acc = Vec::new();
+        self.process_synopsis_into(ctx, req, corr, &mut acc);
+        acc
+    }
+
+    fn process_synopsis_into(
+        &self,
+        ctx: Ctx<'_>,
+        req: &ActiveUser,
+        corr: &mut Vec<Correlation>,
+        out: &mut Self::Output,
+    ) {
+        reset_acc(out, req);
         corr.reserve(ctx.store.synopsis().len());
         for (p, stats) in ctx.store.synopsis().iter_with_stats() {
-            // One weight per aggregated user: it is both the correlation
-            // estimate c_i and the prediction weight.
-            let (w, _) = user_weight(&req.profile, &p.info);
-            corr.push(Correlation {
-                node: p.node,
-                score: w.abs(),
-            });
-            accumulate_neighbor(
-                req,
-                &p.info,
-                w,
-                stats.mean(),
-                p.member_count as f64,
-                &mut acc,
-            );
+            synopsis_step(req, p, stats, corr, out);
         }
-        acc
+    }
+
+    fn process_synopsis_batch(
+        &self,
+        ctx: Ctx<'_>,
+        reqs: &[ActiveUser],
+        corrs: &mut [Vec<Correlation>],
+        outs: &mut Vec<Self::Output>,
+    ) {
+        at_core::prepare_outputs(
+            outs,
+            reqs.len(),
+            |out, i| reset_acc(out, &reqs[i]),
+            |i| vec![PredictionAcc::default(); reqs[i].targets.len()],
+        );
+        let points = ctx.store.synopsis().points_with_stats();
+        for corr in corrs.iter_mut() {
+            corr.reserve(points.len());
+        }
+        // One pass over the synopsis shared by the whole batch: each
+        // aggregated user's row stays hot in cache across the inner
+        // request loop, and the per-request op order matches
+        // `process_synopsis_into` exactly.
+        for (p, stats) in points {
+            for ((req, corr), out) in reqs.iter().zip(corrs.iter_mut()).zip(outs.iter_mut()) {
+                synopsis_step(req, p, *stats, corr, out);
+            }
+        }
     }
 
     fn improve(
@@ -300,6 +358,39 @@ mod tests {
             first > last,
             "top-ranked sections must hold more related users: first {first}% vs last {last}%"
         );
+    }
+
+    #[test]
+    fn batched_stage1_is_bit_identical_to_per_request() {
+        let (c, data) = component();
+        let svc = CfService;
+        let reqs: Vec<ActiveUser> = [(3u32, vec![1, 5]), (10, vec![2]), (21, vec![0, 3, 6])]
+            .into_iter()
+            .map(|(u, t)| active(&data, u, t))
+            .collect();
+        let mut corrs = vec![Vec::new(); reqs.len()];
+        // Seed one recycled buffer (stale contents) to prove the reset.
+        let mut outs = vec![vec![PredictionAcc { num: 9.0, den: 9.0 }; 7]];
+        svc.process_synopsis_batch(c.ctx(), &reqs, &mut corrs, &mut outs);
+        assert_eq!(outs.len(), reqs.len());
+        for ((req, corr), out) in reqs.iter().zip(&corrs).zip(&outs) {
+            let mut want_corr = Vec::new();
+            let want_out = svc.process_synopsis(c.ctx(), req, &mut want_corr);
+            assert_eq!(corr.len(), want_corr.len());
+            for (a, b) in corr.iter().zip(&want_corr) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "scores must be bit-identical"
+                );
+            }
+            assert_eq!(out.len(), want_out.len());
+            for (a, b) in out.iter().zip(&want_out) {
+                assert_eq!(a.num.to_bits(), b.num.to_bits());
+                assert_eq!(a.den.to_bits(), b.den.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,10 @@ pub fn rating_matrix(n_users: usize, n_items: usize, ratings: &[Rating]) -> RowS
 
 /// An active user's request: their known ratings (for weight computation)
 /// and the items whose ratings to predict.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` compares profile and targets exactly; the batched serving
+/// path uses it to collapse duplicate requests in one batch.
+#[derive(Clone, Debug, PartialEq)]
 pub struct ActiveUser {
     /// The active user's profile: item → rating.
     pub profile: SparseRow,

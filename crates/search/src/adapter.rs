@@ -46,6 +46,11 @@ impl From<&at_workloads::Query> for SearchRequest {
 /// The Lucene-style search service, AccuracyTrader-enabled. Owns the
 /// component's inverted index (rebuild with [`SearchService::rebuild`]
 /// after input-data updates).
+///
+/// Batch-aware: `process_synopsis_batch` scores each aggregated page
+/// against every query of a batch in one shared synopsis pass, and
+/// `process_synopsis_into` resets recycled [`TopK`] heaps in place
+/// ([`TopK::reset`]) so pooled serving allocates nothing for outputs.
 #[derive(Clone, Debug)]
 pub struct SearchService {
     index: InvertedIndex,
@@ -88,12 +93,55 @@ impl ApproximateService for SearchService {
         req: &SearchRequest,
         corr: &mut Vec<Correlation>,
     ) -> Self::Output {
+        let mut out = TopK::new(self.k);
+        self.process_synopsis_into(ctx, req, corr, &mut out);
+        out
+    }
+
+    fn process_synopsis_into(
+        &self,
+        ctx: Ctx<'_>,
+        req: &SearchRequest,
+        corr: &mut Vec<Correlation>,
+        out: &mut Self::Output,
+    ) {
+        out.reset(self.k);
         corr.reserve(ctx.store.synopsis().len());
         corr.extend(ctx.store.synopsis().iter().map(|p| Correlation {
             node: p.node,
             score: self.index.score_row(p.info.iter(), &req.terms),
         }));
-        TopK::new(self.k)
+    }
+
+    fn process_synopsis_batch(
+        &self,
+        ctx: Ctx<'_>,
+        reqs: &[SearchRequest],
+        corrs: &mut [Vec<Correlation>],
+        outs: &mut Vec<Self::Output>,
+    ) {
+        at_core::prepare_outputs(
+            outs,
+            reqs.len(),
+            |out, _| out.reset(self.k),
+            |_| TopK::new(self.k),
+        );
+        let points = ctx.store.synopsis().points_with_stats();
+        for corr in corrs.iter_mut() {
+            corr.reserve(points.len());
+        }
+        // One pass over the synopsis shared by the whole batch: each
+        // aggregated page's merged row stays hot in cache while it is
+        // scored against every query of the batch, in the same per-request
+        // order as `process_synopsis_into`.
+        for (p, _) in points {
+            for (req, corr) in reqs.iter().zip(corrs.iter_mut()) {
+                corr.push(Correlation {
+                    node: p.node,
+                    score: self.index.score_row(p.info.iter(), &req.terms),
+                });
+            }
+        }
     }
 
     fn improve(
@@ -315,6 +363,35 @@ mod tests {
             "top section must hold more of the actual top-10: {acc:?}"
         );
         assert!(acc[0] + acc[1] > 50.0, "top half should dominate: {acc:?}");
+    }
+
+    #[test]
+    fn batched_stage1_is_bit_identical_to_per_request() {
+        let (c, corpus) = component();
+        let svc = c.service();
+        let reqs: Vec<SearchRequest> = (0..4u64).map(|s| some_query(&corpus, s)).collect();
+        let mut corrs = vec![Vec::new(); reqs.len()];
+        // Seed one recycled heap (stale contents) to prove the reset.
+        let mut stale = TopK::new(3);
+        stale.push(42, 9.0);
+        let mut outs = vec![stale];
+        svc.process_synopsis_batch(c.ctx(), &reqs, &mut corrs, &mut outs);
+        assert_eq!(outs.len(), reqs.len());
+        for ((req, corr), out) in reqs.iter().zip(&corrs).zip(&outs) {
+            let mut want_corr = Vec::new();
+            let want_out = svc.process_synopsis(c.ctx(), req, &mut want_corr);
+            assert_eq!(corr.len(), want_corr.len());
+            for (a, b) in corr.iter().zip(&want_corr) {
+                assert_eq!(a.node, b.node);
+                assert_eq!(
+                    a.score.to_bits(),
+                    b.score.to_bits(),
+                    "scores must be bit-identical"
+                );
+            }
+            assert!(out.is_empty(), "stage-1 top-k starts empty");
+            assert_eq!(out.k(), want_out.k(), "recycled heap reset to service k");
+        }
     }
 
     #[test]

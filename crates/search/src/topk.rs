@@ -80,6 +80,20 @@ impl TopK {
         self.k
     }
 
+    /// Reset for reuse as an empty collector of the best `k` hits —
+    /// equivalent to `*self = TopK::new(k)` but keeping the heap's
+    /// allocation, so pooled output buffers
+    /// ([`at_core::OutputPool`]-style recycling) serve warm requests
+    /// without touching the heap.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn reset(&mut self, k: usize) {
+        assert!(k > 0, "TopK: k must be >= 1");
+        self.k = k;
+        self.heap.clear();
+    }
+
     /// Number of hits currently held (≤ k).
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -216,6 +230,28 @@ mod tests {
     #[should_panic(expected = "k must be")]
     fn zero_k_panics() {
         TopK::new(0);
+    }
+
+    #[test]
+    fn reset_behaves_like_fresh_collector() {
+        let mut recycled = TopK::new(5);
+        for d in 0..20u64 {
+            recycled.push(d, d as f64);
+        }
+        recycled.reset(2);
+        let mut fresh = TopK::new(2);
+        for (d, s) in [(3u64, 0.5), (9, 0.9), (1, 0.1)] {
+            recycled.push(d, s);
+            fresh.push(d, s);
+        }
+        assert_eq!(recycled.k(), 2);
+        assert_eq!(recycled.doc_ids(), fresh.doc_ids());
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be")]
+    fn reset_zero_k_panics() {
+        TopK::new(3).reset(0);
     }
 
     #[test]

@@ -121,6 +121,18 @@ impl Synopsis {
     pub fn iter_with_stats(&self) -> impl Iterator<Item = (&AggregatedPoint, RowStats)> {
         self.points.iter().map(|(p, s)| (p, *s))
     }
+
+    /// The batch-iteration hook: every aggregated point with its cached
+    /// stats as one contiguous slice (node-id order).
+    ///
+    /// Batched serving makes **one** pass over this slice per component
+    /// per batch, sharing each point (and its hot cache lines) across all
+    /// requests of the batch; contiguous indexed access also lets callers
+    /// chunk the pass (e.g. blocking points × requests) where the
+    /// streaming iterators above can only run front to back once.
+    pub fn points_with_stats(&self) -> &[(AggregatedPoint, RowStats)] {
+        &self.points
+    }
 }
 
 #[cfg(test)]
@@ -187,6 +199,21 @@ mod tests {
         let with_stats: Vec<_> = s.iter_with_stats().collect();
         assert_eq!(with_stats.len(), 1);
         assert_eq!(with_stats[0].1.mean(), 9.0);
+    }
+
+    #[test]
+    fn points_with_stats_matches_streaming_iteration() {
+        let mut s = Synopsis::new(AggregationMode::Mean);
+        for i in [8u32, 2, 5] {
+            s.upsert(pt(i, i as usize));
+        }
+        let slice = s.points_with_stats();
+        assert_eq!(slice.len(), s.len());
+        for ((p_it, st_it), (p_sl, st_sl)) in s.iter_with_stats().zip(slice) {
+            assert_eq!(p_it.node, p_sl.node);
+            assert_eq!(st_it.sum, st_sl.sum);
+            assert_eq!(st_it.nnz, st_sl.nnz);
+        }
     }
 
     #[test]

@@ -21,7 +21,12 @@
 //! through the service's [`ComposableService`](crate::core::ComposableService)
 //! hook, and aggregated telemetry (per-component coverage, skipped stale
 //! sets, wall-clock elapsed) in the returned
-//! [`ServiceResponse`](crate::core::ServiceResponse).
+//! [`ServiceResponse`](crate::core::ServiceResponse). Request *streams*
+//! ride [`FanOutService::serve_batch`](crate::core::FanOutService::serve_batch):
+//! one fan-out and one synopsis pass per component cover the whole batch
+//! (duplicate requests collapsed under clock-free policies, outputs
+//! recycled through an [`OutputPool`](crate::core::OutputPool)), provably
+//! equivalent to serving the requests one at a time.
 //!
 //! This facade re-exports the whole workspace:
 //!
@@ -87,8 +92,8 @@ pub use at_workloads as workloads;
 pub mod prelude {
     pub use at_core::{
         partition_rows, Algorithm1, ApproximateService, Component, ComponentTelemetry,
-        ComposableService, Correlation, Ctx, ExecutionPolicy, FanOutService, Outcome, ServiceError,
-        ServiceResponse,
+        ComposableService, Correlation, Ctx, ExecutionPolicy, FanOutService, Outcome, OutputPool,
+        ServiceError, ServiceResponse,
     };
     pub use at_linalg::svd::{IncrementalSvd, SvdConfig};
     pub use at_recommender::{rating_matrix, ActiveUser, CfService, PredictionAcc};

@@ -1,0 +1,293 @@
+//! End-to-end batched serving under realistic request streams: zipf query
+//! mixes batched by diurnal / flash-crowd arrival processes from
+//! `at-workloads`, driven through `FanOutService::serve_batch` for both
+//! evaluated services and checked against the sequential path, coverage
+//! telemetry, and top-k/top-n invariants.
+
+use accuracytrader::prelude::*;
+use accuracytrader::workloads::{flash_crowd_arrivals, variable_rate_arrivals, BurstConfig};
+use std::time::{Duration, Instant};
+
+/// Group sorted arrival offsets (seconds) into serving batches of `window`
+/// seconds each, dropping empty windows — the accept loop's batching.
+fn batch_windows(arrivals: &[f64], window: f64) -> Vec<Vec<f64>> {
+    let mut batches: Vec<Vec<f64>> = Vec::new();
+    let mut current = Vec::new();
+    let mut edge = window;
+    for &t in arrivals {
+        while t >= edge {
+            if !current.is_empty() {
+                batches.push(std::mem::take(&mut current));
+            }
+            edge += window;
+        }
+        current.push(t);
+    }
+    if !current.is_empty() {
+        batches.push(current);
+    }
+    batches
+}
+
+/// A zipf-skewed stream of indices into a request pool (the paper's query
+/// popularity skew: a few hot requests dominate the mix).
+fn zipf_mix(pool: usize, n: usize, seed: u64) -> Vec<usize> {
+    use accuracytrader::workloads::Zipf;
+    use rand::{rngs::SmallRng, SeedableRng};
+    let zipf = Zipf::new(pool, 1.1);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n).map(|_| zipf.sample(&mut rng)).collect()
+}
+
+fn recommender_deployment() -> (FanOutService<CfService>, Vec<ActiveUser>) {
+    let n_users = 600;
+    let n_items = 90;
+    let data = RatingsDataset::generate(RatingsConfig {
+        n_users,
+        n_items,
+        ratings_per_user: 40,
+        ..RatingsConfig::small()
+    });
+    let matrix = accuracytrader::recommender::rating_matrix(n_users, n_items, &data.ratings);
+    let rows: Vec<SparseRow> = matrix.ids().map(|id| matrix.row(id).clone()).collect();
+    let subsets = partition_rows(n_items, rows, 4).expect("4 components");
+    let service = FanOutService::build(
+        subsets,
+        AggregationMode::Mean,
+        SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(15),
+            size_ratio: 15,
+            ..SynopsisConfig::default()
+        },
+        || CfService,
+    );
+    let mut pool = Vec::new();
+    for user in 0..20u32 {
+        let profile: Vec<(u32, f64)> = data
+            .ratings
+            .iter()
+            .filter(|r| r.user == user)
+            .map(|r| (r.item, r.stars))
+            .collect();
+        if profile.len() < 4 {
+            continue;
+        }
+        pool.push(ActiveUser::new(
+            SparseRow::from_pairs(profile),
+            vec![user % 7, user % 7 + 20, user % 7 + 40],
+        ));
+    }
+    (service, pool)
+}
+
+fn search_deployment() -> (FanOutService<SearchService>, Vec<SearchRequest>) {
+    let corpus = Corpus::generate(CorpusConfig {
+        n_docs: 1200,
+        vocab: 2000,
+        n_topics: 10,
+        ..CorpusConfig::default()
+    });
+    let rows: Vec<SparseRow> = corpus
+        .docs
+        .iter()
+        .map(|d| SparseRow::from_pairs(d.terms.clone()))
+        .collect();
+    let subsets = partition_rows(corpus.config.vocab, rows, 4).expect("4 components");
+    let components: Vec<accuracytrader::core::Component<SearchService>> = subsets
+        .into_iter()
+        .map(|subset| {
+            let engine = SearchService::build(&subset, 10);
+            accuracytrader::core::Component::build(
+                subset,
+                AggregationMode::Merge,
+                SynopsisConfig {
+                    svd: SvdConfig::default().with_epochs(15),
+                    size_ratio: 15,
+                    ..SynopsisConfig::default()
+                },
+                engine,
+            )
+            .0
+        })
+        .collect();
+    let service = FanOutService::from_components(components);
+    // The query pool the zipf mix draws from (QueryGenerator is already
+    // topic-skewed; the mix adds per-query popularity skew on top).
+    let mut generator = QueryGenerator::new(&corpus, 23);
+    let queries = generator
+        .batch(&corpus, 25)
+        .iter()
+        .map(SearchRequest::from)
+        .collect();
+    (service, queries)
+}
+
+#[test]
+fn recommender_diurnal_batches_match_sequential_serve() {
+    let (service, pool) = recommender_deployment();
+    // Diurnal arrival curve (Figure 7(a) shape) thinned into arrivals over
+    // a compressed "day", batched by 0.5 s accept windows.
+    let diurnal = DiurnalPattern::sogou_like(60.0);
+    // Compress the 24-hour curve into 36 s (1.5 s per "hour"; hours are
+    // 1-based).
+    let arrivals = variable_rate_arrivals(
+        |t| diurnal.hourly_rate(((t / 1.5) as usize) % 24 + 1),
+        60.0,
+        36.0,
+        11,
+    );
+    let batches = batch_windows(&arrivals, 0.5);
+    assert!(batches.len() > 10, "diurnal stream must yield many batches");
+    assert!(
+        batches.iter().map(Vec::len).max().unwrap() > batches.iter().map(Vec::len).min().unwrap(),
+        "diurnal batches must vary in size"
+    );
+
+    let policy = ExecutionPolicy::budgeted(3);
+    let mix = zipf_mix(pool.len(), arrivals.len(), 5);
+    let mut served = 0usize;
+    for batch in batches.iter().take(12) {
+        let reqs: Vec<ActiveUser> = batch
+            .iter()
+            .map(|_| {
+                let req = pool[mix[served % mix.len()]].clone();
+                served += 1;
+                req
+            })
+            .collect();
+        let batched = service.serve_batch(&reqs, &policy);
+        assert_eq!(batched.len(), reqs.len());
+        for (req, got) in reqs.iter().zip(&batched) {
+            let want = service.serve(req, &policy);
+            assert_eq!(got.response, want.response, "batched != sequential");
+            assert_eq!(got.components, want.components);
+            // Coverage telemetry: a 3-set budget against a >3-set synopsis
+            // is strictly partial but nonzero.
+            assert!(got.mean_coverage() > 0.0 && got.mean_coverage() < 1.0);
+            assert!(got.min_coverage() <= got.mean_coverage());
+            assert_eq!(got.sets_skipped(), 0);
+            // Top-n invariant: one plausible star rating per target.
+            assert_eq!(got.response.len(), req.targets.len());
+            for p in &got.response {
+                assert!((1.0..=5.0).contains(p), "prediction {p} out of range");
+            }
+        }
+    }
+    assert!(served > 30, "replayed a meaningful stream, got {served}");
+}
+
+#[test]
+fn search_flash_crowd_batches_match_sequential_serve() {
+    let (service, queries) = search_deployment();
+    // A flash crowd: baseline arrivals with amplified burst windows, so
+    // batch sizes spike exactly when batching matters most.
+    let trace = flash_crowd_arrivals(
+        BurstConfig {
+            base_rate: 25.0,
+            burst_rate: 0.5,
+            burst_duration_s: 2.0,
+            amplification: 6.0,
+            seed: 3,
+        },
+        8.0,
+    );
+    let batches = batch_windows(&trace.arrivals, 0.25);
+    assert!(batches.len() > 8, "burst stream must yield many batches");
+    assert!(
+        !trace.windows.is_empty(),
+        "trace must contain a flash crowd"
+    );
+    let peak = batches.iter().map(Vec::len).max().unwrap();
+    let floor = batches.iter().map(Vec::len).min().unwrap();
+    assert!(peak > floor, "burst batches must dwarf baseline batches");
+
+    let n_sets = service.components()[0].store().synopsis().len();
+    let imax = ExecutionPolicy::imax_for_fraction(n_sets, 0.4);
+    let policy = ExecutionPolicy::Budgeted {
+        sets: usize::MAX,
+        imax: Some(imax),
+    };
+    let mix = zipf_mix(queries.len(), trace.arrivals.len(), 29);
+    let mut served = 0usize;
+    for batch in &batches {
+        let reqs: Vec<SearchRequest> = batch
+            .iter()
+            .map(|_| {
+                let req = queries[mix[served % mix.len()]].clone();
+                served += 1;
+                req
+            })
+            .collect();
+        let batched = service.serve_batch(&reqs, &policy);
+        for (req, got) in reqs.iter().zip(&batched) {
+            let want = service.serve(req, &policy);
+            // Top-k invariants: identical ranked ids, at most k results,
+            // scores sorted descending.
+            assert_eq!(got.response.doc_ids(), want.response.doc_ids());
+            assert!(got.response.len() <= 10);
+            let hits = got.response.sorted();
+            for w in hits.windows(2) {
+                assert!(w[0].score >= w[1].score, "top-k not sorted");
+            }
+            // Coverage telemetry: i_max caps every component's processing.
+            for c in &got.components {
+                assert!(c.sets_processed <= imax);
+            }
+            assert!(
+                got.mean_coverage() < 1.0,
+                "i_max must keep coverage partial"
+            );
+            assert_eq!(got.components, want.components);
+        }
+    }
+    assert!(served >= trace.arrivals.len(), "whole trace replayed");
+}
+
+#[test]
+fn batched_deadline_accounting_is_per_request_end_to_end() {
+    let (service, pool) = recommender_deployment();
+    let policy = ExecutionPolicy::deadline(Duration::from_secs(30));
+    let now = Instant::now();
+    let Some(past) = now.checked_sub(Duration::from_secs(60)) else {
+        return; // monotonic clock younger than the offset (fresh boot)
+    };
+    // The accept loop hands over a batch where two requests sat in the
+    // queue past their whole deadline.
+    let reqs: Vec<ActiveUser> = (0..5).map(|i| pool[i % pool.len()].clone()).collect();
+    let submitted: Vec<Instant> = (0..5)
+        .map(|i| if i % 2 == 1 { past } else { now })
+        .collect();
+    let batched = service.serve_batch_at(&reqs, &policy, &submitted);
+    for (i, (req, got)) in reqs.iter().zip(&batched).enumerate() {
+        if i % 2 == 1 {
+            assert_eq!(got.sets_processed(), 0, "expired request {i} sheds work");
+            assert_eq!(got.mean_coverage(), 0.0);
+            let synopsis_only = service.serve(req, &ExecutionPolicy::SynopsisOnly);
+            assert_eq!(got.response, synopsis_only.response);
+            assert!(
+                got.elapsed >= Duration::from_secs(60),
+                "elapsed counts queueing"
+            );
+        } else {
+            assert_eq!(got.mean_coverage(), 1.0, "fresh request {i} fully improves");
+        }
+    }
+}
+
+#[test]
+fn warm_batches_reuse_pooled_outputs() {
+    let (service, queries) = search_deployment();
+    let policy = ExecutionPolicy::budgeted(2);
+    let reqs: Vec<SearchRequest> = (0..8).map(|i| queries[i % queries.len()].clone()).collect();
+    let cold = service.serve_batch(&reqs, &policy);
+    let before = service.pool().reuses();
+    let warm = service.serve_batch(&reqs, &policy);
+    assert!(
+        service.pool().reuses() >= before + reqs.len() * service.len(),
+        "a warm batch must recycle one buffer per (request, component)"
+    );
+    for (c, w) in cold.iter().zip(&warm) {
+        assert_eq!(c.response.doc_ids(), w.response.doc_ids());
+        assert_eq!(c.components, w.components);
+    }
+}

@@ -1,0 +1,206 @@
+//! Async serving-path benchmarks → `BENCH_async.json`.
+//!
+//! ```text
+//! asyncpath [--quick] [--out PATH]
+//! ```
+//!
+//! Replays one zipf-skewed request mix against the recommender deployment
+//! under `Budgeted{sets: 5}` two ways and records throughput (req/s) and
+//! p99 latency (ms) for each:
+//!
+//! * `sequential` — the baseline: `FanOutService::serve`, one request at a
+//!   time from one caller (what a process without the async front end
+//!   does; no queueing, so its p99 is also its best case).
+//! * `async_inflight_{1,64,2048}` — the same mix through an
+//!   `at_server::Server` with a sliding window of that many in-flight
+//!   submissions; the dispatcher drains micro-batches of up to
+//!   `max_batch` requests, so higher in-flight counts amortize fan-outs
+//!   and collapse the mix's duplicate hot requests.
+//! * `async_inflight_2048_batch{1,16}` — the micro-batch-size sweep at
+//!   peak in-flight: `max_batch = 1` isolates pure queueing overhead
+//!   (every request its own fan-out), 16 a mid-size batch.
+//!
+//! Async latency is `ServiceResponse::elapsed` measured from the enqueue
+//! instant, so it **includes queue wait** — the honest number a caller
+//! sees. The JSON is flat and hand-written (no serde in the closure):
+//! one object per entry with throughput, p99, and the throughput speedup
+//! over `sequential`.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use at_bench::deployments::{build_recommender, DeployScale};
+use at_core::ExecutionPolicy;
+use at_recommender::ActiveUser;
+use at_server::{Server, ServerConfig};
+use at_workloads::Zipf;
+use rand::{rngs::SmallRng, SeedableRng};
+
+struct Entry {
+    name: String,
+    in_flight: usize,
+    max_batch: usize,
+    throughput_rps: f64,
+    p99_ms: f64,
+}
+
+/// p99 of a latency sample, in milliseconds.
+fn p99_ms(latencies: &mut [Duration]) -> f64 {
+    assert!(!latencies.is_empty());
+    latencies.sort_unstable();
+    let idx = ((latencies.len() as f64 * 0.99).ceil() as usize).clamp(1, latencies.len()) - 1;
+    latencies[idx].as_secs_f64() * 1e3
+}
+
+/// Serve `mix` one request at a time, returning (throughput, p99).
+fn run_sequential(
+    service: &at_core::FanOutService<at_recommender::CfService>,
+    mix: &[ActiveUser],
+    policy: &ExecutionPolicy,
+) -> (f64, f64) {
+    let mut latencies = Vec::with_capacity(mix.len());
+    let start = Instant::now();
+    for req in mix {
+        let resp = service.serve(req, policy);
+        latencies.push(resp.elapsed);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    (mix.len() as f64 / wall, p99_ms(&mut latencies))
+}
+
+/// Replay `mix` through a fresh server, keeping a sliding window of
+/// `in_flight` outstanding tickets, returning (throughput, p99).
+fn run_async(
+    service: &Arc<at_core::FanOutService<at_recommender::CfService>>,
+    mix: &[ActiveUser],
+    policy: &ExecutionPolicy,
+    in_flight: usize,
+    max_batch: usize,
+) -> (f64, f64) {
+    let server = Server::new(
+        service.clone(),
+        ServerConfig::default()
+            .with_queue_capacity(in_flight.max(64) * 2)
+            .with_max_batch(max_batch),
+    );
+    let mut latencies = Vec::with_capacity(mix.len());
+    let mut window: std::collections::VecDeque<
+        at_server::Ticket<at_server::Response<at_recommender::CfService>>,
+    > = std::collections::VecDeque::with_capacity(in_flight);
+    let start = Instant::now();
+    for req in mix {
+        if window.len() >= in_flight {
+            let ticket = window.pop_front().unwrap();
+            latencies.push(ticket.wait().expect("fulfilled").elapsed);
+        }
+        window.push_back(server.submit(req.clone(), *policy).expect("accepting"));
+    }
+    for ticket in window {
+        latencies.push(ticket.wait().expect("fulfilled").elapsed);
+    }
+    let wall = start.elapsed().as_secs_f64();
+    server.shutdown();
+    (mix.len() as f64 / wall, p99_ms(&mut latencies))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_async.json".to_string());
+
+    // The 2048-in-flight sweep point needs at least that many requests in
+    // the mix; full scale replays a longer stream for stabler numbers.
+    let n_requests = if quick { 2048 } else { 8192 };
+
+    eprintln!("building recommender deployment...");
+    let deployment = build_recommender(DeployScale::quick());
+    let service = Arc::new(deployment.service);
+    let policy = ExecutionPolicy::budgeted(5);
+    let zipf = Zipf::new(deployment.requests.len(), 1.1);
+    let mut rng = SmallRng::seed_from_u64(0xA51C);
+    let mix: Vec<ActiveUser> = (0..n_requests)
+        .map(|_| deployment.requests[zipf.sample(&mut rng)].active.clone())
+        .collect();
+
+    // Warm both paths (JIT-free but pools and caches matter).
+    for req in mix.iter().take(64) {
+        std::hint::black_box(service.serve(req, &policy));
+    }
+
+    let mut entries = Vec::new();
+    let (seq_thr, seq_p99) = run_sequential(&service, &mix, &policy);
+    entries.push(Entry {
+        name: "sequential".into(),
+        in_flight: 1,
+        max_batch: 1,
+        throughput_rps: seq_thr,
+        p99_ms: seq_p99,
+    });
+
+    for &(in_flight, max_batch) in &[
+        (1usize, 64usize),
+        (64, 64),
+        (2048, 64),
+        (2048, 1),
+        (2048, 16),
+    ] {
+        let (thr, p99) = run_async(&service, &mix, &policy, in_flight, max_batch);
+        let name = if max_batch == 64 {
+            format!("async_inflight_{in_flight}")
+        } else {
+            format!("async_inflight_{in_flight}_batch{max_batch}")
+        };
+        entries.push(Entry {
+            name,
+            in_flight,
+            max_batch,
+            throughput_rps: thr,
+            p99_ms: p99,
+        });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"asyncpath\",\n");
+    let _ = writeln!(
+        json,
+        "  \"scale\": \"{}\",",
+        if quick { "quick" } else { "full" }
+    );
+    let _ = writeln!(json, "  \"requests\": {n_requests},");
+    json.push_str("  \"policy\": \"budgeted_5\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"in_flight\": {}, \"max_batch\": {}, \
+             \"throughput_rps\": {:.1}, \"p99_ms\": {:.3}, \"speedup\": {:.3}}}",
+            e.name,
+            e.in_flight,
+            e.max_batch,
+            e.throughput_rps,
+            e.p99_ms,
+            e.throughput_rps / seq_thr
+        );
+        json.push_str(if i + 1 < entries.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write BENCH_async.json");
+    println!("{json}");
+    eprintln!("wrote {out_path}");
+
+    for e in &entries {
+        eprintln!(
+            "{:<28} {:>10.0} req/s  p99 {:>8.3} ms  speedup {:>6.2}x",
+            e.name,
+            e.throughput_rps,
+            e.p99_ms,
+            e.throughput_rps / seq_thr
+        );
+    }
+}

@@ -76,12 +76,18 @@ impl ExecutionPolicy {
     }
 
     /// The `i_max` capping processing at the top `fraction` of
-    /// `total_sets` ranked sets: rounded up, floored at one set.
+    /// `total_sets` ranked sets: rounded up, floored at one set — except
+    /// for an empty synopsis (`total_sets == 0`), whose only consistent
+    /// cap is zero (there is no set a floor of one could ever admit, and
+    /// [`effective_cap`](Self::effective_cap) must stay 0).
     ///
     /// # Panics
     /// Panics if `fraction` is outside `[0, 1]`.
     pub fn imax_for_fraction(total_sets: usize, fraction: f64) -> usize {
         assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        if total_sets == 0 {
+            return 0;
+        }
         ((total_sets as f64 * fraction).ceil() as usize).max(1)
     }
 
@@ -146,6 +152,22 @@ mod tests {
     fn search_fraction_rounds_up_and_floors_at_one() {
         assert_eq!(ExecutionPolicy::search(3, 0.4).imax(), Some(2));
         assert_eq!(ExecutionPolicy::search(1, 0.01).imax(), Some(1));
+    }
+
+    #[test]
+    fn empty_synopsis_caps_at_zero() {
+        // Regression: the one-set floor must not apply to an empty
+        // synopsis — `i_max` would otherwise claim one processable set
+        // that cannot exist, and `effective_cap` would disagree with the
+        // zero sets execution can ever report.
+        assert_eq!(ExecutionPolicy::imax_for_fraction(0, 0.4), 0);
+        assert_eq!(ExecutionPolicy::imax_for_fraction(0, 0.0), 0);
+        assert_eq!(ExecutionPolicy::imax_for_fraction(0, 1.0), 0);
+        let p = ExecutionPolicy::search(0, 0.4);
+        assert_eq!(p.imax(), Some(0));
+        assert_eq!(p.effective_cap(0), 0);
+        // Non-empty synopses keep the floor-at-one behaviour.
+        assert_eq!(ExecutionPolicy::imax_for_fraction(1, 0.0), 1);
     }
 
     #[test]

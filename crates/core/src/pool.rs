@@ -34,7 +34,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 /// Buffers retained by default; `put` drops beyond this, bounding the
 /// memory a burst of huge batches can leave behind.
@@ -75,10 +75,27 @@ impl<T> OutputPool<T> {
         }
     }
 
+    /// Lock the free list, recovering from a poisoned mutex. A panicking
+    /// worker (e.g. one rayon fan-out leg dying mid-request) must not turn
+    /// every later serve into a panic cascade: the pooled buffers are only
+    /// recycled storage, so recovery is simply discarding the free list —
+    /// subsequent requests allocate fresh, exactly like a cold pool.
+    fn free_list(&self) -> MutexGuard<'_, Vec<T>> {
+        match self.free.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.free.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                guard
+            }
+        }
+    }
+
     /// Check a recycled buffer out, if any. The caller owns it until the
     /// matching [`put`](Self::put).
     pub fn get(&self) -> Option<T> {
-        let buf = self.free.lock().expect("output pool poisoned").pop();
+        let buf = self.free_list().pop();
         if buf.is_some() {
             self.reuses.fetch_add(1, Ordering::Relaxed);
         }
@@ -88,7 +105,7 @@ impl<T> OutputPool<T> {
     /// Check up to `n` recycled buffers out into `into` (used by the batch
     /// path to seed one buffer per request in a single lock acquisition).
     pub fn get_up_to(&self, n: usize, into: &mut Vec<T>) {
-        let mut free = self.free.lock().expect("output pool poisoned");
+        let mut free = self.free_list();
         let take = n.min(free.len());
         let keep = free.len() - take;
         into.extend(free.drain(keep..));
@@ -99,7 +116,7 @@ impl<T> OutputPool<T> {
     /// Return a buffer for reuse; dropped silently once the retention cap
     /// is reached.
     pub fn put(&self, buf: T) {
-        let mut free = self.free.lock().expect("output pool poisoned");
+        let mut free = self.free_list();
         if free.len() < self.retain {
             free.push(buf);
         }
@@ -107,7 +124,7 @@ impl<T> OutputPool<T> {
 
     /// Buffers currently idle in the pool.
     pub fn idle(&self) -> usize {
-        self.free.lock().expect("output pool poisoned").len()
+        self.free_list().len()
     }
 
     /// True when no buffer is idle (a cold pool, or all checked out).
@@ -221,6 +238,35 @@ mod tests {
         pool.get_up_to(3, &mut out);
         assert_eq!(out.len(), 3);
         assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn poisoned_pool_recovers_by_discarding_free_list() {
+        let pool: OutputPool<Vec<u8>> = OutputPool::new();
+        pool.put(vec![1]);
+        pool.put(vec![2]);
+        // A worker dies while holding the pool lock, poisoning the mutex.
+        let worker = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = pool.free.lock().unwrap();
+                panic!("worker panics with the pool locked");
+            })
+            .join()
+        });
+        assert!(worker.is_err(), "the worker must actually have panicked");
+        assert!(pool.free.is_poisoned());
+        // Every later operation recovers instead of cascading the panic:
+        // the free list is discarded (cold-pool behaviour)...
+        assert!(pool.get().is_none());
+        assert_eq!(pool.idle(), 0);
+        let mut out = Vec::new();
+        pool.get_up_to(4, &mut out);
+        assert!(out.is_empty());
+        // ...and the pool recycles normally from then on.
+        assert!(!pool.free.is_poisoned());
+        pool.put(vec![3]);
+        assert_eq!(pool.get(), Some(vec![3]));
+        assert_eq!(pool.reuses(), 1, "only the post-recovery get reused");
     }
 
     #[test]

@@ -54,6 +54,19 @@ impl fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// Requests scanned before the duplicate-collapse scan may bail out.
+/// Below this, the scan is trivially cheap and uniqueness estimates are
+/// too noisy to act on.
+const COLLAPSE_BAIL_MIN_SCAN: usize = 32;
+
+/// Bail out of collapsing once more than half of the scanned prefix is
+/// unique: the linear probe per request is then quadratic work buying
+/// almost no deduplication (zipf-skewed production mixes sit far below
+/// this; adversarially unique batches sit far above).
+fn collapse_should_bail(uniques: usize, scanned: usize) -> bool {
+    scanned >= COLLAPSE_BAIL_MIN_SCAN && uniques * 2 > scanned
+}
+
 /// Split rows round-robin into `n` subsets of a `feature_dim`-column space —
 /// the "entire input data is divided into n subsets" step. Round-robin keeps
 /// subset sizes within one row of each other.
@@ -414,14 +427,27 @@ where
         if reqs.is_empty() {
             return Vec::new();
         }
-        // Collapse duplicate requests (clock-free policies only; the
-        // linear scan is trivial next to even one synopsis pass):
+        // Collapse duplicate requests (clock-free policies only):
         // `firsts[u]` is the original index of unique request `u`,
         // `unique_of[i]` the unique index serving original request `i`.
+        // The linear probe per request is trivial on the duplicate-heavy
+        // batches collapsing exists for, but O(batch × uniques) on
+        // high-uniqueness batches — so once the scanned prefix proves
+        // mostly unique ([`collapse_should_bail`]) the remainder is taken
+        // as-is, each request its own unique. Collapsing is purely an
+        // optimization: uncollapsed duplicates are still served correctly,
+        // just without sharing their computation.
         let mut firsts: Vec<usize> = Vec::new();
         let mut unique_of: Vec<usize> = Vec::with_capacity(reqs.len());
         if policy.is_clock_free() {
             for (i, req) in reqs.iter().enumerate() {
+                if collapse_should_bail(firsts.len(), i) {
+                    for j in i..reqs.len() {
+                        unique_of.push(firsts.len());
+                        firsts.push(j);
+                    }
+                    break;
+                }
                 match firsts.iter().position(|&f| reqs[f] == *req) {
                     Some(u) => unique_of.push(u),
                     None => {
@@ -714,6 +740,75 @@ mod tests {
             batch.len() * svc.len(),
             "deadline batches are never collapsed"
         );
+    }
+
+    #[test]
+    fn high_uniqueness_batch_bails_out_of_collapsing_but_stays_correct() {
+        let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let subsets = partition_rows(6, rows(90), 3).unwrap();
+        let cfg = SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(8),
+            size_ratio: 10,
+            ..SynopsisConfig::default()
+        };
+        let svc = FanOutService::build(subsets, AggregationMode::Mean, cfg, || {
+            MeteredService(calls.clone())
+        });
+        // 48 distinct requests, then 16 duplicates of the first: the scan
+        // proves the prefix mostly unique at COLLAPSE_BAIL_MIN_SCAN and
+        // bails, so the duplicate tail is deliberately NOT collapsed.
+        let batch: Vec<u32> = (0..48u32).chain(std::iter::repeat_n(0u32, 16)).collect();
+        let policy = ExecutionPolicy::budgeted(1);
+        let responses = svc.serve_batch(&batch, &policy);
+        assert_eq!(
+            calls.load(std::sync::atomic::Ordering::Relaxed),
+            batch.len() * svc.len(),
+            "bailed-out batch computes every occurrence"
+        );
+        // Bailing out never changes what each request gets.
+        assert_eq!(responses.len(), batch.len());
+        for (req, got) in batch.iter().zip(&responses) {
+            let want = svc.serve(req, &policy);
+            assert_eq!(got.response, want.response);
+            assert_eq!(got.components, want.components);
+        }
+    }
+
+    #[test]
+    fn low_uniqueness_batch_past_threshold_still_collapses() {
+        let calls = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let subsets = partition_rows(6, rows(90), 3).unwrap();
+        let cfg = SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(8),
+            size_ratio: 10,
+            ..SynopsisConfig::default()
+        };
+        let svc = FanOutService::build(subsets, AggregationMode::Mean, cfg, || {
+            MeteredService(calls.clone())
+        });
+        // 64 requests over two distinct values (a zipf-like hot mix): the
+        // unique count never approaches half the scanned prefix, so the
+        // whole batch collapses to two computations per component.
+        let batch: Vec<u32> = (0..64u32).map(|i| if i % 3 == 0 { 7 } else { 9 }).collect();
+        let responses = svc.serve_batch(&batch, &ExecutionPolicy::budgeted(1));
+        assert_eq!(
+            calls.load(std::sync::atomic::Ordering::Relaxed),
+            2 * svc.len(),
+            "hot mix still collapses to its distinct requests"
+        );
+        assert_eq!(responses[0].response, responses[3].response);
+        assert_eq!(responses[1].response, responses[2].response);
+    }
+
+    #[test]
+    fn collapse_bail_threshold_shape() {
+        // Below the minimum scan, never bail (even fully unique).
+        assert!(!collapse_should_bail(31, 31));
+        // At the boundary: more than half unique bails...
+        assert!(collapse_should_bail(17, 32));
+        // ...exactly half (or less) keeps collapsing.
+        assert!(!collapse_should_bail(16, 32));
+        assert!(!collapse_should_bail(2, 4096));
     }
 
     #[test]

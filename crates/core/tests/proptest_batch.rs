@@ -272,6 +272,28 @@ fn batches() -> impl Strategy<Value = Vec<(Vec<u32>, bool)>> {
     )
 }
 
+/// Batches straddling the duplicate-collapse bailout threshold (the scan
+/// bails once >50% of a ≥32-request prefix is unique): either drawn from a
+/// tiny pool of 2–3 requests (duplicate-heavy — collapses throughout) or
+/// freely generated (mostly unique — bails out mid-scan), both well past
+/// the minimum scanned prefix so the threshold logic actually runs.
+fn bailout_batches() -> impl Strategy<Value = Vec<(Vec<u32>, bool)>> {
+    let request = || prop::collection::vec(0u32..N_COLUMNS, 1..4);
+    let unique_heavy = prop::collection::vec(request(), 40..72);
+    let dup_heavy = (
+        prop::collection::vec(request(), 2..4),
+        prop::collection::vec(0usize..4, 40..72),
+    )
+        .prop_map(|(pool, picks)| {
+            picks
+                .into_iter()
+                .map(|p| pool[p % pool.len()].clone())
+                .collect::<Vec<_>>()
+        });
+    prop_oneof![unique_heavy, dup_heavy]
+        .prop_map(|reqs| reqs.into_iter().map(|r| (r, false)).collect())
+}
+
 /// Submission instants for a batch: 240 s ago for "queued past deadline"
 /// requests (expired twice over against the 120 s deadline, a no-op for
 /// every clockless policy) and now otherwise. `None` when the monotonic
@@ -359,6 +381,18 @@ proptest! {
         policy in policies(),
     ) {
         assert_batch_equals_sequential(defaulted(), &batch, &policy, "stale-default")?;
+    }
+
+    /// Batched == sequential on both sides of the collapse-bailout
+    /// threshold: duplicate-heavy batches (which collapse end to end) and
+    /// mostly-unique batches (where the scan bails out mid-way and serves
+    /// the remainder uncollapsed) must both be invisible in the results.
+    #[test]
+    fn serve_batch_equals_mapped_serve_across_collapse_bailout(
+        batch in bailout_batches(),
+        policy in policies(),
+    ) {
+        assert_batch_equals_sequential(overridden(), &batch, &policy, "bailout")?;
     }
 
     /// Pool warmth must never change results: serving the same batch again

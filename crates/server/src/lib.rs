@@ -1,0 +1,791 @@
+//! # at-server
+//!
+//! The asynchronous serving front end of the AccuracyTrader reproduction:
+//! a hand-rolled reactor that lets one process multiplex thousands of
+//! in-flight requests against a single
+//! [`FanOutService`](at_core::FanOutService), with the paper's deadline
+//! semantics preserved end to end.
+//!
+//! Algorithm 1 measures its latency deadline `l_spe` from the request's
+//! *submission* instant, so a serving system's queueing delay must count
+//! against the deadline — a synchronous `serve` call cannot express that,
+//! because callers queue outside the service where no clock is running.
+//! [`Server`] closes the gap:
+//!
+//! * **Bounded submission queue.** [`Server::try_submit`] stamps each
+//!   request with its [`Instant`] at enqueue and returns a [`Ticket`]
+//!   immediately; a full queue bounces with [`SubmitError::Busy`]
+//!   (backpressure), and [`Server::submit`] is the blocking variant.
+//! * **Micro-batching dispatcher.** A dedicated thread drains the queue
+//!   into micro-batches of at most
+//!   [`max_batch`](ServerConfig::max_batch) requests, groups each batch
+//!   by [`ExecutionPolicy`], and drives one
+//!   [`FanOutService::serve_batch_at`](at_core::FanOutService::serve_batch_at)
+//!   call per group — one fan-out and one shared synopsis pass per
+//!   component for the whole micro-batch, with duplicate requests
+//!   collapsed under clock-free policies.
+//! * **Per-request completion handles.** Each submission's [`Ticket`] is
+//!   a oneshot: block on it ([`Ticket::wait`]), poll it
+//!   ([`Ticket::try_take`]), or `.await` it ([`Ticket`] implements
+//!   `Future`), so the number of in-flight requests is limited by the
+//!   queue bound, not by caller threads.
+//!
+//! ## The deadline-accounting contract
+//!
+//! A request's `submitted` instant is its enqueue instant (or the explicit
+//! instant given to [`Server::try_submit_at`], for replay/testing). Every
+//! layer below measures `l_spe` from that instant, so **time spent waiting
+//! in the submission queue — and behind earlier requests of the same
+//! micro-batch — counts against `Deadline` policies** exactly like the
+//! paper's queueing delay: a request that waited past its whole deadline
+//! degrades to synopsis-only coverage instead of blowing the tail. Under
+//! clock-free policies (`Exact`, `SynopsisOnly`, `Budgeted`) responses are
+//! *identical* to calling `serve_at` with the same submitted instants;
+//! only `ServiceResponse::elapsed` reflects the waiting.
+//!
+//! ## Telemetry
+//!
+//! [`Server::stats`] exposes queue depth, high-water marks, batch counts,
+//! and cumulative/max queue wait ([`ServerStats`]) — the feedback signals
+//! the ROADMAP's admission controller consumes to flip policies under
+//! overload.
+//!
+//! Orderly [`Server::shutdown`] (and `Drop`) stops accepting, **drains**
+//! every queued request, and joins the dispatcher, so no ticket is left
+//! dangling; a ticket only ever reports [`Canceled`] if the dispatcher
+//! itself died.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use at_core::{ComposableService, ExecutionPolicy, FanOutService, ServiceResponse};
+
+mod stats;
+mod ticket;
+
+pub use stats::ServerStats;
+pub use ticket::{Canceled, Ticket};
+
+use stats::Counters;
+use ticket::TicketSender;
+
+/// Sizing of a [`Server`]'s queue and micro-batches.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Most requests allowed to wait in the submission queue; beyond it,
+    /// [`Server::try_submit`] bounces with [`SubmitError::Busy`].
+    pub queue_capacity: usize,
+    /// Most requests per dispatched micro-batch. Larger batches amortize
+    /// the fan-out and synopsis pass further but make late-in-batch
+    /// `Deadline` requests wait longer behind their batch.
+    pub max_batch: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 4096,
+            max_batch: 64,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Override the queue capacity.
+    pub fn with_queue_capacity(mut self, queue_capacity: usize) -> Self {
+        self.queue_capacity = queue_capacity;
+        self
+    }
+
+    /// Override the micro-batch cap.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+}
+
+/// Why a submission was not accepted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full — shed load or retry later.
+    Busy,
+    /// The server is shutting down and accepts no new requests.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Busy => write!(f, "submission queue full"),
+            SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// One queued request.
+struct Entry<R, T> {
+    req: R,
+    policy: ExecutionPolicy,
+    /// Deadline-accounting instant (`l_spe` measures from here).
+    submitted: Instant,
+    /// Actual enqueue instant (queue-wait telemetry measures from here;
+    /// equals `submitted` except under `try_submit_at`).
+    enqueued: Instant,
+    sender: TicketSender<T>,
+}
+
+struct QueueState<R, T> {
+    entries: VecDeque<Entry<R, T>>,
+    paused: bool,
+    shutdown: bool,
+}
+
+/// State shared between the accept side and the dispatcher thread.
+struct SharedQueue<R, T> {
+    state: Mutex<QueueState<R, T>>,
+    /// Dispatcher wakeup: work arrived, resumed, or shutting down.
+    work: Condvar,
+    /// Blocking-submitter wakeup: queue space freed, or shutting down.
+    space: Condvar,
+    counters: Counters,
+    capacity: usize,
+}
+
+impl<R, T> SharedQueue<R, T> {
+    /// Lock the queue state. The state is consistent between operations
+    /// (a `VecDeque` plus flags), so a poisoned lock is simply taken over.
+    fn state(&self) -> MutexGuard<'_, QueueState<R, T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// Shorthand for a service's queue-shared state.
+type SharedOf<S> = SharedQueue<<S as at_core::ApproximateService>::Request, Response<S>>;
+
+/// Shorthand for a service's queued entries.
+type EntryOf<S> = Entry<<S as at_core::ApproximateService>::Request, Response<S>>;
+
+/// The response type a server for service `S` completes tickets with.
+pub type Response<S> = ServiceResponse<<S as ComposableService>::Response>;
+
+/// An async serving front end over one [`FanOutService`].
+///
+/// See the [crate docs](crate) for the micro-batching and
+/// deadline-accounting contract. Submission takes `&self`, so one
+/// `Server` can be shared across accept threads; [`Server::shutdown`]
+/// (or `Drop`) drains the queue and joins the dispatcher.
+pub struct Server<S>
+where
+    S: ComposableService,
+{
+    service: Arc<FanOutService<S>>,
+    shared: Arc<SharedOf<S>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl<S> Server<S>
+where
+    S: ComposableService + Send + Sync + 'static,
+    S::Request: Clone + PartialEq + Send + Sync + 'static,
+    S::Output: Send + 'static,
+    S::Response: Send + 'static,
+{
+    /// Start a server over `service`, spawning its dispatcher thread.
+    ///
+    /// The service is shared: callers keeping a clone of the [`Arc`] can
+    /// still serve synchronously (e.g. to cross-check responses) — the
+    /// service's interior state (the output pool) is thread-safe.
+    ///
+    /// # Panics
+    /// Panics when `config.queue_capacity` or `config.max_batch` is zero.
+    pub fn new(service: Arc<FanOutService<S>>, config: ServerConfig) -> Self {
+        assert!(config.queue_capacity > 0, "queue capacity must be >= 1");
+        assert!(config.max_batch > 0, "micro-batch cap must be >= 1");
+        let shared: Arc<SharedOf<S>> = Arc::new(SharedQueue {
+            state: Mutex::new(QueueState {
+                entries: VecDeque::new(),
+                paused: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            space: Condvar::new(),
+            counters: Counters::default(),
+            capacity: config.queue_capacity,
+        });
+        let dispatcher = {
+            let service = service.clone();
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("at-server-dispatcher".into())
+                .spawn(move || dispatch_loop(&service, &shared, config.max_batch))
+                .expect("spawn dispatcher thread")
+        };
+        Server {
+            service,
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// [`new`](Self::new) taking the service by value.
+    pub fn from_service(service: FanOutService<S>, config: ServerConfig) -> Self {
+        Self::new(Arc::new(service), config)
+    }
+
+    /// The served fan-out service.
+    pub fn service(&self) -> &Arc<FanOutService<S>> {
+        &self.service
+    }
+
+    /// Submit a request without blocking: it is stamped submitted *now*
+    /// (queue wait from here on counts against a `Deadline` policy) and
+    /// queued for the next micro-batch. Errors with [`SubmitError::Busy`]
+    /// when the bounded queue is full — the server's backpressure signal.
+    pub fn try_submit(
+        &self,
+        req: S::Request,
+        policy: ExecutionPolicy,
+    ) -> Result<Ticket<Response<S>>, SubmitError> {
+        self.try_submit_at(req, policy, Instant::now())
+    }
+
+    /// [`try_submit`](Self::try_submit) with an explicit submission
+    /// instant, for replaying recorded streams (arrival processes) and for
+    /// deterministic deadline tests. Queue-wait *telemetry* still measures
+    /// from the actual enqueue instant.
+    pub fn try_submit_at(
+        &self,
+        req: S::Request,
+        policy: ExecutionPolicy,
+        submitted: Instant,
+    ) -> Result<Ticket<Response<S>>, SubmitError> {
+        let state = self.shared.state();
+        if state.shutdown {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if state.entries.len() >= self.shared.capacity {
+            self.shared
+                .counters
+                .rejected
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            return Err(SubmitError::Busy);
+        }
+        Ok(self.enqueue(state, req, policy, submitted))
+    }
+
+    /// Submit a request, blocking while the queue is full. Errors only
+    /// when the server is shutting down.
+    pub fn submit(
+        &self,
+        req: S::Request,
+        policy: ExecutionPolicy,
+    ) -> Result<Ticket<Response<S>>, SubmitError> {
+        let mut state = self.shared.state();
+        loop {
+            if state.shutdown {
+                return Err(SubmitError::ShuttingDown);
+            }
+            if state.entries.len() < self.shared.capacity {
+                break;
+            }
+            state = self
+                .shared
+                .space
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        Ok(self.enqueue(state, req, policy, Instant::now()))
+    }
+
+    fn enqueue(
+        &self,
+        mut state: MutexGuard<'_, QueueState<S::Request, Response<S>>>,
+        req: S::Request,
+        policy: ExecutionPolicy,
+        submitted: Instant,
+    ) -> Ticket<Response<S>> {
+        let (sender, ticket) = ticket::ticket();
+        state.entries.push_back(Entry {
+            req,
+            policy,
+            submitted,
+            enqueued: Instant::now(),
+            sender,
+        });
+        let depth = state.entries.len() as u64;
+        drop(state);
+        let counters = &self.shared.counters;
+        counters
+            .submitted
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        counters
+            .max_queue_depth
+            .fetch_max(depth, std::sync::atomic::Ordering::Relaxed);
+        self.shared.work.notify_one();
+        ticket
+    }
+
+    /// Stop dispatching; queued and new requests wait until
+    /// [`resume`](Self::resume). (Shutdown overrides a pause to drain.)
+    pub fn pause(&self) {
+        self.shared.state().paused = true;
+    }
+
+    /// Resume dispatching after [`pause`](Self::pause).
+    pub fn resume(&self) {
+        self.shared.state().paused = false;
+        self.shared.work.notify_all();
+    }
+
+    /// Requests waiting in the queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state().entries.len()
+    }
+
+    /// A telemetry snapshot (see [`ServerStats`]).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.counters.snapshot(self.queue_depth())
+    }
+
+    /// Shut down: stop accepting, drain every queued request through the
+    /// dispatcher (fulfilling all outstanding tickets), join it, and
+    /// return the final telemetry. Dropping the server does the same.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.begin_shutdown();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+        self.stats()
+    }
+}
+
+impl<S> Server<S>
+where
+    S: ComposableService,
+{
+    fn begin_shutdown(&self) {
+        self.shared.state().shutdown = true;
+        self.shared.work.notify_all();
+        self.shared.space.notify_all();
+    }
+}
+
+impl<S> Drop for Server<S>
+where
+    S: ComposableService,
+{
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Arms the dispatcher thread against a panicking service: if the thread
+/// unwinds (a fan-out leg died inside `serve_batch_at`), the guard's drop
+/// marks the server shut down, cancels every still-queued ticket (their
+/// senders drop, so waiters see [`Canceled`] instead of blocking forever),
+/// and wakes blocked submitters so they observe `ShuttingDown` rather
+/// than waiting on a queue nobody will ever drain.
+struct CrashGuard<'a, R, T>(&'a SharedQueue<R, T>);
+
+impl<R, T> Drop for CrashGuard<'_, R, T> {
+    fn drop(&mut self) {
+        if !std::thread::panicking() {
+            return;
+        }
+        let mut state = self.0.state();
+        state.shutdown = true;
+        state.entries.clear(); // dropping the senders cancels the tickets
+        drop(state);
+        self.0.work.notify_all();
+        self.0.space.notify_all();
+    }
+}
+
+/// The dispatcher: drain micro-batches, group by policy, serve each group
+/// in one batched call, fulfil tickets. Exits once shut down **and**
+/// drained.
+fn dispatch_loop<S>(service: &FanOutService<S>, shared: &SharedOf<S>, max_batch: usize)
+where
+    S: ComposableService + Sync,
+    S::Request: Clone + PartialEq + Sync,
+    S::Output: Send,
+{
+    let _crash_guard = CrashGuard(shared);
+    loop {
+        let batch: Vec<EntryOf<S>> = {
+            let mut state = shared.state();
+            loop {
+                if !state.entries.is_empty() && (!state.paused || state.shutdown) {
+                    break;
+                }
+                if state.shutdown {
+                    return; // drained
+                }
+                state = shared
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            let take = state.entries.len().min(max_batch);
+            state.entries.drain(..take).collect()
+        };
+        shared.space.notify_all();
+
+        let dispatched = Instant::now();
+        for entry in &batch {
+            shared
+                .counters
+                .record_dequeue(dispatched.saturating_duration_since(entry.enqueued));
+        }
+        shared
+            .counters
+            .batches
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+
+        // Group by policy in first-appearance order: `serve_batch_at`
+        // drives one policy per call, and mixed-policy streams are the
+        // norm (an admission controller degrades some requests, not all).
+        let mut groups: Vec<(ExecutionPolicy, Vec<EntryOf<S>>)> = Vec::new();
+        for entry in batch {
+            match groups.iter_mut().find(|(p, _)| *p == entry.policy) {
+                Some((_, group)) => group.push(entry),
+                None => groups.push((entry.policy, vec![entry])),
+            }
+        }
+        for (policy, group) in groups {
+            let mut reqs = Vec::with_capacity(group.len());
+            let mut submitted = Vec::with_capacity(group.len());
+            let mut senders = Vec::with_capacity(group.len());
+            for entry in group {
+                reqs.push(entry.req);
+                submitted.push(entry.submitted);
+                senders.push(entry.sender);
+            }
+            let responses = service.serve_batch_at(&reqs, &policy, &submitted);
+            for (sender, response) in senders.into_iter().zip(responses) {
+                shared
+                    .counters
+                    .completed
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                sender.fulfill(response);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_core::{partition_rows, ApproximateService, Correlation, Ctx};
+    use at_synopsis::{AggregationMode, SparseRow, SynopsisConfig};
+    use std::time::Duration;
+
+    /// Toy composable service: counts original rows each component
+    /// processed (the shape used across at-core's own tests).
+    struct CountService;
+
+    impl ApproximateService for CountService {
+        type Request = u32;
+        type Output = usize;
+
+        fn process_synopsis(&self, ctx: Ctx<'_>, _r: &u32, corr: &mut Vec<Correlation>) -> usize {
+            corr.extend(ctx.store.synopsis().iter().map(|p| Correlation {
+                node: p.node,
+                score: p.member_count as f64,
+            }));
+            0
+        }
+
+        fn improve(
+            &self,
+            _ctx: Ctx<'_>,
+            _r: &u32,
+            out: &mut usize,
+            _node: at_rtree::NodeId,
+            members: &[u64],
+        ) {
+            *out += members.len();
+        }
+
+        fn process_exact(&self, ctx: Ctx<'_>, _r: &u32) -> usize {
+            ctx.dataset.len()
+        }
+    }
+
+    impl ComposableService for CountService {
+        type Response = usize;
+
+        fn compose(&self, _r: &u32, parts: &[usize]) -> usize {
+            parts.iter().sum()
+        }
+    }
+
+    fn quick_service() -> FanOutService<CountService> {
+        let rows: Vec<SparseRow> = (0..90u32)
+            .map(|r| SparseRow::from_pairs((0..6).map(|c| (c, ((r + c) % 4) as f64)).collect()))
+            .collect();
+        let subsets = partition_rows(6, rows, 3).expect("3 components");
+        let cfg = SynopsisConfig {
+            svd: at_linalg::svd::SvdConfig::default().with_epochs(8),
+            size_ratio: 10,
+            ..SynopsisConfig::default()
+        };
+        FanOutService::build(subsets, AggregationMode::Mean, cfg, || CountService)
+    }
+
+    #[test]
+    fn submitted_requests_match_synchronous_serve() {
+        let server = Server::from_service(quick_service(), ServerConfig::default());
+        let service = server.service().clone();
+        let policies = [
+            ExecutionPolicy::Exact,
+            ExecutionPolicy::SynopsisOnly,
+            ExecutionPolicy::budgeted(1),
+            ExecutionPolicy::budgeted(usize::MAX),
+        ];
+        let mut pending = Vec::new();
+        for (i, policy) in policies.iter().cycle().take(24).enumerate() {
+            let submitted = Instant::now();
+            let ticket = server
+                .try_submit_at(i as u32 % 3, *policy, submitted)
+                .expect("queue has room");
+            pending.push((i as u32 % 3, *policy, submitted, ticket));
+        }
+        for (req, policy, submitted, ticket) in pending {
+            let got = ticket.wait().expect("fulfilled");
+            let want = service.serve_at(&req, &policy, submitted);
+            assert_eq!(got.response, want.response, "{policy:?}");
+            assert_eq!(got.components, want.components, "{policy:?}");
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 24);
+        assert_eq!(stats.in_flight, 0);
+        assert!(stats.batches_dispatched >= 1);
+    }
+
+    #[test]
+    fn bounded_queue_signals_busy_and_counts_rejections() {
+        let server = Server::from_service(
+            quick_service(),
+            ServerConfig::default()
+                .with_queue_capacity(2)
+                .with_max_batch(8),
+        );
+        server.pause();
+        let policy = ExecutionPolicy::budgeted(1);
+        let a = server.try_submit(0, policy).expect("slot 1");
+        let b = server.try_submit(1, policy).expect("slot 2");
+        assert_eq!(server.try_submit(2, policy).unwrap_err(), SubmitError::Busy);
+        assert_eq!(server.stats().rejected, 1);
+        assert_eq!(server.stats().queue_depth, 2);
+        server.resume();
+        a.wait().expect("served after resume");
+        b.wait().expect("served after resume");
+    }
+
+    #[test]
+    fn queue_wait_counts_against_deadlines() {
+        let server = Server::from_service(quick_service(), ServerConfig::default());
+        let service = server.service().clone();
+        let now = Instant::now();
+        let Some(past) = now.checked_sub(Duration::from_secs(60)) else {
+            return; // monotonic clock younger than the offset (fresh boot)
+        };
+        let policy = ExecutionPolicy::deadline(Duration::from_secs(30));
+        // Queued past its whole deadline: must degrade to synopsis-only.
+        let expired = server.try_submit_at(1, policy, past).unwrap();
+        let fresh = server.try_submit_at(1, policy, now).unwrap();
+        let expired = expired.wait().unwrap();
+        assert_eq!(expired.sets_processed(), 0, "expired request sheds work");
+        assert_eq!(
+            expired.response,
+            service.serve(&1, &ExecutionPolicy::SynopsisOnly).response
+        );
+        assert!(expired.elapsed >= Duration::from_secs(60));
+        let fresh = fresh.wait().unwrap();
+        assert!(fresh.sets_processed() > 0, "fresh request improves");
+    }
+
+    #[test]
+    fn mixed_policy_batches_are_grouped_not_reordered_per_request() {
+        let server =
+            Server::from_service(quick_service(), ServerConfig::default().with_max_batch(16));
+        let service = server.service().clone();
+        server.pause(); // force one micro-batch containing all policies
+        let submissions: Vec<(u32, ExecutionPolicy)> = (0..12)
+            .map(|i| {
+                let policy = match i % 3 {
+                    0 => ExecutionPolicy::SynopsisOnly,
+                    1 => ExecutionPolicy::budgeted(2),
+                    _ => ExecutionPolicy::budgeted(usize::MAX),
+                };
+                (i as u32 % 2, policy)
+            })
+            .collect();
+        let tickets: Vec<_> = submissions
+            .iter()
+            .map(|&(req, policy)| server.try_submit(req, policy).unwrap())
+            .collect();
+        server.resume();
+        for ((req, policy), ticket) in submissions.iter().zip(tickets) {
+            let got = ticket.wait().unwrap();
+            let want = service.serve(req, policy);
+            assert_eq!(got.response, want.response, "{policy:?}");
+            assert_eq!(got.components, want.components, "{policy:?}");
+        }
+        // All 12 went through one dispatch (three serve_batch_at groups).
+        assert_eq!(server.stats().batches_dispatched, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_requests_without_deadlock() {
+        let server = Server::from_service(quick_service(), ServerConfig::default());
+        server.pause();
+        let tickets: Vec<_> = (0..40)
+            .map(|i| {
+                server
+                    .try_submit(i % 4, ExecutionPolicy::budgeted(1))
+                    .unwrap()
+            })
+            .collect();
+        // Shutdown must override the pause and drain all 40.
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 40);
+        assert_eq!(stats.queue_depth, 0);
+        for ticket in tickets {
+            assert!(ticket.is_ready());
+            ticket.wait().expect("drained, not canceled");
+        }
+    }
+
+    #[test]
+    fn drop_also_drains() {
+        let server = Server::from_service(quick_service(), ServerConfig::default());
+        server.pause();
+        let ticket = server.try_submit(0, ExecutionPolicy::budgeted(1)).unwrap();
+        drop(server);
+        ticket.wait().expect("drop drains the queue");
+    }
+
+    #[test]
+    fn telemetry_tracks_queue_waits_and_batches() {
+        let server =
+            Server::from_service(quick_service(), ServerConfig::default().with_max_batch(4));
+        server.pause();
+        let tickets: Vec<_> = (0..8)
+            .map(|i| server.try_submit(i, ExecutionPolicy::budgeted(1)).unwrap())
+            .collect();
+        std::thread::sleep(Duration::from_millis(15));
+        server.resume();
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.submitted, 8);
+        assert_eq!(stats.completed, 8);
+        assert!(stats.batches_dispatched >= 2, "max_batch 4 forces >= 2");
+        assert!(stats.mean_batch_size() > 1.0);
+        assert!(stats.max_queue_depth >= 8);
+        assert!(
+            stats.queue_wait_max >= Duration::from_millis(15),
+            "paused requests measurably waited: {:?}",
+            stats.queue_wait_max
+        );
+        assert!(stats.mean_queue_wait() >= Duration::from_millis(15));
+    }
+
+    /// `CountService` whose stage 1 panics on one poison request.
+    struct PanickyService;
+
+    impl ApproximateService for PanickyService {
+        type Request = u32;
+        type Output = usize;
+
+        fn process_synopsis(&self, ctx: Ctx<'_>, r: &u32, corr: &mut Vec<Correlation>) -> usize {
+            assert_ne!(*r, 666, "poison request");
+            CountService.process_synopsis(ctx, r, corr)
+        }
+
+        fn improve(
+            &self,
+            ctx: Ctx<'_>,
+            r: &u32,
+            out: &mut usize,
+            node: at_rtree::NodeId,
+            members: &[u64],
+        ) {
+            CountService.improve(ctx, r, out, node, members);
+        }
+
+        fn process_exact(&self, ctx: Ctx<'_>, r: &u32) -> usize {
+            CountService.process_exact(ctx, r)
+        }
+    }
+
+    impl ComposableService for PanickyService {
+        type Response = usize;
+
+        fn compose(&self, _r: &u32, parts: &[usize]) -> usize {
+            parts.iter().sum()
+        }
+    }
+
+    #[test]
+    fn dispatcher_panic_cancels_queued_tickets_and_stops_accepting() {
+        let rows: Vec<SparseRow> = (0..90u32)
+            .map(|r| SparseRow::from_pairs((0..6).map(|c| (c, ((r + c) % 4) as f64)).collect()))
+            .collect();
+        let subsets = partition_rows(6, rows, 3).expect("3 components");
+        let cfg = SynopsisConfig {
+            svd: at_linalg::svd::SvdConfig::default().with_epochs(8),
+            size_ratio: 10,
+            ..SynopsisConfig::default()
+        };
+        let service = FanOutService::build(subsets, AggregationMode::Mean, cfg, || PanickyService);
+        let server = Server::from_service(service, ServerConfig::default().with_max_batch(2));
+        let policy = ExecutionPolicy::budgeted(1);
+        server.pause();
+        // First micro-batch (max_batch 2) contains the poison request and
+        // kills the dispatcher; the rest never leave the queue.
+        let tickets: Vec<_> = [0u32, 666, 1, 2, 3]
+            .into_iter()
+            .map(|r| server.try_submit(r, policy).expect("room"))
+            .collect();
+        server.resume();
+        for ticket in tickets {
+            assert!(
+                ticket.wait().is_err(),
+                "every ticket is canceled, none blocks forever"
+            );
+        }
+        // The dead server must refuse work, not queue it unserved.
+        assert_eq!(
+            server.try_submit(7, policy).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        assert_eq!(
+            server.submit(7, policy).unwrap_err(),
+            SubmitError::ShuttingDown,
+            "blocking submit must not hang on a dead dispatcher"
+        );
+        assert_eq!(server.queue_depth(), 0, "queued entries were cleared");
+    }
+
+    #[test]
+    #[should_panic(expected = "queue capacity")]
+    fn zero_capacity_is_a_construction_bug() {
+        let _ = Server::from_service(
+            quick_service(),
+            ServerConfig::default().with_queue_capacity(0),
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Queue-depth and wait-time telemetry — the feedback signals an
+//! admission/degradation controller consumes (ROADMAP: switch `Deadline` →
+//! `SynopsisOnly` when queue wait approaches `l_spe`).
+//!
+//! Counters are lock-free atomics updated by the accept side and the
+//! dispatcher; [`ServerStats`] is a consistent-enough snapshot for
+//! monitoring (individual counters are exact, cross-counter derived values
+//! can lag one another by an in-flight request).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Live counters shared between the accept side and the dispatcher.
+#[derive(Debug, Default)]
+pub(crate) struct Counters {
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) queue_wait_ns: AtomicU64,
+    pub(crate) max_queue_wait_ns: AtomicU64,
+    pub(crate) max_queue_depth: AtomicU64,
+}
+
+impl Counters {
+    /// Record one request leaving the queue after `wait` in it.
+    pub(crate) fn record_dequeue(&self, wait: Duration) {
+        let ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
+        self.queue_wait_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_queue_wait_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize) -> ServerStats {
+        let submitted = self.submitted.load(Ordering::Relaxed);
+        let completed = self.completed.load(Ordering::Relaxed);
+        ServerStats {
+            submitted,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed,
+            in_flight: submitted.saturating_sub(completed),
+            queue_depth,
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            batches_dispatched: self.batches.load(Ordering::Relaxed),
+            queue_wait_total: Duration::from_nanos(self.queue_wait_ns.load(Ordering::Relaxed)),
+            queue_wait_max: Duration::from_nanos(self.max_queue_wait_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A telemetry snapshot of one [`Server`](crate::Server).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests accepted into the queue (including those already served).
+    pub submitted: u64,
+    /// `try_submit` calls bounced with [`SubmitError::Busy`](crate::SubmitError::Busy).
+    pub rejected: u64,
+    /// Requests whose ticket has been fulfilled.
+    pub completed: u64,
+    /// Accepted requests not yet completed (queued or being served).
+    pub in_flight: u64,
+    /// Requests waiting in the queue right now.
+    pub queue_depth: usize,
+    /// High-water mark of `queue_depth`.
+    pub max_queue_depth: u64,
+    /// Micro-batches the dispatcher has driven through the service.
+    pub batches_dispatched: u64,
+    /// Total time completed-or-dispatched requests spent queued.
+    pub queue_wait_total: Duration,
+    /// Longest single queue wait observed.
+    pub queue_wait_max: Duration,
+}
+
+impl ServerStats {
+    /// Mean micro-batch size (requests per dispatch), 0.0 when idle.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches_dispatched == 0 {
+            return 0.0;
+        }
+        self.completed as f64 / self.batches_dispatched as f64
+    }
+
+    /// Mean time a dispatched request spent queued, zero when idle.
+    pub fn mean_queue_wait(&self) -> Duration {
+        if self.completed == 0 {
+            return Duration::ZERO;
+        }
+        self.queue_wait_total / u32::try_from(self.completed).unwrap_or(u32::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_derives_in_flight_and_means() {
+        let c = Counters::default();
+        c.submitted.store(10, Ordering::Relaxed);
+        c.completed.store(6, Ordering::Relaxed);
+        c.batches.store(3, Ordering::Relaxed);
+        c.record_dequeue(Duration::from_millis(9));
+        c.record_dequeue(Duration::from_millis(3));
+        let s = c.snapshot(4);
+        assert_eq!(s.in_flight, 4);
+        assert_eq!(s.queue_depth, 4);
+        assert_eq!(s.mean_batch_size(), 2.0);
+        assert_eq!(s.queue_wait_total, Duration::from_millis(12));
+        assert_eq!(s.queue_wait_max, Duration::from_millis(9));
+        assert_eq!(s.mean_queue_wait(), Duration::from_millis(2));
+    }
+
+    #[test]
+    fn idle_stats_have_zero_means() {
+        let s = Counters::default().snapshot(0);
+        assert_eq!(s.mean_batch_size(), 0.0);
+        assert_eq!(s.mean_queue_wait(), Duration::ZERO);
+        assert_eq!(s.in_flight, 0);
+    }
+}

@@ -1,0 +1,299 @@
+//! One-shot completion handles for submitted requests.
+//!
+//! A [`Ticket`] is the caller's half of a oneshot channel created at
+//! submission time: the dispatcher fulfils it with the composed
+//! [`ServiceResponse`](at_core::ServiceResponse) once the request's
+//! micro-batch has been served. Tickets can be waited on (blocking, with
+//! or without timeout), polled non-blockingly, or awaited — [`Ticket`]
+//! implements [`Future`], so thousands of in-flight requests can be
+//! multiplexed from synchronous and asynchronous callers alike.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::task::{Context, Poll, Waker};
+use std::time::Duration;
+
+/// The server dropped the request before fulfilling it (its dispatcher
+/// died mid-batch). Orderly shutdown *drains* the queue, so a canceled
+/// ticket signals a crash, never normal teardown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Canceled;
+
+impl std::fmt::Display for Canceled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "the server dropped this request before completing it")
+    }
+}
+
+impl std::error::Error for Canceled {}
+
+struct State<T> {
+    value: Option<T>,
+    /// Sender gone without fulfilling (dispatcher crash) or value already
+    /// taken: waiters must not block forever.
+    closed: bool,
+    waker: Option<Waker>,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+}
+
+impl<T> Shared<T> {
+    /// Lock the state; a waiter that panicked while holding the lock
+    /// cannot corrupt an `Option` swap, so poisoning is ignored.
+    fn state(&self) -> MutexGuard<'_, State<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// The dispatcher's half: fulfil exactly once, or cancel on drop.
+pub(crate) struct TicketSender<T> {
+    shared: Arc<Shared<T>>,
+    fulfilled: bool,
+}
+
+impl<T> TicketSender<T> {
+    /// Complete the ticket; wakes blocking and async waiters.
+    pub(crate) fn fulfill(mut self, value: T) {
+        let mut state = self.shared.state();
+        state.value = Some(value);
+        let waker = state.waker.take();
+        drop(state);
+        self.fulfilled = true;
+        self.shared.ready.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+impl<T> Drop for TicketSender<T> {
+    fn drop(&mut self) {
+        if self.fulfilled {
+            return;
+        }
+        let mut state = self.shared.state();
+        state.closed = true;
+        let waker = state.waker.take();
+        drop(state);
+        self.shared.ready.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// A pollable/awaitable handle to one submitted request's response.
+pub struct Ticket<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create a connected sender/ticket pair.
+pub(crate) fn ticket<T>() -> (TicketSender<T>, Ticket<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            value: None,
+            closed: false,
+            waker: None,
+        }),
+        ready: Condvar::new(),
+    });
+    (
+        TicketSender {
+            shared: shared.clone(),
+            fulfilled: false,
+        },
+        Ticket { shared },
+    )
+}
+
+impl<T> Ticket<T> {
+    /// True once the response is available (or the request was canceled).
+    pub fn is_ready(&self) -> bool {
+        let state = self.shared.state();
+        state.value.is_some() || state.closed
+    }
+
+    /// Take the response if it is ready, without blocking. Returns `None`
+    /// while the request is still in flight.
+    pub fn try_take(&mut self) -> Option<Result<T, Canceled>> {
+        let mut state = self.shared.state();
+        match state.value.take() {
+            Some(value) => {
+                state.closed = true;
+                Some(Ok(value))
+            }
+            None if state.closed => Some(Err(Canceled)),
+            None => None,
+        }
+    }
+
+    /// Block until the response arrives.
+    pub fn wait(self) -> Result<T, Canceled> {
+        let mut state = self.shared.state();
+        loop {
+            if let Some(value) = state.value.take() {
+                return Ok(value);
+            }
+            if state.closed {
+                return Err(Canceled);
+            }
+            state = self
+                .shared
+                .ready
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// Block for at most `timeout`; `Ok(None)` means still in flight.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<Option<T>, Canceled> {
+        let mut state = self.shared.state();
+        let Some(deadline) = std::time::Instant::now().checked_add(timeout) else {
+            // Unrepresentable deadline (e.g. `Duration::MAX` as "wait
+            // forever"): wait unbounded instead of overflowing.
+            loop {
+                if let Some(value) = state.value.take() {
+                    state.closed = true;
+                    return Ok(Some(value));
+                }
+                if state.closed {
+                    return Err(Canceled);
+                }
+                state = self
+                    .shared
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+        };
+        loop {
+            if let Some(value) = state.value.take() {
+                state.closed = true;
+                return Ok(Some(value));
+            }
+            if state.closed {
+                return Err(Canceled);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (guard, _) = self
+                .shared
+                .ready
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            state = guard;
+        }
+    }
+}
+
+impl<T> Future for Ticket<T> {
+    type Output = Result<T, Canceled>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut state = self.shared.state();
+        if let Some(value) = state.value.take() {
+            state.closed = true;
+            return Poll::Ready(Ok(value));
+        }
+        if state.closed {
+            return Poll::Ready(Err(Canceled));
+        }
+        state.waker = Some(cx.waker().clone());
+        Poll::Pending
+    }
+}
+
+impl<T> std::fmt::Debug for Ticket<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ticket")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fulfil_then_wait() {
+        let (tx, ticket) = ticket();
+        tx.fulfill(41);
+        assert!(ticket.is_ready());
+        assert_eq!(ticket.wait(), Ok(41));
+    }
+
+    #[test]
+    fn wait_blocks_until_fulfilled() {
+        let (tx, ticket) = ticket();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.fulfill("done");
+            });
+            assert_eq!(ticket.wait(), Ok("done"));
+        });
+    }
+
+    #[test]
+    fn try_take_is_nonblocking_and_one_shot() {
+        let (tx, mut ticket) = ticket();
+        assert_eq!(ticket.try_take(), None);
+        tx.fulfill(7);
+        assert_eq!(ticket.try_take(), Some(Ok(7)));
+        assert_eq!(
+            ticket.try_take(),
+            Some(Err(Canceled)),
+            "value already taken"
+        );
+    }
+
+    #[test]
+    fn dropped_sender_cancels_instead_of_deadlocking() {
+        let (tx, ticket) = ticket::<u8>();
+        drop(tx);
+        assert!(ticket.is_ready());
+        assert_eq!(ticket.wait(), Err(Canceled));
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_succeeds() {
+        let (tx, mut ticket) = ticket();
+        assert_eq!(ticket.wait_timeout(Duration::from_millis(5)), Ok(None));
+        tx.fulfill(3);
+        assert_eq!(ticket.wait_timeout(Duration::from_millis(5)), Ok(Some(3)));
+    }
+
+    #[test]
+    fn wait_timeout_accepts_duration_max_as_wait_forever() {
+        // Regression: `Instant::now() + Duration::MAX` overflows; the
+        // wait-forever idiom must block, not panic.
+        let (tx, mut ticket) = ticket();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.fulfill(5);
+            });
+            assert_eq!(ticket.wait_timeout(Duration::MAX), Ok(Some(5)));
+        });
+    }
+
+    #[test]
+    fn ticket_is_a_future() {
+        let (tx, ticket) = ticket();
+        let mut ticket = Box::pin(ticket);
+        let waker = Waker::noop();
+        let mut cx = Context::from_waker(waker);
+        assert!(ticket.as_mut().poll(&mut cx).is_pending());
+        tx.fulfill(9);
+        assert_eq!(ticket.as_mut().poll(&mut cx), Poll::Ready(Ok(9)));
+    }
+}

@@ -2,7 +2,11 @@
 //!
 //! Table 1/2 use fixed-rate Poisson arrivals (20–100 req/s); Figures 5–8
 //! replay the diurnal pattern via a non-homogeneous Poisson process
-//! (thinning). All generators return sorted arrival offsets in seconds.
+//! (thinning). All generators return sorted arrival offsets in seconds;
+//! [`arrival_delays`] converts a trace into submission delays an accept
+//! loop can replay against a live server.
+
+use std::time::Duration;
 
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
@@ -54,9 +58,50 @@ pub fn variable_rate_arrivals(
     out
 }
 
+/// Convert sorted arrival offsets (seconds) into per-request submission
+/// delays from the replay's start, compressed by `speedup` (2.0 replays a
+/// trace twice as fast) — the feed for an async server's accept loop:
+/// sleep until each delay elapses, then submit the next request.
+///
+/// # Panics
+/// Panics when `speedup` is not strictly positive.
+pub fn arrival_delays(arrivals: &[f64], speedup: f64) -> Vec<Duration> {
+    assert!(
+        speedup > 0.0 && speedup.is_finite(),
+        "speedup must be positive and finite"
+    );
+    arrivals
+        .iter()
+        .map(|&t| Duration::from_secs_f64((t / speedup).max(0.0)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arrival_delays_compress_and_keep_order() {
+        let delays = arrival_delays(&[0.5, 1.0, 3.0], 2.0);
+        assert_eq!(
+            delays,
+            vec![
+                Duration::from_millis(250),
+                Duration::from_millis(500),
+                Duration::from_millis(1500),
+            ]
+        );
+        for w in delays.windows(2) {
+            assert!(w[0] <= w[1], "delays must stay sorted");
+        }
+        assert!(arrival_delays(&[], 4.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "speedup")]
+    fn arrival_delays_reject_zero_speedup() {
+        arrival_delays(&[1.0], 0.0);
+    }
 
     #[test]
     fn poisson_count_matches_rate() {

@@ -26,7 +26,7 @@ pub mod queries;
 pub mod ratings;
 pub mod zipf;
 
-pub use arrivals::{poisson_arrivals, variable_rate_arrivals};
+pub use arrivals::{arrival_delays, poisson_arrivals, variable_rate_arrivals};
 pub use bursts::{flash_crowd_arrivals, BurstConfig, BurstTrace};
 pub use corpus::{Corpus, CorpusConfig, Document};
 pub use diurnal::DiurnalPattern;

@@ -1,0 +1,122 @@
+//! The async serving front end: multiplex a burst of in-flight requests
+//! through `Server` micro-batching, with queue wait counted against
+//! deadlines and the telemetry an admission controller would watch.
+//!
+//! ```text
+//! cargo run --release --example async_server
+//! ```
+
+use accuracytrader::prelude::*;
+use accuracytrader::workloads::Zipf;
+use rand::{rngs::SmallRng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    let n_components = 6;
+    let n_users = 1200;
+    let n_items = 150;
+
+    // Offline: build the recommender deployment.
+    let data = RatingsDataset::generate(RatingsConfig {
+        n_users,
+        n_items,
+        ratings_per_user: 50,
+        ..RatingsConfig::small()
+    });
+    let matrix = rating_matrix(n_users, n_items, &data.ratings);
+    let rows: Vec<SparseRow> = matrix.ids().map(|id| matrix.row(id).clone()).collect();
+    let subsets = partition_rows(n_items, rows, n_components).expect("n_components >= 1");
+    let service = FanOutService::build(
+        subsets,
+        AggregationMode::Mean,
+        SynopsisConfig {
+            size_ratio: 15,
+            ..SynopsisConfig::default()
+        },
+        || CfService,
+    );
+
+    // A pool of active users whose requests the zipf mix repeats.
+    let pool: Vec<ActiveUser> = (0..24u32)
+        .filter_map(|user| {
+            let profile: Vec<(u32, f64)> = data
+                .ratings
+                .iter()
+                .filter(|r| r.user == user)
+                .map(|r| (r.item, r.stars))
+                .collect();
+            (profile.len() >= 4).then(|| {
+                ActiveUser::new(
+                    SparseRow::from_pairs(profile),
+                    vec![user % 5, user % 5 + 30, user % 5 + 60],
+                )
+            })
+        })
+        .collect();
+
+    // Online: start the async front end over the service.
+    let server = Server::from_service(
+        service,
+        ServerConfig::default()
+            .with_queue_capacity(8192)
+            .with_max_batch(64),
+    );
+    println!(
+        "server up: {} components, queue capacity 8192, micro-batch cap 64",
+        n_components
+    );
+
+    // A burst of 4096 zipf-mixed requests, all in flight at once.
+    let n_burst = 4096;
+    let zipf = Zipf::new(pool.len(), 1.1);
+    let mut rng = SmallRng::seed_from_u64(11);
+    let policy = ExecutionPolicy::budgeted(4);
+    let start = Instant::now();
+    let tickets: Vec<_> = (0..n_burst)
+        .map(|_| {
+            server
+                .submit(pool[zipf.sample(&mut rng)].clone(), policy)
+                .expect("server accepting")
+        })
+        .collect();
+    let mut latencies: Vec<f64> = tickets
+        .into_iter()
+        .map(|t| t.wait().expect("fulfilled").elapsed.as_secs_f64() * 1e3)
+        .collect();
+    let wall = start.elapsed();
+    latencies.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+    let p = |q: f64| latencies[((latencies.len() as f64 * q) as usize).min(latencies.len() - 1)];
+
+    println!(
+        "\nburst of {n_burst} requests served in {:.0} ms ({:.0} req/s)",
+        wall.as_secs_f64() * 1e3,
+        n_burst as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "latency p50 {:.2} ms   p95 {:.2} ms   p99 {:.2} ms (includes queue wait)",
+        p(0.50),
+        p(0.95),
+        p(0.99)
+    );
+
+    let stats = server.stats();
+    println!("\ntelemetry (the admission controller's feedback signals):");
+    println!("  micro-batches dispatched: {}", stats.batches_dispatched);
+    println!("  mean batch size:          {:.1}", stats.mean_batch_size());
+    println!("  max queue depth:          {}", stats.max_queue_depth);
+    println!(
+        "  queue wait mean/max:      {:.2} ms / {:.2} ms",
+        stats.mean_queue_wait().as_secs_f64() * 1e3,
+        stats.queue_wait_max.as_secs_f64() * 1e3
+    );
+    println!(
+        "  output-pool reuses:       {}",
+        server.service().pool().reuses()
+    );
+
+    let final_stats = server.shutdown();
+    println!(
+        "\nshutdown drained cleanly: {} submitted, {} completed, {} in flight",
+        final_stats.submitted, final_stats.completed, final_stats.in_flight
+    );
+}

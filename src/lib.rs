@@ -26,7 +26,12 @@
 //! one fan-out and one synopsis pass per component cover the whole batch
 //! (duplicate requests collapsed under clock-free policies, outputs
 //! recycled through an [`OutputPool`](crate::core::OutputPool)), provably
-//! equivalent to serving the requests one at a time.
+//! equivalent to serving the requests one at a time. The async front end
+//! ([`server::Server`](crate::server::Server)) multiplexes thousands of
+//! in-flight requests over that machinery: a bounded submission queue
+//! stamps each request's submission instant (queue wait counts against
+//! `Deadline` policies), a dispatcher thread drains micro-batches, and
+//! per-request [`Ticket`](crate::server::Ticket)s deliver responses.
 //!
 //! This facade re-exports the whole workspace:
 //!
@@ -36,6 +41,7 @@
 //! | [`rtree`] | depth-balanced R-tree (insert/delete/bulk-load/levels) |
 //! | [`synopsis`] | offline module: synopsis creation, index file, incremental updating |
 //! | [`core`] | online module: execution policies, Algorithm 1, components, fan-out services |
+//! | [`server`] | async serving front end: bounded queue, micro-batching dispatcher, tickets |
 //! | [`recommender`] | user-based CF service + AccuracyTrader adapter |
 //! | [`search`] | inverted-index search engine + AccuracyTrader adapter |
 //! | [`sim`] | discrete-event cluster simulator (queueing, interference, 4 techniques) |
@@ -84,6 +90,7 @@ pub use at_linalg as linalg;
 pub use at_recommender as recommender;
 pub use at_rtree as rtree;
 pub use at_search as search;
+pub use at_server as server;
 pub use at_sim as sim;
 pub use at_synopsis as synopsis;
 pub use at_workloads as workloads;
@@ -99,6 +106,7 @@ pub mod prelude {
     pub use at_recommender::{rating_matrix, ActiveUser, CfService, PredictionAcc};
     pub use at_rtree::{RTree, RTreeConfig};
     pub use at_search::{SearchRequest, SearchService, TopK};
+    pub use at_server::{Server, ServerConfig, ServerStats, SubmitError, Ticket};
     pub use at_sim::{simulate, CostModel, SimConfig, Technique};
     pub use at_synopsis::{
         AggregationMode, DataUpdate, RowStore, SparseRow, SynopsisConfig, SynopsisStore,

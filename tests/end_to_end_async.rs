@@ -1,0 +1,327 @@
+//! End-to-end async serving: thousands of in-flight requests multiplexed
+//! through `at_server::Server` against both evaluated services, with
+//! queue wait provably counted against `Deadline` policies, equivalence
+//! to the synchronous path under clock-free policies, arrival-process
+//! replay through the accept loop, and drain-on-shutdown.
+
+use accuracytrader::prelude::*;
+use accuracytrader::workloads::{arrival_delays, flash_crowd_arrivals, BurstConfig, Zipf};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::time::{Duration, Instant};
+
+fn recommender_deployment() -> (FanOutService<CfService>, Vec<ActiveUser>) {
+    let n_users = 600;
+    let n_items = 90;
+    let data = RatingsDataset::generate(RatingsConfig {
+        n_users,
+        n_items,
+        ratings_per_user: 40,
+        ..RatingsConfig::small()
+    });
+    let matrix = accuracytrader::recommender::rating_matrix(n_users, n_items, &data.ratings);
+    let rows: Vec<SparseRow> = matrix.ids().map(|id| matrix.row(id).clone()).collect();
+    let subsets = partition_rows(n_items, rows, 4).expect("4 components");
+    let service = FanOutService::build(
+        subsets,
+        AggregationMode::Mean,
+        SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(15),
+            size_ratio: 15,
+            ..SynopsisConfig::default()
+        },
+        || CfService,
+    );
+    let mut pool = Vec::new();
+    for user in 0..20u32 {
+        let profile: Vec<(u32, f64)> = data
+            .ratings
+            .iter()
+            .filter(|r| r.user == user)
+            .map(|r| (r.item, r.stars))
+            .collect();
+        if profile.len() < 4 {
+            continue;
+        }
+        pool.push(ActiveUser::new(
+            SparseRow::from_pairs(profile),
+            vec![user % 7, user % 7 + 20, user % 7 + 40],
+        ));
+    }
+    (service, pool)
+}
+
+fn search_deployment() -> (FanOutService<SearchService>, Vec<SearchRequest>) {
+    let corpus = Corpus::generate(CorpusConfig {
+        n_docs: 1200,
+        vocab: 2000,
+        n_topics: 10,
+        ..CorpusConfig::default()
+    });
+    let rows: Vec<SparseRow> = corpus
+        .docs
+        .iter()
+        .map(|d| SparseRow::from_pairs(d.terms.clone()))
+        .collect();
+    let subsets = partition_rows(corpus.config.vocab, rows, 4).expect("4 components");
+    let components: Vec<accuracytrader::core::Component<SearchService>> = subsets
+        .into_iter()
+        .map(|subset| {
+            let engine = SearchService::build(&subset, 10);
+            accuracytrader::core::Component::build(
+                subset,
+                AggregationMode::Merge,
+                SynopsisConfig {
+                    svd: SvdConfig::default().with_epochs(15),
+                    size_ratio: 15,
+                    ..SynopsisConfig::default()
+                },
+                engine,
+            )
+            .0
+        })
+        .collect();
+    let service = FanOutService::from_components(components);
+    let mut generator = QueryGenerator::new(&corpus, 23);
+    let queries = generator
+        .batch(&corpus, 25)
+        .iter()
+        .map(SearchRequest::from)
+        .collect();
+    (service, queries)
+}
+
+/// The acceptance bar: ≥ 2,000 requests concurrently in flight against
+/// one service, every response identical to the synchronous path, and
+/// the telemetry accounting for all of them.
+#[test]
+fn server_sustains_two_thousand_in_flight_requests() {
+    const IN_FLIGHT: usize = 2048;
+    let (service, pool) = recommender_deployment();
+    let server = Server::new(
+        std::sync::Arc::new(service),
+        ServerConfig::default()
+            .with_queue_capacity(4096)
+            .with_max_batch(64),
+    );
+    let policy = ExecutionPolicy::budgeted(2);
+
+    // Pause dispatching so every submission verifiably queues up.
+    server.pause();
+    let zipf = Zipf::new(pool.len(), 1.1);
+    let mut rng = SmallRng::seed_from_u64(42);
+    let mut tickets = Vec::with_capacity(IN_FLIGHT);
+    for _ in 0..IN_FLIGHT {
+        let req = pool[zipf.sample(&mut rng)].clone();
+        let ticket = server
+            .try_submit(req.clone(), policy)
+            .expect("queue has room");
+        tickets.push((req, ticket));
+    }
+    let queued = server.stats();
+    assert!(
+        queued.in_flight >= IN_FLIGHT as u64,
+        "all {IN_FLIGHT} submissions must be concurrently in flight, got {}",
+        queued.in_flight
+    );
+    assert!(queued.queue_depth >= IN_FLIGHT);
+    assert!(queued.max_queue_depth >= IN_FLIGHT as u64);
+
+    // Resume and collect every response; the policy is clock-free, so
+    // each must be identical to serving the request synchronously.
+    server.resume();
+    let reference: Vec<ServiceResponse<Vec<f64>>> = pool
+        .iter()
+        .map(|req| server.service().serve(req, &policy))
+        .collect();
+    for (req, ticket) in tickets {
+        let got = ticket.wait().expect("fulfilled, not canceled");
+        let want = &reference[pool.iter().position(|p| *p == req).unwrap()];
+        assert_eq!(got.response, want.response);
+        assert_eq!(got.components, want.components);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.submitted, IN_FLIGHT as u64);
+    assert_eq!(stats.completed, IN_FLIGHT as u64);
+    assert_eq!(stats.in_flight, 0);
+    assert!(
+        stats.mean_batch_size() > 8.0,
+        "a saturated queue must dispatch real micro-batches, got {}",
+        stats.mean_batch_size()
+    );
+    assert!(stats.queue_wait_max > Duration::ZERO);
+}
+
+/// Queue wait counts against `l_spe`: a Deadline request that sat in the
+/// paused queue past its whole deadline degrades to synopsis-only
+/// coverage, while a request submitted after resume improves normally.
+#[test]
+fn deadline_request_queued_past_l_spe_degrades_to_synopsis_only() {
+    let (service, pool) = recommender_deployment();
+    let server = Server::from_service(service, ServerConfig::default());
+    let req = pool[0].clone();
+    let l_spe = Duration::from_millis(40);
+    let policy = ExecutionPolicy::deadline(l_spe);
+
+    server.pause();
+    let stale = server.try_submit(req.clone(), policy).expect("queued");
+    std::thread::sleep(3 * l_spe); // the queue wait blows the deadline
+    server.resume();
+    let stale = stale.wait().expect("fulfilled");
+    assert_eq!(
+        stale.sets_processed(),
+        0,
+        "queue wait must count against l_spe"
+    );
+    assert_eq!(stale.mean_coverage(), 0.0);
+    let synopsis_only = server.service().serve(&req, &ExecutionPolicy::SynopsisOnly);
+    assert_eq!(stale.response, synopsis_only.response);
+    assert!(
+        stale.elapsed >= 3 * l_spe,
+        "elapsed includes the queue wait"
+    );
+
+    // Same request, no queueing: the deadline is comfortably met.
+    let fresh = server.try_submit(req, policy).expect("queued");
+    let fresh = fresh.wait().expect("fulfilled");
+    assert!(fresh.sets_processed() > 0, "unqueued request improves");
+    let stats = server.stats();
+    assert!(stats.queue_wait_max >= 3 * l_spe);
+}
+
+/// Under clock-free policies the async path is *identical* to `serve_at`
+/// with the same submitted instants — for both evaluated adapters.
+#[test]
+fn async_responses_equal_serve_at_for_both_adapters() {
+    let (service, pool) = recommender_deployment();
+    let server = Server::from_service(service, ServerConfig::default());
+    let policies = [
+        ExecutionPolicy::Exact,
+        ExecutionPolicy::SynopsisOnly,
+        ExecutionPolicy::budgeted(3),
+    ];
+    let mut pending = Vec::new();
+    for (i, policy) in policies.iter().cycle().take(30).enumerate() {
+        let req = pool[i % pool.len()].clone();
+        let submitted = Instant::now();
+        let ticket = server
+            .try_submit_at(req.clone(), *policy, submitted)
+            .expect("room");
+        pending.push((req, *policy, submitted, ticket));
+    }
+    for (req, policy, submitted, ticket) in pending {
+        let got = ticket.wait().expect("fulfilled");
+        let want = server.service().serve_at(&req, &policy, submitted);
+        assert_eq!(got.response, want.response, "{policy:?}");
+        assert_eq!(got.components, want.components, "{policy:?}");
+    }
+    drop(server);
+
+    let (service, queries) = search_deployment();
+    let n_sets = service.components()[0].store().synopsis().len();
+    let policy = ExecutionPolicy::Budgeted {
+        sets: usize::MAX,
+        imax: Some(ExecutionPolicy::imax_for_fraction(n_sets, 0.4)),
+    };
+    let server = Server::from_service(service, ServerConfig::default());
+    let pending: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            let submitted = Instant::now();
+            (
+                q.clone(),
+                submitted,
+                server
+                    .try_submit_at(q.clone(), policy, submitted)
+                    .expect("room"),
+            )
+        })
+        .collect();
+    for (req, submitted, ticket) in pending {
+        let got = ticket.wait().expect("fulfilled");
+        let want = server.service().serve_at(&req, &policy, submitted);
+        assert_eq!(got.response.doc_ids(), want.response.doc_ids());
+        assert_eq!(got.components, want.components);
+        assert!(got.response.len() <= 10);
+    }
+}
+
+/// A flash-crowd arrival trace replayed through the accept loop: the
+/// burst piles the queue up exactly when micro-batching matters, and
+/// every request still gets a correct, valid response.
+#[test]
+fn flash_crowd_replay_through_accept_loop() {
+    let (service, queries) = search_deployment();
+    let server = Server::from_service(
+        service,
+        ServerConfig::default()
+            .with_queue_capacity(8192)
+            .with_max_batch(32),
+    );
+    let trace = flash_crowd_arrivals(
+        BurstConfig {
+            base_rate: 25.0,
+            burst_rate: 0.5,
+            burst_duration_s: 2.0,
+            amplification: 6.0,
+            seed: 3,
+        },
+        8.0,
+    );
+    assert!(
+        !trace.windows.is_empty(),
+        "trace must contain a flash crowd"
+    );
+    // Compress the 8 s trace ~40×: the replay paces real submissions over
+    // ~200 ms while preserving the burst shape.
+    let delays = arrival_delays(&trace.arrivals, 40.0);
+    let policy = ExecutionPolicy::budgeted(2);
+    let zipf = Zipf::new(queries.len(), 1.1);
+    let mut rng = SmallRng::seed_from_u64(7);
+    let start = Instant::now();
+    let mut tickets = Vec::with_capacity(delays.len());
+    for delay in &delays {
+        if let Some(remaining) = delay.checked_sub(start.elapsed()) {
+            std::thread::sleep(remaining);
+        }
+        let req = queries[zipf.sample(&mut rng)].clone();
+        tickets.push(server.submit(req, policy).expect("server accepting"));
+    }
+    let mut served = 0usize;
+    for ticket in tickets {
+        let got = ticket.wait().expect("fulfilled");
+        let hits = got.response.sorted();
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score, "top-k not sorted");
+        }
+        served += 1;
+    }
+    assert_eq!(served, delays.len());
+    let stats = server.shutdown();
+    assert_eq!(stats.in_flight, 0);
+    assert!(stats.batches_dispatched > 0);
+}
+
+/// Shutdown with a full queue: every outstanding ticket is drained and
+/// fulfilled — never canceled, never deadlocked.
+#[test]
+fn shutdown_drains_in_flight_tickets_without_deadlock() {
+    let (service, pool) = recommender_deployment();
+    let server = Server::from_service(service, ServerConfig::default());
+    server.pause();
+    let tickets: Vec<_> = (0..512)
+        .map(|i| {
+            server
+                .try_submit(pool[i % pool.len()].clone(), ExecutionPolicy::budgeted(1))
+                .expect("room")
+        })
+        .collect();
+    assert!(server.stats().in_flight >= 512);
+    // Shutdown overrides the pause, drains all 512, then joins.
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, 512);
+    assert_eq!(stats.queue_depth, 0);
+    for ticket in tickets {
+        assert!(ticket.is_ready(), "drained before join returned");
+        ticket.wait().expect("drained tickets are fulfilled");
+    }
+}

@@ -189,6 +189,35 @@ fn synopsis_estimate_close_to_exact_accuracy() {
 }
 
 #[test]
+fn async_server_predictions_match_synchronous_serve() {
+    let (service, _, evals) = deployment();
+    let server = Server::from_service(service, ServerConfig::default());
+    let policy = ExecutionPolicy::budgeted(3);
+    let pending: Vec<_> = evals
+        .iter()
+        .map(|(active, _)| {
+            (
+                active.clone(),
+                server.try_submit(active.clone(), policy).expect("room"),
+            )
+        })
+        .collect();
+    for (active, ticket) in pending {
+        let got = ticket.wait().expect("fulfilled");
+        let want = server.service().serve(&active, &policy);
+        assert_eq!(got.response, want.response, "async != sync serve");
+        assert_eq!(got.components, want.components);
+        assert_eq!(got.response.len(), active.targets.len());
+        for p in &got.response {
+            assert!((1.0..=5.0).contains(p), "prediction {p} out of range");
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed as usize, evals.len());
+    assert_eq!(stats.in_flight, 0);
+}
+
+#[test]
 fn data_updates_keep_service_consistent() {
     let (mut service, data, evals) = deployment();
     // Stream new users into every component.

@@ -138,6 +138,35 @@ fn overlap_is_monotone_in_budget_on_average() {
 }
 
 #[test]
+fn async_server_topk_matches_synchronous_serve() {
+    let (service, _, queries) = deployment();
+    let n_sets = service.components()[0].store().synopsis().len();
+    let policy = ExecutionPolicy::Budgeted {
+        sets: usize::MAX,
+        imax: Some(ExecutionPolicy::imax_for_fraction(n_sets, 0.4)),
+    };
+    let server = Server::from_service(service, ServerConfig::default());
+    let pending: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            (
+                q.clone(),
+                server.try_submit(q.clone(), policy).expect("room"),
+            )
+        })
+        .collect();
+    for (q, ticket) in pending {
+        let got = ticket.wait().expect("fulfilled");
+        let want = server.service().serve(&q, &policy);
+        assert_eq!(got.response.doc_ids(), want.response.doc_ids());
+        assert_eq!(got.components, want.components);
+        assert!(got.response.len() <= 10);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed as usize, queries.len());
+}
+
+#[test]
 fn search_policy_imax_caps_coverage() {
     // The paper's search setting (i_max = 40% of sets) must cap coverage
     // even under an effectively unlimited deadline.

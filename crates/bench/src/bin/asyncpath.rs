@@ -28,7 +28,7 @@
 
 use std::fmt::Write as _;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 use at_bench::deployments::{build_recommender, DeployScale};
 use at_core::ExecutionPolicy;
@@ -45,13 +45,7 @@ struct Entry {
     p99_ms: f64,
 }
 
-/// p99 of a latency sample, in milliseconds.
-fn p99_ms(latencies: &mut [Duration]) -> f64 {
-    assert!(!latencies.is_empty());
-    latencies.sort_unstable();
-    let idx = ((latencies.len() as f64 * 0.99).ceil() as usize).clamp(1, latencies.len()) - 1;
-    latencies[idx].as_secs_f64() * 1e3
-}
+use at_bench::p99_latency_ms as p99_ms;
 
 /// Serve `mix` one request at a time, returning (throughput, p99).
 fn run_sequential(

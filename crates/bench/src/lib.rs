@@ -29,3 +29,15 @@ pub use deployments::{
 };
 pub use experiments::ExpScale;
 pub use replay::{rec_accuracy_loss, rec_rmse, search_accuracy_loss, search_overlap, Budget};
+
+/// Nearest-rank p99 of a latency sample, in milliseconds — the one
+/// definition shared by every bench binary. Sorts in place; `0.0` for an
+/// empty sample.
+pub fn p99_latency_ms(latencies: &mut [std::time::Duration]) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_unstable();
+    let idx = ((latencies.len() as f64 * 0.99).ceil() as usize).clamp(1, latencies.len()) - 1;
+    latencies[idx].as_secs_f64() * 1e3
+}

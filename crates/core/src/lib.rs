@@ -36,7 +36,7 @@ pub mod service;
 pub use component::Component;
 pub use correlation::{cmp_ranked, rank, rank_top, sections, Correlation, RankedPrefix};
 pub use outcome::Outcome;
-pub use policy::ExecutionPolicy;
+pub use policy::{DegradationLadder, ExecutionPolicy};
 pub use pool::{prepare_outputs, OutputPool};
 pub use processor::{Algorithm1, ApproximateService, ComposableService, Ctx};
 pub use service::{

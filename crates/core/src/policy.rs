@@ -121,6 +121,128 @@ impl ExecutionPolicy {
             ExecutionPolicy::Deadline { .. } => imax_cap,
         }
     }
+
+    /// The set budget a `Deadline` policy degrades to: small enough to
+    /// bound service time independently of the clock, large enough to keep
+    /// coverage well above the synopsis-only floor (the paper's "a little
+    /// accuracy for a lot of tail latency").
+    pub const DEGRADED_SETS: usize = 4;
+
+    /// This policy's rung on the degradation ladder — a **total cost
+    /// order** over variants, costliest first:
+    ///
+    /// `Exact` (3) > `Deadline` (2) > `Budgeted` (1) > `SynopsisOnly` (0).
+    ///
+    /// The order ranks *degradation direction*, not absolute wall-clock
+    /// work: under load, clock-free budgeted work is cheaper than deadline
+    /// work because it is deterministic (no per-request clock racing) and
+    /// collapsible (duplicate requests in a batch share one computation),
+    /// and `Exact` always outranks everything because it ignores the
+    /// synopsis entirely.
+    pub fn cost_rank(&self) -> u8 {
+        match self {
+            ExecutionPolicy::SynopsisOnly => 0,
+            ExecutionPolicy::Budgeted { .. } => 1,
+            ExecutionPolicy::Deadline { .. } => 2,
+            ExecutionPolicy::Exact => 3,
+        }
+    }
+
+    /// One rung down the degradation ladder: the next-cheaper policy an
+    /// admission controller flips an overloaded request to. Monotone in
+    /// [`cost_rank`](Self::cost_rank) (never climbs) and terminates at the
+    /// [`SynopsisOnly`](ExecutionPolicy::SynopsisOnly) floor, which is its
+    /// own fixed point:
+    ///
+    /// * `Exact` → `Budgeted { sets: MAX }` — full coverage, but through
+    ///   the synopsis-first path (rankable, collapsible).
+    /// * `Deadline { imax }` → `Budgeted { sets: DEGRADED_SETS, imax }` —
+    ///   decouple from the clock so queue wait stops eating the budget.
+    /// * `Budgeted { sets > DEGRADED_SETS }` → `Budgeted { DEGRADED_SETS }`.
+    /// * `Budgeted { sets <= DEGRADED_SETS }` → `SynopsisOnly`.
+    /// * `SynopsisOnly` → `SynopsisOnly`.
+    pub fn degrade_one_step(&self) -> ExecutionPolicy {
+        match *self {
+            ExecutionPolicy::Exact => ExecutionPolicy::Budgeted {
+                sets: usize::MAX,
+                imax: None,
+            },
+            ExecutionPolicy::Deadline { imax, .. } => ExecutionPolicy::Budgeted {
+                sets: Self::DEGRADED_SETS,
+                imax,
+            },
+            ExecutionPolicy::Budgeted { sets, imax } if sets > Self::DEGRADED_SETS => {
+                ExecutionPolicy::Budgeted {
+                    sets: Self::DEGRADED_SETS,
+                    imax,
+                }
+            }
+            ExecutionPolicy::Budgeted { .. } | ExecutionPolicy::SynopsisOnly => {
+                ExecutionPolicy::SynopsisOnly
+            }
+        }
+    }
+}
+
+/// The ordered sequence of [`ExecutionPolicy`] rungs a request can be
+/// degraded through, from the requested policy down to the
+/// [`SynopsisOnly`](ExecutionPolicy::SynopsisOnly) floor.
+///
+/// Built by iterating [`ExecutionPolicy::degrade_one_step`] to its fixed
+/// point, so the ladder inherits its invariants: rung 0 is the requested
+/// policy, [`cost_rank`](ExecutionPolicy::cost_rank) never increases down
+/// the ladder, and the last rung is always the floor. An admission
+/// controller picks *how many* steps to descend
+/// ([`rung`](DegradationLadder::rung) clamps to the floor); the ladder
+/// answers *what policy* that rung is.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradationLadder {
+    rungs: Vec<ExecutionPolicy>,
+}
+
+impl DegradationLadder {
+    /// The ladder starting at `requested` (rung 0) and descending one
+    /// [`degrade_one_step`](ExecutionPolicy::degrade_one_step) per rung to
+    /// the `SynopsisOnly` floor.
+    pub fn from_policy(requested: ExecutionPolicy) -> Self {
+        let mut rungs = vec![requested];
+        loop {
+            let last = *rungs.last().expect("ladder starts non-empty");
+            let next = last.degrade_one_step();
+            if next == last {
+                break;
+            }
+            rungs.push(next);
+        }
+        DegradationLadder { rungs }
+    }
+
+    /// All rungs, costliest (the requested policy) first.
+    pub fn rungs(&self) -> &[ExecutionPolicy] {
+        &self.rungs
+    }
+
+    /// Rungs in the ladder (always >= 1).
+    pub fn len(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// Never true: a ladder always holds at least its requested policy.
+    pub fn is_empty(&self) -> bool {
+        self.rungs.is_empty()
+    }
+
+    /// The policy `steps` rungs below the requested one, clamped to the
+    /// floor — `rung(0)` is the requested policy itself.
+    pub fn rung(&self, steps: usize) -> &ExecutionPolicy {
+        &self.rungs[steps.min(self.rungs.len() - 1)]
+    }
+
+    /// The cheapest rung (always `SynopsisOnly`, or the requested policy
+    /// itself when that *is* the floor).
+    pub fn floor(&self) -> &ExecutionPolicy {
+        self.rungs.last().expect("ladder is never empty")
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +305,96 @@ mod tests {
         assert!(ExecutionPolicy::budgeted(3).is_clock_free());
         assert!(!ExecutionPolicy::recommender().is_clock_free());
         assert!(!ExecutionPolicy::deadline(Duration::from_secs(1)).is_clock_free());
+    }
+
+    #[test]
+    fn degrade_steps_down_the_ladder() {
+        // Exact keeps full coverage but leaves the exact path.
+        assert_eq!(
+            ExecutionPolicy::Exact.degrade_one_step(),
+            ExecutionPolicy::budgeted(usize::MAX)
+        );
+        // Deadline decouples from the clock, keeping its imax cap.
+        let p = ExecutionPolicy::Deadline {
+            l_spe: Duration::from_millis(100),
+            imax: Some(7),
+        };
+        assert_eq!(
+            p.degrade_one_step(),
+            ExecutionPolicy::Budgeted {
+                sets: ExecutionPolicy::DEGRADED_SETS,
+                imax: Some(7),
+            }
+        );
+        // Large budgets shrink to the degraded budget, small ones floor out.
+        assert_eq!(
+            ExecutionPolicy::budgeted(100).degrade_one_step(),
+            ExecutionPolicy::budgeted(ExecutionPolicy::DEGRADED_SETS)
+        );
+        assert_eq!(
+            ExecutionPolicy::budgeted(ExecutionPolicy::DEGRADED_SETS).degrade_one_step(),
+            ExecutionPolicy::SynopsisOnly
+        );
+        assert_eq!(
+            ExecutionPolicy::budgeted(1).degrade_one_step(),
+            ExecutionPolicy::SynopsisOnly
+        );
+        // The floor is a fixed point.
+        assert_eq!(
+            ExecutionPolicy::SynopsisOnly.degrade_one_step(),
+            ExecutionPolicy::SynopsisOnly
+        );
+    }
+
+    #[test]
+    fn cost_rank_orders_variants() {
+        assert!(ExecutionPolicy::Exact.cost_rank() > ExecutionPolicy::recommender().cost_rank());
+        assert!(
+            ExecutionPolicy::recommender().cost_rank() > ExecutionPolicy::budgeted(3).cost_rank()
+        );
+        assert!(
+            ExecutionPolicy::budgeted(3).cost_rank() > ExecutionPolicy::SynopsisOnly.cost_rank()
+        );
+    }
+
+    #[test]
+    fn ladder_from_deadline_walks_to_the_floor() {
+        let ladder = DegradationLadder::from_policy(ExecutionPolicy::recommender());
+        assert_eq!(
+            ladder.rungs(),
+            &[
+                ExecutionPolicy::recommender(),
+                ExecutionPolicy::budgeted(ExecutionPolicy::DEGRADED_SETS),
+                ExecutionPolicy::SynopsisOnly,
+            ]
+        );
+        assert_eq!(ladder.len(), 3);
+        assert!(!ladder.is_empty());
+        assert_eq!(ladder.floor(), &ExecutionPolicy::SynopsisOnly);
+        // Descending past the floor clamps.
+        assert_eq!(ladder.rung(0), &ExecutionPolicy::recommender());
+        assert_eq!(ladder.rung(99), &ExecutionPolicy::SynopsisOnly);
+    }
+
+    #[test]
+    fn ladder_from_the_floor_is_a_single_rung() {
+        let ladder = DegradationLadder::from_policy(ExecutionPolicy::SynopsisOnly);
+        assert_eq!(ladder.rungs(), &[ExecutionPolicy::SynopsisOnly]);
+        assert_eq!(ladder.floor(), &ExecutionPolicy::SynopsisOnly);
+    }
+
+    #[test]
+    fn ladder_from_exact_passes_through_budgeted() {
+        let ladder = DegradationLadder::from_policy(ExecutionPolicy::Exact);
+        assert_eq!(
+            ladder.rungs(),
+            &[
+                ExecutionPolicy::Exact,
+                ExecutionPolicy::budgeted(usize::MAX),
+                ExecutionPolicy::budgeted(ExecutionPolicy::DEGRADED_SETS),
+                ExecutionPolicy::SynopsisOnly,
+            ]
+        );
     }
 
     #[test]

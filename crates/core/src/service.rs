@@ -97,6 +97,15 @@ pub type ComponentTelemetry = Outcome<()>;
 pub struct ServiceResponse<R> {
     /// The user-visible composed response.
     pub response: R,
+    /// The policy this request actually ran under. Equal to the requested
+    /// policy on the direct serving paths; differs when an admission
+    /// controller degraded the request on its way through a server, which
+    /// is exactly what this field lets callers observe. Heterogeneous
+    /// per-component serving ([`FanOutService::serve_with`]) records the
+    /// costliest per-component policy ([`ExecutionPolicy::cost_rank`],
+    /// ties broken by the larger effective set budget) — an upper bound
+    /// on the work any single component spent.
+    pub policy_applied: ExecutionPolicy,
     /// Per-component counters, in component order.
     pub components: Vec<ComponentTelemetry>,
     /// Wall-clock time from submission to composed response.
@@ -140,6 +149,7 @@ impl<R> ServiceResponse<R> {
     pub fn map<U>(self, f: impl FnOnce(R) -> U) -> ServiceResponse<U> {
         ServiceResponse {
             response: f(self.response),
+            policy_applied: self.policy_applied,
             components: self.components,
             elapsed: self.elapsed,
         }
@@ -301,6 +311,10 @@ where
             .enumerate()
             .map(|(i, c)| c.execute_pooled(req, &policy_of(i), submitted, pool))
             .collect();
+        let policy_applied = (0..self.components.len())
+            .map(policy_of)
+            .max_by_key(|p| (p.cost_rank(), p.effective_cap(usize::MAX)))
+            .expect("service has >= 1 component");
         let components: Vec<ComponentTelemetry> = outcomes.iter().map(Outcome::stats).collect();
         let parts: Vec<S::Output> = outcomes.into_iter().map(|o| o.output).collect();
         let response = self.components[0].service().compose(req, &parts);
@@ -309,6 +323,7 @@ where
         }
         ServiceResponse {
             response,
+            policy_applied,
             components,
             elapsed: submitted.elapsed(),
         }
@@ -501,6 +516,7 @@ where
             .zip(&unique_of)
             .map(|((req, &sub), &u)| ServiceResponse {
                 response: composer.compose(req, &parts[u]),
+                policy_applied: *policy,
                 components: telemetry[u].clone(),
                 elapsed: sub.elapsed(),
             })
@@ -884,6 +900,42 @@ mod tests {
         for (i, c) in r.components.iter().enumerate() {
             assert_eq!(c.sets_processed, i.min(c.sets_total));
         }
+    }
+
+    #[test]
+    fn responses_record_the_policy_applied() {
+        let svc = quick_service(120, 4);
+        for policy in [
+            ExecutionPolicy::Exact,
+            ExecutionPolicy::SynopsisOnly,
+            ExecutionPolicy::budgeted(2),
+        ] {
+            assert_eq!(svc.serve(&(), &policy).policy_applied, policy);
+            let batch = svc.serve_batch(&[(); 3], &policy);
+            assert!(batch.iter().all(|r| r.policy_applied == policy));
+        }
+        // Heterogeneous serving records the costliest per-component policy.
+        let r = svc.serve_with(&(), |i| {
+            if i == 2 {
+                ExecutionPolicy::Exact
+            } else {
+                ExecutionPolicy::SynopsisOnly
+            }
+        });
+        assert_eq!(r.policy_applied, ExecutionPolicy::Exact);
+        // Equal-rank ties break on the larger budget: the reported policy
+        // stays an upper bound on any component's work.
+        let r = svc.serve_with(&(), |i| {
+            if i == 0 {
+                ExecutionPolicy::budgeted(100)
+            } else {
+                ExecutionPolicy::budgeted(1)
+            }
+        });
+        assert_eq!(r.policy_applied, ExecutionPolicy::budgeted(100));
+        // map() keeps it.
+        let mapped = svc.serve(&(), &ExecutionPolicy::budgeted(1)).map(|n| n + 1);
+        assert_eq!(mapped.policy_applied, ExecutionPolicy::budgeted(1));
     }
 
     #[test]

@@ -1,0 +1,98 @@
+//! Property-based tests for the degradation ladder: for any starting
+//! policy, `degrade_one_step` must be monotone in `cost_rank`, must
+//! terminate at the `SynopsisOnly` floor in bounded steps, and the
+//! `DegradationLadder` built from it must inherit both invariants.
+
+use std::time::Duration;
+
+use at_core::{DegradationLadder, ExecutionPolicy};
+use proptest::prelude::*;
+
+/// Decode an arbitrary policy from three generated scalars, covering all
+/// four variants including hostile budgets (0, usize::MAX) and imax caps.
+fn policy_from(variant: u8, sets_code: usize, imax_code: usize) -> ExecutionPolicy {
+    let sets = if sets_code.is_multiple_of(7) {
+        usize::MAX
+    } else {
+        sets_code
+    };
+    let imax = match imax_code % 3 {
+        0 => None,
+        1 => Some(0),
+        _ => Some(imax_code),
+    };
+    match variant % 4 {
+        0 => ExecutionPolicy::Exact,
+        1 => ExecutionPolicy::SynopsisOnly,
+        2 => ExecutionPolicy::Budgeted { sets, imax },
+        _ => ExecutionPolicy::Deadline {
+            l_spe: Duration::from_millis((imax_code % 500) as u64),
+            imax,
+        },
+    }
+}
+
+/// An upper bound on ladder depth: Exact → Budgeted{MAX} →
+/// Budgeted{DEGRADED_SETS} → SynopsisOnly is the longest chain.
+const MAX_STEPS: usize = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn degrade_is_monotone_and_terminates_at_the_floor(
+        variant in 0u8..8,
+        sets_code in 0usize..100_000,
+        imax_code in 0usize..10_000,
+    ) {
+        let start = policy_from(variant, sets_code, imax_code);
+        let mut current = start;
+        let mut steps = 0;
+        loop {
+            let next = current.degrade_one_step();
+            // Monotone: one step never climbs the cost order.
+            prop_assert!(next.cost_rank() <= current.cost_rank(),
+                         "{current:?} -> {next:?} climbed the ladder");
+            if next == current {
+                break;
+            }
+            // Equal-rank steps must still shrink work (Budgeted budgets).
+            if next.cost_rank() == current.cost_rank() {
+                match (current, next) {
+                    (
+                        ExecutionPolicy::Budgeted { sets: before, .. },
+                        ExecutionPolicy::Budgeted { sets: after, .. },
+                    ) => prop_assert!(after < before,
+                                      "{current:?} -> {next:?} made no progress"),
+                    _ => prop_assert!(false, "only Budgeted rungs may share a rank"),
+                }
+            }
+            current = next;
+            steps += 1;
+            prop_assert!(steps <= MAX_STEPS, "ladder from {start:?} did not terminate");
+        }
+        // The fixed point is always the synopsis-only floor.
+        prop_assert_eq!(current, ExecutionPolicy::SynopsisOnly);
+    }
+
+    #[test]
+    fn ladder_inherits_the_step_invariants(
+        variant in 0u8..8,
+        sets in 0usize..1_000,
+        imax_code in 0usize..10_000,
+    ) {
+        let start = policy_from(variant, sets, imax_code);
+        let ladder = DegradationLadder::from_policy(start);
+        prop_assert!(!ladder.is_empty());
+        prop_assert!(ladder.len() <= MAX_STEPS + 1);
+        prop_assert_eq!(*ladder.rung(0), start, "rung 0 is the requested policy");
+        prop_assert_eq!(*ladder.floor(), ExecutionPolicy::SynopsisOnly);
+        for pair in ladder.rungs().windows(2) {
+            prop_assert!(pair[1].cost_rank() <= pair[0].cost_rank());
+            prop_assert_eq!(pair[1], pair[0].degrade_one_step(),
+                            "each rung is exactly one step below the last");
+        }
+        // Descending past the floor clamps instead of panicking.
+        prop_assert_eq!(ladder.rung(usize::MAX), ladder.floor());
+    }
+}

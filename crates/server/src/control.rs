@@ -1,0 +1,464 @@
+//! The admission-control plane: per-request degradation decisions from
+//! sliding-window load telemetry.
+//!
+//! The paper's tail-latency story at peak diurnal load is a *control*
+//! story: when queue wait approaches the service deadline `l_spe`, keep
+//! answering every request but spend less on each — trade a little
+//! accuracy for bounded timeliness. This module makes that a pluggable
+//! policy of the dispatcher:
+//!
+//! ```text
+//!              drain micro-batch
+//!                     │
+//!                     ▼
+//!     LoadSnapshot (recent waits, depth, coverage)
+//!                     │
+//!          controller.observe(&snapshot)        ── once per round
+//!                     │
+//!        per request, newest first:
+//!          controller.decide(&snapshot, &requested)
+//!            ├── Admit              → serve under the requested policy
+//!            ├── Degrade(policy)    → serve under the cheaper rung
+//!            └── Shed               → drop; ticket reports Canceled
+//!                     │
+//!                     ▼
+//!       group by *effective* policy → serve_batch_at per group
+//! ```
+//!
+//! Degraded requests need no batch splitting: the dispatcher already
+//! groups mixed-policy micro-batches, so a degraded fraction of traffic
+//! simply forms its own (cheap, collapsible) group. The response's
+//! [`policy_applied`](at_core::ServiceResponse::policy_applied) records
+//! what actually ran, so callers can see the degradation.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use at_core::ExecutionPolicy;
+
+use crate::stats::LoadSnapshot;
+
+/// What to do with one request about to be served.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Decision {
+    /// Serve under the requested policy.
+    Admit,
+    /// Serve under this cheaper policy instead (a rung of the request's
+    /// [`DegradationLadder`](at_core::DegradationLadder)).
+    Degrade(ExecutionPolicy),
+    /// Do not serve at all: the ticket reports
+    /// [`Canceled`](crate::Canceled) and the shed counter increments.
+    Shed,
+}
+
+/// A per-request admission/degradation policy consulted by the
+/// dispatcher before policy-grouping each micro-batch.
+///
+/// [`observe`](AdmissionController::observe) is called once per dispatch
+/// round with a fresh [`LoadSnapshot`] (hysteresis state belongs there);
+/// [`decide`](AdmissionController::decide) is then called once per
+/// request of the round, **newest submission first**, so a controller
+/// that degrades "the first fraction of this round's calls" degrades the
+/// newest traffic first — requests that joined the backlog last have the
+/// longest expected wait ahead of them and lose the least invested work.
+pub trait AdmissionController: Send + Sync {
+    /// One fresh snapshot per dispatch round, before any `decide` calls.
+    fn observe(&self, _snapshot: &LoadSnapshot) {}
+
+    /// The decision for one request requesting `requested`.
+    fn decide(&self, snapshot: &LoadSnapshot, requested: &ExecutionPolicy) -> Decision;
+
+    /// True when this controller admits unconditionally ([`NoControl`]):
+    /// the dispatcher then skips snapshot aggregation and per-request
+    /// consultation entirely, keeping the uncontrolled hot path
+    /// byte-identical to a server without a control plane.
+    fn is_pass_through(&self) -> bool {
+        false
+    }
+}
+
+/// The default controller: admit everything, exactly the dispatcher's
+/// behavior before admission control existed (proptest-proven equivalent
+/// in `tests/proptest_control.rs`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoControl;
+
+impl AdmissionController for NoControl {
+    fn decide(&self, _snapshot: &LoadSnapshot, _requested: &ExecutionPolicy) -> Decision {
+        Decision::Admit
+    }
+
+    fn is_pass_through(&self) -> bool {
+        true
+    }
+}
+
+/// Tuning of a [`LadderController`]: enter/exit thresholds (hysteresis)
+/// and how aggressively each overload level degrades.
+#[derive(Clone, Copy, Debug)]
+pub struct LadderConfig {
+    /// The queue-wait budget to protect — the `l_spe` the deployment
+    /// promises (the paper's 100 ms). Overload is measured against it.
+    pub wait_budget: Duration,
+    /// Climb one level when windowed mean queue wait exceeds this
+    /// fraction of `wait_budget`…
+    pub enter_wait_frac: f64,
+    /// …and descend one only once it falls below this (smaller) fraction:
+    /// the gap between the two is the hysteresis band that prevents
+    /// flapping.
+    pub exit_wait_frac: f64,
+    /// Climb one level when queue depth exceeds this fraction of
+    /// capacity…
+    pub enter_depth: f64,
+    /// …and descend only once below this (smaller) fraction.
+    pub exit_depth: f64,
+    /// Fraction of each round's traffic degraded per level (level ℓ
+    /// degrades `min(1, ℓ · step_fraction)` of the round, newest first).
+    pub step_fraction: f64,
+    /// At or above this level, part of the acted fraction is shed
+    /// outright — the ladder floor was not enough. The shed share grows
+    /// by `step_fraction` per level past this threshold, so saturation
+    /// degrades gracefully instead of dropping whole rounds.
+    pub shed_level: u32,
+    /// Hard cap on the level.
+    pub max_level: u32,
+}
+
+impl Default for LadderConfig {
+    fn default() -> Self {
+        LadderConfig {
+            wait_budget: Duration::from_millis(100),
+            enter_wait_frac: 0.5,
+            exit_wait_frac: 0.25,
+            enter_depth: 0.75,
+            exit_depth: 0.40,
+            step_fraction: 0.5,
+            shed_level: 4,
+            max_level: 5,
+        }
+    }
+}
+
+impl LadderConfig {
+    /// `Default` with the deployment's own `l_spe` as the wait budget.
+    pub fn for_deadline(l_spe: Duration) -> Self {
+        LadderConfig {
+            wait_budget: l_spe,
+            ..LadderConfig::default()
+        }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.wait_budget > Duration::ZERO,
+            "wait_budget must be positive"
+        );
+        assert!(
+            self.enter_wait_frac >= self.exit_wait_frac && self.exit_wait_frac >= 0.0,
+            "wait hysteresis band must satisfy enter >= exit >= 0"
+        );
+        assert!(
+            self.enter_depth >= self.exit_depth && self.exit_depth >= 0.0,
+            "depth hysteresis band must satisfy enter >= exit >= 0"
+        );
+        assert!(
+            self.step_fraction > 0.0 && self.step_fraction <= 1.0,
+            "step_fraction must be in (0, 1]"
+        );
+        assert!(self.max_level >= 1, "max_level must be >= 1");
+    }
+}
+
+/// Per-round mutable state of a [`LadderController`].
+#[derive(Debug, Default)]
+struct LadderState {
+    /// Current overload level (0 = healthy, admit everything).
+    level: u32,
+    /// `decide` calls seen this round.
+    seen: u64,
+    /// Degrade/shed decisions issued this round.
+    acted: u64,
+    /// Shed decisions issued this round (a subset of `acted`).
+    shed: u64,
+}
+
+/// The load-adaptive controller: a hysteresis loop over the
+/// [`LoadSnapshot`] driving requests down their
+/// [`DegradationLadder`](at_core::DegradationLadder).
+///
+/// Each dispatch round, [`observe`](AdmissionController::observe) moves
+/// the overload level at most one step: **up** when the windowed mean
+/// queue wait exceeds `enter_wait_frac · wait_budget` *or* the queue is
+/// more than `enter_depth` full; **down** when the wait is below
+/// `exit_wait_frac · wait_budget` *and* the depth below `exit_depth`;
+/// held otherwise (the hysteresis band). Because enter and exit bands
+/// cannot overlap (validated at construction), a constant load signal
+/// moves the level monotonically to a fixed point — it never oscillates.
+///
+/// At level ℓ, [`decide`](AdmissionController::decide) acts on the first
+/// `min(1, ℓ · step_fraction)` fraction of the round's calls — the newest
+/// requests, per the dispatcher's newest-first consultation order —
+/// degrading each by ℓ rungs of its ladder (clamped to the `SynopsisOnly`
+/// floor). At `shed_level` and above, the newest
+/// `(ℓ − shed_level + 1) · step_fraction` of the round is shed instead
+/// (even floor-priced work would blow the backlog) while the rest of the
+/// acted traffic still gets floor-priced service.
+#[derive(Debug)]
+pub struct LadderController {
+    config: LadderConfig,
+    state: Mutex<LadderState>,
+}
+
+impl LadderController {
+    /// A controller with the given tuning.
+    ///
+    /// # Panics
+    /// Panics when the hysteresis bands overlap (`enter < exit`), the
+    /// wait budget is zero, or `step_fraction` is outside `(0, 1]`.
+    pub fn new(config: LadderConfig) -> Self {
+        config.validate();
+        LadderController {
+            config,
+            state: Mutex::new(LadderState::default()),
+        }
+    }
+
+    /// The controller's tuning.
+    pub fn config(&self) -> &LadderConfig {
+        &self.config
+    }
+
+    /// The current overload level (0 = healthy).
+    pub fn level(&self) -> u32 {
+        self.state().level
+    }
+
+    fn state(&self) -> std::sync::MutexGuard<'_, LadderState> {
+        // Plain scalars; take over a poisoned lock.
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+impl AdmissionController for LadderController {
+    fn observe(&self, snapshot: &LoadSnapshot) {
+        let budget = self.config.wait_budget.as_secs_f64();
+        let depth = snapshot.depth_ratio();
+        // Asymmetric signals: *enter* on the windowed mean (react to
+        // pressure as soon as the average request feels it), *exit* on
+        // the windowed p99 (stand down only once nearly the whole recent
+        // window is calm) — dispatch rounds can be far faster than the
+        // window refreshes, and exiting on a still-hot tail lets
+        // full-price work back in just long enough to re-explode the
+        // queue.
+        let mean_wait = snapshot.mean_queue_wait.as_secs_f64();
+        let tail_wait = snapshot.p99_queue_wait.as_secs_f64();
+        let enter =
+            mean_wait > self.config.enter_wait_frac * budget || depth > self.config.enter_depth;
+        let exit =
+            tail_wait < self.config.exit_wait_frac * budget && depth < self.config.exit_depth;
+        let mut state = self.state();
+        if enter {
+            state.level = (state.level + 1).min(self.config.max_level);
+        } else if exit {
+            state.level = state.level.saturating_sub(1);
+        }
+        state.seen = 0;
+        state.acted = 0;
+        state.shed = 0;
+    }
+
+    fn decide(&self, _snapshot: &LoadSnapshot, requested: &ExecutionPolicy) -> Decision {
+        let mut state = self.state();
+        if state.level == 0 {
+            return Decision::Admit;
+        }
+        state.seen += 1;
+        let fraction = (f64::from(state.level) * self.config.step_fraction).min(1.0);
+        // ceil targets act on the *earliest* calls of the round — the
+        // newest requests, per the dispatcher's consultation order.
+        let target = (fraction * state.seen as f64).ceil() as u64;
+        if state.acted >= target {
+            return Decision::Admit;
+        }
+        state.acted += 1;
+        // At shed_level and above, only the *excess* fraction is shed —
+        // one step_fraction more per level past the threshold — and the
+        // rest of the acted traffic still gets floor-priced service, so
+        // saturation degrades gracefully instead of dropping whole rounds.
+        if state.level >= self.config.shed_level {
+            let excess = f64::from(state.level - self.config.shed_level + 1);
+            let shed_fraction = (excess * self.config.step_fraction).min(fraction);
+            let shed_target = (shed_fraction * state.seen as f64).ceil() as u64;
+            if state.shed < shed_target {
+                state.shed += 1;
+                return Decision::Shed;
+            }
+        }
+        // The request's rung `level` steps down its ladder — equal to
+        // `DegradationLadder::from_policy(*requested).rung(level)`, but
+        // allocation-free: `degrade_one_step` is a fixed point at the
+        // floor, so walking it needs no clamp and no materialized rungs
+        // (this runs per degraded request in exactly the overload regime
+        // the controller exists to relieve).
+        let rung = (0..state.level).fold(*requested, |p, _| p.degrade_one_step());
+        if rung == *requested {
+            // Already at (or below) the level's rung: nothing to degrade.
+            return Decision::Admit;
+        }
+        Decision::Degrade(rung)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(mean_wait: Duration, depth: usize, capacity: usize) -> LoadSnapshot {
+        LoadSnapshot {
+            queue_depth: depth,
+            queue_capacity: capacity,
+            sampled: 64,
+            mean_queue_wait: mean_wait,
+            p99_queue_wait: mean_wait * 2,
+            mean_coverage: 0.8,
+        }
+    }
+
+    fn config() -> LadderConfig {
+        LadderConfig::for_deadline(Duration::from_millis(100))
+    }
+
+    #[test]
+    fn no_control_always_admits() {
+        let snap = snapshot(Duration::from_secs(10), 100, 100);
+        assert_eq!(
+            NoControl.decide(&snap, &ExecutionPolicy::recommender()),
+            Decision::Admit
+        );
+    }
+
+    #[test]
+    fn healthy_load_admits_everything() {
+        let c = LadderController::new(config());
+        let snap = snapshot(Duration::from_millis(1), 0, 1000);
+        c.observe(&snap);
+        assert_eq!(c.level(), 0);
+        for _ in 0..100 {
+            assert_eq!(
+                c.decide(&snap, &ExecutionPolicy::recommender()),
+                Decision::Admit
+            );
+        }
+    }
+
+    #[test]
+    fn overload_climbs_one_level_per_round_and_degrades_the_newest_fraction() {
+        let c = LadderController::new(config());
+        let hot = snapshot(Duration::from_millis(80), 10, 1000); // 80ms > 50ms enter
+        c.observe(&hot);
+        assert_eq!(c.level(), 1);
+        // step_fraction 0.5 at level 1: half the round degraded, earliest
+        // (= newest) calls first.
+        let requested = ExecutionPolicy::recommender();
+        let decisions: Vec<Decision> = (0..4).map(|_| c.decide(&hot, &requested)).collect();
+        let degraded = ExecutionPolicy::Budgeted {
+            sets: ExecutionPolicy::DEGRADED_SETS,
+            imax: None,
+        };
+        assert_eq!(
+            decisions,
+            vec![
+                Decision::Degrade(degraded), // newest: degraded first
+                Decision::Admit,
+                Decision::Degrade(degraded),
+                Decision::Admit,
+            ]
+        );
+        // Next round still hot: level 2 → full fraction, two rungs down.
+        c.observe(&hot);
+        assert_eq!(c.level(), 2);
+        assert_eq!(
+            c.decide(&hot, &requested),
+            Decision::Degrade(ExecutionPolicy::SynopsisOnly)
+        );
+    }
+
+    #[test]
+    fn depth_alone_can_trip_the_controller() {
+        let c = LadderController::new(config());
+        let deep = snapshot(Duration::ZERO, 800, 1000); // 0.8 > 0.75 enter
+        c.observe(&deep);
+        assert_eq!(c.level(), 1);
+    }
+
+    #[test]
+    fn hysteresis_band_holds_the_level() {
+        let c = LadderController::new(config());
+        let hot = snapshot(Duration::from_millis(80), 0, 1000);
+        c.observe(&hot);
+        assert_eq!(c.level(), 1);
+        // 30ms is between exit (25ms) and enter (50ms): hold, don't flap.
+        let between = snapshot(Duration::from_millis(30), 0, 1000);
+        for _ in 0..10 {
+            c.observe(&between);
+            assert_eq!(c.level(), 1, "level must hold inside the band");
+        }
+        // Below exit on both signals: descend one per round.
+        let calm = snapshot(Duration::from_millis(1), 0, 1000);
+        c.observe(&calm);
+        assert_eq!(c.level(), 0);
+    }
+
+    #[test]
+    fn shed_level_sheds_the_acted_fraction() {
+        let mut cfg = config();
+        cfg.shed_level = 1;
+        let c = LadderController::new(cfg);
+        let hot = snapshot(Duration::from_secs(1), 1000, 1000);
+        c.observe(&hot);
+        assert_eq!(c.level(), 1);
+        assert_eq!(
+            c.decide(&hot, &ExecutionPolicy::recommender()),
+            Decision::Shed
+        );
+        assert_eq!(
+            c.decide(&hot, &ExecutionPolicy::recommender()),
+            Decision::Admit,
+            "only the level's fraction is shed"
+        );
+    }
+
+    #[test]
+    fn floor_requests_are_admitted_not_re_degraded() {
+        let c = LadderController::new(config());
+        let hot = snapshot(Duration::from_secs(1), 0, 1000);
+        c.observe(&hot);
+        assert_eq!(
+            c.decide(&hot, &ExecutionPolicy::SynopsisOnly),
+            Decision::Admit,
+            "nothing below the floor to degrade to"
+        );
+    }
+
+    #[test]
+    fn level_caps_at_max_level() {
+        let c = LadderController::new(config());
+        let hot = snapshot(Duration::from_secs(1), 1000, 1000);
+        for _ in 0..20 {
+            c.observe(&hot);
+        }
+        assert_eq!(c.level(), config().max_level);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn overlapping_bands_are_a_construction_bug() {
+        LadderController::new(LadderConfig {
+            enter_wait_frac: 0.2,
+            exit_wait_frac: 0.5,
+            ..config()
+        });
+    }
+}

@@ -43,17 +43,54 @@
 //! *identical* to calling `serve_at` with the same submitted instants;
 //! only `ServiceResponse::elapsed` reflects the waiting.
 //!
-//! ## Telemetry
+//! ## Telemetry and the control plane
 //!
 //! [`Server::stats`] exposes queue depth, high-water marks, batch counts,
-//! and cumulative/max queue wait ([`ServerStats`]) — the feedback signals
-//! the ROADMAP's admission controller consumes to flip policies under
-//! overload.
+//! cumulative/max queue wait, and a **sliding-window** [`LoadSnapshot`]
+//! (recent mean/p99 queue wait, depth/capacity ratio, recent response
+//! coverage) — the feedback signals the admission controller consumes.
+//!
+//! Every dispatch round flows through the control plane (see
+//! [`control`](crate::control) for the controllers):
+//!
+//! ```text
+//!   submission queue ──drain──▶ micro-batch (≤ max_batch, FIFO)
+//!                                  │
+//!                                  ▼
+//!             LoadSnapshot from the sliding window
+//!                                  │
+//!                   controller.observe(&snapshot)
+//!                                  │
+//!             per request, newest submission first:
+//!              controller.decide(&snapshot, &policy)
+//!                 ├─ Admit            keep the requested policy
+//!                 ├─ Degrade(rung)    swap in the cheaper rung
+//!                 └─ Shed             drop; ticket → Canceled
+//!                                  │
+//!                                  ▼
+//!            group by effective policy (first appearance)
+//!                                  │
+//!                                  ▼
+//!              one serve_batch_at call per policy group
+//!                                  │
+//!                                  ▼
+//!        fulfil tickets; record waits + coverage into window
+//! ```
+//!
+//! The default controller is [`NoControl`] — every request admitted, the
+//! exact pre-control dispatcher behavior (proptest-proven). Plug in a
+//! [`LadderController`] via [`Server::with_controller`] to get the
+//! paper's overload story: under sustained queue pressure it degrades the
+//! newest fraction of traffic down the
+//! [`DegradationLadder`](at_core::DegradationLadder) (`Deadline` →
+//! `Budgeted` → `SynopsisOnly`) instead of letting queue wait blow every
+//! deadline, and recovers with hysteresis once the backlog drains.
 //!
 //! Orderly [`Server::shutdown`] (and `Drop`) stops accepting, **drains**
 //! every queued request, and joins the dispatcher, so no ticket is left
-//! dangling; a ticket only ever reports [`Canceled`] if the dispatcher
-//! itself died.
+//! dangling; a ticket only reports [`Canceled`] if the dispatcher itself
+//! died — or if the admission controller shed the request under extreme
+//! overload (counted in [`ServerStats::shed`]).
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -62,16 +99,18 @@ use std::time::Instant;
 
 use at_core::{ComposableService, ExecutionPolicy, FanOutService, ServiceResponse};
 
+pub mod control;
 mod stats;
 mod ticket;
 
-pub use stats::ServerStats;
+pub use control::{AdmissionController, Decision, LadderConfig, LadderController, NoControl};
+pub use stats::{LoadSnapshot, ServerStats};
 pub use ticket::{Canceled, Ticket};
 
 use stats::Counters;
 use ticket::TicketSender;
 
-/// Sizing of a [`Server`]'s queue and micro-batches.
+/// Sizing of a [`Server`]'s queue, micro-batches, and telemetry window.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
     /// Most requests allowed to wait in the submission queue; beyond it,
@@ -81,6 +120,11 @@ pub struct ServerConfig {
     /// the fan-out and synopsis pass further but make late-in-batch
     /// `Deadline` requests wait longer behind their batch.
     pub max_batch: usize,
+    /// Samples kept in the sliding telemetry window backing
+    /// [`LoadSnapshot`] (and [`ServerStats::mean_queue_wait`]): large
+    /// enough to smooth one micro-batch, small enough that a subsided
+    /// burst slides out quickly.
+    pub stats_window: usize,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +132,7 @@ impl Default for ServerConfig {
         ServerConfig {
             queue_capacity: 4096,
             max_batch: 64,
+            stats_window: 256,
         }
     }
 }
@@ -102,6 +147,12 @@ impl ServerConfig {
     /// Override the micro-batch cap.
     pub fn with_max_batch(mut self, max_batch: usize) -> Self {
         self.max_batch = max_batch;
+        self
+    }
+
+    /// Override the sliding telemetry window size.
+    pub fn with_stats_window(mut self, stats_window: usize) -> Self {
+        self.stats_window = stats_window;
         self
     }
 }
@@ -197,6 +248,8 @@ where
     S::Response: Send + 'static,
 {
     /// Start a server over `service`, spawning its dispatcher thread.
+    /// Admission control defaults to [`NoControl`] (admit everything);
+    /// see [`with_controller`](Self::with_controller).
     ///
     /// The service is shared: callers keeping a clone of the [`Arc`] can
     /// still serve synchronously (e.g. to cross-check responses) — the
@@ -205,6 +258,21 @@ where
     /// # Panics
     /// Panics when `config.queue_capacity` or `config.max_batch` is zero.
     pub fn new(service: Arc<FanOutService<S>>, config: ServerConfig) -> Self {
+        Self::with_controller(service, config, NoControl)
+    }
+
+    /// [`new`](Self::new) with an explicit admission controller: the
+    /// dispatcher consults it for every request of every micro-batch (see
+    /// the [crate docs](crate) decision flow), so a [`LadderController`]
+    /// can degrade or shed a fraction of traffic under overload.
+    ///
+    /// # Panics
+    /// Panics when `config.queue_capacity` or `config.max_batch` is zero.
+    pub fn with_controller(
+        service: Arc<FanOutService<S>>,
+        config: ServerConfig,
+        controller: impl AdmissionController + 'static,
+    ) -> Self {
         assert!(config.queue_capacity > 0, "queue capacity must be >= 1");
         assert!(config.max_batch > 0, "micro-batch cap must be >= 1");
         let shared: Arc<SharedOf<S>> = Arc::new(SharedQueue {
@@ -215,7 +283,7 @@ where
             }),
             work: Condvar::new(),
             space: Condvar::new(),
-            counters: Counters::default(),
+            counters: Counters::new(config.stats_window),
             capacity: config.queue_capacity,
         });
         let dispatcher = {
@@ -223,7 +291,7 @@ where
             let shared = shared.clone();
             std::thread::Builder::new()
                 .name("at-server-dispatcher".into())
-                .spawn(move || dispatch_loop(&service, &shared, config.max_batch))
+                .spawn(move || dispatch_loop(&service, &shared, config.max_batch, &controller))
                 .expect("spawn dispatcher thread")
         };
         Server {
@@ -350,7 +418,9 @@ where
 
     /// A telemetry snapshot (see [`ServerStats`]).
     pub fn stats(&self) -> ServerStats {
-        self.shared.counters.snapshot(self.queue_depth())
+        self.shared
+            .counters
+            .snapshot(self.queue_depth(), self.shared.capacity)
     }
 
     /// Shut down: stop accepting, drain every queued request through the
@@ -410,18 +480,22 @@ impl<R, T> Drop for CrashGuard<'_, R, T> {
     }
 }
 
-/// The dispatcher: drain micro-batches, group by policy, serve each group
-/// in one batched call, fulfil tickets. Exits once shut down **and**
-/// drained.
-fn dispatch_loop<S>(service: &FanOutService<S>, shared: &SharedOf<S>, max_batch: usize)
-where
+/// The dispatcher: drain micro-batches, consult the admission controller
+/// per request, group by *effective* policy, serve each group in one
+/// batched call, fulfil tickets. Exits once shut down **and** drained.
+fn dispatch_loop<S>(
+    service: &FanOutService<S>,
+    shared: &SharedOf<S>,
+    max_batch: usize,
+    controller: &dyn AdmissionController,
+) where
     S: ComposableService + Sync,
     S::Request: Clone + PartialEq + Sync,
     S::Output: Send,
 {
     let _crash_guard = CrashGuard(shared);
     loop {
-        let batch: Vec<EntryOf<S>> = {
+        let (batch, backlog): (Vec<EntryOf<S>>, usize) = {
             let mut state = shared.state();
             loop {
                 if !state.entries.is_empty() && (!state.paused || state.shutdown) {
@@ -435,8 +509,9 @@ where
                     .wait(state)
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
             }
-            let take = state.entries.len().min(max_batch);
-            state.entries.drain(..take).collect()
+            let depth = state.entries.len();
+            let take = depth.min(max_batch);
+            (state.entries.drain(..take).collect(), depth)
         };
         shared.space.notify_all();
 
@@ -451,14 +526,50 @@ where
             .batches
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
 
-        // Group by policy in first-appearance order: `serve_batch_at`
-        // drives one policy per call, and mixed-policy streams are the
-        // norm (an admission controller degrades some requests, not all).
+        // The control plane (see the crate docs' decision flow): one
+        // snapshot per round — including this round's just-recorded waits
+        // and the backlog depth at drain time — then one decision per
+        // request, consulted newest-first so "degrade the newest fraction
+        // of traffic first" is what a fractional controller does. The
+        // pass-through controller skips all of it: no snapshot, no
+        // decisions buffer — the uncontrolled hot path is unchanged.
+        let decisions: Option<Vec<Decision>> = if controller.is_pass_through() {
+            None
+        } else {
+            let snapshot = shared
+                .counters
+                .load_snapshot(backlog - batch.len(), shared.capacity);
+            controller.observe(&snapshot);
+            let mut decisions = vec![Decision::Admit; batch.len()];
+            for (slot, entry) in decisions.iter_mut().zip(&batch).rev() {
+                *slot = controller.decide(&snapshot, &entry.policy);
+            }
+            Some(decisions)
+        };
+
+        // Group by effective policy in first-appearance order:
+        // `serve_batch_at` drives one policy per call, and mixed-policy
+        // streams are the norm (the controller degrades some requests,
+        // not all — no batch splitting needed). Shed entries drop here:
+        // dropping the sender cancels the ticket, and the shed counter
+        // owns the accounting.
         let mut groups: Vec<(ExecutionPolicy, Vec<EntryOf<S>>)> = Vec::new();
-        for entry in batch {
-            match groups.iter_mut().find(|(p, _)| *p == entry.policy) {
+        for (i, entry) in batch.into_iter().enumerate() {
+            let decision = decisions.as_ref().map_or(Decision::Admit, |d| d[i]);
+            let policy = match decision {
+                Decision::Shed => {
+                    shared
+                        .counters
+                        .shed
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    continue;
+                }
+                Decision::Degrade(rung) => rung,
+                Decision::Admit => entry.policy,
+            };
+            match groups.iter_mut().find(|(p, _)| *p == policy) {
                 Some((_, group)) => group.push(entry),
-                None => groups.push((entry.policy, vec![entry])),
+                None => groups.push((policy, vec![entry])),
             }
         }
         for (policy, group) in groups {
@@ -472,6 +583,7 @@ where
             }
             let responses = service.serve_batch_at(&reqs, &policy, &submitted);
             for (sender, response) in senders.into_iter().zip(responses) {
+                shared.counters.record_coverage(response.mean_coverage());
                 shared
                     .counters
                     .completed
@@ -787,5 +899,120 @@ mod tests {
             quick_service(),
             ServerConfig::default().with_queue_capacity(0),
         );
+    }
+
+    #[test]
+    fn responses_report_the_requested_policy_without_control() {
+        let server = Server::from_service(quick_service(), ServerConfig::default());
+        let policy = ExecutionPolicy::budgeted(2);
+        let got = server.try_submit(1, policy).unwrap().wait().unwrap();
+        assert_eq!(got.policy_applied, policy);
+        assert_eq!(server.stats().shed, 0);
+    }
+
+    /// Deterministic overload: pause the server, let a burst wait past the
+    /// controller's wait budget, resume — the first rounds must degrade.
+    #[test]
+    fn ladder_controller_degrades_a_queued_burst_and_recovers() {
+        let wait_budget = Duration::from_millis(20);
+        let controller = LadderController::new(LadderConfig {
+            step_fraction: 1.0, // degrade the whole round while overloaded
+            max_level: 3,       // never reach shed_level: degradation only
+            ..LadderConfig::for_deadline(wait_budget)
+        });
+        let server = Server::with_controller(
+            Arc::new(quick_service()),
+            ServerConfig::default()
+                .with_max_batch(16)
+                .with_stats_window(32),
+            controller,
+        );
+        let requested = ExecutionPolicy::deadline(Duration::from_secs(30));
+
+        server.pause();
+        let tickets: Vec<_> = (0..32)
+            .map(|i| server.try_submit(i % 3, requested).unwrap())
+            .collect();
+        std::thread::sleep(3 * wait_budget); // the queue wait blows the budget
+        server.resume();
+        let responses: Vec<_> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("degraded, not shed at level 1"))
+            .collect();
+        let degraded = responses
+            .iter()
+            .filter(|r| r.policy_applied != requested)
+            .count();
+        assert!(
+            degraded > 0,
+            "a burst waiting 3x the budget must trip the controller"
+        );
+        for r in &responses {
+            assert!(
+                r.policy_applied.cost_rank() <= requested.cost_rank(),
+                "control only ever moves down the ladder"
+            );
+            if r.policy_applied != requested {
+                assert!(
+                    r.policy_applied.is_clock_free(),
+                    "degraded rungs are clock-free: {:?}",
+                    r.policy_applied
+                );
+            }
+        }
+
+        // Calm traffic: served one at a time, waits are ~0; once the burst
+        // slides out of the 32-sample window the level decays to 0 and
+        // requests run under the requested policy again.
+        let mut recovered = false;
+        for i in 0..64 {
+            let got = server.try_submit(i % 3, requested).unwrap().wait().unwrap();
+            if got.policy_applied == requested {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "hysteresis must exit once the burst subsides");
+        server.shutdown();
+    }
+
+    /// At `shed_level`, the degraded fraction is dropped: tickets report
+    /// `Canceled`, the shed counter owns them, and in-flight still drains
+    /// to zero.
+    #[test]
+    fn shed_requests_cancel_tickets_and_are_counted() {
+        let wait_budget = Duration::from_millis(10);
+        let controller = LadderController::new(LadderConfig {
+            step_fraction: 1.0,
+            shed_level: 1, // shed immediately on the first overloaded round
+            ..LadderConfig::for_deadline(wait_budget)
+        });
+        let server = Server::with_controller(
+            Arc::new(quick_service()),
+            ServerConfig::default()
+                .with_max_batch(64)
+                .with_stats_window(64),
+            controller,
+        );
+        server.pause();
+        let tickets: Vec<_> = (0..24)
+            .map(|i| {
+                server
+                    .try_submit(i % 3, ExecutionPolicy::budgeted(2))
+                    .unwrap()
+            })
+            .collect();
+        std::thread::sleep(4 * wait_budget);
+        server.resume();
+        let (served, shed): (Vec<_>, Vec<_>) = tickets
+            .into_iter()
+            .map(Ticket::wait)
+            .partition(Result::is_ok);
+        assert!(!shed.is_empty(), "the overloaded round must shed");
+        let stats = server.shutdown();
+        assert_eq!(stats.shed, shed.len() as u64);
+        assert_eq!(stats.completed, served.len() as u64);
+        assert_eq!(stats.in_flight, 0, "shed requests are not in flight");
+        assert_eq!(stats.completed + stats.shed, 24);
     }
 }

@@ -14,9 +14,12 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
-/// The server dropped the request before fulfilling it (its dispatcher
-/// died mid-batch). Orderly shutdown *drains* the queue, so a canceled
-/// ticket signals a crash, never normal teardown.
+/// The server dropped the request before fulfilling it: its dispatcher
+/// died mid-batch, or the admission controller **shed** the request under
+/// extreme overload ([`Decision::Shed`](crate::Decision::Shed), counted
+/// in [`ServerStats::shed`](crate::ServerStats::shed)). Orderly shutdown
+/// *drains* the queue, so a canceled ticket never signals normal
+/// teardown.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Canceled;
 

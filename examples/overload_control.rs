@@ -1,0 +1,201 @@
+//! The load-adaptive control plane: replay the same flash crowd twice —
+//! once with `NoControl` (every request keeps its deadline policy, queue
+//! wait blows `l_spe` for everyone) and once with a `LadderController`
+//! (the newest traffic degrades down the ladder, deadlines mostly hold).
+//!
+//! ```text
+//! cargo run --release --example overload_control
+//! ```
+
+use accuracytrader::prelude::*;
+use accuracytrader::workloads::{arrival_delays, flash_crowd_arrivals, BurstConfig, Zipf};
+use rand::{rngs::SmallRng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Replay {
+    served: usize,
+    shed: usize,
+    missed: usize,
+    degraded: usize,
+    mean_coverage: f64,
+    p99_ms: f64,
+}
+
+fn replay(
+    service: &Arc<FanOutService<CfService>>,
+    requests: &[(ActiveUser, Duration)],
+    l_spe: Duration,
+    controller: Option<LadderController>,
+) -> Replay {
+    let config = ServerConfig::default()
+        .with_queue_capacity(1 << 14)
+        .with_max_batch(32)
+        .with_stats_window(128);
+    let server = match controller {
+        Some(c) => Server::with_controller(service.clone(), config, c),
+        None => Server::new(service.clone(), config),
+    };
+    let requested = ExecutionPolicy::deadline(l_spe);
+    let start = Instant::now();
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|(req, delay)| {
+            if let Some(remaining) = delay.checked_sub(start.elapsed()) {
+                std::thread::sleep(remaining);
+            }
+            server.submit(req.clone(), requested).expect("accepting")
+        })
+        .collect();
+    let mut out = Replay {
+        served: 0,
+        shed: 0,
+        missed: 0,
+        degraded: 0,
+        mean_coverage: 0.0,
+        p99_ms: 0.0,
+    };
+    let mut latencies_ms = Vec::with_capacity(requests.len());
+    for ticket in tickets {
+        match ticket.wait() {
+            Ok(resp) => {
+                out.served += 1;
+                out.missed += usize::from(resp.elapsed > l_spe);
+                out.degraded += usize::from(resp.policy_applied != requested);
+                out.mean_coverage += resp.mean_coverage();
+                latencies_ms.push(resp.elapsed.as_secs_f64() * 1e3);
+            }
+            Err(_) => out.shed += 1,
+        }
+    }
+    server.shutdown();
+    if out.served > 0 {
+        out.mean_coverage /= out.served as f64;
+        out.p99_ms = accuracytrader::linalg::percentile(&latencies_ms, 99.0);
+    }
+    out
+}
+
+fn main() {
+    let n_components = 6;
+    let n_users = 1200;
+    let n_items = 150;
+
+    // Offline: build the recommender deployment.
+    let data = RatingsDataset::generate(RatingsConfig {
+        n_users,
+        n_items,
+        ratings_per_user: 50,
+        ..RatingsConfig::small()
+    });
+    let matrix = rating_matrix(n_users, n_items, &data.ratings);
+    let rows: Vec<SparseRow> = matrix.ids().map(|id| matrix.row(id).clone()).collect();
+    let subsets = partition_rows(n_items, rows, n_components).expect("n_components >= 1");
+    let service = Arc::new(FanOutService::build(
+        subsets,
+        AggregationMode::Mean,
+        SynopsisConfig {
+            size_ratio: 15,
+            ..SynopsisConfig::default()
+        },
+        || CfService,
+    ));
+
+    // A pool of active users whose requests the zipf mix repeats.
+    let pool: Vec<ActiveUser> = (0..24u32)
+        .filter_map(|user| {
+            let profile: Vec<(u32, f64)> = data
+                .ratings
+                .iter()
+                .filter(|r| r.user == user)
+                .map(|r| (r.item, r.stars))
+                .collect();
+            (profile.len() >= 4).then(|| {
+                ActiveUser::new(
+                    SparseRow::from_pairs(profile),
+                    vec![user % 5, user % 5 + 30, user % 5 + 60],
+                )
+            })
+        })
+        .collect();
+
+    // Calibrate l_spe to this machine's full-work service time, then
+    // build a flash crowd whose burst overwhelms it several-fold.
+    let probe = ExecutionPolicy::deadline(Duration::from_millis(100));
+    for req in pool.iter().take(16) {
+        std::hint::black_box(service.serve(req, &probe));
+    }
+    let t0 = Instant::now();
+    for req in pool.iter().cycle().take(128) {
+        std::hint::black_box(service.serve(req, &probe));
+    }
+    let full_rps = 128.0 / t0.elapsed().as_secs_f64();
+    let l_spe = Duration::from_secs_f64(8.0 / full_rps)
+        .clamp(Duration::from_millis(2), Duration::from_millis(100));
+
+    let trace = flash_crowd_arrivals(
+        BurstConfig {
+            base_rate: full_rps * 0.3,
+            burst_rate: 0.8,
+            burst_duration_s: 1.0,
+            amplification: 12.0,
+            seed: 17,
+        },
+        3.0,
+    );
+    let delays = arrival_delays(&trace.arrivals, 1.0);
+    let zipf = Zipf::new(pool.len(), 1.1);
+    let mut rng = SmallRng::seed_from_u64(29);
+    let requests: Vec<(ActiveUser, Duration)> = delays
+        .iter()
+        .map(|&d| (pool[zipf.sample(&mut rng)].clone(), d))
+        .collect();
+    println!(
+        "flash crowd: {} requests over {:.1} s (base {:.0} req/s, burst x12), \
+         l_spe {:.2} ms, full-work capacity ~{:.0} req/s",
+        requests.len(),
+        3.0,
+        full_rps * 0.3,
+        l_spe.as_secs_f64() * 1e3,
+        full_rps,
+    );
+
+    let none = replay(&service, &requests, l_spe, None);
+    let ladder = replay(
+        &service,
+        &requests,
+        l_spe,
+        Some(LadderController::new(LadderConfig {
+            step_fraction: 1.0,
+            ..LadderConfig::for_deadline(l_spe)
+        })),
+    );
+
+    println!("\n{:<14}{:>12}{:>12}", "", "NoControl", "Ladder");
+    for (label, a, b) in [
+        (
+            "miss rate",
+            none.missed as f64 / none.served.max(1) as f64,
+            ladder.missed as f64 / ladder.served.max(1) as f64,
+        ),
+        ("p99 ms", none.p99_ms, ladder.p99_ms),
+        ("coverage", none.mean_coverage, ladder.mean_coverage),
+        (
+            "degraded",
+            none.degraded as f64 / requests.len() as f64,
+            ladder.degraded as f64 / requests.len() as f64,
+        ),
+        (
+            "shed",
+            none.shed as f64 / requests.len() as f64,
+            ladder.shed as f64 / requests.len() as f64,
+        ),
+    ] {
+        println!("{label:<14}{a:>12.3}{b:>12.3}");
+    }
+    println!(
+        "\nthe ladder trades a little coverage *deliberately* (policy_applied \
+         shows Budgeted/SynopsisOnly)\ninstead of letting queue wait expire \
+         every deadline into zero-coverage answers."
+    );
+}

@@ -32,6 +32,14 @@
 //! stamps each request's submission instant (queue wait counts against
 //! `Deadline` policies), a dispatcher thread drains micro-batches, and
 //! per-request [`Ticket`](crate::server::Ticket)s deliver responses.
+//! Under overload, a pluggable admission controller
+//! ([`server::LadderController`](crate::server::LadderController)) walks
+//! requests down a [`DegradationLadder`](crate::core::DegradationLadder)
+//! (`Deadline` → `Budgeted` → `SynopsisOnly`) from sliding-window queue
+//! telemetry ([`server::LoadSnapshot`](crate::server::LoadSnapshot)), so
+//! a diurnal peak degrades a fraction of traffic instead of blowing
+//! every deadline; responses record the
+//! [`policy_applied`](crate::core::ServiceResponse::policy_applied).
 //!
 //! This facade re-exports the whole workspace:
 //!
@@ -99,14 +107,17 @@ pub use at_workloads as workloads;
 pub mod prelude {
     pub use at_core::{
         partition_rows, Algorithm1, ApproximateService, Component, ComponentTelemetry,
-        ComposableService, Correlation, Ctx, ExecutionPolicy, FanOutService, Outcome, OutputPool,
-        ServiceError, ServiceResponse,
+        ComposableService, Correlation, Ctx, DegradationLadder, ExecutionPolicy, FanOutService,
+        Outcome, OutputPool, ServiceError, ServiceResponse,
     };
     pub use at_linalg::svd::{IncrementalSvd, SvdConfig};
     pub use at_recommender::{rating_matrix, ActiveUser, CfService, PredictionAcc};
     pub use at_rtree::{RTree, RTreeConfig};
     pub use at_search::{SearchRequest, SearchService, TopK};
-    pub use at_server::{Server, ServerConfig, ServerStats, SubmitError, Ticket};
+    pub use at_server::{
+        AdmissionController, Decision, LadderConfig, LadderController, LoadSnapshot, NoControl,
+        Server, ServerConfig, ServerStats, SubmitError, Ticket,
+    };
     pub use at_sim::{simulate, CostModel, SimConfig, Technique};
     pub use at_synopsis::{
         AggregationMode, DataUpdate, RowStore, SparseRow, SynopsisConfig, SynopsisStore,

@@ -217,6 +217,74 @@ fn async_server_predictions_match_synchronous_serve() {
     assert_eq!(stats.in_flight, 0);
 }
 
+/// The load-adaptive control plane end to end: a burst that queues past
+/// the controller's wait budget is degraded down the ladder, every
+/// degraded response is still a valid prediction identical to serving
+/// under the applied rung, and `policy_applied` reports the degradation.
+#[test]
+fn admission_control_degrades_overloaded_burst_to_valid_predictions() {
+    let (service, _, evals) = deployment();
+    let service = std::sync::Arc::new(service);
+    let wait_budget = Duration::from_millis(15);
+    let server = Server::with_controller(
+        service.clone(),
+        ServerConfig::default()
+            .with_max_batch(16)
+            .with_stats_window(32),
+        LadderController::new(LadderConfig {
+            step_fraction: 1.0,
+            max_level: 3, // degradation only: never reach shed_level
+            ..LadderConfig::for_deadline(wait_budget)
+        }),
+    );
+    let requested = ExecutionPolicy::deadline(Duration::from_secs(30));
+    server.pause();
+    let tickets: Vec<_> = evals
+        .iter()
+        .cycle()
+        .take(48)
+        .map(|(active, _)| {
+            (
+                active.clone(),
+                server.try_submit(active.clone(), requested).expect("room"),
+            )
+        })
+        .collect();
+    std::thread::sleep(3 * wait_budget); // the queue wait blows the budget
+    server.resume();
+    let mut degraded = 0usize;
+    for (active, ticket) in tickets {
+        let got = ticket
+            .wait()
+            .expect("degraded, never shed below shed_level");
+        assert_eq!(got.response.len(), active.targets.len());
+        for p in &got.response {
+            assert!((1.0..=5.0).contains(p), "prediction {p} out of range");
+        }
+        if got.policy_applied != requested {
+            degraded += 1;
+            assert!(
+                got.policy_applied.cost_rank() < requested.cost_rank(),
+                "control only moves down the ladder: {:?}",
+                got.policy_applied
+            );
+            assert!(got.policy_applied.is_clock_free());
+            // Degraded rungs are clock-free: the response must be
+            // byte-identical to serving under the applied policy.
+            let want = service.serve(&active, &got.policy_applied);
+            assert_eq!(got.response, want.response);
+            assert_eq!(got.components, want.components);
+        }
+    }
+    assert!(
+        degraded > 0,
+        "a burst waiting 3x the budget must trip the controller"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.shed, 0, "max_level below shed_level never sheds");
+    assert_eq!(stats.completed, 48);
+}
+
 #[test]
 fn data_updates_keep_service_consistent() {
     let (mut service, data, evals) = deployment();

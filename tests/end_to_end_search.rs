@@ -166,6 +166,77 @@ fn async_server_topk_matches_synchronous_serve() {
     assert_eq!(stats.completed as usize, queries.len());
 }
 
+/// Admission control over the search adapter: the paper's `i_max` cap
+/// (top 40% of ranked sets) survives degradation — a `Deadline` request
+/// degraded to its `Budgeted` rung keeps the cap — and every degraded
+/// response is a valid, correctly ordered top-k identical to serving
+/// under the applied rung.
+#[test]
+fn admission_control_preserves_imax_and_topk_validity_under_overload() {
+    let (service, _, queries) = deployment();
+    let service = std::sync::Arc::new(service);
+    let n_sets = service.components()[0].store().synopsis().len();
+    let imax = ExecutionPolicy::imax_for_fraction(n_sets, 0.4);
+    let requested = ExecutionPolicy::Deadline {
+        l_spe: Duration::from_secs(30),
+        imax: Some(imax),
+    };
+    let wait_budget = Duration::from_millis(15);
+    let server = Server::with_controller(
+        service.clone(),
+        ServerConfig::default()
+            .with_max_batch(16)
+            .with_stats_window(32),
+        LadderController::new(LadderConfig {
+            step_fraction: 1.0,
+            max_level: 3, // degradation only: never reach shed_level
+            ..LadderConfig::for_deadline(wait_budget)
+        }),
+    );
+    server.pause();
+    let tickets: Vec<_> = queries
+        .iter()
+        .cycle()
+        .take(40)
+        .map(|q| {
+            (
+                q.clone(),
+                server.try_submit(q.clone(), requested).expect("room"),
+            )
+        })
+        .collect();
+    std::thread::sleep(3 * wait_budget);
+    server.resume();
+    let mut degraded = 0usize;
+    for (query, ticket) in tickets {
+        let got = ticket
+            .wait()
+            .expect("degraded, never shed below shed_level");
+        assert!(got.response.len() <= 10);
+        let hits = got.response.sorted();
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score, "top-k not sorted");
+        }
+        if got.policy_applied != requested {
+            degraded += 1;
+            // Degrading a capped Deadline keeps the paper's i_max.
+            if got.policy_applied.cost_rank() > ExecutionPolicy::SynopsisOnly.cost_rank() {
+                assert_eq!(got.policy_applied.imax(), Some(imax));
+            }
+            let want = service.serve(&query, &got.policy_applied);
+            assert_eq!(got.response.doc_ids(), want.response.doc_ids());
+            assert_eq!(got.components, want.components);
+        }
+    }
+    assert!(
+        degraded > 0,
+        "a burst waiting 3x the budget must trip the controller"
+    );
+    let stats = server.shutdown();
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.completed, 40);
+}
+
 #[test]
 fn search_policy_imax_caps_coverage() {
     // The paper's search setting (i_max = 40% of sets) must cap coverage

@@ -1,0 +1,306 @@
+//! `analysis.toml` loading: a minimal TOML-subset parser (tables, string
+//! / bool / string-array values, `#` comments, multi-line arrays) plus
+//! the typed [`Config`] the rules consume. The workspace vendors no TOML
+//! crate, and the subset here is all the config format uses.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// A parsed, validated analysis configuration.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Path prefixes (relative to the analysis root) never scanned.
+    pub exclude: Vec<String>,
+    /// Per-rule configuration, in file order.
+    pub rules: Vec<RuleConfig>,
+}
+
+/// Configuration of a single rule section `[rules.<name>]`.
+#[derive(Debug, Default)]
+pub struct RuleConfig {
+    pub name: String,
+    pub enabled: bool,
+    /// Directory prefixes to scan (path-scoped rules).
+    pub paths: Vec<String>,
+    /// Files exempt from the rule (e.g. the clock gateway itself).
+    pub allow: Vec<String>,
+    /// Forbidden construct names, resolved by the rules to token patterns.
+    pub forbid: Vec<String>,
+    /// `file::fn` hot items (item-scoped rules); `fn` may end in `*`.
+    pub items: Vec<String>,
+    /// Whether the rule also applies inside `#[test]` / `#[cfg(test)]`.
+    pub include_tests: bool,
+}
+
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Bool(bool),
+    List(Vec<String>),
+}
+
+type Tables = BTreeMap<String, BTreeMap<String, Value>>;
+
+/// Load and validate a config file.
+pub fn load(path: &Path) -> Result<Config, ConfigError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ConfigError(format!("cannot read {}: {e}", path.display())))?;
+    parse(&text)
+}
+
+/// Parse config text. Public for the fixture corpus tests.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let tables = parse_tables(text)?;
+    let mut cfg = Config::default();
+
+    for (table, entries) in &tables {
+        if table == "scan" {
+            for (key, value) in entries {
+                match key.as_str() {
+                    "exclude" => cfg.exclude = expect_list(table, key, value)?,
+                    _ => return Err(unknown_key(table, key)),
+                }
+            }
+        } else if let Some(rule_name) = table.strip_prefix("rules.") {
+            let mut rule = RuleConfig {
+                name: rule_name.to_string(),
+                enabled: true,
+                ..RuleConfig::default()
+            };
+            for (key, value) in entries {
+                match key.as_str() {
+                    "enabled" => rule.enabled = expect_bool(table, key, value)?,
+                    "include-tests" => rule.include_tests = expect_bool(table, key, value)?,
+                    "paths" => rule.paths = expect_list(table, key, value)?,
+                    "allow" => rule.allow = expect_list(table, key, value)?,
+                    "forbid" => rule.forbid = expect_list(table, key, value)?,
+                    "items" => rule.items = expect_list(table, key, value)?,
+                    _ => return Err(unknown_key(table, key)),
+                }
+            }
+            cfg.rules.push(rule);
+        } else {
+            return Err(ConfigError(format!("unknown table [{table}]")));
+        }
+    }
+    if cfg.rules.is_empty() {
+        return Err(ConfigError("no [rules.*] tables configured".into()));
+    }
+    Ok(cfg)
+}
+
+fn unknown_key(table: &str, key: &str) -> ConfigError {
+    ConfigError(format!("unknown key `{key}` in [{table}]"))
+}
+
+fn expect_list(table: &str, key: &str, v: &Value) -> Result<Vec<String>, ConfigError> {
+    match v {
+        Value::List(items) => Ok(items.clone()),
+        _ => Err(ConfigError(format!(
+            "`{key}` in [{table}] must be an array of strings"
+        ))),
+    }
+}
+
+fn expect_bool(table: &str, key: &str, v: &Value) -> Result<bool, ConfigError> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        _ => Err(ConfigError(format!(
+            "`{key}` in [{table}] must be true or false"
+        ))),
+    }
+}
+
+/// Split text into `[table] -> key -> value` maps. Arrays may span lines;
+/// `#` starts a comment outside strings.
+fn parse_tables(text: &str) -> Result<Tables, ConfigError> {
+    let mut tables = Tables::new();
+    let mut current: Option<String> = None;
+    let mut lines = text.lines().enumerate().peekable();
+
+    while let Some((lineno, raw)) = lines.next() {
+        let line = strip_comment(raw).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('[') {
+            let Some(name) = header.strip_suffix(']') else {
+                return Err(ConfigError(format!(
+                    "line {}: malformed table header",
+                    lineno + 1
+                )));
+            };
+            let name = name.trim().to_string();
+            tables.entry(name.clone()).or_default();
+            current = Some(name);
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(ConfigError(format!(
+                "line {}: expected `key = value`, got `{line}`",
+                lineno + 1
+            )));
+        };
+        let key = line[..eq].trim().to_string();
+        let mut value_text = line[eq + 1..].trim().to_string();
+        // Multi-line array: keep consuming lines until brackets balance
+        // outside string literals.
+        while value_text.starts_with('[') && !brackets_balanced(&value_text) {
+            let Some((_, next)) = lines.next() else {
+                return Err(ConfigError(format!(
+                    "line {}: unterminated array for `{key}`",
+                    lineno + 1
+                )));
+            };
+            value_text.push(' ');
+            value_text.push_str(strip_comment(next).trim());
+        }
+        let value = parse_value(&value_text)
+            .ok_or_else(|| ConfigError(format!("line {}: bad value for `{key}`", lineno + 1)))?;
+        let table = current.clone().ok_or_else(|| {
+            ConfigError(format!("line {}: `{key}` outside any table", lineno + 1))
+        })?;
+        tables.entry(table).or_default().insert(key, value);
+    }
+    Ok(tables)
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn brackets_balanced(s: &str) -> bool {
+    let mut depth = 0i64;
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => in_str = !in_str,
+            '[' if !in_str => depth += 1,
+            ']' if !in_str => depth -= 1,
+            _ => {}
+        }
+    }
+    depth == 0 && !in_str
+}
+
+fn parse_value(s: &str) -> Option<Value> {
+    let s = s.trim();
+    match s {
+        "true" => return Some(Value::Bool(true)),
+        "false" => return Some(Value::Bool(false)),
+        _ => {}
+    }
+    if let Some(body) = s.strip_prefix('"') {
+        return body.strip_suffix('"').map(|v| Value::Str(v.to_string()));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let body = body.strip_suffix(']')?;
+        let mut items = Vec::new();
+        for part in split_top_level(body) {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            match parse_value(part)? {
+                Value::Str(v) => items.push(v),
+                _ => return None,
+            }
+        }
+        return Some(Value::List(items));
+    }
+    None
+}
+
+/// Split on commas outside string literals.
+fn split_top_level(s: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut cur = String::new();
+    let mut in_str = false;
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            ',' if !in_str => {
+                parts.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    parts.push(cur);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rules_scan_and_multiline_arrays() {
+        let cfg = parse(
+            r#"
+# top comment
+[scan]
+exclude = ["vendor", "target"]
+
+[rules.hot-path-alloc]
+forbid = [
+    "Vec::new",   # trailing comment
+    "vec!",
+]
+items = ["crates/a/src/x.rs::hot"]
+
+[rules.lock-hygiene]
+enabled = true
+include-tests = true
+paths = ["crates"]
+forbid = [".lock().unwrap"]
+"#,
+        )
+        .expect("valid config");
+        assert_eq!(cfg.exclude, vec!["vendor", "target"]);
+        assert_eq!(cfg.rules.len(), 2);
+        let hot = &cfg.rules[0];
+        assert_eq!(hot.name, "hot-path-alloc");
+        assert_eq!(hot.forbid, vec!["Vec::new", "vec!"]);
+        assert_eq!(hot.items, vec!["crates/a/src/x.rs::hot"]);
+        assert!(!hot.include_tests);
+        let lock = &cfg.rules[1];
+        assert!(lock.include_tests);
+        assert!(lock.enabled);
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_tables() {
+        assert!(parse("[rules.x]\nbogus = true\n").is_err());
+        assert!(parse("[mystery]\nk = \"v\"\n").is_err());
+        assert!(parse("# empty\n").is_err(), "no rules at all is an error");
+    }
+
+    #[test]
+    fn hash_inside_strings_is_not_a_comment() {
+        let cfg = parse("[rules.r]\nforbid = [\"a#b\"]\n").expect("valid");
+        assert_eq!(cfg.rules[0].forbid, vec!["a#b"]);
+    }
+}

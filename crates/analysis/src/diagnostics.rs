@@ -1,0 +1,66 @@
+//! Diagnostic records: one finding per (file, line, rule), rendered as
+//! `file:line: [rule] message` so editors and CI logs can jump to the
+//! offending line.
+
+use std::fmt;
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    pub file: String,
+    pub line: usize,
+    pub rule: String,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        file: impl Into<String>,
+        line: usize,
+        rule: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            file: file.into(),
+            line,
+            rule: rule.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_clickable_location() {
+        let d = Diagnostic::new("crates/core/src/service.rs", 42, "panic-freedom", "boom");
+        assert_eq!(
+            d.to_string(),
+            "crates/core/src/service.rs:42: [panic-freedom] boom"
+        );
+    }
+
+    #[test]
+    fn sorts_by_file_then_line() {
+        let mut v = [
+            Diagnostic::new("b.rs", 1, "r", "m"),
+            Diagnostic::new("a.rs", 9, "r", "m"),
+            Diagnostic::new("a.rs", 2, "r", "m"),
+        ];
+        v.sort();
+        assert_eq!(v[0].file, "a.rs");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[2].file, "b.rs");
+    }
+}

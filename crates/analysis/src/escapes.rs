@@ -1,0 +1,172 @@
+//! The escape hatch: a comment of the form
+//!
+//! ```text
+//! // lint: allow(<rule>) reason=<why this site is exempt>
+//! ```
+//!
+//! (written as a `//` comment) on the flagged line or the line directly
+//! above it suppresses that rule there. The reason is mandatory and must
+//! be non-empty — an escape without a justification, naming an
+//! unconfigured rule, or otherwise malformed is itself reported (rule
+//! `lint-escape`), so the hatch cannot silently rot.
+//!
+//! A comment only counts as a directive when its content *starts* with
+//! `lint:` after the comment markers; prose that merely mentions the
+//! syntax (like this doc) is ignored.
+
+use crate::lexer::Comment;
+
+/// A well-formed suppression directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Escape {
+    pub line: usize,
+    pub rule: String,
+}
+
+/// Result of scanning one file's comments.
+#[derive(Debug, Default)]
+pub struct EscapeScan {
+    pub escapes: Vec<Escape>,
+    /// `(line, problem)` for directives that fail to parse.
+    pub malformed: Vec<(usize, String)>,
+}
+
+/// Scan comments for directives; `known_rules` are the configured rule
+/// names an escape may reference.
+pub fn scan(comments: &[Comment], known_rules: &[String]) -> EscapeScan {
+    let mut out = EscapeScan::default();
+    for c in comments {
+        let body = c
+            .text
+            .trim_start_matches('/')
+            .trim_start_matches('!')
+            .trim();
+        let Some(rest) = body.strip_prefix("lint:") else {
+            continue;
+        };
+        match parse_directive(rest.trim_start(), known_rules) {
+            Ok(rule) => out.escapes.push(Escape { line: c.line, rule }),
+            Err(problem) => out.malformed.push((c.line, problem)),
+        }
+    }
+    out
+}
+
+fn parse_directive(rest: &str, known_rules: &[String]) -> Result<String, String> {
+    let Some(args) = rest.strip_prefix("allow(") else {
+        return Err("expected `allow(<rule>)` after `lint:`".into());
+    };
+    let Some(close) = args.find(')') else {
+        return Err("unclosed `allow(`".into());
+    };
+    let rule = args[..close].trim().to_string();
+    if !known_rules.contains(&rule) {
+        return Err(format!("`{rule}` is not a configured rule"));
+    }
+    let tail = args[close + 1..].trim_start();
+    let Some(reason) = tail.strip_prefix("reason=") else {
+        return Err("missing `reason=` — every escape must say why".into());
+    };
+    if reason.trim().is_empty() {
+        return Err("empty reason — every escape must say why".into());
+    }
+    Ok(rule)
+}
+
+/// Is a diagnostic of `rule` at `line` suppressed? Directives cover their
+/// own line and the line directly below (i.e. a diagnostic looks at its
+/// line and the one above).
+pub fn suppressed(escapes: &[Escape], rule: &str, line: usize) -> bool {
+    escapes
+        .iter()
+        .any(|e| e.rule == rule && (e.line == line || e.line + 1 == line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules() -> Vec<String> {
+        vec!["panic-freedom".into(), "lock-hygiene".into()]
+    }
+
+    fn comment(line: usize, text: &str) -> Comment {
+        Comment {
+            line,
+            text: text.to_string(),
+        }
+    }
+
+    #[test]
+    fn well_formed_escape_is_recorded() {
+        let s = scan(
+            &[comment(
+                7,
+                "// lint: allow(panic-freedom) reason=test harness",
+            )],
+            &rules(),
+        );
+        assert_eq!(
+            s.escapes,
+            vec![Escape {
+                line: 7,
+                rule: "panic-freedom".into()
+            }]
+        );
+        assert!(s.malformed.is_empty());
+        assert!(suppressed(&s.escapes, "panic-freedom", 7), "same line");
+        assert!(suppressed(&s.escapes, "panic-freedom", 8), "line below");
+        assert!(!suppressed(&s.escapes, "panic-freedom", 9));
+        assert!(!suppressed(&s.escapes, "lock-hygiene", 7), "other rule");
+    }
+
+    #[test]
+    fn missing_or_empty_reason_is_malformed() {
+        for text in [
+            "// lint: allow(panic-freedom)",
+            "// lint: allow(panic-freedom) reason=",
+            "// lint: allow(panic-freedom) reason=   ",
+        ] {
+            let s = scan(&[comment(1, text)], &rules());
+            assert!(s.escapes.is_empty(), "{text}");
+            assert_eq!(s.malformed.len(), 1, "{text}");
+        }
+    }
+
+    #[test]
+    fn unknown_rule_is_malformed() {
+        let s = scan(&[comment(1, "// lint: allow(speling) reason=x")], &rules());
+        assert_eq!(s.malformed.len(), 1);
+        assert!(s.malformed[0].1.contains("not a configured rule"));
+    }
+
+    #[test]
+    fn prose_mentioning_the_syntax_is_ignored() {
+        let s = scan(
+            &[
+                comment(1, "/// Use `lint: allow(<rule>) reason=...` to escape."),
+                comment(
+                    2,
+                    "// the lint: allow mechanism is documented in ANALYSIS.md",
+                ),
+            ],
+            &rules(),
+        );
+        // Line 1 does not *start* with `lint:` (backtick first); line 2
+        // starts with "the".
+        assert!(s.escapes.is_empty());
+        assert!(s.malformed.is_empty());
+    }
+
+    #[test]
+    fn doc_comment_markers_are_stripped() {
+        let s = scan(
+            &[comment(
+                3,
+                "//! lint: allow(lock-hygiene) reason=module-wide demo",
+            )],
+            &rules(),
+        );
+        assert_eq!(s.escapes.len(), 1);
+    }
+}

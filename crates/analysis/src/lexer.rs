@@ -1,0 +1,399 @@
+//! A deliberately small Rust lexer: just enough token structure for the
+//! invariant rules to match on, with line numbers for diagnostics and line
+//! comments captured separately (escape directives live in comments).
+//!
+//! This is not a general Rust frontend. It handles the constructs that
+//! actually occur in this workspace — line and nested block comments, raw
+//! and byte strings, char-vs-lifetime disambiguation, numeric literals
+//! that do not swallow range dots — and treats every remaining character
+//! as single-character punctuation. The rules never need more: each
+//! forbidden construct is a short token sequence.
+
+/// One lexical token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `Vec`, `unwrap`, ...).
+    Ident(String),
+    /// Single punctuation character (`.`, `:`, `[`, `!`, ...).
+    Punct(char),
+    /// String literal of any flavour (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (`42`, `0xff`, `1_000`, `2.5e-3`).
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// A `//` comment (regular or doc) with its 1-based line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub line: usize,
+    pub text: String,
+}
+
+/// Token and comment streams for one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `src` into tokens and line comments. Never fails: unrecognised
+/// bytes become punctuation, unterminated literals run to end of input.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0;
+    let mut line = 1;
+    let n = chars.len();
+
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. `///` and `//!` docs): captured for the
+        // escape-directive scanner.
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: chars[start..i].iter().collect(),
+            });
+            continue;
+        }
+        // Block comment, nested per Rust rules; skipped entirely.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / byte string prefixes must be checked before generic
+        // identifiers: `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`.
+        if (c == 'r' || c == 'b') && is_raw_or_byte_string(&chars, i) {
+            let tok_line = line;
+            i += skip_string_with_prefix(&chars, i, &mut line);
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                line: tok_line,
+            });
+            continue;
+        }
+        if c == 'b' && chars.get(i + 1) == Some(&'\'') {
+            let tok_line = line;
+            i += 1 + skip_char_literal(&chars, i + 1);
+            out.tokens.push(Token {
+                kind: TokenKind::Char,
+                line: tok_line,
+            });
+            continue;
+        }
+        if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident(chars[start..i].iter().collect()),
+                line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let tok_line = line;
+            i += skip_number(&chars, i);
+            out.tokens.push(Token {
+                kind: TokenKind::Num,
+                line: tok_line,
+            });
+            continue;
+        }
+        if c == '"' {
+            let tok_line = line;
+            i += skip_plain_string(&chars, i, &mut line);
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                line: tok_line,
+            });
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime iff an identifier follows and is NOT closed by a
+            // quote (`'a,` is a lifetime; `'a'` is a char literal).
+            let next = chars.get(i + 1).copied().unwrap_or(' ');
+            if (next.is_alphabetic() || next == '_') && chars.get(i + 2) != Some(&'\'') {
+                i += 1;
+                while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    line,
+                });
+            } else {
+                let tok_line = line;
+                i += skip_char_literal(&chars, i);
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    line: tok_line,
+                });
+            }
+            continue;
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Punct(c),
+            line,
+        });
+        i += 1;
+    }
+    out
+}
+
+/// Does `r...` / `b...` / `br...` at `i` start a raw or byte string?
+fn is_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'r') {
+        j += 1;
+        while chars.get(j) == Some(&'#') {
+            j += 1;
+        }
+    }
+    j > i && chars.get(j) == Some(&'"')
+}
+
+/// Skip a (raw/byte) string starting at its prefix; returns chars consumed.
+fn skip_string_with_prefix(chars: &[char], start: usize, line: &mut usize) -> usize {
+    let mut i = start;
+    if chars.get(i) == Some(&'b') {
+        i += 1;
+    }
+    let mut hashes = 0;
+    let raw = chars.get(i) == Some(&'r');
+    if raw {
+        i += 1;
+        while chars.get(i) == Some(&'#') {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    // Opening quote.
+    i += 1;
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if !raw && c == '\\' {
+            i += 2;
+            continue;
+        }
+        if c == '"'
+            && (!raw
+                || chars[i + 1..]
+                    .iter()
+                    .take(hashes)
+                    .filter(|&&h| h == '#')
+                    .count()
+                    == hashes)
+        {
+            i += 1 + if raw { hashes } else { 0 };
+            break;
+        }
+        i += 1;
+    }
+    i - start
+}
+
+fn skip_plain_string(chars: &[char], start: usize, line: &mut usize) -> usize {
+    let mut i = start + 1;
+    let n = chars.len();
+    while i < n {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => {
+                i += 1;
+                break;
+            }
+            c => {
+                if c == '\n' {
+                    *line += 1;
+                }
+                i += 1;
+            }
+        }
+    }
+    i - start
+}
+
+fn skip_char_literal(chars: &[char], start: usize) -> usize {
+    // `'` then either an escape (`\n`, `\u{1F600}`, `\'`) or one char,
+    // then the closing `'`.
+    let mut i = start + 1;
+    let n = chars.len();
+    if i < n && chars[i] == '\\' {
+        i += 2;
+        if i <= n && chars.get(i - 1) == Some(&'u') && chars.get(i) == Some(&'{') {
+            while i < n && chars[i] != '}' {
+                i += 1;
+            }
+            i += 1;
+        }
+    } else if i < n {
+        i += 1;
+    }
+    if i < n && chars[i] == '\'' {
+        i += 1;
+    }
+    i - start
+}
+
+/// Skip a numeric literal without swallowing range dots: a `.` is part of
+/// the number only when a digit follows (`1.5` yes, `0..n` no).
+fn skip_number(chars: &[char], start: usize) -> usize {
+    let mut i = start;
+    let n = chars.len();
+    while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+        i += 1;
+    }
+    if i < n && chars[i] == '.' && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+        i += 1;
+        while i < n && (chars[i].is_alphanumeric() || chars[i] == '_') {
+            i += 1;
+        }
+    }
+    // Exponent with a sign (`1e-3`); signless exponents are consumed by
+    // the alphanumeric sweep above.
+    if i < n
+        && (chars[i] == '+' || chars[i] == '-')
+        && chars
+            .get(i.wrapping_sub(1))
+            .is_some_and(|c| *c == 'e' || *c == 'E')
+        && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+    {
+        i += 1;
+        while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+            i += 1;
+        }
+    }
+    i - start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let l = lex("let x = 1; // lint: allow(panic-freedom) reason=demo\nfn f() {}");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("lint: allow"));
+        assert_eq!(l.comments[0].line, 1);
+        assert!(idents("// Vec::new\nx").iter().all(|s| s != "Vec"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_lines() {
+        let l = lex("/* a /* b */ c\n d */ fn after() {}");
+        assert_eq!(l.tokens[0].kind, TokenKind::Ident("fn".into()));
+        assert_eq!(l.tokens[0].line, 2);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn strings_do_not_leak_tokens() {
+        // `Vec::new` inside any string flavour must not produce idents.
+        for src in [
+            r#"let s = "Vec::new()";"#,
+            r##"let s = r#"Vec::new()"#;"##,
+            r#"let s = b"Vec::new()";"#,
+        ] {
+            assert!(idents(src).iter().all(|s| s != "Vec"), "leaked from {src}");
+        }
+    }
+
+    #[test]
+    fn range_dots_stay_punctuation() {
+        let l = lex("(0..n).collect()");
+        let dots = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Punct('.'))
+            .count();
+        assert_eq!(dots, 3, "two range dots plus the method dot");
+        assert!(idents("(0..n).collect()").contains(&"collect".to_string()));
+    }
+
+    #[test]
+    fn multiline_string_tracks_lines() {
+        let l = lex("let s = \"a\nb\nc\";\nfn f() {}");
+        let f = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("fn".into()))
+            .expect("fn token");
+        assert_eq!(f.line, 4);
+    }
+}

@@ -1,0 +1,244 @@
+//! `at-analysis`: the workspace's invariant lint pass.
+//!
+//! The serving stack makes promises the type system cannot state: the
+//! warm hot path never allocates, clock-free policies never read the
+//! clock, the request path never panics, and no lock site unwraps a
+//! poisoned mutex. Each promise is cheap to keep and easy to erode one
+//! innocuous edit at a time — so this crate machine-checks all four on
+//! every CI run, from a hand-rolled token scan (no external parser
+//! dependencies; the build environment is offline).
+//!
+//! The pass is configured by `analysis.toml` at the workspace root: which
+//! rule applies to which paths or `file::fn` items, which constructs are
+//! forbidden, and which files are allowlisted. Violations print as
+//! `file:line: [rule] message`; `--check` turns any finding into a
+//! non-zero exit for CI; `--explain <rule>` prints the rationale.
+//! Deliberate exceptions are annotated in the source with
+//! `lint: allow(<rule>) reason=...` comments — mandatory reason,
+//! malformed escapes are themselves findings.
+//!
+//! The static pass is paired with two dynamic probes in the root crate
+//! (`tests/probe_alloc.rs`, `tests/probe_clock.rs`) that measure the
+//! same contracts at runtime; see `ANALYSIS.md` for the full story.
+
+pub mod config;
+pub mod diagnostics;
+pub mod escapes;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::rc::Rc;
+
+use config::{Config, ConfigError, RuleConfig};
+use diagnostics::Diagnostic;
+use escapes::Escape;
+
+/// A lexed, scope-resolved source file, shared across rules.
+#[derive(Debug)]
+pub struct FileData {
+    /// Path relative to the analysis root, `/`-separated.
+    pub rel: String,
+    pub tokens: Vec<lexer::Token>,
+    pub ctxs: Vec<scope::Context>,
+    pub escapes: Vec<Escape>,
+}
+
+/// Fatal analysis failure (as opposed to findings): bad config, missing
+/// configured path, unreadable file.
+#[derive(Debug)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "at-analysis: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<ConfigError> for Error {
+    fn from(e: ConfigError) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Run every enabled rule over the tree at `root`, returning sorted,
+/// deduplicated diagnostics (empty = the workspace honours its
+/// invariants).
+pub fn analyze(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, Error> {
+    let known_rules: Vec<String> = cfg.rules.iter().map(|r| r.name.clone()).collect();
+    let mut cache: BTreeMap<String, Rc<FileData>> = BTreeMap::new();
+    let mut out: Vec<Diagnostic> = Vec::new();
+
+    for rule in cfg.rules.iter().filter(|r| r.enabled) {
+        let rels = rule_scope(root, rule, &cfg.exclude)?;
+        let mut files = Vec::with_capacity(rels.len());
+        for rel in rels {
+            files.push(load(root, &rel, &known_rules, &mut cache, &mut out)?);
+        }
+        match rule.name.as_str() {
+            "hot-path-alloc" => rules::hot_path_alloc::run(rule, &files, &mut out)?,
+            "clock-discipline" => rules::clock_discipline::run(rule, &files, &mut out)?,
+            "panic-freedom" => rules::panic_freedom::run(rule, &files, &mut out)?,
+            "lock-hygiene" => rules::lock_hygiene::run(rule, &files, &mut out)?,
+            other => {
+                return Err(Error(format!(
+                    "[rules.{other}] has no implementation — known rules: \
+                     hot-path-alloc, clock-discipline, panic-freedom, lock-hygiene"
+                )))
+            }
+        }
+    }
+
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// The set of relative file paths a rule scans.
+fn rule_scope(root: &Path, rule: &RuleConfig, exclude: &[String]) -> Result<Vec<String>, Error> {
+    if !rule.items.is_empty() {
+        // Item-scoped rule: exactly the files the items name.
+        let mut rels: Vec<String> = Vec::new();
+        for item in &rule.items {
+            let Some((file, _fn)) = item.rsplit_once("::") else {
+                return Err(Error(format!(
+                    "[rules.{}] item `{item}` is not of the form `path/file.rs::fn`",
+                    rule.name
+                )));
+            };
+            if !root.join(file).is_file() {
+                return Err(Error(format!(
+                    "[rules.{}] item `{item}` names a file that does not exist — stale config?",
+                    rule.name
+                )));
+            }
+            if !rels.iter().any(|r| r == file) {
+                rels.push(file.to_string());
+            }
+        }
+        return Ok(rels);
+    }
+    let mut rels = Vec::new();
+    for prefix in &rule.paths {
+        let dir = root.join(prefix);
+        if !dir.is_dir() {
+            return Err(Error(format!(
+                "[rules.{}] path `{prefix}` is not a directory under {}",
+                rule.name,
+                root.display()
+            )));
+        }
+        walk_rs(&dir, root, exclude, &mut rels)?;
+    }
+    rels.retain(|rel| !rule.allow.iter().any(|a| a == rel));
+    rels.sort();
+    rels.dedup();
+    Ok(rels)
+}
+
+/// Recursively collect `.rs` files under `dir` as root-relative paths,
+/// skipping excluded prefixes.
+fn walk_rs(
+    dir: &Path,
+    root: &Path,
+    exclude: &[String],
+    out: &mut Vec<String>,
+) -> Result<(), Error> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| Error(format!("cannot read {}: {e}", dir.display())))?
+        .collect::<Result<_, _>>()
+        .map_err(|e| Error(format!("cannot read {}: {e}", dir.display())))?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let rel = match path.strip_prefix(root) {
+            Ok(r) => r.to_string_lossy().replace('\\', "/"),
+            Err(_) => continue,
+        };
+        if excluded(&rel, exclude) {
+            continue;
+        }
+        if path.is_dir() {
+            walk_rs(&path, root, exclude, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn excluded(rel: &str, exclude: &[String]) -> bool {
+    exclude.iter().any(|p| {
+        rel == p || (rel.starts_with(p.as_str()) && rel.as_bytes().get(p.len()) == Some(&b'/'))
+    })
+}
+
+/// Load (or reuse) a file's token/scope/escape data; malformed escape
+/// directives surface as `lint-escape` diagnostics exactly once.
+fn load(
+    root: &Path,
+    rel: &str,
+    known_rules: &[String],
+    cache: &mut BTreeMap<String, Rc<FileData>>,
+    out: &mut Vec<Diagnostic>,
+) -> Result<Rc<FileData>, Error> {
+    if let Some(hit) = cache.get(rel) {
+        return Ok(hit.clone());
+    }
+    let path = root.join(rel);
+    let src = std::fs::read_to_string(&path)
+        .map_err(|e| Error(format!("cannot read {}: {e}", path.display())))?;
+    let lexed = lexer::lex(&src);
+    let ctxs = scope::contexts(&lexed.tokens);
+    let scan = escapes::scan(&lexed.comments, known_rules);
+    for (line, problem) in &scan.malformed {
+        out.push(Diagnostic::new(
+            rel,
+            *line,
+            "lint-escape",
+            format!("malformed escape directive: {problem}"),
+        ));
+    }
+    let data = Rc::new(FileData {
+        rel: rel.to_string(),
+        tokens: lexed.tokens,
+        ctxs,
+        escapes: scan.escapes,
+    });
+    cache.insert(rel.to_string(), data.clone());
+    Ok(data)
+}
+
+/// The rationale text behind `--explain <rule>`.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    match rule {
+        rules::hot_path_alloc::NAME => Some(rules::hot_path_alloc::EXPLAIN),
+        rules::clock_discipline::NAME => Some(rules::clock_discipline::EXPLAIN),
+        rules::panic_freedom::NAME => Some(rules::panic_freedom::EXPLAIN),
+        rules::lock_hygiene::NAME => Some(rules::lock_hygiene::EXPLAIN),
+        "lint-escape" => Some(
+            "lint-escape: escape directives must be well-formed.\n\n\
+             `lint: allow(<rule>) reason=<why>` suppresses one rule on its own\n\
+             line or the line below. The rule must be configured and the reason\n\
+             non-empty; anything else is reported so the escape hatch cannot\n\
+             silently rot into a blanket mute.",
+        ),
+        _ => None,
+    }
+}
+
+/// Names a caller can pass to [`explain`].
+pub fn rule_names() -> &'static [&'static str] {
+    &[
+        rules::hot_path_alloc::NAME,
+        rules::clock_discipline::NAME,
+        rules::panic_freedom::NAME,
+        rules::lock_hygiene::NAME,
+        "lint-escape",
+    ]
+}

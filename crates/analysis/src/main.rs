@@ -1,0 +1,102 @@
+//! CLI front end: `at-analysis [--root DIR] [--config FILE] [--check]
+//! [--explain RULE]`.
+//!
+//! Exit codes: 0 clean (or findings without `--check`), 1 findings under
+//! `--check`, 2 usage/config/IO failure.
+
+#![allow(clippy::print_stdout)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config: Option<PathBuf> = None;
+    let mut check = false;
+    let mut explain: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config = Some(PathBuf::from(v)),
+                None => return usage("--config needs a file"),
+            },
+            "--check" => check = true,
+            "--explain" => match args.next() {
+                Some(v) => explain = Some(v),
+                None => return usage("--explain needs a rule name"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "at-analysis: workspace invariant lint pass\n\n\
+                     USAGE: at-analysis [--root DIR] [--config FILE] [--check] [--explain RULE]\n\n\
+                     --root DIR      tree to analyze (default: .)\n\
+                     --config FILE   analysis config (default: <root>/analysis.toml)\n\
+                     --check         exit 1 when any diagnostic is found (CI gate)\n\
+                     --explain RULE  print the rationale behind a rule and exit\n\n\
+                     RULES: {}",
+                    at_analysis::rule_names().join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if let Some(rule) = explain {
+        return match at_analysis::explain(&rule) {
+            Some(text) => {
+                println!("{text}");
+                ExitCode::SUCCESS
+            }
+            None => usage(&format!(
+                "no rule named `{rule}` — known: {}",
+                at_analysis::rule_names().join(", ")
+            )),
+        };
+    }
+
+    let config = config.unwrap_or_else(|| root.join("analysis.toml"));
+    let cfg = match at_analysis::config::load(&config) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("at-analysis: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match at_analysis::analyze(&root, &cfg) {
+        Ok(diags) if diags.is_empty() => {
+            println!("at-analysis: clean — every configured invariant holds");
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!(
+                "at-analysis: {} finding{} — run with --explain <rule> for rationale",
+                diags.len(),
+                if diags.len() == 1 { "" } else { "s" }
+            );
+            if check {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(problem: &str) -> ExitCode {
+    eprintln!("at-analysis: {problem} (try --help)");
+    ExitCode::from(2)
+}

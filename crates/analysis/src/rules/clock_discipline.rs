@@ -1,0 +1,50 @@
+//! **clock-discipline** — every clock read goes through the gateway.
+//!
+//! Algorithm 1's clock-free policies (`is_clock_free()`) must be *really*
+//! clock-free: the duplicate-collapsing proof in `serve_batch` and the
+//! deterministic replay of the benches both rely on policy decisions
+//! never depending on wall time. To make that auditable, every serving-
+//! stack clock read funnels through `at_core::clock::{now, elapsed_since}`
+//! — a gateway that also counts reads, so the contract is dynamically
+//! observable (tests/probe_clock.rs). This rule enforces the static half:
+//! raw `Instant::now()` / `SystemTime::now()` / `.elapsed()` anywhere in
+//! the configured paths, outside the allowlisted gateway file, is a
+//! diagnostic.
+
+use crate::config::{ConfigError, RuleConfig};
+use crate::diagnostics::Diagnostic;
+use crate::rules::scan_paths;
+use crate::FileData;
+
+pub const NAME: &str = "clock-discipline";
+
+pub const EXPLAIN: &str = "\
+clock-discipline: raw clock reads only in the allowlisted gateway.
+
+Clock-free execution policies (everything but Deadline) must make
+identical decisions regardless of wall time — serve_batch collapses
+duplicate requests on that guarantee, and the benches replay
+deterministically because of it. All serving-stack time therefore flows
+through at_core::clock::{now, elapsed_since}, whose read counter makes
+`0 clock reads on a clock-free path` a testable assertion
+(tests/probe_clock.rs).
+
+Scope: the `paths` list in analysis.toml, minus the `allow` file list
+(the gateway itself). Forbidden: Instant::now, SystemTime::now, and
+.elapsed() calls. Test code is exempt — tests may time things freely.
+If a new module legitimately needs raw time (e.g. an offline build step),
+either route it through the gateway or extend the allowlist in
+analysis.toml alongside a rationale in ANALYSIS.md.";
+
+pub fn run(
+    rule: &RuleConfig,
+    files: &[std::rc::Rc<FileData>],
+    out: &mut Vec<Diagnostic>,
+) -> Result<(), ConfigError> {
+    scan_paths(rule, NAME, files, out, |name| {
+        format!(
+            "raw clock read `{name}` outside the clock gateway — call \
+             at_core::clock::now / elapsed_since instead (see ANALYSIS.md)"
+        )
+    })
+}

@@ -1,0 +1,48 @@
+//! **lock-hygiene** — no `.lock().unwrap()` panic cascades.
+//!
+//! `Mutex::lock().unwrap()` converts one panicking lock holder into a
+//! panic at every later lock site — the classic poisoned-mutex cascade.
+//! Every mutex in this workspace instead recovers explicitly: either
+//! `unwrap_or_else(|p| p.into_inner())` where the guarded state cannot be
+//! torn (an `Option` swap, a stats window), or a dedicated wrapper that
+//! repairs state on poison (`OutputPool::free_list` discards the free
+//! list). This rule flags the raw idiom everywhere, *including tests* —
+//! a test that wants to poison a lock on purpose documents it with
+//! `lint: allow(lock-hygiene) reason=...`.
+
+use crate::config::{ConfigError, RuleConfig};
+use crate::diagnostics::Diagnostic;
+use crate::rules::scan_paths;
+use crate::FileData;
+
+pub const NAME: &str = "lock-hygiene";
+
+pub const EXPLAIN: &str = "\
+lock-hygiene: recover from poisoned locks, never unwrap them.
+
+A worker that panics while holding a mutex poisons it; `.lock().unwrap()`
+then re-panics in every other thread touching that lock, cascading one
+failure across the server. Each lock site must instead decide what poison
+means for *its* data and recover: `unwrap_or_else(|p| p.into_inner())`
+when the guarded state cannot be observably torn, or a repairing wrapper
+(see OutputPool::free_list, which discards the recycled buffers and
+continues cold).
+
+Scope: all first-party crates, tests included — `include-tests = true` in
+analysis.toml — because a cascade bug in a test helper still hides real
+failures. A test that deliberately poisons a lock to exercise recovery
+carries `lint: allow(lock-hygiene) reason=...`.";
+
+pub fn run(
+    rule: &RuleConfig,
+    files: &[std::rc::Rc<FileData>],
+    out: &mut Vec<Diagnostic>,
+) -> Result<(), ConfigError> {
+    scan_paths(rule, NAME, files, out, |name| {
+        format!(
+            "`{name}` cascades panics across lock sites — recover from poison \
+             explicitly (unwrap_or_else(|p| p.into_inner()) or a repairing \
+             wrapper; see ANALYSIS.md)"
+        )
+    })
+}

@@ -1,0 +1,52 @@
+//! **panic-freedom** — the serving path returns, it does not unwind.
+//!
+//! A panic inside the serving stack poisons locks, kills dispatcher
+//! threads, and turns one bad request into a full-server incident. The
+//! request path in `at-core` / `at-server` therefore avoids panicking
+//! constructs: no `unwrap`/`expect`, no panic-family macros, no bare
+//! `xs[i]` indexing (use `get`, destructuring, or iterators). `assert!`
+//! family macros remain allowed — they state contracts whose violation
+//! *should* crash loudly. Sites where panicking is the designed behaviour
+//! (construction-time environment failures, defensive `unreachable!` on
+//! driver bugs) escape with `lint: allow(panic-freedom) reason=...`.
+
+use crate::config::{ConfigError, RuleConfig};
+use crate::diagnostics::Diagnostic;
+use crate::rules::scan_paths;
+use crate::FileData;
+
+pub const NAME: &str = "panic-freedom";
+
+pub const EXPLAIN: &str = "\
+panic-freedom: no panicking constructs on the serving path.
+
+One panicking request must not take the server down with it: an unwinding
+worker poisons every lock it holds and kills its dispatcher. The serving
+crates (at-core, at-server) therefore return errors or degrade instead of
+panicking — `.unwrap()`/`.expect()` become `match`/`let-else`/`unwrap_or`,
+bare `xs[i]` indexing becomes `.get(i)` or iteration.
+
+Scope: the `paths` list in analysis.toml; test code is exempt. The
+`assert!` family is allowed — contract violations should crash loudly in
+debug and CI. Deliberate panic sites (thread-spawn failure at
+construction time, `unreachable!` guarding a driver invariant) must carry
+`lint: allow(panic-freedom) reason=...` so every such site is an audited,
+justified decision rather than an accident.";
+
+pub fn run(
+    rule: &RuleConfig,
+    files: &[std::rc::Rc<FileData>],
+    out: &mut Vec<Diagnostic>,
+) -> Result<(), ConfigError> {
+    scan_paths(rule, NAME, files, out, |name| {
+        let shown = if name == "indexing" {
+            "bare `xs[i]` indexing"
+        } else {
+            name
+        };
+        format!(
+            "panicking construct `{shown}` on the serving path — return an error, \
+             use a checked accessor, or escape a deliberate site (see ANALYSIS.md)"
+        )
+    })
+}

@@ -1,0 +1,207 @@
+//! Per-token scope resolution: which `fn` encloses each token, and
+//! whether the token sits in test-only code.
+//!
+//! The tracker is a brace-stack walk over the token stream. A pending fn
+//! name is armed by `fn <ident>` and consumed by the next `{` at item
+//! level; a pending test flag is armed by a `#[...]` attribute containing
+//! the `test` ident (so both `#[test]` and `#[cfg(test)]` count, while
+//! `#[cfg(not(test))]` does not) and is likewise consumed by the next
+//! brace. Inner braces — blocks, closures, `match` arms — inherit the
+//! enclosing context, which is exactly what the rules need: a closure in
+//! a hot function is hot, a helper defined inside a `#[cfg(test)]` module
+//! is test code.
+
+use crate::lexer::{Token, TokenKind};
+
+/// Context of a single token.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Context {
+    /// Innermost enclosing function name, if any.
+    pub fn_name: Option<String>,
+    /// Inside `#[test]` / `#[cfg(test)]` code.
+    pub in_test: bool,
+}
+
+#[derive(Clone)]
+struct Scope {
+    fn_name: Option<String>,
+    in_test: bool,
+}
+
+/// Resolve the context of every token; `out[i]` describes `tokens[i]`.
+pub fn contexts(tokens: &[Token]) -> Vec<Context> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut stack: Vec<Scope> = vec![Scope {
+        fn_name: None,
+        in_test: false,
+    }];
+    let mut pending_fn: Option<String> = None;
+    let mut pending_test = false;
+    let mut awaiting_fn_name = false;
+    // Item-level `;` (e.g. a trait method without a body) cancels the
+    // pendings, but `;` inside `(...)`/`[...]` (array types, defaults)
+    // must not — hence the bracket depth.
+    let mut grouping_depth: i64 = 0;
+
+    let mut i = 0;
+    while i < tokens.len() {
+        // The scope in effect for this token (attribute tokens simply get
+        // the enclosing scope).
+        let top = stack.last().cloned().unwrap_or(Scope {
+            fn_name: None,
+            in_test: false,
+        });
+        match &tokens[i].kind {
+            TokenKind::Punct('#')
+                if matches!(
+                    tokens.get(i + 1).map(|t| &t.kind),
+                    Some(TokenKind::Punct('['))
+                ) =>
+            {
+                // Scan the balanced `[...]` attribute group.
+                let mut depth = 0usize;
+                let mut j = i + 1;
+                let mut saw_test = false;
+                let mut saw_not = false;
+                while j < tokens.len() {
+                    match &tokens[j].kind {
+                        TokenKind::Punct('[') => depth += 1,
+                        TokenKind::Punct(']') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        TokenKind::Ident(s) if s == "test" => saw_test = true,
+                        TokenKind::Ident(s) if s == "not" => saw_not = true,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                if saw_test && !saw_not {
+                    pending_test = true;
+                }
+                // Emit the enclosing context for every token of the
+                // attribute, then resume after it.
+                for _ in i..=j.min(tokens.len() - 1) {
+                    out.push(Context {
+                        fn_name: top.fn_name.clone(),
+                        in_test: top.in_test,
+                    });
+                }
+                i = j + 1;
+                continue;
+            }
+            TokenKind::Ident(s) if s == "fn" => {
+                awaiting_fn_name = true;
+            }
+            TokenKind::Ident(name) if awaiting_fn_name => {
+                pending_fn = Some(name.clone());
+                awaiting_fn_name = false;
+            }
+            TokenKind::Punct('(') | TokenKind::Punct('[') => grouping_depth += 1,
+            TokenKind::Punct(')') | TokenKind::Punct(']') => grouping_depth -= 1,
+            TokenKind::Punct('{') => {
+                stack.push(Scope {
+                    fn_name: pending_fn.take().or_else(|| top.fn_name.clone()),
+                    in_test: pending_test || top.in_test,
+                });
+                pending_test = false;
+            }
+            TokenKind::Punct('}') if stack.len() > 1 => {
+                stack.pop();
+            }
+            TokenKind::Punct(';') if grouping_depth <= 0 => {
+                pending_fn = None;
+                pending_test = false;
+            }
+            _ => {}
+        }
+        out.push(Context {
+            fn_name: top.fn_name.clone(),
+            in_test: top.in_test,
+        });
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn ctx_of(src: &str, ident: &str) -> Context {
+        let l = lex(src);
+        let ctxs = contexts(&l.tokens);
+        let i = l
+            .tokens
+            .iter()
+            .position(|t| t.kind == TokenKind::Ident(ident.to_string()))
+            .unwrap_or_else(|| panic!("no ident {ident} in {src}"));
+        ctxs[i].clone()
+    }
+
+    #[test]
+    fn body_tokens_carry_their_fn_name() {
+        let ctx = ctx_of("fn hot() { let x = marker; }", "marker");
+        assert_eq!(ctx.fn_name.as_deref(), Some("hot"));
+        assert!(!ctx.in_test);
+    }
+
+    #[test]
+    fn closures_and_blocks_inherit() {
+        let ctx = ctx_of("fn hot() { items.map(|x| { marker(x) }); }", "marker");
+        assert_eq!(ctx.fn_name.as_deref(), Some("hot"));
+    }
+
+    #[test]
+    fn nested_fn_shadows_outer() {
+        let ctx = ctx_of("fn outer() { fn inner() { marker; } }", "marker");
+        assert_eq!(ctx.fn_name.as_deref(), Some("inner"));
+    }
+
+    #[test]
+    fn test_attribute_marks_fn() {
+        let ctx = ctx_of("#[test]\nfn t() { marker; }", "marker");
+        assert!(ctx.in_test);
+    }
+
+    #[test]
+    fn cfg_test_module_marks_everything_inside() {
+        let src = "#[cfg(test)]\nmod tests { fn helper() { marker; } }";
+        let ctx = ctx_of(src, "marker");
+        assert!(ctx.in_test);
+        assert_eq!(ctx.fn_name.as_deref(), Some("helper"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test_code() {
+        let ctx = ctx_of("#[cfg(not(test))]\nfn f() { marker; }", "marker");
+        assert!(!ctx.in_test);
+    }
+
+    #[test]
+    fn array_type_semicolon_keeps_pending_fn() {
+        // The `;` inside `[u8; 4]` must not cancel the armed fn name.
+        let ctx = ctx_of("fn f(x: [u8; 4]) { marker; }", "marker");
+        assert_eq!(ctx.fn_name.as_deref(), Some("f"));
+    }
+
+    #[test]
+    fn trait_method_decl_does_not_leak_its_name() {
+        let ctx = ctx_of(
+            "trait T { fn decl(&self); }\nfn real() { marker; }",
+            "marker",
+        );
+        assert_eq!(ctx.fn_name.as_deref(), Some("real"));
+    }
+
+    #[test]
+    fn code_after_test_fn_is_clean_again() {
+        let src = "#[test]\nfn t() {}\nfn f() { marker; }";
+        let ctx = ctx_of(src, "marker");
+        assert!(!ctx.in_test);
+        assert_eq!(ctx.fn_name.as_deref(), Some("f"));
+    }
+}

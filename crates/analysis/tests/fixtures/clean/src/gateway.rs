@@ -1,0 +1,16 @@
+//! The allowlisted clock gateway: the one file where raw clock reads are
+//! legal, mirroring `at_core::clock`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static READS: AtomicU64 = AtomicU64::new(0);
+
+pub fn now() -> Instant {
+    READS.fetch_add(1, Ordering::Relaxed);
+    Instant::now()
+}
+
+pub fn reads() -> u64 {
+    READS.load(Ordering::Relaxed)
+}

@@ -1,0 +1,45 @@
+//! Clean serving-path idioms: gateway time, checked accessors, poison
+//! recovery, and test code exercising its freedoms.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use crate::gateway;
+
+/// Time flows through the gateway, never read raw.
+pub fn stamped() -> Instant {
+    gateway::now()
+}
+
+/// Checked accessors and defaults instead of panicking constructs.
+pub fn nth(xs: &[u32], i: usize) -> u32 {
+    assert!(i < usize::MAX, "contract checks are legal");
+    xs.get(i).copied().unwrap_or(0)
+}
+
+pub fn first_or(xs: &[u32], default: u32) -> u32 {
+    match xs.first() {
+        Some(v) => *v,
+        None => default,
+    }
+}
+
+/// Poison recovery instead of `.lock().unwrap()`.
+pub fn counter_get(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_allocate_time_and_unwrap_freely() {
+        let t0 = Instant::now();
+        let xs: Vec<u32> = (0..4).collect();
+        assert_eq!(nth(&xs, 2), 2);
+        assert_eq!(first_or(&xs, 9), 0);
+        assert_eq!(xs.first().copied().unwrap(), 0);
+        assert!(t0.elapsed() >= Duration::ZERO);
+    }
+}

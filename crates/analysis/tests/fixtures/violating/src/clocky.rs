@@ -1,0 +1,27 @@
+//! Seeded clock-discipline violations: raw clock reads outside any
+//! gateway. The test fn at the bottom times things legally.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn stamp() -> Instant {
+    Instant::now() // expect: clock-discipline
+}
+
+pub fn wall() -> SystemTime {
+    SystemTime::now() // expect: clock-discipline
+}
+
+pub fn took(start: Instant) -> Duration {
+    start.elapsed() // expect: clock-discipline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_may_time_freely() {
+        let t0 = Instant::now();
+        assert!(took(t0) >= Duration::ZERO);
+    }
+}

@@ -1,0 +1,25 @@
+//! Seeded escape-hatch misuse: directives that fail to parse are
+//! findings (`lint-escape`), and a malformed directive does NOT suppress
+//! the underlying violation. One well-formed escape shows suppression
+//! working inside an otherwise-violating corpus.
+
+pub fn missing_reason(x: Option<u32>) -> u32 {
+    // lint: allow(panic-freedom) // expect: lint-escape
+    x.unwrap() // expect: panic-freedom
+}
+
+pub fn empty_reason(x: Option<u32>) -> u32 {
+    // lint: allow(panic-freedom) reason=
+    // expect-above: lint-escape
+    x.unwrap() // expect: panic-freedom
+}
+
+pub fn unknown_rule(x: Option<u32>) -> u32 {
+    // lint: allow(panik-freedom) reason=typo in the rule name // expect: lint-escape
+    x.unwrap() // expect: panic-freedom
+}
+
+pub fn properly_escaped(x: Option<u32>) -> u32 {
+    // lint: allow(panic-freedom) reason=fixture demonstrating a justified escape
+    x.unwrap()
+}

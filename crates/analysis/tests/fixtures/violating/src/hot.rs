@@ -1,0 +1,47 @@
+//! Seeded hot-path-alloc violations: every forbidden allocating
+//! construct appears once inside a hot item; cold functions and test
+//! code allocate freely and must NOT be flagged.
+
+pub fn hot_score(xs: &[u32]) -> usize {
+    let grown: Vec<u32> = Vec::new(); // expect: hot-path-alloc
+    let seeded = vec![1u32, 2, 3]; // expect: hot-path-alloc
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect(); // expect: hot-path-alloc
+    grown.len() + seeded.len() + doubled.len()
+}
+
+pub fn hot_copy(xs: &[u32]) -> usize {
+    let copied = xs.to_vec(); // expect: hot-path-alloc
+    let boxed = Box::new(7u32); // expect: hot-path-alloc
+    copied.len() + *boxed as usize
+}
+
+pub fn serve_one(name: &str) -> String {
+    let labeled = format!("req-{name}"); // expect: hot-path-alloc
+    let owned = String::from(name); // expect: hot-path-alloc
+    let via_closure: Vec<u8> = std::iter::empty().collect(); // expect: hot-path-alloc
+    let _ = via_closure;
+    if labeled.len() > owned.len() {
+        labeled
+    } else {
+        owned
+    }
+}
+
+/// Not in the items list: allocating here is fine.
+pub fn cold_setup() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.extend([1, 2, 3].iter().copied().map(|x| x + 1));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hot_fns_compute() {
+        // Test code in a hot file allocates freely.
+        let fresh: Vec<u32> = vec![1, 2, 3];
+        assert_eq!(hot_score(&fresh), 6);
+    }
+}

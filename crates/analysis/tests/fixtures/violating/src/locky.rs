@@ -1,0 +1,30 @@
+//! Seeded lock-hygiene violations. `.lock().unwrap()` in regular code
+//! also trips panic-freedom's `.unwrap`; in test code only lock-hygiene
+//! fires, because lock-hygiene alone opts into tests.
+
+use std::sync::Mutex;
+
+pub fn cascade(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap() // expect: lock-hygiene, panic-freedom
+}
+
+pub fn cascade_expect(m: &Mutex<u32>) -> u32 {
+    *m.lock().expect("poisoned") // expect: lock-hygiene, panic-freedom
+}
+
+/// The sanctioned idiom must NOT be flagged.
+pub fn recovering(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_helpers_cascade_too() {
+        let m = Mutex::new(1);
+        let got = *m.lock().unwrap(); // expect: lock-hygiene
+        assert_eq!(got, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Seeded panic-freedom violations: each panicking construct once.
+//! Checked accessors and asserts are legal and must NOT be flagged.
+
+pub fn take_first(xs: &[u32]) -> u32 {
+    let head = xs.first().unwrap(); // expect: panic-freedom
+    *head
+}
+
+pub fn parse(s: &str) -> u32 {
+    s.parse().expect("not a number") // expect: panic-freedom
+}
+
+pub fn explode(flag: bool) {
+    if flag {
+        panic!("boom"); // expect: panic-freedom
+    }
+}
+
+pub fn impossible(n: u32) -> u32 {
+    match n {
+        0 => 1,
+        _ => unreachable!(), // expect: panic-freedom
+    }
+}
+
+pub fn later() {
+    todo!() // expect: panic-freedom
+}
+
+pub fn never() {
+    unimplemented!() // expect: panic-freedom
+}
+
+pub fn nth(xs: &[u32], i: usize) -> u32 {
+    xs[i] // expect: panic-freedom
+}
+
+/// Checked and defaulted accessors are the sanctioned idiom.
+pub fn safe_nth(xs: &[u32], i: usize) -> u32 {
+    assert!(!xs.is_empty(), "contract checks stay legal");
+    xs.get(i).copied().unwrap_or(0)
+}

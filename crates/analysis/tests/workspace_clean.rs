@@ -1,0 +1,24 @@
+//! The self-check: the real workspace, under its real `analysis.toml`,
+//! has zero invariant violations. This is the same gate CI runs via
+//! `cargo run -p at-analysis -- --check`, kept as a test so `cargo test`
+//! alone catches a regression.
+
+use std::path::Path;
+
+#[test]
+fn the_workspace_passes_its_own_invariant_lint() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg =
+        at_analysis::config::load(&root.join("analysis.toml")).expect("workspace analysis.toml");
+    let diags = at_analysis::analyze(&root, &cfg).expect("analysis over the workspace");
+    assert!(
+        diags.is_empty(),
+        "workspace invariant violations — fix them or add a justified \
+         `lint: allow(...)` escape:\n{}",
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,79 @@
+//! The serving stack's single clock gateway.
+//!
+//! Every wall-clock read on the serving path — deadline checks in
+//! [`Algorithm1`](crate::Algorithm1), submission stamps and latency
+//! telemetry in [`FanOutService`](crate::FanOutService), queue timestamps
+//! in `at-server` — goes through [`now`] / [`elapsed_since`] instead of
+//! calling [`Instant::now`] directly. Two things fall out of funnelling
+//! the reads:
+//!
+//! * **The clock-free contract becomes observable.** Collapsing duplicate
+//!   requests in `serve_batch` is only sound because execution under a
+//!   [clock-free](crate::ExecutionPolicy::is_clock_free) policy is a
+//!   deterministic function of component state and request — i.e. it
+//!   never reads the clock. Each gateway read ticks a global counter
+//!   ([`reads`]), so a test can run a serving path and assert *exactly*
+//!   how many clock reads happened (see `tests/probe_clock.rs`). A relaxed
+//!   atomic increment costs a fraction of the `clock_gettime` call it
+//!   accompanies, so the probe is always on.
+//! * **The static allowlist stays one line long.** The `clock-discipline`
+//!   rule in `analysis.toml` forbids `Instant::now()` / `SystemTime::now()`
+//!   / `.elapsed()` across the serving crates; this module is the single
+//!   allowlisted escape, so a stray clock read anywhere else fails
+//!   `at-analysis --check`.
+//!
+//! See `ANALYSIS.md` for the invariant this enforces and the probe that
+//! proves it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Global count of clock reads through the gateway (process-wide).
+static READS: AtomicU64 = AtomicU64::new(0);
+
+/// Read the monotonic clock, ticking the read counter.
+#[inline]
+pub fn now() -> Instant {
+    READS.fetch_add(1, Ordering::Relaxed);
+    // lint: allow(clock-discipline) reason=the gateway itself; every other callsite routes here
+    Instant::now()
+}
+
+/// Time elapsed since `earlier` — a clock read, so it ticks the counter.
+#[inline]
+pub fn elapsed_since(earlier: Instant) -> Duration {
+    READS.fetch_add(1, Ordering::Relaxed);
+    // lint: allow(clock-discipline) reason=the gateway itself; every other callsite routes here
+    earlier.elapsed()
+}
+
+/// Total clock reads made through the gateway since process start.
+///
+/// Monotonically increasing and process-global: probes snapshot it before
+/// and after driving a serving path and assert on the delta. Tests doing
+/// so must run single-threaded paths (or tolerate concurrent readers).
+#[inline]
+pub fn reads() -> u64 {
+    READS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_gateway_read_ticks_the_counter() {
+        let before = reads();
+        let t = now();
+        let mid = reads();
+        assert!(mid > before, "now() must tick the counter");
+        let _ = elapsed_since(t);
+        assert!(reads() > mid, "elapsed_since() must tick the counter");
+    }
+
+    #[test]
+    fn elapsed_since_measures_forward_time() {
+        let t = now();
+        assert!(elapsed_since(t) >= Duration::ZERO);
+    }
+}

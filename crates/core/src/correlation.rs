@@ -104,7 +104,7 @@ impl RankedPrefix<'_> {
             let target = (self.sorted.max(4) * 2).max(i + 1).min(self.items.len());
             self.ensure(target);
         }
-        Some(self.items[i])
+        self.items.get(i).copied()
     }
 
     /// Make the first `n` items (capped at `len`) final-ranked.
@@ -113,6 +113,7 @@ impl RankedPrefix<'_> {
         if n <= self.sorted {
             return;
         }
+        // lint: allow(panic-freedom) reason=sorted <= items.len() is the struct invariant; n is clamped to len above
         let tail = &mut self.items[self.sorted..];
         let k = n - self.sorted;
         if k < tail.len() {
@@ -120,6 +121,7 @@ impl RankedPrefix<'_> {
             tail.select_nth_unstable_by(k - 1, cmp_ranked);
         }
         // ...then order just those k.
+        // lint: allow(panic-freedom) reason=k = n - sorted <= tail.len() because n was clamped to items.len()
         tail[..k].sort_unstable_by(cmp_ranked);
         self.sorted = n;
     }
@@ -132,6 +134,7 @@ pub fn sections(ranked: &[Correlation], k: usize) -> Vec<&[Correlation]> {
     assert!(k > 0, "sections: k must be >= 1");
     let n = ranked.len();
     (0..k)
+        // lint: allow(panic-freedom) reason=i*n/k and (i+1)*n/k are monotone and capped at n for i < k
         .map(|i| &ranked[i * n / k..(i + 1) * n / k])
         .collect()
 }

@@ -22,9 +22,17 @@
 //!   variant.
 //! * [`OutputPool`] — typed recycling of per-component output buffers, so
 //!   a warm service serves batches without steady-state allocation.
+//! * [`clock`] — the serving stack's single clock gateway: every wall-clock
+//!   read goes through it, making the clock-free-policy contract both
+//!   statically lintable (`at-analysis`'s `clock-discipline` rule) and
+//!   dynamically observable ([`clock::reads`]).
 //!
-//! Service adapters live in `at-recommender` and `at-search`.
+//! Service adapters live in `at-recommender` and `at-search`. The hot-path
+//! invariants (no steady-state allocation, clock discipline, panic freedom,
+//! lock hygiene) are machine-checked by the `at-analysis` lint pass — see
+//! `ANALYSIS.md` at the repository root.
 
+pub mod clock;
 pub mod component;
 pub mod correlation;
 pub mod outcome;

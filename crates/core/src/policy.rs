@@ -206,13 +206,14 @@ impl DegradationLadder {
     /// the `SynopsisOnly` floor.
     pub fn from_policy(requested: ExecutionPolicy) -> Self {
         let mut rungs = vec![requested];
+        let mut last = requested;
         loop {
-            let last = *rungs.last().expect("ladder starts non-empty");
             let next = last.degrade_one_step();
             if next == last {
                 break;
             }
             rungs.push(next);
+            last = next;
         }
         DegradationLadder { rungs }
     }
@@ -235,13 +236,18 @@ impl DegradationLadder {
     /// The policy `steps` rungs below the requested one, clamped to the
     /// floor — `rung(0)` is the requested policy itself.
     pub fn rung(&self, steps: usize) -> &ExecutionPolicy {
-        &self.rungs[steps.min(self.rungs.len() - 1)]
+        let clamped = steps.min(self.rungs.len().saturating_sub(1));
+        self.rungs
+            .get(clamped)
+            .unwrap_or(&ExecutionPolicy::SynopsisOnly)
     }
 
     /// The cheapest rung (always `SynopsisOnly`, or the requested policy
     /// itself when that *is* the floor).
     pub fn floor(&self) -> &ExecutionPolicy {
-        self.rungs.last().expect("ladder is never empty")
+        // A ladder always holds >= 1 rung; the fallback is the floor every
+        // ladder bottoms out at anyway.
+        self.rungs.last().unwrap_or(&ExecutionPolicy::SynopsisOnly)
     }
 }
 

@@ -248,7 +248,9 @@ mod tests {
         // A worker dies while holding the pool lock, poisoning the mutex.
         let worker = std::thread::scope(|s| {
             s.spawn(|| {
+                // lint: allow(lock-hygiene) reason=deliberately poisons the lock to exercise the recovery path under test
                 let _guard = pool.free.lock().unwrap();
+                // lint: allow(panic-freedom) reason=the test-harness panic that poisons the lock
                 panic!("worker panics with the pool locked");
             })
             .join()

@@ -47,6 +47,7 @@ use std::time::Instant;
 
 use at_synopsis::{RowStore, SynopsisStore};
 
+use crate::clock;
 use crate::correlation::{rank, rank_top, Correlation};
 use crate::outcome::Outcome;
 use crate::policy::ExecutionPolicy;
@@ -86,9 +87,11 @@ fn with_batch_scratch<R>(n: usize, f: impl FnOnce(&mut [Vec<Correlation>]) -> R)
             if bufs.len() < n {
                 bufs.resize_with(n, Vec::new);
             }
+            // lint: allow(panic-freedom) reason=bufs was resized to at least n directly above
             for buf in &mut bufs[..n] {
                 buf.clear();
             }
+            // lint: allow(panic-freedom) reason=bufs was resized to at least n directly above
             f(&mut bufs[..n])
         }
         Err(_) => {
@@ -185,6 +188,7 @@ pub trait ApproximateService {
         let recycled = outs.len();
         for (i, (req, corr)) in reqs.iter().zip(corrs.iter_mut()).enumerate() {
             if i < recycled {
+                // lint: allow(panic-freedom) reason=i < recycled = outs.len() in this branch
                 self.process_synopsis_into(ctx, req, corr, &mut outs[i]);
             } else {
                 outs.push(self.process_synopsis(ctx, req, corr));
@@ -412,12 +416,13 @@ impl<'a, S: ApproximateService> Algorithm1<'a, S> {
             ExecutionPolicy::SynopsisOnly => (0, None),
             ExecutionPolicy::Budgeted { sets, .. } => (sets, None),
             ExecutionPolicy::Deadline { l_spe, .. } => {
-                if submitted.elapsed() >= l_spe {
+                if clock::elapsed_since(submitted) >= l_spe {
                     (0, None)
                 } else {
                     (usize::MAX, Some(l_spe))
                 }
             }
+            // lint: allow(panic-freedom) reason=both execute drivers return via execute_exact before ranking; reaching here is a driver bug worth crashing on
             ExecutionPolicy::Exact => unreachable!("exact path never ranks"),
         };
         let total = corr.len();
@@ -434,11 +439,13 @@ impl<'a, S: ApproximateService> Algorithm1<'a, S> {
         let mut i = 0usize;
         while i < rank_bound && processed < work_cap {
             if let Some(l_spe) = deadline {
-                if submitted.elapsed() >= l_spe {
+                if clock::elapsed_since(submitted) >= l_spe {
                     break;
                 }
             }
-            let corr = ranked.get(i).expect("i < rank_bound <= len");
+            // `i < rank_bound <= len`, so `get` cannot miss; breaking keeps
+            // the serving path panic-free even if that invariant broke.
+            let Some(corr) = ranked.get(i) else { break };
             match self.ctx.store.index().members(corr.node) {
                 Some(members) => {
                     self.service.improve(self.ctx, req, out, corr.node, members);

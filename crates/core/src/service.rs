@@ -29,6 +29,7 @@ use rayon::prelude::*;
 
 use at_synopsis::{AggregationMode, RowStore, SparseRow, SynopsisConfig};
 
+use crate::clock;
 use crate::component::Component;
 use crate::outcome::Outcome;
 use crate::policy::ExecutionPolicy;
@@ -82,6 +83,7 @@ pub fn partition_rows(
     }
     let mut subsets: Vec<RowStore> = (0..n).map(|_| RowStore::new(feature_dim)).collect();
     for (i, row) in rows.into_iter().enumerate() {
+        // lint: allow(panic-freedom) reason=i % n < n == subsets.len()
         subsets[i % n].push_row(row);
     }
     Ok(subsets)
@@ -261,7 +263,7 @@ where
     where
         S: ComposableService,
     {
-        self.serve_at(req, policy, Instant::now())
+        self.serve_at(req, policy, clock::now())
     }
 
     /// [`serve`](Self::serve) with an explicit submission instant.
@@ -290,7 +292,7 @@ where
     where
         S: ComposableService,
     {
-        self.serve_with_at(req, policy_of, Instant::now())
+        self.serve_with_at(req, policy_of, clock::now())
     }
 
     /// [`serve_with`](Self::serve_with) with an explicit submission instant.
@@ -311,12 +313,27 @@ where
             .enumerate()
             .map(|(i, c)| c.execute_pooled(req, &policy_of(i), submitted, pool))
             .collect();
-        let policy_applied = (0..self.components.len())
-            .map(policy_of)
-            .max_by_key(|p| (p.cost_rank(), p.effective_cap(usize::MAX)))
-            .expect("service has >= 1 component");
+        // Costliest per-component policy, ties to the larger effective cap;
+        // the fold from `policy_of(0)` keeps `>=` so later equal-key
+        // policies win, exactly like `max_by_key`, without an `expect` on
+        // the (constructor-guaranteed) non-emptiness.
+        let key = |p: &ExecutionPolicy| (p.cost_rank(), p.effective_cap(usize::MAX));
+        let policy_applied =
+            (1..self.components.len())
+                .map(policy_of)
+                .fold(
+                    policy_of(0),
+                    |best, p| {
+                        if key(&p) >= key(&best) {
+                            p
+                        } else {
+                            best
+                        }
+                    },
+                );
         let components: Vec<ComponentTelemetry> = outcomes.iter().map(Outcome::stats).collect();
         let parts: Vec<S::Output> = outcomes.into_iter().map(|o| o.output).collect();
+        // lint: allow(panic-freedom) reason=components nonempty, asserted in from_components
         let response = self.components[0].service().compose(req, &parts);
         for part in parts {
             self.pool.put(part);
@@ -325,7 +342,7 @@ where
             response,
             policy_applied,
             components,
-            elapsed: submitted.elapsed(),
+            elapsed: clock::elapsed_since(submitted),
         }
     }
 
@@ -414,7 +431,7 @@ where
         S: ComposableService,
         S::Request: Clone + PartialEq,
     {
-        let submitted = vec![Instant::now(); reqs.len()];
+        let submitted = vec![clock::now(); reqs.len()];
         self.serve_batch_at(reqs, policy, &submitted)
     }
 
@@ -463,6 +480,7 @@ where
                     }
                     break;
                 }
+                // lint: allow(panic-freedom) reason=f collected from enumerate over reqs, always in bounds
                 match firsts.iter().position(|&f| reqs[f] == *req) {
                     Some(u) => unique_of.push(u),
                     None => {
@@ -480,7 +498,9 @@ where
         // is component c's outcome for unique request u.
         let pool = &self.pool;
         let per_component: Vec<Vec<Outcome<S::Output>>> = if firsts.len() < reqs.len() {
+            // lint: allow(panic-freedom) reason=firsts holds indices of reqs by construction; reqs.len() == submitted.len() asserted above
             let unique_reqs: Vec<S::Request> = firsts.iter().map(|&i| reqs[i].clone()).collect();
+            // lint: allow(panic-freedom) reason=firsts holds indices of reqs by construction; reqs.len() == submitted.len() asserted above
             let unique_submitted: Vec<Instant> = firsts.iter().map(|&i| submitted[i]).collect();
             self.components
                 .par_iter()
@@ -502,23 +522,28 @@ where
             .collect();
         for outcomes in per_component {
             for (u, outcome) in outcomes.into_iter().enumerate() {
+                // lint: allow(panic-freedom) reason=execute_batch returns one outcome per unique request, so u < firsts.len()
                 telemetry[u].push(outcome.stats());
+                // lint: allow(panic-freedom) reason=execute_batch returns one outcome per unique request, so u < firsts.len()
                 parts[u].push(outcome.output);
             }
         }
 
         // Compose per original request (each from its unique's parts),
         // then recycle every unique request's buffers.
+        // lint: allow(panic-freedom) reason=components nonempty, asserted in from_components
         let composer = self.components[0].service();
         let responses = reqs
             .iter()
             .zip(submitted)
             .zip(&unique_of)
             .map(|((req, &sub), &u)| ServiceResponse {
+                // lint: allow(panic-freedom) reason=unique_of maps into firsts, so u < firsts.len() == parts.len() == telemetry.len()
                 response: composer.compose(req, &parts[u]),
                 policy_applied: *policy,
+                // lint: allow(panic-freedom) reason=unique_of maps into firsts, so u < firsts.len() == parts.len() == telemetry.len()
                 components: telemetry[u].clone(),
-                elapsed: sub.elapsed(),
+                elapsed: clock::elapsed_since(sub),
             })
             .collect();
         for unique_parts in parts {

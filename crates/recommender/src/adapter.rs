@@ -69,6 +69,7 @@ impl ApproximateService for CfService {
         req: &ActiveUser,
         corr: &mut Vec<Correlation>,
     ) -> Self::Output {
+        // lint: allow(hot-path-alloc) reason=cold entry point; the warm path is process_synopsis_into on a pooled buffer
         let mut acc = Vec::new();
         self.process_synopsis_into(ctx, req, corr, &mut acc);
         acc
@@ -99,6 +100,7 @@ impl ApproximateService for CfService {
             outs,
             reqs.len(),
             |out, i| reset_acc(out, &reqs[i]),
+            // lint: allow(hot-path-alloc) reason=pool-miss fallback, runs once per buffer ever in flight; warm batches take the reset branch
             |i| vec![PredictionAcc::default(); reqs[i].targets.len()],
         );
         let points = ctx.store.synopsis().points_with_stats();

@@ -97,7 +97,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use at_core::{ComposableService, ExecutionPolicy, FanOutService, ServiceResponse};
+use at_core::{clock, ComposableService, ExecutionPolicy, FanOutService, ServiceResponse};
 
 pub mod control;
 mod stats;
@@ -292,6 +292,7 @@ where
             std::thread::Builder::new()
                 .name("at-server-dispatcher".into())
                 .spawn(move || dispatch_loop(&service, &shared, config.max_batch, &controller))
+                // lint: allow(panic-freedom) reason=construction-time spawn failure is an unrecoverable environment error, not a serving-path condition
                 .expect("spawn dispatcher thread")
         };
         Server {
@@ -320,7 +321,7 @@ where
         req: S::Request,
         policy: ExecutionPolicy,
     ) -> Result<Ticket<Response<S>>, SubmitError> {
-        self.try_submit_at(req, policy, Instant::now())
+        self.try_submit_at(req, policy, clock::now())
     }
 
     /// [`try_submit`](Self::try_submit) with an explicit submission
@@ -368,7 +369,7 @@ where
                 .wait(state)
                 .unwrap_or_else(|poisoned| poisoned.into_inner());
         }
-        Ok(self.enqueue(state, req, policy, Instant::now()))
+        Ok(self.enqueue(state, req, policy, clock::now()))
     }
 
     fn enqueue(
@@ -383,7 +384,7 @@ where
             req,
             policy,
             submitted,
-            enqueued: Instant::now(),
+            enqueued: clock::now(),
             sender,
         });
         let depth = state.entries.len() as u64;
@@ -515,7 +516,7 @@ fn dispatch_loop<S>(
         };
         shared.space.notify_all();
 
-        let dispatched = Instant::now();
+        let dispatched = clock::now();
         for entry in &batch {
             shared
                 .counters
@@ -555,7 +556,10 @@ fn dispatch_loop<S>(
         // owns the accounting.
         let mut groups: Vec<(ExecutionPolicy, Vec<EntryOf<S>>)> = Vec::new();
         for (i, entry) in batch.into_iter().enumerate() {
-            let decision = decisions.as_ref().map_or(Decision::Admit, |d| d[i]);
+            let decision = decisions
+                .as_ref()
+                .and_then(|d| d.get(i).copied())
+                .unwrap_or(Decision::Admit);
             let policy = match decision {
                 Decision::Shed => {
                     shared

@@ -125,7 +125,7 @@ impl Counters {
             let mut sorted: Vec<u64> = window.waits_ns.iter().copied().collect();
             sorted.sort_unstable();
             let idx = ((sampled as f64 * 0.99).ceil() as usize).clamp(1, sampled) - 1;
-            (mean, sorted[idx])
+            (mean, sorted.get(idx).copied().unwrap_or(u64::MAX))
         };
         let mean_coverage = if window.coverages.is_empty() {
             1.0

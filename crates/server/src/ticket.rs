@@ -157,7 +157,7 @@ impl<T> Ticket<T> {
     /// Block for at most `timeout`; `Ok(None)` means still in flight.
     pub fn wait_timeout(&mut self, timeout: Duration) -> Result<Option<T>, Canceled> {
         let mut state = self.shared.state();
-        let Some(deadline) = std::time::Instant::now().checked_add(timeout) else {
+        let Some(deadline) = at_core::clock::now().checked_add(timeout) else {
             // Unrepresentable deadline (e.g. `Duration::MAX` as "wait
             // forever"): wait unbounded instead of overflowing.
             loop {
@@ -183,7 +183,7 @@ impl<T> Ticket<T> {
             if state.closed {
                 return Err(Canceled);
             }
-            let now = std::time::Instant::now();
+            let now = at_core::clock::now();
             if now >= deadline {
                 return Ok(None);
             }

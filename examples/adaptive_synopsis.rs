@@ -7,6 +7,9 @@
 //! cargo run --release --example adaptive_synopsis
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use accuracytrader::prelude::*;
 use accuracytrader::synopsis::MultiSynopsis;
 use std::time::Instant;

@@ -6,6 +6,9 @@
 //! cargo run --release --example async_server
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use accuracytrader::prelude::*;
 use accuracytrader::workloads::Zipf;
 use rand::{rngs::SmallRng, SeedableRng};

@@ -7,6 +7,9 @@
 //! cargo run --release --example overload_control
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use accuracytrader::prelude::*;
 use accuracytrader::workloads::{arrival_delays, flash_crowd_arrivals, BurstConfig, Zipf};
 use rand::{rngs::SmallRng, SeedableRng};

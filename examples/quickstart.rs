@@ -5,6 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use accuracytrader::prelude::*;
 
 fn main() {

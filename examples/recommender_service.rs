@@ -9,6 +9,9 @@
 //! cargo run --release --example recommender_service
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use accuracytrader::prelude::*;
 use accuracytrader::recommender::rmse;
 

@@ -10,6 +10,9 @@
 //! cargo run --release --example search_service
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use accuracytrader::core::Component;
 use accuracytrader::prelude::*;
 use accuracytrader::search::topk_overlap;

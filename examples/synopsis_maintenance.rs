@@ -10,6 +10,9 @@
 //! cargo run --release --example synopsis_maintenance
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use accuracytrader::prelude::*;
 use std::time::Instant;
 

@@ -8,6 +8,9 @@
 //! cargo run --release --example tail_latency_sim
 //! ```
 
+// Examples narrate to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use accuracytrader::prelude::*;
 use accuracytrader::workloads::poisson_arrivals;
 

@@ -2,11 +2,12 @@
 //!
 //! The serving stack makes promises the type system cannot state: the
 //! warm hot path never allocates, clock-free policies never read the
-//! clock, the request path never panics, and no lock site unwraps a
-//! poisoned mutex. Each promise is cheap to keep and easy to erode one
-//! innocuous edit at a time — so this crate machine-checks all four on
-//! every CI run, from a hand-rolled token scan (no external parser
-//! dependencies; the build environment is offline).
+//! clock, the request path never panics, no lock site unwraps a
+//! poisoned mutex, and panics are caught at exactly one audited
+//! containment boundary. Each promise is cheap to keep and easy to
+//! erode one innocuous edit at a time — so this crate machine-checks
+//! all five on every CI run, from a hand-rolled token scan (no external
+//! parser dependencies; the build environment is offline).
 //!
 //! The pass is configured by `analysis.toml` at the workspace root: which
 //! rule applies to which paths or `file::fn` items, which constructs are
@@ -85,10 +86,12 @@ pub fn analyze(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, Error> {
             "clock-discipline" => rules::clock_discipline::run(rule, &files, &mut out)?,
             "panic-freedom" => rules::panic_freedom::run(rule, &files, &mut out)?,
             "lock-hygiene" => rules::lock_hygiene::run(rule, &files, &mut out)?,
+            "unwind-containment" => rules::unwind_containment::run(rule, &files, &mut out)?,
             other => {
                 return Err(Error(format!(
                     "[rules.{other}] has no implementation — known rules: \
-                     hot-path-alloc, clock-discipline, panic-freedom, lock-hygiene"
+                     hot-path-alloc, clock-discipline, panic-freedom, lock-hygiene, \
+                     unwind-containment"
                 )))
             }
         }
@@ -221,6 +224,7 @@ pub fn explain(rule: &str) -> Option<&'static str> {
         rules::clock_discipline::NAME => Some(rules::clock_discipline::EXPLAIN),
         rules::panic_freedom::NAME => Some(rules::panic_freedom::EXPLAIN),
         rules::lock_hygiene::NAME => Some(rules::lock_hygiene::EXPLAIN),
+        rules::unwind_containment::NAME => Some(rules::unwind_containment::EXPLAIN),
         "lint-escape" => Some(
             "lint-escape: escape directives must be well-formed.\n\n\
              `lint: allow(<rule>) reason=<why>` suppresses one rule on its own\n\
@@ -239,6 +243,7 @@ pub fn rule_names() -> &'static [&'static str] {
         rules::clock_discipline::NAME,
         rules::panic_freedom::NAME,
         rules::lock_hygiene::NAME,
+        rules::unwind_containment::NAME,
         "lint-escape",
     ]
 }

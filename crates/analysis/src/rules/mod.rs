@@ -1,4 +1,4 @@
-//! The four invariant rules and their shared token-pattern machinery.
+//! The five invariant rules and their shared token-pattern machinery.
 //!
 //! Each forbidden construct named in `analysis.toml` resolves here to a
 //! short token sequence (so `xs.collect::<Vec<_>>()` is caught through
@@ -10,6 +10,7 @@ pub mod clock_discipline;
 pub mod hot_path_alloc;
 pub mod lock_hygiene;
 pub mod panic_freedom;
+pub mod unwind_containment;
 
 use crate::config::{ConfigError, RuleConfig};
 use crate::diagnostics::Diagnostic;
@@ -64,6 +65,10 @@ pub fn matcher_for(name: &str) -> Result<Matcher, ConfigError> {
         "unimplemented!" => &[I("unimplemented"), P('!')],
         ".lock().unwrap" => &[P('.'), I("lock"), P('('), P(')'), P('.'), I("unwrap")],
         ".lock().expect" => &[P('.'), I("lock"), P('('), P(')'), P('.'), I("expect")],
+        // Bare identifiers: `std::panic::catch_unwind`, `use ...::catch_unwind`,
+        // and direct calls all reduce to the one token.
+        "catch_unwind" => &[I("catch_unwind")],
+        "AssertUnwindSafe" => &[I("AssertUnwindSafe")],
         "indexing" => return Ok(Matcher::Indexing),
         _ => {
             return Err(ConfigError(format!(

@@ -1,0 +1,50 @@
+//! **unwind-containment** — one panic boundary, not many.
+//!
+//! The fan-out's partial-failure story depends on `catch_unwind` living
+//! in exactly one audited place (`at_core::containment`): that module
+//! documents why `AssertUnwindSafe` is sound there (every structure a
+//! leg can touch repairs itself — the pool discards on poison, scratches
+//! reset at use, breakers update outside the closure). A second,
+//! ad-hoc `catch_unwind` elsewhere would silently swallow panics without
+//! that audit — broken-invariant state kept alive, faults neither
+//! recorded by breakers nor surfaced as failed components. This rule
+//! flags `catch_unwind`/`AssertUnwindSafe` everywhere (tests included)
+//! except the allowlisted boundary module.
+
+use crate::config::{ConfigError, RuleConfig};
+use crate::diagnostics::Diagnostic;
+use crate::rules::scan_paths;
+use crate::FileData;
+
+pub const NAME: &str = "unwind-containment";
+
+pub const EXPLAIN: &str = "\
+unwind-containment: catch panics at one audited boundary only.
+
+Catching a panic keeps every structure the panicking code touched alive,
+so each catch site must prove its closure cannot leave observably torn
+state — that proof lives once, in at_core::containment, where the
+fan-out turns a dying leg into a failed component (breaker charged,
+telemetry marked, compose over the survivors). A catch_unwind or
+AssertUnwindSafe anywhere else skips the audit and the accounting:
+panics vanish without tripping breakers or marking components_failed,
+and unwind-unsafe state leaks back into the serving loop.
+
+Scope: all first-party crates, tests included — a test that needs to
+observe a panic uses thread::spawn + join (the thread boundary drops the
+torn state) instead of catching in place. The only allowlisted file is
+crates/core/src/containment.rs.";
+
+pub fn run(
+    rule: &RuleConfig,
+    files: &[std::rc::Rc<FileData>],
+    out: &mut Vec<Diagnostic>,
+) -> Result<(), ConfigError> {
+    scan_paths(rule, NAME, files, out, |name| {
+        format!(
+            "`{name}` outside the audited boundary module — route panic \
+             containment through at_core::containment (or observe panics \
+             across a thread::spawn/join boundary; see ANALYSIS.md)"
+        )
+    })
+}

@@ -94,6 +94,7 @@ fn violating_corpus_covers_every_rule() {
         "clock-discipline",
         "panic-freedom",
         "lock-hygiene",
+        "unwind-containment",
         "lint-escape",
     ] {
         assert!(rules.contains(rule), "no seeded violation exercises {rule}");

@@ -1,0 +1,8 @@
+//! The allowlisted containment boundary, mirroring
+//! `at_core::containment`: the one file where catching a panic is legal.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub fn contain<T>(f: impl FnOnce() -> T) -> Result<T, ()> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(drop)
+}

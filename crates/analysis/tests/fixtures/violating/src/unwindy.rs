@@ -1,0 +1,23 @@
+//! Seeded unwind-containment violations: panic catching outside the one
+//! audited boundary module (no file is allowlisted in this corpus).
+
+use std::panic::{catch_unwind, AssertUnwindSafe}; // expect: unwind-containment
+
+/// An ad-hoc swallow site: the panic disappears without any breaker or
+/// telemetry accounting — exactly what the rule exists to prevent.
+pub fn swallow(f: impl FnOnce() -> u32) -> u32 {
+    catch_unwind(AssertUnwindSafe(f)).unwrap_or(0) // expect: unwind-containment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The rule opts into tests: catching in a test body fires too (the
+    /// sanctioned pattern is thread::spawn + join instead).
+    #[test]
+    fn catches_in_tests_too() {
+        let r = std::panic::catch_unwind(|| swallow(|| 7)); // expect: unwind-containment
+        assert!(r.is_ok());
+    }
+}

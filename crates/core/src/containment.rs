@@ -1,0 +1,75 @@
+//! The serving plane's **single** unwind-containment boundary.
+//!
+//! The workspace-wide panic story is *panic-freedom*: first-party serving
+//! code never panics on its own, and the `panic-freedom` invariant rule
+//! machine-checks the forbidden constructs. But a fan-out service runs
+//! *pluggable* component services ([`crate::ApproximateService`] hooks),
+//! and a deployment with millions of users will eventually run one that
+//! panics — through a data bug, a poisoned model, or a deliberately
+//! injected fault ([`crate::fault`]). The paper's premise is that an
+//! answer of reduced quality beats no answer; a single dying component
+//! must therefore cost its own coverage, not the whole batch.
+//!
+//! This module is the **one place** in the workspace allowed to spell
+//! `catch_unwind` / `AssertUnwindSafe` — the `unwind-containment`
+//! invariant rule flags the tokens anywhere else (see `analysis.toml`).
+//! Keeping the boundary in one designated module keeps the panic-freedom
+//! story coherent: everything else either never panics or lets the panic
+//! propagate to a supervisor.
+//!
+//! # Why `AssertUnwindSafe` is sound here
+//!
+//! A contained fan-out leg shares three pieces of state with the rest of
+//! the process, and each is unwind-safe *by design*, not by accident:
+//!
+//! - the service's [`OutputPool`](crate::OutputPool) repairs a poisoned
+//!   free list by discarding it (counted in
+//!   [`discarded_on_poison`](crate::OutputPool::discarded_on_poison));
+//!   buffers checked out by the dying leg are dropped with its stack;
+//! - the per-thread correlation/batch scratches in [`crate::processor`]
+//!   are cleared at the start of every use, so a half-filled scratch from
+//!   a dead request cannot leak into the next one;
+//! - the per-component [`CircuitBreaker`](crate::CircuitBreaker) is
+//!   updated *outside* the contained closure and recovers poisoned locks
+//!   by taking them over (plain scalars, nothing torn).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Run `f`, converting a panic into `Err(())`. The panic payload is
+/// deliberately dropped: at the fan-out boundary an erroring component
+/// and a crashing component are the same event — one failed leg — and
+/// the caller's telemetry ([`components_failed`]) records *which*, not
+/// *why*. (Deterministic fault schedules make the *why* reproducible on
+/// demand; see [`crate::fault`].)
+///
+/// [`components_failed`]: crate::ServiceResponse::components_failed
+pub(crate) fn contain<T>(f: impl FnOnce() -> T) -> Result<T, ()> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(drop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_passes_through() {
+        assert_eq!(contain(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn panic_is_contained_to_err() {
+        // lint: allow(panic-freedom) reason=deliberate panic exercising the boundary
+        let r: Result<u32, ()> = contain(|| panic!("leg died"));
+        assert_eq!(r, Err(()));
+    }
+
+    #[test]
+    fn typed_payloads_are_contained_too() {
+        let r: Result<(), ()> = contain(|| {
+            std::panic::panic_any(crate::fault::InjectedFault {
+                site: crate::fault::FaultSite::Stage1,
+            })
+        });
+        assert_eq!(r, Err(()));
+    }
+}

@@ -27,22 +27,34 @@
 //!   statically lintable (`at-analysis`'s `clock-discipline` rule) and
 //!   dynamically observable ([`clock::reads`]).
 //!
+//! * [`fault`] / [`CircuitBreaker`] / [`containment`] — the failure
+//!   plane: deterministic seeded fault injection ([`FaultInjector`],
+//!   [`FaultyService`]), per-component circuit breaking, and the single
+//!   unwind-containment boundary that turns a panicking component into
+//!   one failed fan-out leg ([`ServiceResponse::components_failed`])
+//!   instead of a dead batch.
+//!
 //! Service adapters live in `at-recommender` and `at-search`. The hot-path
 //! invariants (no steady-state allocation, clock discipline, panic freedom,
-//! lock hygiene) are machine-checked by the `at-analysis` lint pass — see
-//! `ANALYSIS.md` at the repository root.
+//! lock hygiene, unwind containment) are machine-checked by the
+//! `at-analysis` lint pass — see `ANALYSIS.md` at the repository root.
 
+pub mod breaker;
 pub mod clock;
 pub mod component;
+pub mod containment;
 pub mod correlation;
+pub mod fault;
 pub mod outcome;
 pub mod policy;
 pub mod pool;
 pub mod processor;
 pub mod service;
 
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 pub use component::Component;
 pub use correlation::{cmp_ranked, rank, rank_top, sections, Correlation, RankedPrefix};
+pub use fault::{FaultInjector, FaultKind, FaultRule, FaultSite, FaultyService, InjectedFault};
 pub use outcome::Outcome;
 pub use policy::{DegradationLadder, ExecutionPolicy};
 pub use pool::{prepare_outputs, OutputPool};

@@ -51,6 +51,7 @@ pub struct OutputPool<T> {
     free: Mutex<Vec<T>>,
     retain: usize,
     reuses: AtomicUsize,
+    discarded_on_poison: AtomicUsize,
 }
 
 impl<T> Default for OutputPool<T> {
@@ -72,6 +73,7 @@ impl<T> OutputPool<T> {
             free: Mutex::new(Vec::new()),
             retain,
             reuses: AtomicUsize::new(0),
+            discarded_on_poison: AtomicUsize::new(0),
         }
     }
 
@@ -79,13 +81,19 @@ impl<T> OutputPool<T> {
     /// worker (e.g. one rayon fan-out leg dying mid-request) must not turn
     /// every later serve into a panic cascade: the pooled buffers are only
     /// recycled storage, so recovery is simply discarding the free list —
-    /// subsequent requests allocate fresh, exactly like a cold pool.
+    /// subsequent requests allocate fresh, exactly like a cold pool. The
+    /// buffers thrown away are counted in
+    /// [`discarded_on_poison`](Self::discarded_on_poison): silent pool
+    /// capacity loss after a contained panic would otherwise read as an
+    /// inexplicable allocation-rate regression.
     fn free_list(&self) -> MutexGuard<'_, Vec<T>> {
         match self.free.lock() {
             Ok(guard) => guard,
             Err(poisoned) => {
                 self.free.clear_poison();
                 let mut guard = poisoned.into_inner();
+                self.discarded_on_poison
+                    .fetch_add(guard.len(), Ordering::Relaxed);
                 guard.clear();
                 guard
             }
@@ -140,6 +148,13 @@ impl<T> OutputPool<T> {
     /// there the count only measures pool traffic.
     pub fn reuses(&self) -> usize {
         self.reuses.load(Ordering::Relaxed)
+    }
+
+    /// Idle buffers thrown away while recovering a poisoned free list
+    /// (see [`free_list`](Self::free_list)). Monotone; nonzero means a
+    /// worker died holding the pool lock and the pool restarted cold.
+    pub fn discarded_on_poison(&self) -> usize {
+        self.discarded_on_poison.load(Ordering::Relaxed)
     }
 }
 
@@ -257,6 +272,11 @@ mod tests {
         });
         assert!(worker.is_err(), "the worker must actually have panicked");
         assert!(pool.free.is_poisoned());
+        assert_eq!(
+            pool.discarded_on_poison(),
+            0,
+            "nothing discarded until someone touches the poisoned pool"
+        );
         // Every later operation recovers instead of cascading the panic:
         // the free list is discarded (cold-pool behaviour)...
         assert!(pool.get().is_none());
@@ -264,11 +284,14 @@ mod tests {
         let mut out = Vec::new();
         pool.get_up_to(4, &mut out);
         assert!(out.is_empty());
+        // ...the two idle buffers lost to recovery are accounted for...
+        assert_eq!(pool.discarded_on_poison(), 2);
         // ...and the pool recycles normally from then on.
         assert!(!pool.free.is_poisoned());
         pool.put(vec![3]);
         assert_eq!(pool.get(), Some(vec![3]));
         assert_eq!(pool.reuses(), 1, "only the post-recovery get reused");
+        assert_eq!(pool.discarded_on_poison(), 2, "recovery counted once");
     }
 
     #[test]

@@ -29,8 +29,10 @@ use rayon::prelude::*;
 
 use at_synopsis::{AggregationMode, RowStore, SparseRow, SynopsisConfig};
 
+use crate::breaker::{BreakerConfig, BreakerState, CircuitBreaker};
 use crate::clock;
 use crate::component::Component;
+use crate::containment;
 use crate::outcome::Outcome;
 use crate::policy::ExecutionPolicy;
 use crate::pool::OutputPool;
@@ -108,8 +110,18 @@ pub struct ServiceResponse<R> {
     /// ties broken by the larger effective set budget) — an upper bound
     /// on the work any single component spent.
     pub policy_applied: ExecutionPolicy,
-    /// Per-component counters, in component order.
+    /// Per-component counters, in component order. A component that
+    /// failed or was skipped by its breaker still has an entry — all of
+    /// its sets counted as skipped, so coverage accounting charges the
+    /// failure honestly.
     pub components: Vec<ComponentTelemetry>,
+    /// Components (by index) whose fan-out leg did not contribute to
+    /// this response: the leg panicked inside the containment boundary,
+    /// or its [`CircuitBreaker`] was open and the leg was skipped.
+    /// Empty on the healthy path — and deliberately a never-allocated
+    /// `Vec::new()` there, so failure telemetry costs the hot path
+    /// nothing.
+    pub components_failed: Vec<usize>,
     /// Wall-clock time from submission to composed response.
     pub elapsed: Duration,
 }
@@ -141,10 +153,19 @@ impl<R> ServiceResponse<R> {
         self.components.iter().map(|c| c.sets_total).sum()
     }
 
-    /// Stale sets skipped, summed over components; nonzero signals index
-    /// corruption somewhere in the deployment.
+    /// Stale sets skipped, summed over components. Nonzero signals
+    /// either index corruption somewhere in the deployment or a failed /
+    /// breaker-skipped component (whose whole subset counts as skipped —
+    /// see [`components_failed`](Self::components_failed) to tell the
+    /// two apart).
     pub fn sets_skipped(&self) -> usize {
         self.components.iter().map(|c| c.sets_skipped).sum()
+    }
+
+    /// True when every component contributed (no contained failures, no
+    /// open breakers).
+    pub fn is_complete(&self) -> bool {
+        self.components_failed.is_empty()
     }
 
     /// Map the response, keeping the telemetry.
@@ -153,6 +174,7 @@ impl<R> ServiceResponse<R> {
             response: f(self.response),
             policy_applied: self.policy_applied,
             components: self.components,
+            components_failed: self.components_failed,
             elapsed: self.elapsed,
         }
     }
@@ -164,8 +186,25 @@ impl<R> ServiceResponse<R> {
 /// call checks buffers out for stage 1 and returns them after composing
 /// the response, so a **warm** service serves requests and whole batches
 /// without allocating outputs (see [`crate::pool`]).
+///
+/// # Partial failure
+///
+/// Each fan-out leg of [`serve`](Self::serve) / [`serve_batch`]
+/// (Self::serve_batch) runs inside the workspace's single unwind
+/// containment boundary ([`crate::containment`]) and behind a
+/// per-component [`CircuitBreaker`]: a panicking component costs its own
+/// coverage (recorded in [`ServiceResponse::components_failed`], its
+/// sets counted as skipped) instead of unwinding the whole batch, and a
+/// *persistently* failing component trips its breaker and is skipped at
+/// ≈ 0 cost until a half-open probe finds it healthy again. `compose`
+/// runs over the surviving components' parts, on the caller's thread,
+/// **outside** the boundary — a composing-component failure is the
+/// caller's to supervise. [`broadcast`](Self::broadcast) is raw and
+/// uncontained by design (its callers want the outcomes, panics and
+/// all).
 pub struct FanOutService<S: ApproximateService> {
     components: Vec<Component<S>>,
+    breakers: Vec<CircuitBreaker>,
     pool: OutputPool<S::Output>,
 }
 
@@ -202,10 +241,42 @@ where
     /// before ever reaching a constructor).
     pub fn from_components(components: Vec<Component<S>>) -> Self {
         assert!(!components.is_empty(), "service needs >= 1 component");
+        let breakers = components
+            .iter()
+            .map(|_| CircuitBreaker::new(BreakerConfig::default()))
+            .collect();
         FanOutService {
             components,
+            breakers,
             pool: OutputPool::new(),
         }
+    }
+
+    /// Replace every component's circuit breaker with a fresh one under
+    /// `config` (builder style; state resets to `Closed`).
+    pub fn with_breaker_config(mut self, config: BreakerConfig) -> Self {
+        self.breakers = self
+            .components
+            .iter()
+            .map(|_| CircuitBreaker::new(config))
+            .collect();
+        self
+    }
+
+    /// Per-component circuit breakers, in component order (telemetry:
+    /// state, trip counts).
+    pub fn breakers(&self) -> &[CircuitBreaker] {
+        &self.breakers
+    }
+
+    /// Components currently skipped by an open breaker — the service's
+    /// fault-induced capacity loss, surfaced through `at-server`'s
+    /// `LoadSnapshot` so admission control sees it.
+    pub fn open_components(&self) -> usize {
+        self.breakers
+            .iter()
+            .filter(|b| b.state() == BreakerState::Open)
+            .count()
     }
 
     /// The service's output-buffer recycler (telemetry: a warm server's
@@ -232,6 +303,43 @@ where
     /// Mutably borrow the components (for applying data updates).
     pub fn components_mut(&mut self) -> &mut [Component<S>] {
         &mut self.components
+    }
+
+    /// Run component `index`'s fan-out leg behind its breaker and inside
+    /// the containment boundary. `None` ⇒ the leg was skipped (open
+    /// breaker) or failed (contained panic); the caller charges it to
+    /// [`ServiceResponse::components_failed`].
+    fn leg<T>(&self, index: usize, run: impl FnOnce() -> T) -> Option<T> {
+        // get(): breakers are built 1:1 with components, but indexing
+        // would still be a panic-freedom finding.
+        let breaker = self.breakers.get(index)?;
+        if !breaker.should_attempt() {
+            return None;
+        }
+        match containment::contain(run) {
+            Ok(out) => {
+                breaker.record_success();
+                Some(out)
+            }
+            Err(()) => {
+                breaker.record_failure();
+                None
+            }
+        }
+    }
+
+    /// The telemetry row of a failed or breaker-skipped leg: zero sets
+    /// processed, the component's whole ranked-set inventory skipped, so
+    /// [`coverage`](Outcome::coverage) reads 0 and batch-level coverage
+    /// accounting charges the loss.
+    fn failed_telemetry(component: &Component<S>) -> ComponentTelemetry {
+        let total = component.store().synopsis().len();
+        Outcome {
+            output: (),
+            sets_processed: 0,
+            sets_total: total,
+            sets_skipped: total,
+        }
     }
 
     /// Fan a request out to all components under one policy; raw outcomes
@@ -307,11 +415,11 @@ where
     {
         let pool = &self.pool;
         let policy_of = &policy_of;
-        let outcomes: Vec<Outcome<S::Output>> = self
+        let outcomes: Vec<Option<Outcome<S::Output>>> = self
             .components
             .par_iter()
             .enumerate()
-            .map(|(i, c)| c.execute_pooled(req, &policy_of(i), submitted, pool))
+            .map(|(i, c)| self.leg(i, || c.execute_pooled(req, &policy_of(i), submitted, pool)))
             .collect();
         // Costliest per-component policy, ties to the larger effective cap;
         // the fold from `policy_of(0)` keeps `>=` so later equal-key
@@ -331,8 +439,21 @@ where
                         }
                     },
                 );
-        let components: Vec<ComponentTelemetry> = outcomes.iter().map(Outcome::stats).collect();
-        let parts: Vec<S::Output> = outcomes.into_iter().map(|o| o.output).collect();
+        let mut components: Vec<ComponentTelemetry> = Vec::with_capacity(self.components.len());
+        let mut components_failed: Vec<usize> = Vec::new();
+        let mut parts: Vec<S::Output> = Vec::with_capacity(self.components.len());
+        for ((i, outcome), component) in outcomes.into_iter().enumerate().zip(&self.components) {
+            match outcome {
+                Some(o) => {
+                    components.push(o.stats());
+                    parts.push(o.output);
+                }
+                None => {
+                    components.push(Self::failed_telemetry(component));
+                    components_failed.push(i);
+                }
+            }
+        }
         // lint: allow(panic-freedom) reason=components nonempty, asserted in from_components
         let response = self.components[0].service().compose(req, &parts);
         for part in parts {
@@ -342,6 +463,7 @@ where
             response,
             policy_applied,
             components,
+            components_failed,
             elapsed: clock::elapsed_since(submitted),
         }
     }
@@ -495,37 +617,65 @@ where
         }
 
         // One fan-out for the whole (collapsed) batch: `per_component[c][u]`
-        // is component c's outcome for unique request u.
+        // is component c's outcome for unique request u — or `None` for
+        // the whole leg when component c failed (contained panic) or was
+        // skipped by its open breaker. A leg-fatal fault planned for any
+        // request of the batch fails the component's whole batch leg:
+        // containment is per-leg, not per-request.
         let pool = &self.pool;
-        let per_component: Vec<Vec<Outcome<S::Output>>> = if firsts.len() < reqs.len() {
+        let per_component: Vec<Option<Vec<Outcome<S::Output>>>> = if firsts.len() < reqs.len() {
             // lint: allow(panic-freedom) reason=firsts holds indices of reqs by construction; reqs.len() == submitted.len() asserted above
             let unique_reqs: Vec<S::Request> = firsts.iter().map(|&i| reqs[i].clone()).collect();
             // lint: allow(panic-freedom) reason=firsts holds indices of reqs by construction; reqs.len() == submitted.len() asserted above
             let unique_submitted: Vec<Instant> = firsts.iter().map(|&i| submitted[i]).collect();
             self.components
                 .par_iter()
-                .map(|c| c.execute_batch_pooled(&unique_reqs, policy, &unique_submitted, pool))
+                .enumerate()
+                .map(|(ci, c)| {
+                    self.leg(ci, || {
+                        c.execute_batch_pooled(&unique_reqs, policy, &unique_submitted, pool)
+                    })
+                })
                 .collect()
         } else {
             self.components
                 .par_iter()
-                .map(|c| c.execute_batch_pooled(reqs, policy, submitted, pool))
+                .enumerate()
+                .map(|(ci, c)| {
+                    self.leg(ci, || c.execute_batch_pooled(reqs, policy, submitted, pool))
+                })
                 .collect()
         };
 
         // Regroup by unique request, splitting telemetry from outputs.
+        // A failed leg contributes a failed-telemetry row to every unique
+        // request (the component was down for the whole batch) and no
+        // output part: compose sees the survivors only.
         let mut telemetry: Vec<Vec<ComponentTelemetry>> = (0..firsts.len())
             .map(|_| Vec::with_capacity(self.components.len()))
             .collect();
         let mut parts: Vec<Vec<S::Output>> = (0..firsts.len())
             .map(|_| Vec::with_capacity(self.components.len()))
             .collect();
-        for outcomes in per_component {
-            for (u, outcome) in outcomes.into_iter().enumerate() {
-                // lint: allow(panic-freedom) reason=execute_batch returns one outcome per unique request, so u < firsts.len()
-                telemetry[u].push(outcome.stats());
-                // lint: allow(panic-freedom) reason=execute_batch returns one outcome per unique request, so u < firsts.len()
-                parts[u].push(outcome.output);
+        let mut components_failed: Vec<usize> = Vec::new();
+        for ((ci, leg_outcomes), component) in
+            per_component.into_iter().enumerate().zip(&self.components)
+        {
+            match leg_outcomes {
+                Some(outcomes) => {
+                    for (u, outcome) in outcomes.into_iter().enumerate() {
+                        // lint: allow(panic-freedom) reason=execute_batch returns one outcome per unique request, so u < firsts.len()
+                        telemetry[u].push(outcome.stats());
+                        // lint: allow(panic-freedom) reason=execute_batch returns one outcome per unique request, so u < firsts.len()
+                        parts[u].push(outcome.output);
+                    }
+                }
+                None => {
+                    components_failed.push(ci);
+                    for rows in &mut telemetry {
+                        rows.push(Self::failed_telemetry(component));
+                    }
+                }
             }
         }
 
@@ -543,6 +693,9 @@ where
                 policy_applied: *policy,
                 // lint: allow(panic-freedom) reason=unique_of maps into firsts, so u < firsts.len() == parts.len() == telemetry.len()
                 components: telemetry[u].clone(),
+                // An empty clone never allocates: failure-free batches
+                // pay nothing for the failure channel.
+                components_failed: components_failed.clone(),
                 elapsed: clock::elapsed_since(sub),
             })
             .collect();
@@ -961,6 +1114,230 @@ mod tests {
         // map() keeps it.
         let mapped = svc.serve(&(), &ExecutionPolicy::budgeted(1)).map(|n| n + 1);
         assert_eq!(mapped.policy_applied, ExecutionPolicy::budgeted(1));
+    }
+
+    use crate::breaker::BreakerState;
+    use crate::fault::{FaultInjector, FaultKind, FaultRule, FaultSite, FaultyService};
+    use std::sync::Arc;
+
+    /// A fan-out of `CountService` components, component `i` wrapped
+    /// around `injectors[i]` — the canonical chaos-test construction
+    /// (one injector per component keeps ordinals deterministic).
+    fn chaos_service(
+        n_rows: usize,
+        injectors: &[Arc<FaultInjector>],
+    ) -> FanOutService<FaultyService<CountService>> {
+        let subsets = partition_rows(6, rows(n_rows), injectors.len()).unwrap();
+        let cfg = SynopsisConfig {
+            svd: SvdConfig::default().with_epochs(8),
+            size_ratio: 10,
+            ..SynopsisConfig::default()
+        };
+        let components: Vec<_> = subsets
+            .into_iter()
+            .zip(injectors)
+            .map(|(subset, inj)| {
+                Component::build(
+                    subset,
+                    AggregationMode::Mean,
+                    cfg,
+                    FaultyService::new(CountService, inj.clone()),
+                )
+                .0
+            })
+            .collect();
+        FanOutService::from_components(components)
+    }
+
+    fn injectors(n: usize) -> Vec<Arc<FaultInjector>> {
+        (0..n)
+            .map(|i| Arc::new(FaultInjector::new(1000 + i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn transparent_injector_serves_byte_identically() {
+        let inj = injectors(3);
+        let faulty = chaos_service(90, &inj);
+        let plain = quick_service(90, 3);
+        let policy = ExecutionPolicy::budgeted(2);
+        let a = faulty.serve(&(), &policy);
+        let b = plain.serve(&(), &policy);
+        assert_eq!(a.response, b.response);
+        assert_eq!(a.components, b.components);
+        assert!(a.components_failed.is_empty() && a.is_complete());
+        let batch_a = faulty.serve_batch(&[(); 5], &policy);
+        let batch_b = plain.serve_batch(&[(); 5], &policy);
+        for (x, y) in batch_a.iter().zip(&batch_b) {
+            assert_eq!(x.response, y.response);
+            assert_eq!(x.components, y.components);
+        }
+    }
+
+    #[test]
+    fn panicking_component_is_contained_and_charged() {
+        let inj = injectors(3);
+        let inj1 = Arc::new(FaultInjector::new(7).with_rule(FaultRule::with_probability(
+            FaultSite::Stage1,
+            FaultKind::Panic,
+            1.0,
+        )));
+        let svc = chaos_service(90, &[inj[0].clone(), inj1.clone(), inj[2].clone()]);
+        let healthy = chaos_service(90, &injectors(3));
+        let policy = ExecutionPolicy::budgeted(usize::MAX);
+
+        let r = svc.serve(&(), &policy);
+        assert_eq!(r.components_failed, vec![1], "only the faulty leg fails");
+        assert!(!r.is_complete());
+        assert_eq!(r.components.len(), 3, "failed leg still has telemetry");
+        assert_eq!(r.components[1].sets_processed, 0);
+        assert_eq!(r.components[1].sets_skipped, r.components[1].sets_total);
+        assert_eq!(r.min_coverage(), 0.0, "failure charged as zero coverage");
+        assert!(r.sets_skipped() > 0);
+        // Survivors compose exactly what they would without the faulty
+        // component: the row counts of subsets 0 and 2 alone.
+        assert_eq!(
+            r.response,
+            svc.components()[0].dataset().len() + svc.components()[2].dataset().len()
+        );
+        assert_eq!(healthy.serve(&(), &policy).response, 90);
+        assert_eq!(inj1.injected_panics(), 1);
+    }
+
+    #[test]
+    fn batch_with_failed_leg_marks_every_request() {
+        let inj0 = Arc::new(FaultInjector::new(3).with_rule(FaultRule::with_probability(
+            FaultSite::Stage1,
+            FaultKind::Error,
+            1.0,
+        )));
+        let rest = injectors(2);
+        let svc = chaos_service(90, &[inj0.clone(), rest[0].clone(), rest[1].clone()]);
+        let batch = svc.serve_batch(&[(); 4], &ExecutionPolicy::budgeted(usize::MAX));
+        assert_eq!(batch.len(), 4);
+        for r in &batch {
+            assert_eq!(r.components_failed, vec![0]);
+            assert_eq!(r.components[0].sets_processed, 0);
+            assert!(r.response > 0, "survivors still answer");
+        }
+        assert!(inj0.injected_errors() >= 1);
+    }
+
+    #[test]
+    fn corrupted_scores_keep_serving_without_leg_failure() {
+        let inj = injectors(3);
+        let corrupting = Arc::new(FaultInjector::new(5).with_rule(FaultRule::with_probability(
+            FaultSite::Stage1,
+            FaultKind::CorruptScores,
+            1.0,
+        )));
+        let svc = chaos_service(90, &[inj[0].clone(), corrupting.clone(), inj[2].clone()]);
+        let r = svc.serve(&(), &ExecutionPolicy::budgeted(1));
+        assert!(
+            r.components_failed.is_empty(),
+            "NaN scores degrade ranking, they do not fail the leg"
+        );
+        // The corrupted component still improves its budgeted set — NaN
+        // sinks in `cmp_ranked`, so ranking stays total and serving
+        // proceeds, just with a garbage-ordered prefix.
+        assert_eq!(
+            r.components[1].sets_processed,
+            1.min(r.components[1].sets_total)
+        );
+        assert_eq!(corrupting.injected_corruptions(), 1);
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_skips_the_leg() {
+        let healthy = injectors(2);
+        let broken = Arc::new(
+            FaultInjector::new(11).with_rule(FaultRule::with_probability(
+                FaultSite::Stage1,
+                FaultKind::Panic,
+                1.0,
+            )),
+        );
+        let svc = chaos_service(
+            90,
+            &[healthy[0].clone(), broken.clone(), healthy[1].clone()],
+        )
+        .with_breaker_config(crate::breaker::BreakerConfig {
+            failure_threshold: 3,
+            cooldown: 2,
+        });
+        let policy = ExecutionPolicy::budgeted(1);
+        for _ in 0..3 {
+            let r = svc.serve(&(), &policy);
+            assert_eq!(r.components_failed, vec![1]);
+        }
+        assert_eq!(svc.breakers()[1].state(), BreakerState::Open);
+        assert_eq!(svc.open_components(), 1);
+        let attempts_when_tripped = broken.calls(FaultSite::Stage1);
+
+        // While open, the leg is skipped: no stage-1 call reaches it,
+        // but the response still charges the component as failed.
+        let r = svc.serve(&(), &policy);
+        assert_eq!(r.components_failed, vec![1]);
+        assert_eq!(
+            broken.calls(FaultSite::Stage1),
+            attempts_when_tripped,
+            "open breaker skips the component at zero stage-1 cost"
+        );
+
+        // cooldown=2: the next serve is the half-open probe; it fails
+        // (the schedule still panics) and the breaker re-opens.
+        let _ = svc.serve(&(), &policy);
+        assert_eq!(
+            broken.calls(FaultSite::Stage1),
+            attempts_when_tripped + 1,
+            "half-open admits exactly one probe"
+        );
+        assert_eq!(svc.breakers()[1].state(), BreakerState::Open);
+        assert_eq!(svc.breakers()[1].trips(), 2);
+    }
+
+    #[test]
+    fn breaker_recovers_when_the_component_heals() {
+        let healthy = injectors(2);
+        // Panics on its first three stage-1 calls, healthy after.
+        let flaky = Arc::new(FaultInjector::new(13).with_rule(FaultRule::at_calls(
+            FaultSite::Stage1,
+            FaultKind::Panic,
+            vec![0, 1, 2],
+        )));
+        let svc = chaos_service(90, &[healthy[0].clone(), flaky.clone(), healthy[1].clone()])
+            .with_breaker_config(crate::breaker::BreakerConfig {
+                failure_threshold: 3,
+                cooldown: 1,
+            });
+        let policy = ExecutionPolicy::budgeted(usize::MAX);
+        for _ in 0..3 {
+            let _ = svc.serve(&(), &policy);
+        }
+        assert_eq!(svc.breakers()[1].state(), BreakerState::Open);
+        // cooldown=1 ⇒ next serve probes; ordinal 3 is healthy ⇒ closed,
+        // and the response is complete again.
+        let r = svc.serve(&(), &policy);
+        assert!(r.is_complete(), "healed component contributes again");
+        assert_eq!(r.response, 90);
+        assert_eq!(svc.breakers()[1].state(), BreakerState::Closed);
+        assert_eq!(svc.open_components(), 0);
+    }
+
+    #[test]
+    fn stalled_component_still_answers() {
+        let healthy = injectors(2);
+        let slow = Arc::new(FaultInjector::new(17).with_rule(FaultRule::at_calls(
+            FaultSite::Stage1,
+            FaultKind::Stall(Duration::from_millis(5)),
+            vec![0],
+        )));
+        let svc = chaos_service(90, &[healthy[0].clone(), slow.clone(), healthy[1].clone()]);
+        let r = svc.serve(&(), &ExecutionPolicy::budgeted(usize::MAX));
+        assert!(r.is_complete(), "a stall is latency, not failure");
+        assert_eq!(r.response, 90);
+        assert!(r.elapsed >= Duration::from_millis(5));
+        assert_eq!(slow.injected_stalls(), 1);
     }
 
     #[test]

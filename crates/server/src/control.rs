@@ -323,6 +323,8 @@ mod tests {
             mean_queue_wait: mean_wait,
             p99_queue_wait: mean_wait * 2,
             mean_coverage: 0.8,
+            components_total: 3,
+            components_open: 0,
         }
     }
 

@@ -86,16 +86,36 @@
 //! `Budgeted` → `SynopsisOnly`) instead of letting queue wait blow every
 //! deadline, and recovers with hysteresis once the backlog drains.
 //!
+//! ## Supervision and the terminal stop
+//!
+//! Most component faults never reach this crate: the fan-out contains a
+//! panicking leg at the containment boundary and serves from the
+//! survivors (see `at_core::containment`). What *can* still kill the
+//! dispatcher thread is a fault on the dispatcher's own stack — above
+//! all a panicking `compose`, which runs outside the per-leg boundary. A
+//! supervisor thread owns the dispatcher: when it panics, only the
+//! in-flight micro-batch's tickets report [`Canceled`] (their senders
+//! drop during the unwind); still-queued entries survive untouched, and
+//! the supervisor respawns the dispatcher with bounded exponential
+//! backoff. A dispatcher that completed requests since the previous
+//! crash earns its restart budget back; after
+//! [`max_restarts`](ServerConfig::max_restarts) consecutive no-progress
+//! crashes the supervisor gives up — the server enters a **terminal
+//! stopped state**: queued tickets are canceled and every submission is
+//! answered with [`SubmitError::Stopped`] (distinct from the transient
+//! [`SubmitError::Busy`], which invites a retry).
+//!
 //! Orderly [`Server::shutdown`] (and `Drop`) stops accepting, **drains**
 //! every queued request, and joins the dispatcher, so no ticket is left
-//! dangling; a ticket only reports [`Canceled`] if the dispatcher itself
-//! died — or if the admission controller shed the request under extreme
-//! overload (counted in [`ServerStats::shed`]).
+//! dangling; a ticket only reports [`Canceled`] if it was in a crashed
+//! micro-batch, if the server stopped terminally — or if the admission
+//! controller shed the request under extreme overload (counted in
+//! [`ServerStats::shed`]).
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use at_core::{clock, ComposableService, ExecutionPolicy, FanOutService, ServiceResponse};
 
@@ -125,6 +145,17 @@ pub struct ServerConfig {
     /// enough to smooth one micro-batch, small enough that a subsided
     /// burst slides out quickly.
     pub stats_window: usize,
+    /// Consecutive no-progress dispatcher crashes the supervisor absorbs
+    /// before giving up. Each crash inside this budget respawns the
+    /// dispatcher (queued work survives; only the in-flight batch's
+    /// tickets cancel); completing any request since the previous crash
+    /// resets the budget. Exceeding it stops the server terminally:
+    /// queued tickets cancel and submissions return
+    /// [`SubmitError::Stopped`].
+    pub max_restarts: u32,
+    /// Base delay before the first respawn; doubles per consecutive
+    /// crash (capped), so a hard crash loop cannot spin a core.
+    pub restart_backoff: Duration,
 }
 
 impl Default for ServerConfig {
@@ -133,6 +164,8 @@ impl Default for ServerConfig {
             queue_capacity: 4096,
             max_batch: 64,
             stats_window: 256,
+            max_restarts: 5,
+            restart_backoff: Duration::from_millis(1),
         }
     }
 }
@@ -155,6 +188,18 @@ impl ServerConfig {
         self.stats_window = stats_window;
         self
     }
+
+    /// Override the supervisor's consecutive-crash restart budget.
+    pub fn with_max_restarts(mut self, max_restarts: u32) -> Self {
+        self.max_restarts = max_restarts;
+        self
+    }
+
+    /// Override the base respawn backoff.
+    pub fn with_restart_backoff(mut self, restart_backoff: Duration) -> Self {
+        self.restart_backoff = restart_backoff;
+        self
+    }
 }
 
 /// Why a submission was not accepted.
@@ -164,6 +209,11 @@ pub enum SubmitError {
     Busy,
     /// The server is shutting down and accepts no new requests.
     ShuttingDown,
+    /// The supervisor exhausted its restart budget on a crashing
+    /// dispatcher and stopped the server terminally (see
+    /// [`ServerConfig::max_restarts`]). Unlike [`Busy`](Self::Busy),
+    /// retrying cannot succeed.
+    Stopped,
 }
 
 impl std::fmt::Display for SubmitError {
@@ -171,6 +221,9 @@ impl std::fmt::Display for SubmitError {
         match self {
             SubmitError::Busy => write!(f, "submission queue full"),
             SubmitError::ShuttingDown => write!(f, "server is shutting down"),
+            SubmitError::Stopped => {
+                write!(f, "server stopped: dispatcher restart budget exhausted")
+            }
         }
     }
 }
@@ -193,6 +246,8 @@ struct QueueState<R, T> {
     entries: VecDeque<Entry<R, T>>,
     paused: bool,
     shutdown: bool,
+    /// Terminal: the supervisor gave up restarting the dispatcher.
+    stopped: bool,
 }
 
 /// State shared between the accept side and the dispatcher thread.
@@ -237,7 +292,7 @@ where
 {
     service: Arc<FanOutService<S>>,
     shared: Arc<SharedOf<S>>,
-    dispatcher: Option<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 impl<S> Server<S>
@@ -280,25 +335,26 @@ where
                 entries: VecDeque::new(),
                 paused: false,
                 shutdown: false,
+                stopped: false,
             }),
             work: Condvar::new(),
             space: Condvar::new(),
             counters: Counters::new(config.stats_window),
             capacity: config.queue_capacity,
         });
-        let dispatcher = {
+        let supervisor = {
             let service = service.clone();
             let shared = shared.clone();
             std::thread::Builder::new()
-                .name("at-server-dispatcher".into())
-                .spawn(move || dispatch_loop(&service, &shared, config.max_batch, &controller))
+                .name("at-server-supervisor".into())
+                .spawn(move || supervise(&service, &shared, config, &controller))
                 // lint: allow(panic-freedom) reason=construction-time spawn failure is an unrecoverable environment error, not a serving-path condition
-                .expect("spawn dispatcher thread")
+                .expect("spawn supervisor thread")
         };
         Server {
             service,
             shared,
-            dispatcher: Some(dispatcher),
+            supervisor: Some(supervisor),
         }
     }
 
@@ -335,6 +391,9 @@ where
         submitted: Instant,
     ) -> Result<Ticket<Response<S>>, SubmitError> {
         let state = self.shared.state();
+        if state.stopped {
+            return Err(SubmitError::Stopped);
+        }
         if state.shutdown {
             return Err(SubmitError::ShuttingDown);
         }
@@ -349,7 +408,7 @@ where
     }
 
     /// Submit a request, blocking while the queue is full. Errors only
-    /// when the server is shutting down.
+    /// when the server is shutting down or terminally stopped.
     pub fn submit(
         &self,
         req: S::Request,
@@ -357,6 +416,9 @@ where
     ) -> Result<Ticket<Response<S>>, SubmitError> {
         let mut state = self.shared.state();
         loop {
+            if state.stopped {
+                return Err(SubmitError::Stopped);
+            }
             if state.shutdown {
                 return Err(SubmitError::ShuttingDown);
             }
@@ -417,11 +479,23 @@ where
         self.shared.state().entries.len()
     }
 
+    /// True once the supervisor has given up restarting a crashing
+    /// dispatcher and stopped the server terminally (see
+    /// [`ServerConfig::max_restarts`]); submissions now return
+    /// [`SubmitError::Stopped`].
+    pub fn is_stopped(&self) -> bool {
+        self.shared.state().stopped
+    }
+
     /// A telemetry snapshot (see [`ServerStats`]).
     pub fn stats(&self) -> ServerStats {
-        self.shared
-            .counters
-            .snapshot(self.queue_depth(), self.shared.capacity)
+        self.shared.counters.snapshot(
+            self.queue_depth(),
+            self.shared.capacity,
+            self.service.components().len(),
+            self.service.open_components(),
+            self.is_stopped(),
+        )
     }
 
     /// Shut down: stop accepting, drain every queued request through the
@@ -429,7 +503,7 @@ where
     /// return the final telemetry. Dropping the server does the same.
     pub fn shutdown(mut self) -> ServerStats {
         self.begin_shutdown();
-        if let Some(handle) = self.dispatcher.take() {
+        if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
         }
         self.stats()
@@ -453,37 +527,101 @@ where
 {
     fn drop(&mut self) {
         self.begin_shutdown();
-        if let Some(handle) = self.dispatcher.take() {
+        if let Some(handle) = self.supervisor.take() {
             let _ = handle.join();
         }
     }
 }
 
-/// Arms the dispatcher thread against a panicking service: if the thread
-/// unwinds (a fan-out leg died inside `serve_batch_at`), the guard's drop
-/// marks the server shut down, cancels every still-queued ticket (their
-/// senders drop, so waiters see [`Canceled`] instead of blocking forever),
-/// and wakes blocked submitters so they observe `ShuttingDown` rather
-/// than waiting on a queue nobody will ever drain.
-struct CrashGuard<'a, R, T>(&'a SharedQueue<R, T>);
-
-impl<R, T> Drop for CrashGuard<'_, R, T> {
-    fn drop(&mut self) {
-        if !std::thread::panicking() {
-            return;
+/// The supervisor: run the dispatcher in a scoped thread and, when it
+/// panics (a fault escaped the fan-out's per-leg containment — above all
+/// a panicking `compose`, which runs on the dispatcher's own stack),
+/// respawn it. Only the crashed micro-batch's tickets are lost (their
+/// senders drop during the unwind, so waiters see [`Canceled`]);
+/// still-queued entries survive the restart untouched.
+///
+/// The restart budget is per crash *streak*: completing any request
+/// since the previous crash resets it, so a long-lived server that hits
+/// an occasional poison request keeps serving, while a hard crash loop
+/// (every respawn dies without progress) exhausts the budget
+/// deterministically. On give-up the server enters the terminal stopped
+/// state: queued tickets cancel, blocked submitters wake, and every
+/// later submission answers [`SubmitError::Stopped`].
+fn supervise<S>(
+    service: &FanOutService<S>,
+    shared: &SharedOf<S>,
+    config: ServerConfig,
+    controller: &dyn AdmissionController,
+) where
+    S: ComposableService + Sync,
+    S::Request: Clone + PartialEq + Send + Sync,
+    S::Output: Send,
+    S::Response: Send,
+{
+    let mut crash_streak: u32 = 0;
+    let mut completed_at_last_crash: u64 = 0;
+    loop {
+        let run = std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("at-server-dispatcher".into())
+                .spawn_scoped(scope, || {
+                    dispatch_loop(service, shared, config.max_batch, controller)
+                })
+                // lint: allow(panic-freedom) reason=spawn failure here is an unrecoverable environment error, and the supervisor thread owns no lock a panic could poison
+                .expect("spawn dispatcher thread")
+                .join()
+        });
+        match run {
+            Ok(()) => return, // orderly exit: shut down and drained
+            Err(payload) => {
+                drop(payload); // the fault's payload, not ours to rethrow
+                let completed = shared
+                    .counters
+                    .completed
+                    .load(std::sync::atomic::Ordering::Relaxed);
+                if completed > completed_at_last_crash {
+                    crash_streak = 0; // progress since last crash: budget back
+                }
+                completed_at_last_crash = completed;
+                if crash_streak >= config.max_restarts {
+                    mark_stopped(shared);
+                    return;
+                }
+                crash_streak += 1;
+                shared
+                    .counters
+                    .dispatcher_restarts
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // Capped exponential backoff; skipped when a shutdown is
+                // already pending so the drain stays prompt.
+                let backoff = config
+                    .restart_backoff
+                    .saturating_mul(1u32 << (crash_streak - 1).min(10));
+                if !backoff.is_zero() && !shared.state().shutdown {
+                    std::thread::sleep(backoff);
+                }
+            }
         }
-        let mut state = self.0.state();
-        state.shutdown = true;
-        state.entries.clear(); // dropping the senders cancels the tickets
-        drop(state);
-        self.0.work.notify_all();
-        self.0.space.notify_all();
     }
+}
+
+/// Enter the terminal stopped state: cancel every queued ticket, and wake
+/// the dispatcher waiters and blocked submitters so nobody blocks on a
+/// queue that will never drain again.
+fn mark_stopped<R, T>(shared: &SharedQueue<R, T>) {
+    let mut state = shared.state();
+    state.stopped = true;
+    state.entries.clear(); // dropping the senders cancels the tickets
+    drop(state);
+    shared.work.notify_all();
+    shared.space.notify_all();
 }
 
 /// The dispatcher: drain micro-batches, consult the admission controller
 /// per request, group by *effective* policy, serve each group in one
 /// batched call, fulfil tickets. Exits once shut down **and** drained.
+/// Runs under [`supervise`]; a panic here cancels only the drained
+/// batch's tickets and the supervisor respawns the loop.
 fn dispatch_loop<S>(
     service: &FanOutService<S>,
     shared: &SharedOf<S>,
@@ -494,7 +632,6 @@ fn dispatch_loop<S>(
     S::Request: Clone + PartialEq + Sync,
     S::Output: Send,
 {
-    let _crash_guard = CrashGuard(shared);
     loop {
         let (batch, backlog): (Vec<EntryOf<S>>, usize) = {
             let mut state = shared.state();
@@ -537,9 +674,12 @@ fn dispatch_loop<S>(
         let decisions: Option<Vec<Decision>> = if controller.is_pass_through() {
             None
         } else {
-            let snapshot = shared
-                .counters
-                .load_snapshot(backlog - batch.len(), shared.capacity);
+            let snapshot = shared.counters.load_snapshot(
+                backlog - batch.len(),
+                shared.capacity,
+                service.components().len(),
+                service.open_components(),
+            );
             controller.observe(&snapshot);
             let mut decisions = vec![Decision::Admit; batch.len()];
             for (slot, entry) in decisions.iter_mut().zip(&batch).rev() {
@@ -645,7 +785,14 @@ mod tests {
         }
     }
 
-    fn quick_service() -> FanOutService<CountService> {
+    /// A 3-component fan-out over the usual 90-row toy dataset, with the
+    /// caller's choice of service (so the chaos tests can plug in
+    /// panicking variants).
+    fn fanout_of<S>(make: impl Fn() -> S + Sync) -> FanOutService<S>
+    where
+        S: ApproximateService<Request = u32> + Send + Sync,
+        S::Output: Send,
+    {
         let rows: Vec<SparseRow> = (0..90u32)
             .map(|r| SparseRow::from_pairs((0..6).map(|c| (c, ((r + c) % 4) as f64)).collect()))
             .collect();
@@ -655,7 +802,11 @@ mod tests {
             size_ratio: 10,
             ..SynopsisConfig::default()
         };
-        FanOutService::build(subsets, AggregationMode::Mean, cfg, || CountService)
+        FanOutService::build(subsets, AggregationMode::Mean, cfg, make)
+    }
+
+    fn quick_service() -> FanOutService<CountService> {
+        fanout_of(|| CountService)
     }
 
     #[test]
@@ -819,7 +970,9 @@ mod tests {
         assert!(stats.mean_queue_wait() >= Duration::from_millis(15));
     }
 
-    /// `CountService` whose stage 1 panics on one poison request.
+    /// `CountService` whose stage 1 panics on one poison request. Stage 1
+    /// runs inside the fan-out's per-leg containment boundary, so this
+    /// fault class marks legs failed instead of killing the dispatcher.
     struct PanickyService;
 
     impl ApproximateService for PanickyService {
@@ -855,23 +1008,146 @@ mod tests {
         }
     }
 
+    /// `CountService` whose *compose* panics on one poison request.
+    /// Compose runs on the dispatcher's own stack, outside the fan-out's
+    /// per-leg containment — the fault class that actually kills the
+    /// dispatcher thread and exercises the supervisor.
+    struct ComposePanicService;
+
+    impl ApproximateService for ComposePanicService {
+        type Request = u32;
+        type Output = usize;
+
+        fn process_synopsis(&self, ctx: Ctx<'_>, r: &u32, corr: &mut Vec<Correlation>) -> usize {
+            CountService.process_synopsis(ctx, r, corr)
+        }
+
+        fn improve(
+            &self,
+            ctx: Ctx<'_>,
+            r: &u32,
+            out: &mut usize,
+            node: at_rtree::NodeId,
+            members: &[u64],
+        ) {
+            CountService.improve(ctx, r, out, node, members);
+        }
+
+        fn process_exact(&self, ctx: Ctx<'_>, r: &u32) -> usize {
+            CountService.process_exact(ctx, r)
+        }
+    }
+
+    impl ComposableService for ComposePanicService {
+        type Response = usize;
+
+        fn compose(&self, r: &u32, parts: &[usize]) -> usize {
+            assert_ne!(*r, 666, "poison compose");
+            parts.iter().sum()
+        }
+    }
+
     #[test]
-    fn dispatcher_panic_cancels_queued_tickets_and_stops_accepting() {
-        let rows: Vec<SparseRow> = (0..90u32)
-            .map(|r| SparseRow::from_pairs((0..6).map(|c| (c, ((r + c) % 4) as f64)).collect()))
-            .collect();
-        let subsets = partition_rows(6, rows, 3).expect("3 components");
-        let cfg = SynopsisConfig {
-            svd: at_linalg::svd::SvdConfig::default().with_epochs(8),
-            size_ratio: 10,
-            ..SynopsisConfig::default()
-        };
-        let service = FanOutService::build(subsets, AggregationMode::Mean, cfg, || PanickyService);
-        let server = Server::from_service(service, ServerConfig::default().with_max_batch(2));
+    fn contained_component_panics_keep_the_dispatcher_alive() {
+        let server = Server::from_service(
+            fanout_of(|| PanickyService),
+            ServerConfig::default().with_max_batch(1),
+        );
+        let service = server.service().clone();
+        let policy = ExecutionPolicy::budgeted(1);
+        // Every component's stage-1 leg dies on the poison request, but
+        // each leg is contained: the ticket resolves with a response
+        // composed of zero surviving parts instead of being canceled.
+        let got = server
+            .try_submit(666, policy)
+            .unwrap()
+            .wait()
+            .expect("fulfilled, not canceled");
+        assert_eq!(got.components_failed, vec![0, 1, 2]);
+        assert_eq!(got.response, 0, "composed from zero surviving parts");
+        assert!(!got.is_complete());
+        // The dispatcher never died: the next request serves normally
+        // (one failure is below the breaker threshold, so no leg skips).
+        let fine = server.try_submit(1, policy).unwrap().wait().unwrap();
+        assert!(fine.is_complete());
+        assert_eq!(fine.response, service.serve(&1, &policy).response);
+        let stats = server.shutdown();
+        assert_eq!(stats.dispatcher_restarts, 0, "contained, not crashed");
+        assert!(!stats.stopped);
+    }
+
+    #[test]
+    fn stats_expose_open_breakers() {
+        let server = Server::from_service(
+            fanout_of(|| PanickyService),
+            ServerConfig::default().with_max_batch(1),
+        );
+        let policy = ExecutionPolicy::budgeted(1);
+        // Three consecutive failing rounds reach the default breaker
+        // threshold on every component.
+        for _ in 0..3 {
+            let got = server.try_submit(666, policy).unwrap().wait().unwrap();
+            assert_eq!(got.components_failed.len(), 3);
+        }
+        let load = server.stats().load;
+        assert_eq!(load.components_total, 3);
+        assert_eq!(
+            load.components_open, 3,
+            "three consecutive failures trip every breaker"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn supervisor_respawns_dispatcher_and_queued_work_survives() {
+        let server = Server::from_service(
+            fanout_of(|| ComposePanicService),
+            ServerConfig::default()
+                .with_max_batch(1)
+                .with_restart_backoff(Duration::from_micros(100)),
+        );
+        let service = server.service().clone();
         let policy = ExecutionPolicy::budgeted(1);
         server.pause();
-        // First micro-batch (max_batch 2) contains the poison request and
-        // kills the dispatcher; the rest never leave the queue.
+        // Three poison batches interleaved with healthy work: each poison
+        // compose kills the dispatcher on its own stack, the supervisor
+        // respawns it, and the still-queued entries are served untouched.
+        let reqs = [666u32, 1, 666, 2, 666, 0];
+        let tickets: Vec<_> = reqs
+            .iter()
+            .map(|&r| server.try_submit(r, policy).expect("room"))
+            .collect();
+        server.resume();
+        for (&r, ticket) in reqs.iter().zip(tickets) {
+            if r == 666 {
+                assert!(ticket.wait().is_err(), "poison batch ticket cancels");
+            } else {
+                let got = ticket.wait().expect("queued work survives restarts");
+                assert_eq!(got.response, service.serve(&r, &policy).response);
+            }
+        }
+        // Still fully operational after surviving three dispatcher deaths.
+        let got = server.try_submit(2, policy).unwrap().wait().unwrap();
+        assert_eq!(got.response, service.serve(&2, &policy).response);
+        let stats = server.shutdown();
+        assert_eq!(stats.dispatcher_restarts, 3, "one respawn per poison");
+        assert!(!stats.stopped);
+        assert_eq!(stats.completed, 4);
+    }
+
+    #[test]
+    fn restart_budget_exhausted_stops_the_server_terminally() {
+        let server = Server::from_service(
+            fanout_of(|| ComposePanicService),
+            ServerConfig::default()
+                .with_max_batch(2)
+                .with_max_restarts(0),
+        );
+        let policy = ExecutionPolicy::budgeted(1);
+        server.pause();
+        // First micro-batch (max_batch 2) carries the poison compose;
+        // with a zero restart budget the supervisor gives up on the first
+        // crash, cancels the queued rest, and stops terminally.
         let tickets: Vec<_> = [0u32, 666, 1, 2, 3]
             .into_iter()
             .map(|r| server.try_submit(r, policy).expect("room"))
@@ -883,16 +1159,20 @@ mod tests {
                 "every ticket is canceled, none blocks forever"
             );
         }
-        // The dead server must refuse work, not queue it unserved.
+        // The stopped server must refuse work — terminally, not Busy.
         assert_eq!(
             server.try_submit(7, policy).unwrap_err(),
-            SubmitError::ShuttingDown
+            SubmitError::Stopped
         );
         assert_eq!(
             server.submit(7, policy).unwrap_err(),
-            SubmitError::ShuttingDown,
-            "blocking submit must not hang on a dead dispatcher"
+            SubmitError::Stopped,
+            "blocking submit must not hang on a stopped server"
         );
+        assert!(server.is_stopped());
+        let stats = server.stats();
+        assert!(stats.stopped);
+        assert_eq!(stats.dispatcher_restarts, 0, "budget 0: no respawn");
         assert_eq!(server.queue_depth(), 0, "queued entries were cleared");
     }
 

@@ -64,6 +64,7 @@ pub(crate) struct Counters {
     pub(crate) completed: AtomicU64,
     pub(crate) shed: AtomicU64,
     pub(crate) batches: AtomicU64,
+    pub(crate) dispatcher_restarts: AtomicU64,
     pub(crate) queue_wait_ns: AtomicU64,
     pub(crate) max_queue_wait_ns: AtomicU64,
     pub(crate) max_queue_depth: AtomicU64,
@@ -86,6 +87,7 @@ impl Counters {
             completed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            dispatcher_restarts: AtomicU64::new(0),
             queue_wait_ns: AtomicU64::new(0),
             max_queue_wait_ns: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
@@ -114,7 +116,16 @@ impl Counters {
     }
 
     /// Aggregate the sliding window into a [`LoadSnapshot`].
-    pub(crate) fn load_snapshot(&self, queue_depth: usize, queue_capacity: usize) -> LoadSnapshot {
+    /// `components_total`/`components_open` come from the fan-out
+    /// service's circuit breakers (see
+    /// [`FanOutService::open_components`](at_core::FanOutService::open_components)).
+    pub(crate) fn load_snapshot(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        components_total: usize,
+        components_open: usize,
+    ) -> LoadSnapshot {
         let window = self.window();
         let sampled = window.waits_ns.len();
         let (mean_ns, p99_ns) = if sampled == 0 {
@@ -139,10 +150,19 @@ impl Counters {
             mean_queue_wait: Duration::from_nanos(mean_ns),
             p99_queue_wait: Duration::from_nanos(p99_ns),
             mean_coverage,
+            components_total,
+            components_open,
         }
     }
 
-    pub(crate) fn snapshot(&self, queue_depth: usize, queue_capacity: usize) -> ServerStats {
+    pub(crate) fn snapshot(
+        &self,
+        queue_depth: usize,
+        queue_capacity: usize,
+        components_total: usize,
+        components_open: usize,
+        stopped: bool,
+    ) -> ServerStats {
         let submitted = self.submitted.load(Ordering::Relaxed);
         let completed = self.completed.load(Ordering::Relaxed);
         let shed = self.shed.load(Ordering::Relaxed);
@@ -155,9 +175,16 @@ impl Counters {
             queue_depth,
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             batches_dispatched: self.batches.load(Ordering::Relaxed),
+            dispatcher_restarts: self.dispatcher_restarts.load(Ordering::Relaxed),
+            stopped,
             queue_wait_total: Duration::from_nanos(self.queue_wait_ns.load(Ordering::Relaxed)),
             queue_wait_max: Duration::from_nanos(self.max_queue_wait_ns.load(Ordering::Relaxed)),
-            load: self.load_snapshot(queue_depth, queue_capacity),
+            load: self.load_snapshot(
+                queue_depth,
+                queue_capacity,
+                components_total,
+                components_open,
+            ),
         }
     }
 }
@@ -183,6 +210,13 @@ pub struct LoadSnapshot {
     /// Mean response coverage over the window, in `[0, 1]`; `1.0` on a
     /// cold server (no evidence of degradation yet).
     pub mean_coverage: f64,
+    /// Fan-out components behind the service (breaker count).
+    pub components_total: usize,
+    /// Components whose circuit breaker is currently
+    /// [`Open`](at_core::BreakerState::Open) — legs being skipped at
+    /// ~zero cost while they cool down. A controller may treat a service
+    /// already degraded by failures as closer to its ladder's next rung.
+    pub components_open: usize,
 }
 
 impl LoadSnapshot {
@@ -217,6 +251,14 @@ pub struct ServerStats {
     pub max_queue_depth: u64,
     /// Micro-batches the dispatcher has driven through the service.
     pub batches_dispatched: u64,
+    /// Times the supervisor respawned a panicked dispatcher thread
+    /// (see [`ServerConfig::max_restarts`](crate::ServerConfig::max_restarts)).
+    pub dispatcher_restarts: u64,
+    /// True once the supervisor gave up restarting the dispatcher
+    /// (restart budget exhausted): the server is terminally stopped,
+    /// queued tickets were canceled, and submissions return
+    /// [`SubmitError::Stopped`](crate::SubmitError::Stopped).
+    pub stopped: bool,
     /// Total time completed-or-dispatched requests spent queued
     /// (cumulative, lifetime).
     pub queue_wait_total: Duration,
@@ -259,7 +301,7 @@ mod tests {
         c.batches.store(3, Ordering::Relaxed);
         c.record_dequeue(Duration::from_millis(9));
         c.record_dequeue(Duration::from_millis(3));
-        let s = c.snapshot(4, 16);
+        let s = c.snapshot(4, 16, 3, 0, false);
         assert_eq!(s.in_flight, 4, "in flight excludes completed and shed");
         assert_eq!(s.queue_depth, 4);
         assert_eq!(s.mean_batch_size(), 2.0);
@@ -276,7 +318,7 @@ mod tests {
     fn idle_stats_have_typed_zero_means() {
         // Regression: both mean helpers must return their types' zeros —
         // never NaN — before the first dispatch.
-        let s = Counters::new(8).snapshot(0, 8);
+        let s = Counters::new(8).snapshot(0, 8, 3, 0, false);
         assert_eq!(s.mean_batch_size(), 0.0);
         assert!(!s.mean_batch_size().is_nan());
         assert_eq!(s.mean_queue_wait(), Duration::ZERO);
@@ -294,12 +336,12 @@ mod tests {
         for _ in 0..32 {
             c.record_dequeue(Duration::from_millis(80)); // the burst
         }
-        let during = c.snapshot(0, 64);
+        let during = c.snapshot(0, 64, 3, 0, false);
         assert_eq!(during.mean_queue_wait(), Duration::from_millis(80));
         for _ in 0..32 {
             c.record_dequeue(Duration::from_micros(50)); // calm again
         }
-        let after = c.snapshot(0, 64);
+        let after = c.snapshot(0, 64, 3, 0, false);
         assert_eq!(
             after.mean_queue_wait(),
             Duration::from_micros(50),
@@ -319,7 +361,7 @@ mod tests {
             c.record_dequeue(Duration::from_millis(1));
         }
         c.record_dequeue(Duration::from_millis(100));
-        let load = c.load_snapshot(0, 8);
+        let load = c.load_snapshot(0, 8, 3, 0);
         assert_eq!(load.sampled, 50);
         assert_eq!(load.p99_queue_wait, Duration::from_millis(100));
         assert!(load.mean_queue_wait < Duration::from_millis(3));
@@ -332,13 +374,13 @@ mod tests {
             c.record_coverage(cov);
         }
         // Window of 4 keeps only the last four samples.
-        let load = c.load_snapshot(0, 8);
+        let load = c.load_snapshot(0, 8, 3, 0);
         assert_eq!(load.mean_coverage, 1.0);
     }
 
     #[test]
     fn depth_ratio_handles_zero_capacity() {
-        let load = Counters::new(4).load_snapshot(5, 0);
+        let load = Counters::new(4).load_snapshot(5, 0, 3, 1);
         assert_eq!(load.depth_ratio(), 0.0);
     }
 }

@@ -14,12 +14,23 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
-/// The server dropped the request before fulfilling it: its dispatcher
-/// died mid-batch, or the admission controller **shed** the request under
-/// extreme overload ([`Decision::Shed`](crate::Decision::Shed), counted
-/// in [`ServerStats::shed`](crate::ServerStats::shed)). Orderly shutdown
-/// *drains* the queue, so a canceled ticket never signals normal
-/// teardown.
+/// The server dropped the request before fulfilling it. Exactly three
+/// producers exist:
+///
+/// 1. **Admission shed** — the controller dropped the request under
+///    extreme overload ([`Decision::Shed`](crate::Decision::Shed),
+///    counted in [`ServerStats::shed`](crate::ServerStats::shed)).
+/// 2. **Crashed micro-batch** — the request was in flight when a fault
+///    escaped the fan-out's containment and killed the dispatcher (the
+///    sender dropped during the unwind); the supervisor respawns the
+///    dispatcher, so *queued* requests are unaffected.
+/// 3. **Terminal stop** — the supervisor exhausted its restart budget
+///    ([`ServerConfig::max_restarts`](crate::ServerConfig::max_restarts))
+///    and canceled everything still queued; subsequent submissions get
+///    [`SubmitError::Stopped`](crate::SubmitError::Stopped).
+///
+/// Orderly shutdown *drains* the queue, so a canceled ticket never
+/// signals normal teardown.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Canceled;
 

@@ -163,6 +163,8 @@ proptest! {
             mean_queue_wait: Duration::from_millis(wait_ms),
             p99_queue_wait: Duration::from_millis(wait_ms * 2),
             mean_coverage: 0.9,
+            components_total: 3,
+            components_open: 0,
         };
         let mut levels = Vec::with_capacity(64);
         for _ in 0..64 {

@@ -106,9 +106,10 @@ pub use at_workloads as workloads;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use at_core::{
-        partition_rows, Algorithm1, ApproximateService, Component, ComponentTelemetry,
-        ComposableService, Correlation, Ctx, DegradationLadder, ExecutionPolicy, FanOutService,
-        Outcome, OutputPool, ServiceError, ServiceResponse,
+        partition_rows, Algorithm1, ApproximateService, BreakerConfig, BreakerState,
+        CircuitBreaker, Component, ComponentTelemetry, ComposableService, Correlation, Ctx,
+        DegradationLadder, ExecutionPolicy, FanOutService, FaultInjector, FaultKind, FaultRule,
+        FaultSite, FaultyService, Outcome, OutputPool, ServiceError, ServiceResponse,
     };
     pub use at_linalg::svd::{IncrementalSvd, SvdConfig};
     pub use at_recommender::{rating_matrix, ActiveUser, CfService, PredictionAcc};

@@ -6,6 +6,7 @@
 //! point — [`execute`](Component::execute) under an [`ExecutionPolicy`] —
 //! plus incremental data updating.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use at_synopsis::{
@@ -17,10 +18,26 @@ use crate::policy::ExecutionPolicy;
 use crate::pool::OutputPool;
 use crate::processor::{Algorithm1, ApproximateService, Ctx};
 
-/// One parallel component of an online service.
-pub struct Component<S> {
+/// The shareable read-only half of a [`Component`]: the input subset and
+/// its offline artifacts. Replicated serving workers (see
+/// [`FanOutService::replica`](crate::FanOutService::replica)) hold one
+/// `Arc` of this each — N workers, one copy of the data.
+#[derive(Clone, Debug)]
+struct ComponentData {
     dataset: RowStore,
     store: SynopsisStore,
+}
+
+/// One parallel component of an online service.
+///
+/// The data half (subset + synopsis) lives behind an [`Arc`], so
+/// [`replica`](Self::replica) can stamp out additional serving instances
+/// over the *same* read-only data at the cost of a pointer copy.
+/// Mutation ([`apply_updates`](Self::apply_updates)) is copy-on-write:
+/// a component whose data is currently shared first un-shares it, so an
+/// updated instance diverges from its replicas instead of racing them.
+pub struct Component<S> {
+    data: Arc<ComponentData>,
     service: S,
 }
 
@@ -36,8 +53,7 @@ impl<S: ApproximateService> Component<S> {
         let (store, report) = SynopsisStore::build(&dataset, mode, config);
         (
             Component {
-                dataset,
-                store,
+                data: Arc::new(ComponentData { dataset, store }),
                 service,
             },
             report,
@@ -47,20 +63,33 @@ impl<S: ApproximateService> Component<S> {
     /// Wrap pre-built state (used by tests and the simulator's calibration).
     pub fn from_parts(dataset: RowStore, store: SynopsisStore, service: S) -> Self {
         Component {
-            dataset,
-            store,
+            data: Arc::new(ComponentData { dataset, store }),
             service,
+        }
+    }
+
+    /// A serving replica over the **same** read-only data: the subset and
+    /// synopsis are `Arc`-shared (no copy), only the service hooks are
+    /// cloned. The scale-out primitive behind
+    /// [`FanOutService::replica`](crate::FanOutService::replica).
+    pub fn replica(&self) -> Self
+    where
+        S: Clone,
+    {
+        Component {
+            data: Arc::clone(&self.data),
+            service: self.service.clone(),
         }
     }
 
     /// The subset of input data.
     pub fn dataset(&self) -> &RowStore {
-        &self.dataset
+        &self.data.dataset
     }
 
     /// The offline artifacts (synopsis, index file, R-tree, reducer).
     pub fn store(&self) -> &SynopsisStore {
-        &self.store
+        &self.data.store
     }
 
     /// The service hooks.
@@ -71,8 +100,8 @@ impl<S: ApproximateService> Component<S> {
     /// Read-only processing context.
     pub fn ctx(&self) -> Ctx<'_> {
         Ctx {
-            dataset: &self.dataset,
-            store: &self.store,
+            dataset: &self.data.dataset,
+            store: &self.data.store,
         }
     }
 
@@ -85,7 +114,8 @@ impl<S: ApproximateService> Component<S> {
         policy: &ExecutionPolicy,
         submitted: Instant,
     ) -> Outcome<S::Output> {
-        Algorithm1::new(&self.dataset, &self.store, &self.service).execute(req, policy, submitted)
+        Algorithm1::new(&self.data.dataset, &self.data.store, &self.service)
+            .execute(req, policy, submitted)
     }
 
     /// [`execute`](Self::execute) with the output buffer drawn from (and
@@ -97,7 +127,7 @@ impl<S: ApproximateService> Component<S> {
         submitted: Instant,
         pool: &OutputPool<S::Output>,
     ) -> Outcome<S::Output> {
-        Algorithm1::new(&self.dataset, &self.store, &self.service)
+        Algorithm1::new(&self.data.dataset, &self.data.store, &self.service)
             .execute_pooled(req, policy, submitted, pool)
     }
 
@@ -110,7 +140,7 @@ impl<S: ApproximateService> Component<S> {
         policy: &ExecutionPolicy,
         submitted: &[Instant],
     ) -> Vec<Outcome<S::Output>> {
-        Algorithm1::new(&self.dataset, &self.store, &self.service)
+        Algorithm1::new(&self.data.dataset, &self.data.store, &self.service)
             .execute_batch(reqs, policy, submitted)
     }
 
@@ -123,18 +153,24 @@ impl<S: ApproximateService> Component<S> {
         submitted: &[Instant],
         pool: &OutputPool<S::Output>,
     ) -> Vec<Outcome<S::Output>> {
-        Algorithm1::new(&self.dataset, &self.store, &self.service)
+        Algorithm1::new(&self.data.dataset, &self.data.store, &self.service)
             .execute_batch_pooled(reqs, policy, submitted, pool)
     }
 
     /// Apply input-data changes and incrementally update the synopsis.
+    ///
+    /// Copy-on-write with respect to [`replica`](Self::replica): when the
+    /// data is currently shared, it is deep-copied first, so replicas keep
+    /// serving the pre-update snapshot (refresh them by taking new
+    /// replicas after the update).
     pub fn apply_updates(&mut self, updates: Vec<DataUpdate>) -> UpdateReport {
-        self.store.apply_updates(&mut self.dataset, updates)
+        let data = Arc::make_mut(&mut self.data);
+        data.store.apply_updates(&mut data.dataset, updates)
     }
 
     /// Consistency check of the offline artifacts.
     pub fn validate(&self) -> Result<(), String> {
-        self.store.validate()
+        self.data.store.validate()
     }
 }
 

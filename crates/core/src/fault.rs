@@ -308,6 +308,11 @@ fn corrupt_scores(corr: &mut [Correlation]) {
 /// the test/bench-facing way to make *production* serving paths fail on
 /// demand. Transparent (bit-identical to the wrapped service) when the
 /// injector has no rules.
+///
+/// Clones share the injector (the `Arc` is cloned, not the schedule), so
+/// replicated deployments built from one faulty service draw fault
+/// events from a single global call sequence.
+#[derive(Clone)]
 pub struct FaultyService<S> {
     inner: S,
     injector: Arc<FaultInjector>,

@@ -49,6 +49,7 @@ pub mod outcome;
 pub mod policy;
 pub mod pool;
 pub mod processor;
+pub mod route;
 pub mod service;
 
 pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
@@ -59,6 +60,7 @@ pub use outcome::Outcome;
 pub use policy::{DegradationLadder, ExecutionPolicy};
 pub use pool::{prepare_outputs, OutputPool};
 pub use processor::{Algorithm1, ApproximateService, ComposableService, Ctx};
+pub use route::{fnv1a, Fnv1a, RouteKey};
 pub use service::{
     partition_rows, ComponentTelemetry, FanOutService, ServiceError, ServiceResponse,
 };

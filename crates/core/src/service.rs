@@ -252,6 +252,33 @@ where
         }
     }
 
+    /// A replicated serving instance over the **same** read-only data:
+    /// every component's subset and synopsis are `Arc`-shared with this
+    /// service (see [`Component::replica`]), while the mutable serving
+    /// state — circuit breakers and the output pool — is fresh, so
+    /// replicas fail, recover, and recycle buffers independently.
+    ///
+    /// This is the scale-out hook behind `at-server`'s replicated
+    /// multi-worker deployment: N workers serve N request streams against
+    /// one copy of the offline artifacts. Breakers start `Closed` under
+    /// the default [`BreakerConfig`]; apply
+    /// [`with_breaker_config`](Self::with_breaker_config) per replica to
+    /// retune them.
+    pub fn replica(&self) -> Self
+    where
+        S: Clone,
+    {
+        FanOutService {
+            components: self.components.iter().map(Component::replica).collect(),
+            breakers: self
+                .components
+                .iter()
+                .map(|_| CircuitBreaker::new(BreakerConfig::default()))
+                .collect(),
+            pool: OutputPool::new(),
+        }
+    }
+
     /// Replace every component's circuit breaker with a fresh one under
     /// `config` (builder style; state resets to `Closed`).
     pub fn with_breaker_config(mut self, config: BreakerConfig) -> Self {

@@ -1,6 +1,7 @@
 //! Rating-matrix plumbing: turning rating triples into the row stores the
 //! synopsis pipeline and CF algorithm consume.
 
+use at_core::{Fnv1a, RouteKey};
 use at_synopsis::{RowStore, SparseRow};
 use at_workloads::Rating;
 
@@ -49,6 +50,24 @@ impl ActiveUser {
         } else {
             self.profile.vals.iter().sum::<f64>() / self.profile.vals.len() as f64
         }
+    }
+}
+
+/// Stable placement hash over exactly what `PartialEq` compares (profile
+/// pairs and targets), so byte-equal requests — the ones the batched
+/// duplicate collapse merges — always share a worker under hash-affinity
+/// routing.
+impl RouteKey for ActiveUser {
+    fn route_key(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for (&col, &val) in self.profile.cols.iter().zip(&self.profile.vals) {
+            h.write_u32(col);
+            h.write_f64(val);
+        }
+        for &target in &self.targets {
+            h.write_u32(target);
+        }
+        h.finish()
     }
 }
 

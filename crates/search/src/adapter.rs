@@ -13,7 +13,7 @@
 //! * **Improvement** — score the original pages of one ranked set exactly
 //!   and fold them into the top-k heap.
 
-use at_core::{ApproximateService, ComposableService, Correlation, Ctx};
+use at_core::{ApproximateService, ComposableService, Correlation, Ctx, Fnv1a, RouteKey};
 use at_rtree::NodeId;
 use at_synopsis::RowStore;
 
@@ -40,6 +40,19 @@ impl SearchRequest {
 impl From<&at_workloads::Query> for SearchRequest {
     fn from(q: &at_workloads::Query) -> Self {
         SearchRequest::new(q.terms.clone())
+    }
+}
+
+/// Stable placement hash over the (sorted, deduplicated) terms — exactly
+/// what `Eq` compares — so repeated queries collapse on one worker under
+/// hash-affinity routing.
+impl RouteKey for SearchRequest {
+    fn route_key(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        for &term in &self.terms {
+            h.write_u32(term);
+        }
+        h.finish()
     }
 }
 

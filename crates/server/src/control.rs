@@ -77,6 +77,25 @@ pub trait AdmissionController: Send + Sync {
     }
 }
 
+/// Boxed controllers forward transparently, so a multi-worker front end
+/// can hand each worker its own independently-tuned controller from one
+/// `Fn(usize) -> Box<dyn AdmissionController>` factory (per-worker
+/// ladders are what make hot-shard isolation possible — see
+/// [`ShardedServer`](crate::ShardedServer)).
+impl AdmissionController for Box<dyn AdmissionController> {
+    fn observe(&self, snapshot: &LoadSnapshot) {
+        (**self).observe(snapshot);
+    }
+
+    fn decide(&self, snapshot: &LoadSnapshot, requested: &ExecutionPolicy) -> Decision {
+        (**self).decide(snapshot, requested)
+    }
+
+    fn is_pass_through(&self) -> bool {
+        (**self).is_pass_through()
+    }
+}
+
 /// The default controller: admit everything, exactly the dispatcher's
 /// behavior before admission control existed (proptest-proven equivalent
 /// in `tests/proptest_control.rs`).

@@ -113,17 +113,19 @@
 //! [`ServerStats::shed`]).
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use at_core::{clock, ComposableService, ExecutionPolicy, FanOutService, ServiceResponse};
 
 pub mod control;
+pub mod shard;
 mod stats;
 mod ticket;
 
 pub use control::{AdmissionController, Decision, LadderConfig, LadderController, NoControl};
+pub use shard::{ClusterStats, RoutingStrategy, ShardConfig, ShardedServer};
 pub use stats::{LoadSnapshot, ServerStats};
 pub use ticket::{Canceled, Ticket};
 
@@ -274,8 +276,45 @@ impl<R, T> SharedQueue<R, T> {
 /// Shorthand for a service's queue-shared state.
 type SharedOf<S> = SharedQueue<<S as at_core::ApproximateService>::Request, Response<S>>;
 
+/// The steal ring of a multi-worker deployment: every worker's shared
+/// queue, in worker order, installed once after all workers exist.
+/// Dispatchers observe `None` until installation completes, so no
+/// dispatcher can steal from a ring still under construction.
+pub(crate) struct StealRing<S: ComposableService> {
+    queues: OnceLock<Vec<Arc<SharedOf<S>>>>,
+}
+
+impl<S: ComposableService> StealRing<S> {
+    pub(crate) fn new() -> Self {
+        StealRing {
+            queues: OnceLock::new(),
+        }
+    }
+
+    /// Install the worker queues (first call wins; later calls no-op).
+    pub(crate) fn install(&self, queues: Vec<Arc<SharedOf<S>>>) {
+        let _ = self.queues.set(queues);
+    }
+}
+
+/// One worker's view of the steal ring: the ring plus its own position
+/// (a dispatcher never steals from itself).
+pub(crate) struct StealPlan<S: ComposableService> {
+    pub(crate) ring: Arc<StealRing<S>>,
+    pub(crate) self_idx: usize,
+}
+
+/// How long a steal-enabled dispatcher sleeps between wakeups when its
+/// own queue is dry: sibling backlog arrives without any local notify,
+/// so the idle wait polls instead of parking indefinitely.
+const STEAL_POLL: Duration = Duration::from_micros(500);
+
 /// Shorthand for a service's queued entries.
 type EntryOf<S> = Entry<<S as at_core::ApproximateService>::Request, Response<S>>;
+
+/// A successfully stolen round: the victim's queue (telemetry home), the
+/// poached entries, and the victim's pre-steal depth.
+type StolenRound<S> = (Arc<SharedOf<S>>, Vec<EntryOf<S>>, usize);
 
 /// The response type a server for service `S` completes tickets with.
 pub type Response<S> = ServiceResponse<<S as ComposableService>::Response>;
@@ -328,6 +367,18 @@ where
         config: ServerConfig,
         controller: impl AdmissionController + 'static,
     ) -> Self {
+        Self::spawn(service, config, controller, None)
+    }
+
+    /// The full-control constructor behind [`with_controller`]
+    /// (Self::with_controller): a [`ShardedServer`] additionally wires
+    /// each worker into the deployment's steal ring.
+    pub(crate) fn spawn(
+        service: Arc<FanOutService<S>>,
+        config: ServerConfig,
+        controller: impl AdmissionController + 'static,
+        steal: Option<StealPlan<S>>,
+    ) -> Self {
         assert!(config.queue_capacity > 0, "queue capacity must be >= 1");
         assert!(config.max_batch > 0, "micro-batch cap must be >= 1");
         let shared: Arc<SharedOf<S>> = Arc::new(SharedQueue {
@@ -347,7 +398,7 @@ where
             let shared = shared.clone();
             std::thread::Builder::new()
                 .name("at-server-supervisor".into())
-                .spawn(move || supervise(&service, &shared, config, &controller))
+                .spawn(move || supervise(&service, &shared, config, &controller, steal.as_ref()))
                 // lint: allow(panic-freedom) reason=construction-time spawn failure is an unrecoverable environment error, not a serving-path condition
                 .expect("spawn supervisor thread")
         };
@@ -366,6 +417,11 @@ where
     /// The served fan-out service.
     pub fn service(&self) -> &Arc<FanOutService<S>> {
         &self.service
+    }
+
+    /// This worker's shared queue handle, for steal-ring installation.
+    pub(crate) fn shared_handle(&self) -> Arc<SharedOf<S>> {
+        self.shared.clone()
     }
 
     /// Submit a request without blocking: it is stamped submitted *now*
@@ -479,6 +535,18 @@ where
         self.shared.state().entries.len()
     }
 
+    /// Queue depth if the worker is still serving, `None` once terminally
+    /// stopped — both read under one lock, for the router's least-loaded
+    /// and failover placement.
+    pub(crate) fn live_depth(&self) -> Option<usize> {
+        let state = self.shared.state();
+        if state.stopped {
+            None
+        } else {
+            Some(state.entries.len())
+        }
+    }
+
     /// True once the supervisor has given up restarting a crashing
     /// dispatcher and stopped the server terminally (see
     /// [`ServerConfig::max_restarts`]); submissions now return
@@ -552,6 +620,7 @@ fn supervise<S>(
     shared: &SharedOf<S>,
     config: ServerConfig,
     controller: &dyn AdmissionController,
+    steal: Option<&StealPlan<S>>,
 ) where
     S: ComposableService + Sync,
     S::Request: Clone + PartialEq + Send + Sync,
@@ -565,7 +634,7 @@ fn supervise<S>(
             std::thread::Builder::new()
                 .name("at-server-dispatcher".into())
                 .spawn_scoped(scope, || {
-                    dispatch_loop(service, shared, config.max_batch, controller)
+                    dispatch_loop(service, shared, config.max_batch, controller, steal)
                 })
                 // lint: allow(panic-freedom) reason=spawn failure here is an unrecoverable environment error, and the supervisor thread owns no lock a panic could poison
                 .expect("spawn dispatcher thread")
@@ -575,6 +644,15 @@ fn supervise<S>(
             Ok(()) => return, // orderly exit: shut down and drained
             Err(payload) => {
                 drop(payload); // the fault's payload, not ours to rethrow
+                               // The dispatcher can die *between* draining a batch and
+                               // notifying `space` — a submitter blocked on a then-full
+                               // queue would sleep on freed room until some later
+                               // notify (or forever on an otherwise idle server). Wake
+                               // both sides now: blocked submitters re-check a queue
+                               // with room, and a paused-then-resumed state is
+                               // re-observed by the respawned dispatcher.
+                shared.space.notify_all();
+                shared.work.notify_all();
                 let completed = shared
                     .counters
                     .completed
@@ -617,66 +695,203 @@ fn mark_stopped<R, T>(shared: &SharedQueue<R, T>) {
     shared.space.notify_all();
 }
 
+/// What one dispatcher iteration acquired: a batch from its own queue,
+/// or one stolen from a sibling worker's queue (whose shared handle
+/// rides along so telemetry and tickets stay attributed to the home
+/// worker).
+enum Round<S: ComposableService> {
+    Own(Vec<EntryOf<S>>, usize),
+    Stolen(Arc<SharedOf<S>>, Vec<EntryOf<S>>, usize),
+}
+
 /// The dispatcher: drain micro-batches, consult the admission controller
 /// per request, group by *effective* policy, serve each group in one
 /// batched call, fulfil tickets. Exits once shut down **and** drained.
 /// Runs under [`supervise`]; a panic here cancels only the drained
 /// batch's tickets and the supervisor respawns the loop.
+///
+/// With a [`StealPlan`], a dispatcher whose own queue runs dry steals
+/// the oldest half of the deepest sibling queue instead of parking:
+/// zipf-skewed hash-affinity routing leaves some workers hot and some
+/// idle, and a stolen batch still drains from *one* home queue, so the
+/// duplicate-collapse locality that hash routing bought is preserved.
 fn dispatch_loop<S>(
     service: &FanOutService<S>,
     shared: &SharedOf<S>,
     max_batch: usize,
     controller: &dyn AdmissionController,
+    steal: Option<&StealPlan<S>>,
 ) where
     S: ComposableService + Sync,
     S::Request: Clone + PartialEq + Sync,
     S::Output: Send,
 {
+    // Per-round scratch, reused across the dispatcher's lifetime: the
+    // whole round's waits/coverages flush into the stats window under
+    // one lock each (`record_dequeues`/`record_coverages`), instead of
+    // one lock acquisition per request.
+    let mut waits_scratch: Vec<u64> = Vec::new();
+    let mut coverage_scratch: Vec<f64> = Vec::new();
     loop {
-        let (batch, backlog): (Vec<EntryOf<S>>, usize) = {
+        let round: Round<S> = 'acquire: {
             let mut state = shared.state();
             loop {
                 if !state.entries.is_empty() && (!state.paused || state.shutdown) {
-                    break;
+                    let depth = state.entries.len();
+                    let take = depth.min(max_batch);
+                    break 'acquire Round::Own(state.entries.drain(..take).collect(), depth);
                 }
                 if state.shutdown {
                     return; // drained
                 }
-                state = shared
+                let Some(plan) = steal else {
+                    state = shared
+                        .work
+                        .wait(state)
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    continue;
+                };
+                // Own queue is dry (or paused): try a sibling before
+                // sleeping. The lock is dropped first — stealing locks
+                // the sibling's queue, and lock ordering across workers
+                // must stay single-lock-at-a-time.
+                drop(state);
+                if let Some((home, batch, depth)) = try_steal(plan, max_batch) {
+                    break 'acquire Round::Stolen(home, batch, depth);
+                }
+                let guard = shared.state();
+                let (guard, _timeout) = shared
                     .work
-                    .wait(state)
+                    .wait_timeout(guard, STEAL_POLL)
                     .unwrap_or_else(|poisoned| poisoned.into_inner());
+                state = guard;
             }
-            let depth = state.entries.len();
-            let take = depth.min(max_batch);
-            (state.entries.drain(..take).collect(), depth)
         };
-        shared.space.notify_all();
-
-        let dispatched = clock::now();
-        for entry in &batch {
-            shared
-                .counters
-                .record_dequeue(dispatched.saturating_duration_since(entry.enqueued));
+        match round {
+            Round::Own(batch, backlog) => {
+                shared.space.notify_all();
+                serve_round(
+                    service,
+                    shared,
+                    batch,
+                    backlog,
+                    Some(controller),
+                    &mut waits_scratch,
+                    &mut coverage_scratch,
+                );
+            }
+            Round::Stolen(home, batch, backlog) => {
+                let n = batch.len() as u64;
+                shared
+                    .counters
+                    .steals
+                    .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+                home.counters
+                    .stolen
+                    .fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+                // Stolen rounds skip admission control: the thief is idle
+                // by definition, so serving at full price is the right
+                // trade — the home worker's ladder reacts to whatever
+                // backlog remains in its own queue.
+                serve_round(
+                    service,
+                    &home,
+                    batch,
+                    backlog,
+                    None,
+                    &mut waits_scratch,
+                    &mut coverage_scratch,
+                );
+            }
         }
-        shared
-            .counters
-            .batches
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}
 
-        // The control plane (see the crate docs' decision flow): one
-        // snapshot per round — including this round's just-recorded waits
-        // and the backlog depth at drain time — then one decision per
-        // request, consulted newest-first so "degrade the newest fraction
-        // of traffic first" is what a fractional controller does. The
-        // pass-through controller skips all of it: no snapshot, no
-        // decisions buffer — the uncontrolled hot path is unchanged.
-        let decisions: Option<Vec<Decision>> = if controller.is_pass_through() {
-            None
-        } else {
-            let snapshot = shared.counters.load_snapshot(
+/// Steal the oldest half (capped at `max_batch`) of the deepest
+/// eligible sibling queue. Paused and stopped siblings are never
+/// touched (pausing must keep staged entries in place), and the drained
+/// entries leave under the sibling's own lock, so every entry is owned
+/// by exactly one dispatcher. Returns the home worker's shared handle
+/// with the batch: completions and telemetry stay attributed to the
+/// queue of origin.
+fn try_steal<S>(plan: &StealPlan<S>, max_batch: usize) -> Option<StolenRound<S>>
+where
+    S: ComposableService,
+{
+    let queues = plan.ring.queues.get()?;
+    let mut deepest: Option<(usize, usize)> = None;
+    for (i, queue) in queues.iter().enumerate() {
+        if i == plan.self_idx {
+            continue;
+        }
+        let state = queue.state();
+        if state.paused || state.stopped || state.entries.is_empty() {
+            continue;
+        }
+        let depth = state.entries.len();
+        if deepest.is_none_or(|(_, best)| depth > best) {
+            deepest = Some((i, depth));
+        }
+    }
+    let (victim, _) = deepest?;
+    let home = queues.get(victim)?.clone();
+    let mut state = home.state();
+    // Re-checked under the victim's lock: the scan above released it.
+    if state.paused || state.stopped || state.entries.is_empty() {
+        return None;
+    }
+    let depth = state.entries.len();
+    let take = depth.div_ceil(2).min(max_batch);
+    // lint: allow(hot-path-alloc) reason=one Vec per successful steal, amortized over up to max_batch poached requests; the drain must leave the victim's lock quickly, so copying out beats serving under it
+    let batch: Vec<EntryOf<S>> = state.entries.drain(..take).collect();
+    drop(state);
+    home.space.notify_all();
+    Some((home, batch, depth))
+}
+
+/// Serve one acquired round against `home`'s telemetry: record the
+/// round's queue waits (one window lock), consult the controller (own
+/// rounds only), group by effective policy, drive one `serve_batch_at`
+/// per group, and fulfil the tickets. Shared by own and stolen rounds —
+/// `home` is the queue the batch came from.
+fn serve_round<S>(
+    service: &FanOutService<S>,
+    home: &SharedOf<S>,
+    batch: Vec<EntryOf<S>>,
+    backlog: usize,
+    controller: Option<&dyn AdmissionController>,
+    waits_scratch: &mut Vec<u64>,
+    coverage_scratch: &mut Vec<f64>,
+) where
+    S: ComposableService + Sync,
+    S::Request: Clone + PartialEq + Sync,
+    S::Output: Send,
+{
+    let dispatched = clock::now();
+    waits_scratch.clear();
+    for entry in &batch {
+        let wait = dispatched.saturating_duration_since(entry.enqueued);
+        waits_scratch.push(u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX));
+    }
+    home.counters.record_dequeues(waits_scratch);
+    home.counters
+        .batches
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+
+    // The control plane (see the crate docs' decision flow): one
+    // snapshot per round — including this round's just-recorded waits
+    // and the backlog depth at drain time — then one decision per
+    // request, consulted newest-first so "degrade the newest fraction
+    // of traffic first" is what a fractional controller does. The
+    // pass-through controller skips all of it: no snapshot, no
+    // decisions buffer — the uncontrolled hot path is unchanged.
+    let decisions: Option<Vec<Decision>> = match controller {
+        None => None,
+        Some(controller) if controller.is_pass_through() => None,
+        Some(controller) => {
+            let snapshot = home.counters.load_snapshot(
                 backlog - batch.len(),
-                shared.capacity,
+                home.capacity,
                 service.components().len(),
                 service.open_components(),
             );
@@ -686,54 +901,59 @@ fn dispatch_loop<S>(
                 *slot = controller.decide(&snapshot, &entry.policy);
             }
             Some(decisions)
-        };
-
-        // Group by effective policy in first-appearance order:
-        // `serve_batch_at` drives one policy per call, and mixed-policy
-        // streams are the norm (the controller degrades some requests,
-        // not all — no batch splitting needed). Shed entries drop here:
-        // dropping the sender cancels the ticket, and the shed counter
-        // owns the accounting.
-        let mut groups: Vec<(ExecutionPolicy, Vec<EntryOf<S>>)> = Vec::new();
-        for (i, entry) in batch.into_iter().enumerate() {
-            let decision = decisions
-                .as_ref()
-                .and_then(|d| d.get(i).copied())
-                .unwrap_or(Decision::Admit);
-            let policy = match decision {
-                Decision::Shed => {
-                    shared
-                        .counters
-                        .shed
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    continue;
-                }
-                Decision::Degrade(rung) => rung,
-                Decision::Admit => entry.policy,
-            };
-            match groups.iter_mut().find(|(p, _)| *p == policy) {
-                Some((_, group)) => group.push(entry),
-                None => groups.push((policy, vec![entry])),
-            }
         }
-        for (policy, group) in groups {
-            let mut reqs = Vec::with_capacity(group.len());
-            let mut submitted = Vec::with_capacity(group.len());
-            let mut senders = Vec::with_capacity(group.len());
-            for entry in group {
-                reqs.push(entry.req);
-                submitted.push(entry.submitted);
-                senders.push(entry.sender);
-            }
-            let responses = service.serve_batch_at(&reqs, &policy, &submitted);
-            for (sender, response) in senders.into_iter().zip(responses) {
-                shared.counters.record_coverage(response.mean_coverage());
-                shared
-                    .counters
-                    .completed
+    };
+
+    // Group by effective policy in first-appearance order:
+    // `serve_batch_at` drives one policy per call, and mixed-policy
+    // streams are the norm (the controller degrades some requests,
+    // not all — no batch splitting needed). Shed entries drop here:
+    // dropping the sender cancels the ticket, and the shed counter
+    // owns the accounting.
+    let mut groups: Vec<(ExecutionPolicy, Vec<EntryOf<S>>)> = Vec::new();
+    for (i, entry) in batch.into_iter().enumerate() {
+        let decision = decisions
+            .as_ref()
+            .and_then(|d| d.get(i).copied())
+            .unwrap_or(Decision::Admit);
+        let policy = match decision {
+            Decision::Shed => {
+                home.counters
+                    .shed
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                sender.fulfill(response);
+                continue;
             }
+            Decision::Degrade(rung) => rung,
+            Decision::Admit => entry.policy,
+        };
+        match groups.iter_mut().find(|(p, _)| *p == policy) {
+            Some((_, group)) => group.push(entry),
+            None => groups.push((policy, vec![entry])),
+        }
+    }
+    for (policy, group) in groups {
+        let mut reqs = Vec::with_capacity(group.len());
+        let mut submitted = Vec::with_capacity(group.len());
+        let mut senders = Vec::with_capacity(group.len());
+        for entry in group {
+            reqs.push(entry.req);
+            submitted.push(entry.submitted);
+            senders.push(entry.sender);
+        }
+        let responses = service.serve_batch_at(&reqs, &policy, &submitted);
+        coverage_scratch.clear();
+        for response in &responses {
+            coverage_scratch.push(response.mean_coverage());
+        }
+        // Coverage lands in the window before any of the group's tickets
+        // resolve (one lock per group), preserving the old per-response
+        // record-then-fulfil ordering for stats readers.
+        home.counters.record_coverages(coverage_scratch);
+        for (sender, response) in senders.into_iter().zip(responses) {
+            home.counters
+                .completed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            sender.fulfill(response);
         }
     }
 }
@@ -1174,6 +1394,55 @@ mod tests {
         assert!(stats.stopped);
         assert_eq!(stats.dispatcher_restarts, 0, "budget 0: no respawn");
         assert_eq!(server.queue_depth(), 0, "queued entries were cleared");
+    }
+
+    /// Regression for the stopped-server wakeup race: the dispatcher can
+    /// die *between* draining a batch (freeing queue room) and notifying
+    /// `space`. A submitter blocked in `submit` on the then-full queue
+    /// would sleep on freed room — and once the supervisor gives up and
+    /// stops the server, sleep forever. The supervisor now wakes both
+    /// condvars after every crash, so blocked producers promptly observe
+    /// either the freed room or the terminal stop.
+    #[test]
+    fn blocked_submitters_wake_when_the_server_stops() {
+        let server = Arc::new(Server::from_service(
+            fanout_of(|| ComposePanicService),
+            ServerConfig::default()
+                .with_queue_capacity(1)
+                .with_max_batch(1)
+                .with_max_restarts(0),
+        ));
+        let policy = ExecutionPolicy::budgeted(1);
+        server.pause();
+        // Fill the single queue slot with the poison request.
+        let poison = server.try_submit(666, policy).expect("slot");
+        // Block several producers in `submit` on the full queue.
+        let (tx, rx) = std::sync::mpsc::channel();
+        for i in 0..4u32 {
+            let server = Arc::clone(&server);
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let _ = tx.send(server.submit(i, policy));
+            });
+        }
+        drop(tx);
+        std::thread::sleep(Duration::from_millis(50)); // let them block
+        server.resume();
+        // The poison compose kills the dispatcher after the drain; with a
+        // zero restart budget the server stops terminally.
+        assert!(poison.wait().is_err(), "poison ticket cancels");
+        for _ in 0..4 {
+            let outcome = rx
+                .recv_timeout(Duration::from_secs(10))
+                .expect("a blocked submitter must wake promptly, not hang");
+            match outcome {
+                // Woke into the freed slot before the stop landed: its
+                // queued ticket is canceled by the stop.
+                Ok(ticket) => assert!(ticket.wait().is_err(), "stop cancels queued tickets"),
+                Err(e) => assert_eq!(e, SubmitError::Stopped),
+            }
+        }
+        assert!(server.is_stopped());
     }
 
     #[test]

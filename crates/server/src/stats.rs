@@ -65,6 +65,14 @@ pub(crate) struct Counters {
     pub(crate) shed: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) dispatcher_restarts: AtomicU64,
+    /// Requests this worker's dispatcher pulled out of a *sibling*
+    /// worker's queue (work stealing; multi-worker deployments only).
+    pub(crate) steals: AtomicU64,
+    /// Requests pulled out of *this* worker's queue by sibling
+    /// dispatchers. The served requests still count toward this worker's
+    /// `completed`/window telemetry (attribution follows the queue of
+    /// origin), so `in_flight` stays consistent.
+    pub(crate) stolen: AtomicU64,
     pub(crate) queue_wait_ns: AtomicU64,
     pub(crate) max_queue_wait_ns: AtomicU64,
     pub(crate) max_queue_depth: AtomicU64,
@@ -88,6 +96,8 @@ impl Counters {
             shed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             dispatcher_restarts: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            stolen: AtomicU64::new(0),
             queue_wait_ns: AtomicU64::new(0),
             max_queue_wait_ns: AtomicU64::new(0),
             max_queue_depth: AtomicU64::new(0),
@@ -102,17 +112,57 @@ impl Counters {
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
-    /// Record one request leaving the queue after `wait` in it.
+    /// Record one request leaving the queue after `wait` in it (test
+    /// convenience; the dispatcher batches whole rounds through
+    /// [`record_dequeues`](Self::record_dequeues)).
+    #[cfg(test)]
     pub(crate) fn record_dequeue(&self, wait: Duration) {
         let ns = u64::try_from(wait.as_nanos()).unwrap_or(u64::MAX);
-        self.queue_wait_ns.fetch_add(ns, Ordering::Relaxed);
-        self.max_queue_wait_ns.fetch_max(ns, Ordering::Relaxed);
-        self.window().push_wait(ns);
+        self.record_dequeues(&[ns]);
     }
 
-    /// Record one served response's mean coverage into the window.
+    /// Record a whole drained round's queue waits (ns) under **one**
+    /// window-lock acquisition. The dispatcher previously took the lock
+    /// once per request per round; under multi-worker serving that mutex
+    /// is contended cross-thread (every dispatcher and every stats
+    /// snapshot), so per-round batching keeps it off the per-request
+    /// path.
+    pub(crate) fn record_dequeues(&self, waits_ns: &[u64]) {
+        if waits_ns.is_empty() {
+            return;
+        }
+        let mut sum: u64 = 0;
+        let mut max: u64 = 0;
+        for &ns in waits_ns {
+            sum = sum.saturating_add(ns);
+            max = max.max(ns);
+        }
+        self.queue_wait_ns.fetch_add(sum, Ordering::Relaxed);
+        self.max_queue_wait_ns.fetch_max(max, Ordering::Relaxed);
+        let mut window = self.window();
+        for &ns in waits_ns {
+            window.push_wait(ns);
+        }
+    }
+
+    /// Record one served response's mean coverage into the window (test
+    /// convenience; see [`record_coverages`](Self::record_coverages)).
+    #[cfg(test)]
     pub(crate) fn record_coverage(&self, coverage: f64) {
-        self.window().push_coverage(coverage);
+        self.record_coverages(&[coverage]);
+    }
+
+    /// Record a served group's coverages under one window-lock
+    /// acquisition (the coverage-side counterpart of
+    /// [`record_dequeues`](Self::record_dequeues)).
+    pub(crate) fn record_coverages(&self, coverages: &[f64]) {
+        if coverages.is_empty() {
+            return;
+        }
+        let mut window = self.window();
+        for &coverage in coverages {
+            window.push_coverage(coverage);
+        }
     }
 
     /// Aggregate the sliding window into a [`LoadSnapshot`].
@@ -133,10 +183,21 @@ impl Counters {
         } else {
             let sum: u128 = window.waits_ns.iter().map(|&ns| u128::from(ns)).sum();
             let mean = u64::try_from(sum / sampled as u128).unwrap_or(u64::MAX);
-            let mut sorted: Vec<u64> = window.waits_ns.iter().copied().collect();
-            sorted.sort_unstable();
-            let idx = ((sampled as f64 * 0.99).ceil() as usize).clamp(1, sampled) - 1;
-            (mean, sorted.get(idx).copied().unwrap_or(u64::MAX))
+            // Thin windows report the *max* sample as "p99": with fewer
+            // than 100 samples there is no observation beyond the
+            // maximum to interpolate toward, and anything short of the
+            // max would let a just-(re)started worker exit the ladder on
+            // a bogusly low tail estimate. At >= 100 samples this is the
+            // standard nearest-rank percentile.
+            let p99 = if sampled < 100 {
+                window.waits_ns.iter().copied().max().unwrap_or(0)
+            } else {
+                let mut sorted: Vec<u64> = window.waits_ns.iter().copied().collect();
+                sorted.sort_unstable();
+                let idx = ((sampled as f64 * 0.99).ceil() as usize).clamp(1, sampled) - 1;
+                sorted.get(idx).copied().unwrap_or(u64::MAX)
+            };
+            (mean, p99)
         };
         let mean_coverage = if window.coverages.is_empty() {
             1.0
@@ -176,6 +237,8 @@ impl Counters {
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             batches_dispatched: self.batches.load(Ordering::Relaxed),
             dispatcher_restarts: self.dispatcher_restarts.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            stolen: self.stolen.load(Ordering::Relaxed),
             stopped,
             queue_wait_total: Duration::from_nanos(self.queue_wait_ns.load(Ordering::Relaxed)),
             queue_wait_max: Duration::from_nanos(self.max_queue_wait_ns.load(Ordering::Relaxed)),
@@ -254,6 +317,14 @@ pub struct ServerStats {
     /// Times the supervisor respawned a panicked dispatcher thread
     /// (see [`ServerConfig::max_restarts`](crate::ServerConfig::max_restarts)).
     pub dispatcher_restarts: u64,
+    /// Requests this worker's dispatcher served out of *sibling* workers'
+    /// queues (work stealing; `0` outside multi-worker deployments — see
+    /// [`ShardedServer`](crate::ShardedServer)).
+    pub steals: u64,
+    /// Requests sibling dispatchers pulled out of *this* worker's queue.
+    /// They still complete against this worker's `completed` and window
+    /// telemetry (attribution follows the queue of origin).
+    pub stolen: u64,
     /// True once the supervisor gave up restarting the dispatcher
     /// (restart budget exhausted): the server is terminally stopped,
     /// queued tickets were canceled, and submissions return
@@ -365,6 +436,75 @@ mod tests {
         assert_eq!(load.sampled, 50);
         assert_eq!(load.p99_queue_wait, Duration::from_millis(100));
         assert!(load.mean_queue_wait < Duration::from_millis(3));
+    }
+
+    #[test]
+    fn thin_window_p99_is_the_max_sample() {
+        // Regression: with < 100 samples, nearest-rank indexing short of
+        // the tail would report a "p99" *below* the worst observed wait,
+        // letting a just-(re)started worker exit the degradation ladder
+        // on a bogusly low tail estimate. Thin windows must report the
+        // max.
+        // Window of 1: the single sample *is* the tail.
+        let c = Counters::new(256);
+        c.record_dequeue(Duration::from_millis(40));
+        assert_eq!(
+            c.load_snapshot(0, 8, 3, 0).p99_queue_wait,
+            Duration::from_millis(40)
+        );
+
+        // Window of 2: the larger sample, never the smaller.
+        let c = Counters::new(256);
+        c.record_dequeue(Duration::from_millis(1));
+        c.record_dequeue(Duration::from_millis(90));
+        let load = c.load_snapshot(0, 8, 3, 0);
+        assert_eq!(load.sampled, 2);
+        assert_eq!(load.p99_queue_wait, Duration::from_millis(90));
+
+        // Window of 99: still below the threshold — max, not rank 98.
+        let c = Counters::new(256);
+        for ms in 1..=98u64 {
+            c.record_dequeue(Duration::from_millis(ms));
+        }
+        c.record_dequeue(Duration::from_millis(500));
+        let load = c.load_snapshot(0, 8, 3, 0);
+        assert_eq!(load.sampled, 99);
+        assert_eq!(load.p99_queue_wait, Duration::from_millis(500));
+
+        // At 100+ samples the nearest-rank estimate takes over (and with
+        // exactly 100 samples rank ⌈0.99·100⌉ is the 99th of 100 — the
+        // second-largest).
+        c.record_dequeue(Duration::from_millis(700));
+        let load = c.load_snapshot(0, 8, 3, 0);
+        assert_eq!(load.sampled, 100);
+        assert_eq!(load.p99_queue_wait, Duration::from_millis(500));
+    }
+
+    #[test]
+    fn batched_recording_matches_per_request_recording() {
+        // The dispatcher records a whole drained round under one lock;
+        // the aggregates must be byte-identical to per-request recording.
+        let batched = Counters::new(8);
+        let singly = Counters::new(8);
+        let waits = [5_000_000u64, 1_000_000, 9_000_000];
+        batched.record_dequeues(&waits);
+        for &ns in &waits {
+            singly.record_dequeue(Duration::from_nanos(ns));
+        }
+        batched.record_coverages(&[0.5, 1.0]);
+        for cov in [0.5, 1.0] {
+            singly.record_coverage(cov);
+        }
+        let b = batched.snapshot(0, 8, 3, 0, false);
+        let s = singly.snapshot(0, 8, 3, 0, false);
+        assert_eq!(b.queue_wait_total, s.queue_wait_total);
+        assert_eq!(b.queue_wait_max, s.queue_wait_max);
+        assert_eq!(b.load, s.load);
+
+        // Empty rounds are free: no lock, no samples.
+        batched.record_dequeues(&[]);
+        batched.record_coverages(&[]);
+        assert_eq!(batched.snapshot(0, 8, 3, 0, false).load, b.load);
     }
 
     #[test]

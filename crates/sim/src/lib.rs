@@ -26,6 +26,7 @@ pub mod cost;
 pub mod failures;
 pub mod metrics;
 pub mod runner;
+pub mod shard;
 
 pub use calibrate::calibrate;
 pub use cluster::{simulate, RequestSample, SimConfig, SimResult, Technique};
@@ -33,3 +34,4 @@ pub use cost::CostModel;
 pub use failures::{FailureConfig, FailureTrace};
 pub use metrics::{BucketedLatencies, LatencyRecorder};
 pub use runner::{run_day, run_fixed_rate, run_hour, run_hour_window, sweep_rates};
+pub use shard::{pick_strategy, simulate_shards, ShardSimConfig, ShardSimResult, ShardStrategy};

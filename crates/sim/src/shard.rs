@@ -1,0 +1,349 @@
+//! Analytic model of multi-worker sharded serving.
+//!
+//! Companion to [`crate::cluster::simulate`]: where the cluster simulator
+//! models the paper's 30-node fan-out with queueing and interference, this
+//! module models the *front-end* dimension added by `at-server`'s
+//! `ShardedServer` — how a routing strategy partitions a duplicate-heavy
+//! request stream across worker queues, and how that partition changes the
+//! amount of **unique** work each worker's micro-batches contain.
+//!
+//! The central effect is collapse locality. `serve_batch` collapses
+//! duplicate requests inside a batch, so a batch's service time is
+//!
+//! ```text
+//! pass_s + uniques · per_unique_s + len · per_request_s
+//! ```
+//!
+//! — a fixed per-batch pass, the dominant per-*unique* compute, and a small
+//! per-request bookkeeping term. Hash-affinity routing sends all copies of a
+//! key to the same worker, so a worker's batches draw from `K / W` of the
+//! key space and contain fewer uniques per batch than a round-robin or
+//! least-loaded split of the same stream. On a duplicate-heavy (zipf) mix
+//! that shrinks total unique work, which is the whole throughput win when
+//! cores are scarce.
+//!
+//! The model is deliberately open-loop and clock-free: all requests are
+//! pre-assigned, each worker drains its queue in batches of `max_batch`,
+//! and the makespan is a list-scheduling bound over `cores`. Work stealing
+//! only affects the *balance* term (an idle worker drains a sibling's
+//! backlog), never the per-batch cost of its own rounds, so with stealing
+//! the makespan collapses to the perfectly-balanced bound. On one core both
+//! bounds equal total work — stealing cannot manufacture throughput there,
+//! only routing can.
+
+use std::collections::HashSet;
+
+/// Routing strategies the model can rank. Mirrors `at-server`'s
+/// `RoutingStrategy` without a crate dependency (the server depends on
+/// neither the simulator nor vice versa; the bench maps between them).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Route by `route_key % workers`: duplicates of a key always share a
+    /// worker, concentrating collapse.
+    HashAffinity,
+    /// Route to the shallowest queue. Under an open-loop model queues drain
+    /// uniformly, so this behaves like an even interleave of the stream.
+    LeastLoaded,
+    /// Route request `i` to worker `i % workers`.
+    RoundRobin,
+}
+
+impl ShardStrategy {
+    /// All strategies, in ranking order for ties (first wins).
+    pub const ALL: [ShardStrategy; 3] = [
+        ShardStrategy::HashAffinity,
+        ShardStrategy::LeastLoaded,
+        ShardStrategy::RoundRobin,
+    ];
+
+    /// Stable name for reports and bench JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ShardStrategy::HashAffinity => "hash_affinity",
+            ShardStrategy::LeastLoaded => "least_loaded",
+            ShardStrategy::RoundRobin => "round_robin",
+        }
+    }
+}
+
+/// Parameters of the sharded-serving model.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardSimConfig {
+    /// Serving workers (dispatcher threads with private queues).
+    pub workers: usize,
+    /// Cores available to run them (`makespan >= total / cores`).
+    pub cores: usize,
+    /// Dispatcher drain limit per round.
+    pub max_batch: usize,
+    /// Fixed cost of one batch round (synopsis pass, queue handoff).
+    pub pass_s: f64,
+    /// Cost per *unique* request in a batch — the collapsed compute.
+    pub per_unique_s: f64,
+    /// Cost per request in a batch (bookkeeping, fulfilment).
+    pub per_request_s: f64,
+    /// Whether idle workers steal from deep sibling queues.
+    pub work_stealing: bool,
+}
+
+impl Default for ShardSimConfig {
+    fn default() -> Self {
+        ShardSimConfig {
+            workers: 2,
+            cores: 1,
+            max_batch: 256,
+            pass_s: 50e-6,
+            per_unique_s: 400e-6,
+            per_request_s: 2e-6,
+            work_stealing: true,
+        }
+    }
+}
+
+impl ShardSimConfig {
+    /// Sanity-check the parameters.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 || self.cores == 0 || self.max_batch == 0 {
+            return Err("workers, cores and max_batch must be positive".into());
+        }
+        for (name, v) in [
+            ("pass_s", self.pass_s),
+            ("per_unique_s", self.per_unique_s),
+            ("per_request_s", self.per_request_s),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and non-negative"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What one model evaluation produced.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardSimResult {
+    /// Strategy that was evaluated.
+    pub strategy: ShardStrategy,
+    /// Total service time across all workers (the 1-core makespan).
+    pub total_work_s: f64,
+    /// List-scheduling makespan over `cores`.
+    pub makespan_s: f64,
+    /// Modelled throughput: requests / makespan.
+    pub throughput_rps: f64,
+    /// Batch rounds across all workers.
+    pub batches: usize,
+    /// Mean unique keys per batch — the collapse-locality signal.
+    pub mean_uniques_per_batch: f64,
+}
+
+/// Evaluate one routing strategy on a stream of route keys.
+///
+/// `keys` is the request stream in arrival order, already reduced to route
+/// keys (`RouteKey::route_key()` values, or any stand-in where equal
+/// requests share a key).
+///
+/// # Panics
+/// Panics if the config is invalid.
+pub fn simulate_shards(
+    keys: &[u64],
+    strategy: ShardStrategy,
+    cfg: &ShardSimConfig,
+) -> ShardSimResult {
+    cfg.validate().expect("invalid shard sim config");
+    let w = cfg.workers;
+
+    // Route the stream. LeastLoaded under open loop keeps queue counts
+    // level, which is an even interleave — model it exactly that way but
+    // tracking real depths so bursts of one key still spread out.
+    let mut queues: Vec<Vec<u64>> = vec![Vec::new(); w];
+    for (i, &k) in keys.iter().enumerate() {
+        let target = match strategy {
+            ShardStrategy::HashAffinity => (k % w as u64) as usize,
+            ShardStrategy::RoundRobin => i % w,
+            ShardStrategy::LeastLoaded => {
+                let mut best = 0usize;
+                for (j, q) in queues.iter().enumerate() {
+                    if q.len() < queues[best].len() {
+                        best = j;
+                    }
+                }
+                best
+            }
+        };
+        if let Some(q) = queues.get_mut(target) {
+            q.push(k);
+        }
+    }
+
+    // Drain each queue in rounds of up to max_batch; cost per the collapse
+    // model. A HashSet is fine here — this is the simulator, not the
+    // serving hot path.
+    let mut busy: Vec<f64> = Vec::with_capacity(w);
+    let mut batches = 0usize;
+    let mut unique_total = 0usize;
+    let mut seen: HashSet<u64> = HashSet::new();
+    for q in &queues {
+        let mut worker_busy = 0.0f64;
+        for batch in q.chunks(cfg.max_batch) {
+            seen.clear();
+            seen.extend(batch.iter().copied());
+            let uniques = seen.len();
+            worker_busy += cfg.pass_s
+                + uniques as f64 * cfg.per_unique_s
+                + batch.len() as f64 * cfg.per_request_s;
+            batches += 1;
+            unique_total += uniques;
+        }
+        busy.push(worker_busy);
+    }
+
+    let total_work_s: f64 = busy.iter().sum();
+    let max_busy = busy.iter().copied().fold(0.0f64, f64::max);
+    // List scheduling w workers onto `cores`: at least total/cores, at
+    // least the longest single worker. Stealing lets an idle core drain a
+    // deep sibling, erasing the imbalance term down to one batch of
+    // granularity; model that as the balanced bound.
+    let balanced = total_work_s / cfg.cores.min(w).max(1) as f64;
+    let makespan_s = if cfg.work_stealing {
+        balanced.max(if batches > 0 {
+            total_work_s / batches.max(1) as f64
+        } else {
+            0.0
+        })
+    } else {
+        balanced.max(max_busy)
+    };
+    let throughput_rps = if makespan_s > 0.0 {
+        keys.len() as f64 / makespan_s
+    } else {
+        0.0
+    };
+
+    ShardSimResult {
+        strategy,
+        total_work_s,
+        makespan_s,
+        throughput_rps,
+        batches,
+        mean_uniques_per_batch: if batches > 0 {
+            unique_total as f64 / batches as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Rank all strategies on the given stream and return the winner (highest
+/// modelled throughput; ties break in [`ShardStrategy::ALL`] order).
+pub fn pick_strategy(keys: &[u64], cfg: &ShardSimConfig) -> ShardSimResult {
+    let mut best: Option<ShardSimResult> = None;
+    for s in ShardStrategy::ALL {
+        let r = simulate_shards(keys, s, cfg);
+        let better = match &best {
+            None => true,
+            Some(b) => r.throughput_rps > b.throughput_rps,
+        };
+        if better {
+            best = Some(r);
+        }
+    }
+    best.expect("ALL is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_workloads::zipf::Zipf;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn zipf_keys(n_keys: usize, n_requests: usize, alpha: f64, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let zipf = Zipf::new(n_keys, alpha);
+        (0..n_requests)
+            .map(|_| {
+                // Spread ranks over u64 so `% workers` isn't trivially
+                // correlated with popularity.
+                let rank = zipf.sample(&mut rng) as u64;
+                rank.wrapping_mul(0x9E3779B97F4A7C15)
+            })
+            .collect()
+    }
+
+    fn cfg(workers: usize) -> ShardSimConfig {
+        ShardSimConfig {
+            workers,
+            ..ShardSimConfig::default()
+        }
+    }
+
+    #[test]
+    fn hash_affinity_shrinks_unique_work_on_zipf() {
+        let keys = zipf_keys(24, 8192, 1.1, 7);
+        let hash = simulate_shards(&keys, ShardStrategy::HashAffinity, &cfg(4));
+        let rr = simulate_shards(&keys, ShardStrategy::RoundRobin, &cfg(4));
+        let ll = simulate_shards(&keys, ShardStrategy::LeastLoaded, &cfg(4));
+        // Collapse locality: a hash-partitioned worker sees ~K/W of the
+        // key space, so batches carry fewer uniques and total work drops.
+        assert!(
+            hash.mean_uniques_per_batch < rr.mean_uniques_per_batch,
+            "hash {} !< rr {}",
+            hash.mean_uniques_per_batch,
+            rr.mean_uniques_per_batch
+        );
+        assert!(
+            hash.total_work_s < rr.total_work_s && hash.total_work_s < ll.total_work_s,
+            "hash {} vs rr {} vs ll {}",
+            hash.total_work_s,
+            rr.total_work_s,
+            ll.total_work_s
+        );
+    }
+
+    #[test]
+    fn pick_strategy_prefers_hash_affinity_on_duplicate_heavy_mix() {
+        let keys = zipf_keys(24, 8192, 1.1, 11);
+        let winner = pick_strategy(&keys, &cfg(4));
+        assert_eq!(winner.strategy, ShardStrategy::HashAffinity);
+    }
+
+    #[test]
+    fn single_worker_is_strategy_invariant() {
+        let keys = zipf_keys(24, 2048, 1.1, 3);
+        let base = simulate_shards(&keys, ShardStrategy::HashAffinity, &cfg(1));
+        for s in ShardStrategy::ALL {
+            let r = simulate_shards(&keys, s, &cfg(1));
+            assert!((r.total_work_s - base.total_work_s).abs() < 1e-12);
+            assert_eq!(r.batches, base.batches);
+        }
+    }
+
+    #[test]
+    fn stealing_erases_the_imbalance_term() {
+        // All keys hash to one worker: without stealing the makespan on 4
+        // cores is the hot worker's busy time; with stealing it is the
+        // balanced bound.
+        let keys: Vec<u64> = vec![4; 4096];
+        let mut c = cfg(4);
+        c.cores = 4;
+        c.work_stealing = false;
+        let skewed = simulate_shards(&keys, ShardStrategy::HashAffinity, &c);
+        c.work_stealing = true;
+        let stolen = simulate_shards(&keys, ShardStrategy::HashAffinity, &c);
+        assert!(
+            stolen.makespan_s < skewed.makespan_s / 2.0,
+            "stealing {} !<< skewed {}",
+            stolen.makespan_s,
+            skewed.makespan_s
+        );
+        // Total work is routing-determined; stealing never changes it.
+        assert!((stolen.total_work_s - skewed.total_work_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_is_typed_zeros() {
+        let r = simulate_shards(&[], ShardStrategy::RoundRobin, &cfg(2));
+        assert_eq!(r.batches, 0);
+        assert_eq!(r.throughput_rps, 0.0);
+        assert_eq!(r.total_work_s, 0.0);
+    }
+}

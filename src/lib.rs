@@ -40,6 +40,13 @@
 //! a diurnal peak degrades a fraction of traffic instead of blowing
 //! every deadline; responses record the
 //! [`policy_applied`](crate::core::ServiceResponse::policy_applied).
+//! To scale past one serving loop,
+//! [`server::ShardedServer`](crate::server::ShardedServer) runs N workers
+//! — each with its own queue, dispatcher, stats, controller, and
+//! supervisor — behind a routing front end
+//! ([`server::RoutingStrategy`](crate::server::RoutingStrategy)): hash
+//! affinity keeps duplicate-collapse locality, work stealing rebalances
+//! skew, and per-worker ladders isolate hot shards.
 //!
 //! This facade re-exports the whole workspace:
 //!
@@ -109,17 +116,21 @@ pub mod prelude {
         partition_rows, Algorithm1, ApproximateService, BreakerConfig, BreakerState,
         CircuitBreaker, Component, ComponentTelemetry, ComposableService, Correlation, Ctx,
         DegradationLadder, ExecutionPolicy, FanOutService, FaultInjector, FaultKind, FaultRule,
-        FaultSite, FaultyService, Outcome, OutputPool, ServiceError, ServiceResponse,
+        FaultSite, FaultyService, Outcome, OutputPool, RouteKey, ServiceError, ServiceResponse,
     };
     pub use at_linalg::svd::{IncrementalSvd, SvdConfig};
     pub use at_recommender::{rating_matrix, ActiveUser, CfService, PredictionAcc};
     pub use at_rtree::{RTree, RTreeConfig};
     pub use at_search::{SearchRequest, SearchService, TopK};
     pub use at_server::{
-        AdmissionController, Decision, LadderConfig, LadderController, LoadSnapshot, NoControl,
-        Server, ServerConfig, ServerStats, SubmitError, Ticket,
+        AdmissionController, ClusterStats, Decision, LadderConfig, LadderController, LoadSnapshot,
+        NoControl, RoutingStrategy, Server, ServerConfig, ServerStats, ShardConfig, ShardedServer,
+        SubmitError, Ticket,
     };
-    pub use at_sim::{simulate, CostModel, SimConfig, Technique};
+    pub use at_sim::{
+        pick_strategy, simulate, simulate_shards, CostModel, ShardSimConfig, ShardStrategy,
+        SimConfig, Technique,
+    };
     pub use at_synopsis::{
         AggregationMode, DataUpdate, RowStore, SparseRow, SynopsisConfig, SynopsisStore,
     };

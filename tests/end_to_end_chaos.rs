@@ -232,6 +232,140 @@ fn dispatcher_survives_three_compose_panics_via_supervised_restarts() {
     assert_eq!(stats.completed, 4);
 }
 
+/// Forwards to a shared ladder so the test can keep a handle and read
+/// the worker's overload level after shutdown.
+struct SharedLadder(Arc<LadderController>);
+
+impl AdmissionController for SharedLadder {
+    fn observe(&self, snapshot: &LoadSnapshot) {
+        self.0.observe(snapshot);
+    }
+
+    fn decide(&self, snapshot: &LoadSnapshot, requested: &ExecutionPolicy) -> Decision {
+        self.0.decide(snapshot, requested)
+    }
+}
+
+/// Hot-shard isolation: a compose-panic storm pinned to one worker of a
+/// hash-routed cluster stays that worker's problem. Each worker owns its
+/// own fault domain (its own injectors, dispatcher, supervisor, and
+/// ladder controller), so the sibling workers lose **nothing**: zero
+/// restarts, every ticket fulfilled byte-identically to the reference,
+/// policies never rewritten, ladders never climbed.
+#[test]
+fn compose_panic_storm_on_one_worker_leaves_siblings_unaffected() {
+    const WORKERS: usize = 3;
+    const PANICS: u64 = 8;
+    let (n_items, rows, pool) = ratings();
+
+    // Per-worker fault domains need per-worker services: three separately
+    // built (byte-identical) chaos deployments, wired as shards so each
+    // worker owns its service outright. Worker 0's composer panics on its
+    // first eight compose calls; every other injector is transparent.
+    let mut worker_injectors: Vec<Vec<Arc<FaultInjector>>> =
+        (0..WORKERS).map(|_| transparent_injectors()).collect();
+    worker_injectors[0][0] = Arc::new(FaultInjector::new(17).with_rule(FaultRule::at_calls(
+        FaultSite::Compose,
+        FaultKind::Panic,
+        (0..PANICS).collect(),
+    )));
+    let storm = worker_injectors[0][0].clone();
+    let shards: Vec<_> = worker_injectors
+        .iter()
+        .map(|inj| chaos_service(n_items, &rows, inj))
+        .collect();
+    let full_ref = plain_service(n_items, &rows, None);
+
+    // One ladder per worker — hot-shard isolation is per-worker control.
+    // A generous wait budget keeps healthy workers deterministically at
+    // level 0 on a loaded CI box.
+    let ladders: Vec<Arc<LadderController>> = (0..WORKERS)
+        .map(|_| {
+            Arc::new(LadderController::new(LadderConfig::for_deadline(
+                Duration::from_secs(30),
+            )))
+        })
+        .collect();
+    let cluster = ShardedServer::from_shards_with(
+        shards,
+        ShardConfig::default()
+            .with_routing(RoutingStrategy::HashAffinity)
+            .with_worker(
+                ServerConfig::default()
+                    .with_max_batch(1)
+                    .with_max_restarts(16)
+                    .with_restart_backoff(Duration::from_micros(200)),
+            ),
+        |i| Box::new(SharedLadder(ladders[i].clone())),
+    );
+
+    let policy = ExecutionPolicy::budgeted(2);
+    let n = 72;
+    // (request, home worker, ordinal among that home's submissions, ticket)
+    let mut per_home = vec![0u64; WORKERS];
+    let tickets: Vec<_> = (0..n)
+        .map(|i| {
+            let req = pool[i % pool.len()].clone();
+            let home = cluster.home_index(&req);
+            let ordinal = per_home[home];
+            per_home[home] += 1;
+            let ticket = cluster.submit(req.clone(), policy).expect("accepting");
+            (req, home, ordinal, ticket)
+        })
+        .collect();
+    assert!(
+        per_home[0] > PANICS && per_home.iter().all(|&c| c > 0),
+        "the mix must exercise every worker: homes {per_home:?}"
+    );
+
+    for (req, home, ordinal, ticket) in tickets {
+        if home == 0 && ordinal < PANICS {
+            assert!(
+                ticket.wait().is_err(),
+                "worker 0's first {PANICS} rounds die in the composer"
+            );
+        } else {
+            let got = ticket.wait().unwrap_or_else(|_| {
+                panic!("sibling/healed round (home {home}, ordinal {ordinal}) must fulfil")
+            });
+            let want = full_ref.serve(&req, &policy);
+            assert_eq!(
+                got.response, want.response,
+                "byte-identical to the reference"
+            );
+            assert_eq!(
+                got.policy_applied, policy,
+                "no worker's storm may degrade another worker's traffic"
+            );
+        }
+    }
+
+    assert_eq!(storm.injected_panics(), PANICS, "the storm fired exactly");
+    for (i, ladder) in ladders.iter().enumerate() {
+        assert_eq!(ladder.level(), 0, "worker {i}'s ladder never climbed");
+    }
+    let stats = cluster.shutdown();
+    assert_eq!(stats.requests_stolen(), 0, "sharded topology never steals");
+    for (i, w) in stats.workers.iter().enumerate() {
+        assert_eq!(
+            w.submitted, per_home[i],
+            "hash routing sent each home its keys"
+        );
+        assert_eq!(w.shed, 0, "nothing shed anywhere");
+        assert!(!w.stopped, "no restart budget exhausted");
+        if i == 0 {
+            assert_eq!(
+                w.dispatcher_restarts, PANICS,
+                "one supervised respawn per panic, all on the stormed worker"
+            );
+            assert_eq!(w.completed, per_home[0] - PANICS);
+        } else {
+            assert_eq!(w.dispatcher_restarts, 0, "sibling {i} never restarted");
+            assert_eq!(w.completed, per_home[i], "sibling {i} fulfilled everything");
+        }
+    }
+}
+
 /// Breaker lifecycle end to end: trip after the failure threshold, skip
 /// the broken leg at ~zero cost (no stage-1 work) while open, then heal
 /// through the half-open probe once the component recovers.

@@ -31,6 +31,13 @@ pub struct RuleConfig {
     pub items: Vec<String>,
     /// Whether the rule also applies inside `#[test]` / `#[cfg(test)]`.
     pub include_tests: bool,
+    /// Guard-acquisition constructs (lock-order / blocking-while-locked):
+    /// `.lock`-style primitives plus the workspace's named lock-helper
+    /// methods (`.state`, `.window`, ...).
+    pub acquire: Vec<String>,
+    /// Telemetry-counter names allowed to use relaxed atomics without a
+    /// per-site justification (atomic-discipline).
+    pub counters: Vec<String>,
 }
 
 #[derive(Debug)]
@@ -87,6 +94,8 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
                     "allow" => rule.allow = expect_list(table, key, value)?,
                     "forbid" => rule.forbid = expect_list(table, key, value)?,
                     "items" => rule.items = expect_list(table, key, value)?,
+                    "acquire" => rule.acquire = expect_list(table, key, value)?,
+                    "counters" => rule.counters = expect_list(table, key, value)?,
                     _ => return Err(unknown_key(table, key)),
                 }
             }
@@ -289,6 +298,17 @@ forbid = [".lock().unwrap"]
         let lock = &cfg.rules[1];
         assert!(lock.include_tests);
         assert!(lock.enabled);
+    }
+
+    #[test]
+    fn parses_acquire_and_counters_lists() {
+        let cfg = parse(
+            "[rules.lock-order]\nacquire = [\".lock\", \".state\"]\n\
+             [rules.atomic-discipline]\ncounters = [\"completed\"]\n",
+        )
+        .expect("valid config");
+        assert_eq!(cfg.rules[0].counters, vec!["completed"]);
+        assert_eq!(cfg.rules[1].acquire, vec![".lock", ".state"]);
     }
 
     #[test]

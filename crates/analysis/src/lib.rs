@@ -4,10 +4,13 @@
 //! warm hot path never allocates, clock-free policies never read the
 //! clock, the request path never panics, no lock site unwraps a
 //! poisoned mutex, and panics are caught at exactly one audited
-//! containment boundary. Each promise is cheap to keep and easy to
-//! erode one innocuous edit at a time — so this crate machine-checks
-//! all five on every CI run, from a hand-rolled token scan (no external
-//! parser dependencies; the build environment is offline).
+//! containment boundary — plus the concurrency contracts: locks are
+//! acquired in one global order, nothing blocks while holding a guard,
+//! and atomic memory orderings are justified outside the telemetry
+//! counters. Each promise is cheap to keep and easy to erode one
+//! innocuous edit at a time — so this crate machine-checks all of them
+//! on every CI run, from a hand-rolled token scan (no external parser
+//! dependencies; the build environment is offline).
 //!
 //! The pass is configured by `analysis.toml` at the workspace root: which
 //! rule applies to which paths or `file::fn` items, which constructs are
@@ -87,11 +90,15 @@ pub fn analyze(root: &Path, cfg: &Config) -> Result<Vec<Diagnostic>, Error> {
             "panic-freedom" => rules::panic_freedom::run(rule, &files, &mut out)?,
             "lock-hygiene" => rules::lock_hygiene::run(rule, &files, &mut out)?,
             "unwind-containment" => rules::unwind_containment::run(rule, &files, &mut out)?,
+            "lock-order" => rules::lock_order::run(rule, &files, &mut out)?,
+            "blocking-while-locked" => rules::blocking_while_locked::run(rule, &files, &mut out)?,
+            "atomic-discipline" => rules::atomic_discipline::run(rule, &files, &mut out)?,
             other => {
                 return Err(Error(format!(
                     "[rules.{other}] has no implementation — known rules: \
                      hot-path-alloc, clock-discipline, panic-freedom, lock-hygiene, \
-                     unwind-containment"
+                     unwind-containment, lock-order, blocking-while-locked, \
+                     atomic-discipline"
                 )))
             }
         }
@@ -225,6 +232,9 @@ pub fn explain(rule: &str) -> Option<&'static str> {
         rules::panic_freedom::NAME => Some(rules::panic_freedom::EXPLAIN),
         rules::lock_hygiene::NAME => Some(rules::lock_hygiene::EXPLAIN),
         rules::unwind_containment::NAME => Some(rules::unwind_containment::EXPLAIN),
+        rules::lock_order::NAME => Some(rules::lock_order::EXPLAIN),
+        rules::blocking_while_locked::NAME => Some(rules::blocking_while_locked::EXPLAIN),
+        rules::atomic_discipline::NAME => Some(rules::atomic_discipline::EXPLAIN),
         "lint-escape" => Some(
             "lint-escape: escape directives must be well-formed.\n\n\
              `lint: allow(<rule>) reason=<why>` suppresses one rule on its own\n\
@@ -244,6 +254,9 @@ pub fn rule_names() -> &'static [&'static str] {
         rules::panic_freedom::NAME,
         rules::lock_hygiene::NAME,
         rules::unwind_containment::NAME,
+        rules::lock_order::NAME,
+        rules::blocking_while_locked::NAME,
+        rules::atomic_discipline::NAME,
         "lint-escape",
     ]
 }

@@ -1,5 +1,5 @@
 //! CLI front end: `at-analysis [--root DIR] [--config FILE] [--check]
-//! [--explain RULE]`.
+//! [--json] [--explain RULE]`.
 //!
 //! Exit codes: 0 clean (or findings without `--check`), 1 findings under
 //! `--check`, 2 usage/config/IO failure.
@@ -9,47 +9,85 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let mut root = PathBuf::from(".");
-    let mut config: Option<PathBuf> = None;
-    let mut check = false;
-    let mut explain: Option<String> = None;
+/// Parsed command line. Separated from `main` so resolution rules (in
+/// particular the `--config` default living under `--root`, not the
+/// invoking directory) are unit-testable.
+#[derive(Debug, Default, PartialEq)]
+struct Cli {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    check: bool,
+    json: bool,
+    explain: Option<String>,
+    help: bool,
+}
 
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--root" => match args.next() {
-                Some(v) => root = PathBuf::from(v),
-                None => return usage("--root needs a directory"),
-            },
-            "--config" => match args.next() {
-                Some(v) => config = Some(PathBuf::from(v)),
-                None => return usage("--config needs a file"),
-            },
-            "--check" => check = true,
-            "--explain" => match args.next() {
-                Some(v) => explain = Some(v),
-                None => return usage("--explain needs a rule name"),
-            },
-            "--help" | "-h" => {
-                println!(
-                    "at-analysis: workspace invariant lint pass\n\n\
-                     USAGE: at-analysis [--root DIR] [--config FILE] [--check] [--explain RULE]\n\n\
-                     --root DIR      tree to analyze (default: .)\n\
-                     --config FILE   analysis config (default: <root>/analysis.toml)\n\
-                     --check         exit 1 when any diagnostic is found (CI gate)\n\
-                     --explain RULE  print the rationale behind a rule and exit\n\n\
-                     RULES: {}",
-                    at_analysis::rule_names().join(", ")
-                );
-                return ExitCode::SUCCESS;
+impl Cli {
+    fn parse(args: impl IntoIterator<Item = String>) -> Result<Cli, String> {
+        let mut cli = Cli {
+            root: PathBuf::from("."),
+            ..Cli::default()
+        };
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--root" => match args.next() {
+                    Some(v) => cli.root = PathBuf::from(v),
+                    None => return Err("--root needs a directory".into()),
+                },
+                "--config" => match args.next() {
+                    Some(v) => cli.config = Some(PathBuf::from(v)),
+                    None => return Err("--config needs a file".into()),
+                },
+                "--check" => cli.check = true,
+                "--json" => cli.json = true,
+                "--explain" => match args.next() {
+                    Some(v) => cli.explain = Some(v),
+                    None => return Err("--explain needs a rule name".into()),
+                },
+                "--help" | "-h" => cli.help = true,
+                other => return Err(format!("unknown argument `{other}`")),
             }
-            other => return usage(&format!("unknown argument `{other}`")),
         }
+        Ok(cli)
     }
 
-    if let Some(rule) = explain {
-        return match at_analysis::explain(&rule) {
+    /// The config file to load: `--config` verbatim when given (relative
+    /// paths stay relative to the invoking directory), otherwise
+    /// `analysis.toml` under `--root` — so `--root crates/foo` run from
+    /// the workspace root picks up the tree's own config, not the
+    /// workspace one (or a silent absence).
+    fn config_path(&self) -> PathBuf {
+        match &self.config {
+            Some(explicit) => explicit.clone(),
+            None => self.root.join("analysis.toml"),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let cli = match Cli::parse(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(problem) => return usage(&problem),
+    };
+
+    if cli.help {
+        println!(
+            "at-analysis: workspace invariant lint pass\n\n\
+             USAGE: at-analysis [--root DIR] [--config FILE] [--check] [--json] [--explain RULE]\n\n\
+             --root DIR      tree to analyze (default: .)\n\
+             --config FILE   analysis config (default: <root>/analysis.toml)\n\
+             --check         exit 1 when any diagnostic is found (CI gate)\n\
+             --json          one JSON object per finding on stdout (file/line/rule/message)\n\
+             --explain RULE  print the rationale behind a rule and exit\n\n\
+             RULES: {}",
+            at_analysis::rule_names().join(", ")
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(rule) = &cli.explain {
+        return match at_analysis::explain(rule) {
             Some(text) => {
                 println!("{text}");
                 ExitCode::SUCCESS
@@ -61,29 +99,36 @@ fn main() -> ExitCode {
         };
     }
 
-    let config = config.unwrap_or_else(|| root.join("analysis.toml"));
-    let cfg = match at_analysis::config::load(&config) {
+    let cfg = match at_analysis::config::load(&cli.config_path()) {
         Ok(cfg) => cfg,
         Err(e) => {
             eprintln!("at-analysis: {e}");
             return ExitCode::from(2);
         }
     };
-    match at_analysis::analyze(&root, &cfg) {
+    match at_analysis::analyze(&cli.root, &cfg) {
         Ok(diags) if diags.is_empty() => {
-            println!("at-analysis: clean — every configured invariant holds");
+            if !cli.json {
+                println!("at-analysis: clean — every configured invariant holds");
+            }
             ExitCode::SUCCESS
         }
         Ok(diags) => {
             for d in &diags {
-                println!("{d}");
+                if cli.json {
+                    println!("{}", diagnostic_json(d));
+                } else {
+                    println!("{d}");
+                }
             }
-            println!(
-                "at-analysis: {} finding{} — run with --explain <rule> for rationale",
-                diags.len(),
-                if diags.len() == 1 { "" } else { "s" }
-            );
-            if check {
+            if !cli.json {
+                println!(
+                    "at-analysis: {} finding{} — run with --explain <rule> for rationale",
+                    diags.len(),
+                    if diags.len() == 1 { "" } else { "s" }
+                );
+            }
+            if cli.check {
                 ExitCode::from(1)
             } else {
                 ExitCode::SUCCESS
@@ -96,7 +141,91 @@ fn main() -> ExitCode {
     }
 }
 
+/// One finding as a single-line JSON object. Hand-rolled: the workspace
+/// vendors no serializer, and the shape is four fixed keys.
+fn diagnostic_json(d: &at_analysis::diagnostics::Diagnostic) -> String {
+    format!(
+        "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+        json_str(&d.file),
+        d.line,
+        json_str(&d.rule),
+        json_str(&d.message),
+    )
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 fn usage(problem: &str) -> ExitCode {
     eprintln!("at-analysis: {problem} (try --help)");
     ExitCode::from(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        Cli::parse(args.iter().map(|s| s.to_string())).expect("parses")
+    }
+
+    #[test]
+    fn default_config_resolves_under_root() {
+        let cli = parse(&["--root", "crates/foo"]);
+        assert_eq!(cli.config_path(), PathBuf::from("crates/foo/analysis.toml"));
+        let cli = parse(&[]);
+        assert_eq!(cli.config_path(), PathBuf::from("./analysis.toml"));
+    }
+
+    #[test]
+    fn explicit_config_is_taken_verbatim() {
+        let cli = parse(&["--root", "crates/foo", "--config", "other/analysis.toml"]);
+        assert_eq!(cli.config_path(), PathBuf::from("other/analysis.toml"));
+    }
+
+    #[test]
+    fn flags_parse_and_unknowns_are_errors() {
+        let cli = parse(&["--check", "--json"]);
+        assert!(cli.check && cli.json);
+        assert!(Cli::parse(["--bogus".to_string()]).is_err());
+        assert!(Cli::parse(["--root".to_string()]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn json_escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(json_str("plain"), "\"plain\"");
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_str("x\n\t"), "\"x\\n\\t\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn diagnostic_json_shape() {
+        let d = at_analysis::diagnostics::Diagnostic::new(
+            "a/b.rs",
+            7,
+            "lock-order",
+            "acquiring `b` while holding `a`",
+        );
+        assert_eq!(
+            diagnostic_json(&d),
+            "{\"file\":\"a/b.rs\",\"line\":7,\"rule\":\"lock-order\",\
+             \"message\":\"acquiring `b` while holding `a`\"}"
+        );
+    }
 }

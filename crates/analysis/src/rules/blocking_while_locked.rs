@@ -1,0 +1,147 @@
+//! `blocking-while-locked`: a blocking call (condvar wait, ticket wait,
+//! channel recv, thread join, queue submit, sleep) reached while a lock
+//! guard is live stalls every other thread contending for that lock —
+//! on this codebase that turns a single slow synopsis into a convoyed
+//! dispatcher. The one legitimate shape, `cv.wait(guard)` consuming the
+//! guard it atomically releases, is recognised and stays clean.
+
+use crate::config::{ConfigError, RuleConfig};
+use crate::diagnostics::Diagnostic;
+use crate::escapes;
+use crate::rules::guards;
+use crate::FileData;
+
+pub const NAME: &str = "blocking-while-locked";
+
+pub const EXPLAIN: &str = "Blocking while holding a lock convoys every thread that needs the \
+same lock behind the slowest sleeper, and blocking on something that itself needs the lock \
+deadlocks outright (the classic lost-wakeup shape). This rule tracks guard bindings through \
+their lexical scope — let-bound guards until scope close or drop(), statement temporaries \
+until the `;` — and flags the configured blocking constructs reached with any guard live. \
+`Condvar::wait(guard)` consuming the guard it releases is the sanctioned idiom and is not \
+flagged; anything else needs the guard dropped first or a justified escape.";
+
+pub fn run(
+    rule: &RuleConfig,
+    files: &[std::rc::Rc<FileData>],
+    out: &mut Vec<Diagnostic>,
+) -> Result<(), ConfigError> {
+    let acquire = guards::acquire_matchers(rule)?;
+    let blocking = guards::blocking_matchers(rule)?;
+    if blocking.is_empty() {
+        return Err(ConfigError(format!(
+            "[rules.{NAME}] needs a `forbid` list of blocking constructs"
+        )));
+    }
+
+    for file in files {
+        let walk = guards::walk(file, &acquire, &blocking, rule.include_tests);
+        for hit in walk.blocking {
+            if escapes::suppressed(&file.escapes, NAME, hit.line) {
+                continue;
+            }
+            let held = hit
+                .held
+                .iter()
+                .map(|(lock, line)| format!("`{lock}` (line {line})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push(Diagnostic::new(
+                &file.rel,
+                hit.line,
+                NAME,
+                format!(
+                    "blocking call `{}` with live guard(s) {held} — drop the guard before \
+                     blocking, or justify with an escape",
+                    hit.construct,
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::escapes;
+    use crate::lexer::lex;
+    use crate::scope;
+    use std::rc::Rc;
+
+    fn file(src: &str) -> Rc<FileData> {
+        let lexed = lex(src);
+        let ctxs = scope::contexts(&lexed.tokens);
+        let scan = escapes::scan(&lexed.comments, &[NAME.to_string()]);
+        Rc::new(FileData {
+            rel: "test.rs".into(),
+            tokens: lexed.tokens,
+            ctxs,
+            escapes: scan.escapes,
+        })
+    }
+
+    fn rule() -> RuleConfig {
+        RuleConfig {
+            name: NAME.into(),
+            enabled: true,
+            acquire: vec![".lock".into(), ".state".into()],
+            forbid: vec![".wait".into(), ".join".into(), "thread::sleep".into()],
+            ..RuleConfig::default()
+        }
+    }
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        run(&rule(), &[file(src)], &mut out).expect("runs");
+        out
+    }
+
+    #[test]
+    fn sleep_and_join_under_guard_are_flagged() {
+        let out = diags(
+            "fn f(x: &X) { let g = x.m.lock(); thread::sleep(d); }\n\
+             fn g(x: &X, h: H) { let g = x.m.lock(); h.join(); }",
+        );
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(
+            out[0].message.contains("thread::sleep"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn wait_consuming_its_guard_is_clean_but_foreign_guard_is_not() {
+        assert!(diags("fn f(x: &X) { let g = x.state(); let g = x.cv.wait(g); }").is_empty());
+        let out = diags(
+            "fn f(x: &X) { let held = x.m.lock(); let g = x.state(); let g = x.cv.wait(g); }",
+        );
+        assert_eq!(out.len(), 1, "{out:?}");
+    }
+
+    #[test]
+    fn dropping_the_guard_first_is_clean() {
+        assert!(diags("fn f(x: &X) { let g = x.m.lock(); drop(g); thread::sleep(d); }").is_empty());
+    }
+
+    #[test]
+    fn escape_hatch_applies() {
+        let out = diags(
+            "fn f(x: &X) { let g = x.m.lock();\n\
+             // lint: allow(blocking-while-locked) reason=test-only barrier, no contention\n\
+             thread::sleep(d); }",
+        );
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn missing_forbid_list_is_a_config_error() {
+        let rule = RuleConfig {
+            name: NAME.into(),
+            enabled: true,
+            ..RuleConfig::default()
+        };
+        assert!(run(&rule, &[], &mut Vec::new()).is_err());
+    }
+}

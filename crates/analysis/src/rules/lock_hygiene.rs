@@ -28,6 +28,10 @@ when the guarded state cannot be observably torn, or a repairing wrapper
 (see OutputPool::free_list, which discards the recycled buffers and
 continues cold).
 
+The same goes for every guard-returning accessor: `try_lock()`,
+`RwLock::read()`/`write()`, and their `.expect(..)` variants are matched
+too — an expect message does not make the cascade better.
+
 Scope: all first-party crates, tests included — `include-tests = true` in
 analysis.toml — because a cascade bug in a test helper still hides real
 failures. A test that deliberately poisons a lock to exercise recovery

@@ -6,9 +6,13 @@
 //! `indexing` matcher. Unknown construct names are config errors, not
 //! silently-dead patterns.
 
+pub mod atomic_discipline;
+pub mod blocking_while_locked;
 pub mod clock_discipline;
+pub mod guards;
 pub mod hot_path_alloc;
 pub mod lock_hygiene;
+pub mod lock_order;
 pub mod panic_freedom;
 pub mod unwind_containment;
 
@@ -65,6 +69,21 @@ pub fn matcher_for(name: &str) -> Result<Matcher, ConfigError> {
         "unimplemented!" => &[I("unimplemented"), P('!')],
         ".lock().unwrap" => &[P('.'), I("lock"), P('('), P(')'), P('.'), I("unwrap")],
         ".lock().expect" => &[P('.'), I("lock"), P('('), P(')'), P('.'), I("expect")],
+        ".try_lock().unwrap" => &[P('.'), I("try_lock"), P('('), P(')'), P('.'), I("unwrap")],
+        ".try_lock().expect" => &[P('.'), I("try_lock"), P('('), P(')'), P('.'), I("expect")],
+        ".read().unwrap" => &[P('.'), I("read"), P('('), P(')'), P('.'), I("unwrap")],
+        ".read().expect" => &[P('.'), I("read"), P('('), P(')'), P('.'), I("expect")],
+        ".write().unwrap" => &[P('.'), I("write"), P('('), P(')'), P('.'), I("unwrap")],
+        ".write().expect" => &[P('.'), I("write"), P('('), P(')'), P('.'), I("expect")],
+        // Blocking constructs (blocking-while-locked). The call paren keeps
+        // fields named `wait`/`recv` legal.
+        ".wait" => &[P('.'), I("wait"), P('(')],
+        ".wait_timeout" => &[P('.'), I("wait_timeout"), P('(')],
+        ".recv" => &[P('.'), I("recv"), P('(')],
+        ".recv_timeout" => &[P('.'), I("recv_timeout"), P('(')],
+        ".join" => &[P('.'), I("join"), P('(')],
+        ".submit" => &[P('.'), I("submit"), P('(')],
+        "thread::sleep" => &[I("thread"), P(':'), P(':'), I("sleep")],
         // Bare identifiers: `std::panic::catch_unwind`, `use ...::catch_unwind`,
         // and direct calls all reduce to the one token.
         "catch_unwind" => &[I("catch_unwind")],

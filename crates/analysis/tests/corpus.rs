@@ -95,9 +95,22 @@ fn violating_corpus_covers_every_rule() {
         "panic-freedom",
         "lock-hygiene",
         "unwind-containment",
+        "lock-order",
+        "blocking-while-locked",
+        "atomic-discipline",
         "lint-escape",
     ] {
         assert!(rules.contains(rule), "no seeded violation exercises {rule}");
+    }
+}
+
+#[test]
+fn every_registered_rule_has_a_rationale() {
+    for rule in at_analysis::rule_names() {
+        assert!(
+            at_analysis::explain(rule).is_some(),
+            "rule `{rule}` is registered but has no --explain text"
+        );
     }
 }
 

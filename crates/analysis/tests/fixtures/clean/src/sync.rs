@@ -1,0 +1,43 @@
+//! Clean concurrency idioms: one global lock order, guards dropped
+//! before blocking, the wait-consumes-guard shape, allowlisted counter
+//! atomics, and a justified protocol ordering.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+pub struct Queue {
+    pub state: Mutex<u32>,
+    pub work: Condvar,
+    pub drained: AtomicU64,
+}
+
+/// Consistent nested order everywhere: `state` is the only lock, and
+/// every waiter passes its own guard.
+pub fn drain(q: &Queue) -> u32 {
+    let mut state = q.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    while *state == 0 {
+        state = q
+            .work
+            .wait(state)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+    }
+    q.drained.fetch_add(1, Ordering::Relaxed);
+    *state
+}
+
+/// Guard dropped before the blocking call.
+pub fn pause_between_rounds(q: &Queue) {
+    let state = q.state.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let idle = *state == 0;
+    drop(state);
+    if idle {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+/// Protocol ordering with its justification.
+pub fn publish_drained(q: &Queue) -> u64 {
+    // lint: allow(atomic-discipline) reason=fixture: acquire load pairs with the worker's release bump to order the drained count after its writes
+    q.drained.load(Ordering::Acquire)
+}

@@ -1,0 +1,30 @@
+//! Seeded atomic-discipline violations: a protocol flag read with an
+//! unjustified Relaxed, and a gratuitous SeqCst on an allowlisted
+//! counter. The allowlisted-Relaxed and justified-escape shapes stay
+//! clean.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct Flags {
+    pub stopped: AtomicU64,
+    pub completed: AtomicU64,
+}
+
+pub fn racy_stop_check(f: &Flags) -> bool {
+    f.stopped.load(Ordering::Relaxed) != 0 // expect: atomic-discipline
+}
+
+pub fn ceremonial_count(f: &Flags) {
+    f.completed.fetch_add(1, Ordering::SeqCst); // expect: atomic-discipline
+}
+
+/// Allowlisted counter at the documented default — no finding.
+pub fn counted(f: &Flags) {
+    f.completed.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Justified protocol read — no finding.
+pub fn justified_stop_check(f: &Flags) -> bool {
+    // lint: allow(atomic-discipline) reason=fixture: single-writer flag, acquire pairs with the release store
+    f.stopped.load(Ordering::Acquire) != 0
+}

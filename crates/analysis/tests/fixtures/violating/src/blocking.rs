@@ -1,0 +1,38 @@
+//! Seeded blocking-while-locked violations, next to the sanctioned
+//! wait-consumes-guard idiom that must stay clean.
+
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+pub struct Gate {
+    pub data: Mutex<u32>,
+    pub flag: Mutex<bool>,
+    pub cond: Condvar,
+}
+
+pub fn sleep_under_guard(g: &Gate) -> u32 {
+    let held = g.data.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    std::thread::sleep(Duration::from_millis(1)); // expect: blocking-while-locked
+    *held
+}
+
+pub fn wait_with_foreign_guard(g: &Gate) {
+    let held = g.data.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let flag = g.flag.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let _flag = g.cond.wait(flag).unwrap_or_else(|poisoned| poisoned.into_inner()); // expect: blocking-while-locked
+    drop(held);
+}
+
+/// The sanctioned idiom: `wait` consumes the only live guard (the one it
+/// atomically releases) — no finding.
+pub fn wait_own_guard(g: &Gate) {
+    let flag = g.flag.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let _flag = g.cond.wait(flag).unwrap_or_else(|poisoned| poisoned.into_inner());
+}
+
+/// Dropping the guard before blocking — no finding.
+pub fn sleep_after_drop(g: &Gate) {
+    let held = g.data.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    drop(held);
+    std::thread::sleep(Duration::from_millis(1));
+}

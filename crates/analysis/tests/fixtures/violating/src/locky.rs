@@ -2,7 +2,7 @@
 //! also trips panic-freedom's `.unwrap`; in test code only lock-hygiene
 //! fires, because lock-hygiene alone opts into tests.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 
 pub fn cascade(m: &Mutex<u32>) -> u32 {
     *m.lock().unwrap() // expect: lock-hygiene, panic-freedom
@@ -10,6 +10,18 @@ pub fn cascade(m: &Mutex<u32>) -> u32 {
 
 pub fn cascade_expect(m: &Mutex<u32>) -> u32 {
     *m.lock().expect("poisoned") // expect: lock-hygiene, panic-freedom
+}
+
+pub fn cascade_try(m: &Mutex<u32>) -> u32 {
+    *m.try_lock().unwrap() // expect: lock-hygiene, panic-freedom
+}
+
+pub fn cascade_read(l: &RwLock<u32>) -> u32 {
+    *l.read().unwrap() // expect: lock-hygiene, panic-freedom
+}
+
+pub fn cascade_write(l: &RwLock<u32>) -> u32 {
+    *l.write().expect("poisoned") // expect: lock-hygiene, panic-freedom
 }
 
 /// The sanctioned idiom must NOT be flagged.

@@ -1,0 +1,47 @@
+//! Seeded lock-order violations: `a` then `b` in one function, `b` then
+//! `a` in another — two threads running them concurrently can each hold
+//! one lock and wait forever for the other. Both edges of the cycle are
+//! flagged at their acquiring sites.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub struct Unrelated {
+    pub c: Mutex<u32>,
+    pub d: Mutex<u32>,
+}
+
+pub fn sum_ab(p: &Pair) -> u32 {
+    let a = p.a.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let b = p.b.lock().unwrap_or_else(|poisoned| poisoned.into_inner()); // expect: lock-order
+    *a + *b
+}
+
+pub fn sum_ba(p: &Pair) -> u32 {
+    let b = p.b.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let a = p.a.lock().unwrap_or_else(|poisoned| poisoned.into_inner()); // expect: lock-order
+    *a + *b
+}
+
+/// Nested acquisition in one consistent order (`c` before `d`, nothing
+/// ever takes `d` before `c`) — an edge, but no cycle, so no finding.
+pub fn sum_cd(q: &Unrelated) -> u32 {
+    let c = q.c.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    let d = q.d.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    *c + *d
+}
+
+/// Dropping the first guard before the second acquisition never records
+/// an edge at all.
+pub fn sum_sequential(p: &Pair) -> u32 {
+    let first = {
+        let b = p.b.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+        *b
+    };
+    let a = p.a.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+    first + *a
+}

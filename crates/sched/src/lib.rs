@@ -1,0 +1,973 @@
+//! `at-sched`: loom-lite deterministic schedule exploration.
+//!
+//! The serving stack's proptests sample interleavings; this crate
+//! *enumerates* them for small configurations. Test bodies run on real
+//! OS threads, but every synchronization operation routes through
+//! instrumented shims ([`SchedMutex`], [`SchedCondvar`],
+//! [`SchedAtomicU64`]) that hand control to a cooperative controller:
+//! exactly one thread runs at a time, and at every operation the
+//! controller consults a depth-first search over "which runnable thread
+//! goes next" choice points. Re-running the setup under successive
+//! choice prefixes enumerates every distinct interleaving of the
+//! modeled operations (optionally bounded in preemptions, after
+//! CHESS/loom), detecting:
+//!
+//! - **deadlock** — no thread runnable, some thread still blocked
+//!   (covers lost wakeups: `notify` with no waiter is a no-op, exactly
+//!   like the real Condvar);
+//! - **assertion failure** — any panic in a test body or final-state
+//!   check, reported with the schedule's trace;
+//! - **livelock** — executions exceeding a step budget.
+//!
+//! The memory model is sequential consistency (atomic shims are SeqCst
+//! underneath): this checks protocol logic — wakeup ordering, guard
+//! discipline, exactly-once delivery — not weak-memory reorderings,
+//! which the static `atomic-discipline` rule polices separately (see
+//! ANALYSIS.md "Concurrency contracts").
+//!
+//! Determinism contract: the `setup` closure must register the same
+//! threads/primitives and the bodies must make the same op sequences
+//! given the same schedule (no wall-clock, no OS randomness) — true of
+//! everything in this workspace's control plane.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+thread_local! {
+    /// The scheduler id of the current thread (None outside executions).
+    static TID: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Panic payload used to tear an execution down without reporting the
+/// unwind as a test failure.
+struct AbortExecution;
+
+fn panic_abort() -> ! {
+    std::panic::panic_any(AbortExecution)
+}
+
+/// Suppress panic chatter from scheduler-owned threads (aborted
+/// executions unwind on purpose; real failures are re-reported by
+/// [`Report`]). Installed once, delegating to the previous hook for
+/// every other thread.
+fn install_quiet_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let ours = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("at-sched"));
+            if !ours {
+                prev(info);
+            }
+        }));
+    });
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum ThreadState {
+    Ready,
+    Running,
+    /// Blocked acquiring the mutex with this id.
+    MutexWait(usize),
+    /// Parked on a condvar (wait-set membership lives in `cond_waiters`).
+    CondWait,
+    Finished,
+    /// Unwound (abort teardown or a reported failure).
+    Dead,
+}
+
+/// One scheduling decision: which of `alternatives` runnable threads ran.
+#[derive(Clone, Copy, Debug)]
+struct Choice {
+    alternatives: usize,
+    chosen: usize,
+}
+
+#[derive(Debug)]
+struct CtlState {
+    threads: Vec<ThreadState>,
+    current: Option<usize>,
+    /// Holder tid per mutex.
+    mutexes: Vec<Option<usize>>,
+    /// FIFO wait-set per condvar: (tid, mutex to reacquire).
+    cond_waiters: Vec<VecDeque<(usize, usize)>>,
+    /// Forced choice prefix for this execution (DFS input).
+    schedule: Vec<usize>,
+    /// Choices actually taken (DFS output).
+    choices: Vec<Choice>,
+    preemptions: usize,
+    max_preemptions: Option<usize>,
+    steps: usize,
+    max_steps: usize,
+    steps_exceeded: bool,
+    abort: bool,
+    deadlock: bool,
+    trace: Vec<String>,
+}
+
+/// The per-execution controller: a token (`current`) passed between
+/// threads; every blocked thread waits on the one condvar and checks
+/// whether the token is now theirs.
+struct Ctl {
+    state: Mutex<CtlState>,
+    cv: Condvar,
+}
+
+impl Ctl {
+    fn new(schedule: Vec<usize>, max_preemptions: Option<usize>, max_steps: usize) -> Self {
+        Ctl {
+            state: Mutex::new(CtlState {
+                threads: Vec::new(),
+                current: None,
+                mutexes: Vec::new(),
+                cond_waiters: Vec::new(),
+                schedule,
+                choices: Vec::new(),
+                preemptions: 0,
+                max_preemptions,
+                steps: 0,
+                max_steps,
+                steps_exceeded: false,
+                abort: false,
+                deadlock: false,
+                trace: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, CtlState> {
+        self.state
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Pick the next thread to run (a DFS choice point) and hand it the
+    /// token. Empty runnable set means the execution is over — cleanly
+    /// if everyone finished, as a deadlock if anyone is still blocked.
+    fn schedule_next(&self, st: &mut CtlState, cur: Option<usize>) {
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&t| match st.threads[t] {
+                ThreadState::Ready => true,
+                ThreadState::MutexWait(m) => st.mutexes[m].is_none(),
+                _ => false,
+            })
+            .collect();
+        if runnable.is_empty() {
+            st.current = None;
+            let blocked = st
+                .threads
+                .iter()
+                .any(|t| matches!(t, ThreadState::MutexWait(_) | ThreadState::CondWait));
+            if blocked && !st.abort {
+                st.deadlock = true;
+                st.abort = true;
+            }
+            self.cv.notify_all();
+            return;
+        }
+        // Preemption bounding (CHESS-style): once the budget is spent, a
+        // still-runnable current thread keeps running.
+        let allowed = match (cur, st.max_preemptions) {
+            (Some(c), Some(budget)) if st.preemptions >= budget && runnable.contains(&c) => {
+                vec![c]
+            }
+            _ => runnable,
+        };
+        let k = st.choices.len();
+        let idx = if k < st.schedule.len() {
+            // Replaying a DFS prefix is deterministic, so the forced
+            // index is always in range; min() is a belt against a
+            // non-deterministic setup violating the contract.
+            st.schedule[k].min(allowed.len() - 1)
+        } else {
+            0
+        };
+        st.choices.push(Choice {
+            alternatives: allowed.len(),
+            chosen: idx,
+        });
+        let next = allowed[idx];
+        if let Some(c) = cur {
+            if next != c && matches!(st.threads[c], ThreadState::Ready) {
+                st.preemptions += 1;
+            }
+        }
+        if let ThreadState::MutexWait(m) = st.threads[next] {
+            st.mutexes[m] = Some(next);
+        }
+        st.current = Some(next);
+        self.cv.notify_all();
+    }
+
+    /// Park until the token is ours (or the execution aborts).
+    fn block_until_running(&self, mut st: MutexGuard<'_, CtlState>, me: usize) {
+        loop {
+            if st.abort {
+                drop(st);
+                panic_abort();
+            }
+            if st.current == Some(me) {
+                st.threads[me] = ThreadState::Running;
+                return;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+
+    /// The per-operation yield point: record the op, offer the scheduler
+    /// a choice among every runnable thread (self included), park until
+    /// chosen again.
+    fn pause(&self, me: usize, op: &str) {
+        let mut st = self.lock_state();
+        if st.abort {
+            drop(st);
+            panic_abort();
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            st.steps_exceeded = true;
+            st.abort = true;
+            self.cv.notify_all();
+            drop(st);
+            panic_abort();
+        }
+        let mut line = String::new();
+        let _ = write!(line, "t{me} {op}");
+        st.trace.push(line);
+        st.threads[me] = ThreadState::Ready;
+        self.schedule_next(&mut st, Some(me));
+        self.block_until_running(st, me);
+    }
+}
+
+/// Hands the token on (and aborts the execution) if a thread body
+/// unwinds instead of reaching its orderly finish.
+struct Bomb {
+    ctl: Arc<Ctl>,
+    me: usize,
+    armed: bool,
+}
+
+impl Bomb {
+    fn disarm_and_finish(&mut self) {
+        self.armed = false;
+        let mut st = self.ctl.lock_state();
+        st.threads[self.me] = ThreadState::Finished;
+        self.ctl.schedule_next(&mut st, Some(self.me));
+    }
+}
+
+impl Drop for Bomb {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Unwinding (failure or abort teardown): never panic here.
+        let mut st = self.ctl.lock_state();
+        st.threads[self.me] = ThreadState::Dead;
+        st.abort = true;
+        st.current = None;
+        self.ctl.cv.notify_all();
+    }
+}
+
+/// An instrumented mutex handle; clone it into each thread body.
+pub struct SchedMutex<T> {
+    ctl: Arc<Ctl>,
+    id: usize,
+    data: Arc<Mutex<T>>,
+}
+
+impl<T> Clone for SchedMutex<T> {
+    fn clone(&self) -> Self {
+        SchedMutex {
+            ctl: self.ctl.clone(),
+            id: self.id,
+            data: self.data.clone(),
+        }
+    }
+}
+
+/// Guard for a [`SchedMutex`]; releases the modeled and physical locks
+/// on drop.
+pub struct SchedGuard<'a, T> {
+    mutex: &'a SchedMutex<T>,
+    guard: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> SchedMutex<T> {
+    /// Acquire: one yield point before the attempt; contention parks the
+    /// thread until the scheduler grants the mutex.
+    pub fn lock(&self) -> SchedGuard<'_, T> {
+        let Some(me) = TID.get() else {
+            // Outside an execution (setup or final-state checks): no
+            // scheduling, the physical lock alone is enough.
+            return SchedGuard {
+                mutex: self,
+                guard: Some(
+                    self.data
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner()),
+                ),
+            };
+        };
+        self.ctl.pause(me, "lock");
+        let mut st = self.ctl.lock_state();
+        match st.mutexes[self.id] {
+            Some(holder) if holder == me => {
+                // Re-entrant acquire self-deadlocks on std's Mutex.
+                st.deadlock = true;
+                st.abort = true;
+                self.ctl.cv.notify_all();
+                drop(st);
+                panic_abort();
+            }
+            Some(_) => {
+                st.threads[me] = ThreadState::MutexWait(self.id);
+                self.ctl.schedule_next(&mut st, Some(me));
+                // When the token comes back the scheduler has recorded
+                // us as the holder.
+                self.ctl.block_until_running(st, me);
+            }
+            None => {
+                st.mutexes[self.id] = Some(me);
+            }
+        }
+        SchedGuard {
+            mutex: self,
+            guard: Some(
+                self.data
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            ),
+        }
+    }
+}
+
+impl<T> Deref for SchedGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> DerefMut for SchedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for SchedGuard<'_, T> {
+    fn drop(&mut self) {
+        // Physical release first, then the model's: a later grantee must
+        // find the std lock free. Never panics (runs during unwinds).
+        self.guard.take();
+        let mut st = self.mutex.ctl.lock_state();
+        if st.mutexes[self.mutex.id] == TID.get() {
+            st.mutexes[self.mutex.id] = None;
+        }
+    }
+}
+
+/// An instrumented condvar handle.
+pub struct SchedCondvar {
+    ctl: Arc<Ctl>,
+    id: usize,
+}
+
+impl Clone for SchedCondvar {
+    fn clone(&self) -> Self {
+        SchedCondvar {
+            ctl: self.ctl.clone(),
+            id: self.id,
+        }
+    }
+}
+
+impl SchedCondvar {
+    /// Atomically release the guard and park until notified; reacquires
+    /// the mutex before returning, exactly like `std::sync::Condvar`.
+    /// No spurious wakeups are modeled — a protocol that is correct
+    /// without them under every schedule is correct with them.
+    pub fn wait<'a, T>(&self, guard: SchedGuard<'a, T>) -> SchedGuard<'a, T> {
+        let me = TID.get().expect("SchedCondvar::wait outside an execution");
+        let mutex: &'a SchedMutex<T> = guard.mutex;
+        drop(guard); // releases physical + modeled lock, no yield
+        let mut st = self.ctl.lock_state();
+        if st.abort {
+            drop(st);
+            panic_abort();
+        }
+        st.steps += 1;
+        let mut line = String::new();
+        let _ = write!(line, "t{me} wait");
+        st.trace.push(line);
+        st.threads[me] = ThreadState::CondWait;
+        st.cond_waiters[self.id].push_back((me, mutex.id));
+        self.ctl.schedule_next(&mut st, Some(me));
+        self.ctl.block_until_running(st, me);
+        // The scheduler only hands the token back once notified AND the
+        // mutex was granted to us.
+        SchedGuard {
+            mutex,
+            guard: Some(
+                mutex
+                    .data
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            ),
+        }
+    }
+
+    /// Wake the longest-waiting thread (moves it to the mutex queue); a
+    /// notify with no waiter is a no-op — lost wakeups surface as
+    /// deadlocks, which is the point.
+    pub fn notify_one(&self) {
+        let Some(me) = TID.get() else { return };
+        self.ctl.pause(me, "notify_one");
+        let mut st = self.ctl.lock_state();
+        if let Some((tid, mid)) = st.cond_waiters[self.id].pop_front() {
+            st.threads[tid] = ThreadState::MutexWait(mid);
+        }
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        let Some(me) = TID.get() else { return };
+        self.ctl.pause(me, "notify_all");
+        let mut st = self.ctl.lock_state();
+        while let Some((tid, mid)) = st.cond_waiters[self.id].pop_front() {
+            st.threads[tid] = ThreadState::MutexWait(mid);
+        }
+    }
+}
+
+/// An instrumented atomic (SeqCst underneath: the explorer checks
+/// protocol logic under sequential consistency, not weak-memory
+/// reorderings).
+pub struct SchedAtomicU64 {
+    ctl: Arc<Ctl>,
+    inner: Arc<AtomicU64>,
+}
+
+impl Clone for SchedAtomicU64 {
+    fn clone(&self) -> Self {
+        SchedAtomicU64 {
+            ctl: self.ctl.clone(),
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl SchedAtomicU64 {
+    pub fn load(&self) -> u64 {
+        if let Some(me) = TID.get() {
+            self.ctl.pause(me, "atomic load");
+        }
+        self.inner.load(Ordering::SeqCst)
+    }
+
+    pub fn store(&self, value: u64) {
+        if let Some(me) = TID.get() {
+            self.ctl.pause(me, "atomic store");
+        }
+        self.inner.store(value, Ordering::SeqCst)
+    }
+
+    pub fn fetch_add(&self, value: u64) -> u64 {
+        if let Some(me) = TID.get() {
+            self.ctl.pause(me, "atomic fetch_add");
+        }
+        self.inner.fetch_add(value, Ordering::SeqCst)
+    }
+}
+
+type Body = Box<dyn FnOnce() + Send + 'static>;
+
+/// Registration handle passed to the setup closure: create primitives,
+/// spawn thread bodies, and register final-state checks. Setup runs
+/// once per explored schedule, so everything starts fresh each time.
+pub struct Sched {
+    ctl: Arc<Ctl>,
+    bodies: Vec<Body>,
+    checks: Vec<Body>,
+}
+
+impl Sched {
+    pub fn mutex<T: Send + 'static>(&mut self, value: T) -> SchedMutex<T> {
+        let mut st = self.ctl.lock_state();
+        let id = st.mutexes.len();
+        st.mutexes.push(None);
+        drop(st);
+        SchedMutex {
+            ctl: self.ctl.clone(),
+            id,
+            data: Arc::new(Mutex::new(value)),
+        }
+    }
+
+    pub fn condvar(&mut self) -> SchedCondvar {
+        let mut st = self.ctl.lock_state();
+        let id = st.cond_waiters.len();
+        st.cond_waiters.push(VecDeque::new());
+        drop(st);
+        SchedCondvar {
+            ctl: self.ctl.clone(),
+            id,
+        }
+    }
+
+    pub fn atomic(&mut self, value: u64) -> SchedAtomicU64 {
+        SchedAtomicU64 {
+            ctl: self.ctl.clone(),
+            inner: Arc::new(AtomicU64::new(value)),
+        }
+    }
+
+    /// Register a thread body for this execution.
+    pub fn thread(&mut self, body: impl FnOnce() + Send + 'static) {
+        self.bodies.push(Box::new(body));
+    }
+
+    /// Register a final-state invariant, run after the threads of a
+    /// clean (non-aborted) execution have all finished. Panics are
+    /// reported as failures with the execution's trace.
+    pub fn check(&mut self, check: impl FnOnce() + Send + 'static) {
+        self.checks.push(Box::new(check));
+    }
+}
+
+/// Outcome of exploring every schedule (or stopping at the first
+/// defect).
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Distinct schedules executed (each a unique choice sequence).
+    pub schedules: usize,
+    /// Deadlocked schedules found (exploration stops at the first).
+    pub deadlocks: usize,
+    /// Assertion/livelock failures (exploration stops at the first).
+    pub failures: Vec<String>,
+    /// Operation trace of the defective schedule, if any.
+    pub defect_trace: Option<Vec<String>>,
+    /// True when `max_schedules` stopped exploration early.
+    pub capped: bool,
+}
+
+impl Report {
+    /// True when exploration saw no deadlock and no failure.
+    pub fn ok(&self) -> bool {
+        self.deadlocks == 0 && self.failures.is_empty()
+    }
+
+    /// Panic (with the defective schedule's trace) unless clean.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.ok(),
+            "schedule exploration found defects: {} deadlock(s), failures: {:?}\ntrace of the \
+             defective schedule:\n  {}",
+            self.deadlocks,
+            self.failures,
+            self.defect_trace
+                .as_deref()
+                .unwrap_or_default()
+                .join("\n  "),
+        );
+    }
+}
+
+struct ExecOutcome {
+    choices: Vec<Choice>,
+    trace: Vec<String>,
+    deadlock: bool,
+    steps_exceeded: bool,
+    panics: Vec<String>,
+}
+
+/// Depth-first exploration driver.
+pub struct Explorer {
+    max_preemptions: Option<usize>,
+    max_schedules: usize,
+    max_steps: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            max_preemptions: None,
+            max_schedules: 100_000,
+            max_steps: 10_000,
+        }
+    }
+}
+
+impl Explorer {
+    pub fn new() -> Self {
+        Explorer::default()
+    }
+
+    /// Bound context switches away from a runnable thread (CHESS-style):
+    /// most protocol bugs need only a couple of preemptions, and the
+    /// schedule count drops combinatorially.
+    pub fn with_max_preemptions(mut self, n: usize) -> Self {
+        self.max_preemptions = Some(n);
+        self
+    }
+
+    /// Cap the number of schedules (sets `Report::capped` when hit).
+    pub fn with_max_schedules(mut self, n: usize) -> Self {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Cap modeled operations per execution (livelock guard).
+    pub fn with_max_steps(mut self, n: usize) -> Self {
+        self.max_steps = n;
+        self
+    }
+
+    /// Enumerate schedules depth-first until exhausted, capped, or a
+    /// defect is found.
+    pub fn explore(&self, setup: impl Fn(&mut Sched)) -> Report {
+        install_quiet_hook();
+        let mut report = Report::default();
+        let mut schedule: Vec<usize> = Vec::new();
+        loop {
+            if report.schedules >= self.max_schedules {
+                report.capped = true;
+                return report;
+            }
+            let out = self.run_one(&setup, schedule.clone());
+            report.schedules += 1;
+            if !out.panics.is_empty() || out.steps_exceeded {
+                report.failures.extend(out.panics);
+                if out.steps_exceeded {
+                    report
+                        .failures
+                        .push("execution exceeded max_steps (livelock?)".to_string());
+                }
+                report.defect_trace = Some(out.trace);
+                return report;
+            }
+            if out.deadlock {
+                report.deadlocks += 1;
+                report.defect_trace = Some(out.trace);
+                return report;
+            }
+            // Next DFS prefix: deepest choice with an untried alternative.
+            let mut choices = out.choices;
+            loop {
+                match choices.pop() {
+                    Some(c) if c.chosen + 1 < c.alternatives => {
+                        schedule = choices.iter().map(|c| c.chosen).collect();
+                        schedule.push(c.chosen + 1);
+                        break;
+                    }
+                    Some(_) => {}
+                    None => return report,
+                }
+            }
+        }
+    }
+
+    fn run_one(&self, setup: &impl Fn(&mut Sched), schedule: Vec<usize>) -> ExecOutcome {
+        let ctl = Arc::new(Ctl::new(schedule, self.max_preemptions, self.max_steps));
+        let mut sched = Sched {
+            ctl: ctl.clone(),
+            bodies: Vec::new(),
+            checks: Vec::new(),
+        };
+        setup(&mut sched);
+        let n = sched.bodies.len();
+        {
+            let mut st = ctl.lock_state();
+            st.threads = vec![ThreadState::Ready; n];
+        }
+        let mut handles = Vec::with_capacity(n);
+        for (i, body) in sched.bodies.into_iter().enumerate() {
+            let ctl = ctl.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("at-sched-{i}"))
+                .spawn(move || {
+                    TID.set(Some(i));
+                    let mut bomb = Bomb {
+                        ctl: ctl.clone(),
+                        me: i,
+                        armed: true,
+                    };
+                    {
+                        let st = ctl.lock_state();
+                        ctl.block_until_running(st, i);
+                    }
+                    body();
+                    bomb.disarm_and_finish();
+                })
+                .expect("spawn at-sched worker thread");
+            handles.push(handle);
+        }
+        {
+            // Initial choice: which thread starts.
+            let mut st = ctl.lock_state();
+            ctl.schedule_next(&mut st, None);
+        }
+        let mut panics = Vec::new();
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                if payload.downcast_ref::<AbortExecution>().is_none() {
+                    panics.push(payload_message(payload.as_ref()));
+                }
+            }
+        }
+        let (choices, trace, deadlock, steps_exceeded) = {
+            let st = ctl.lock_state();
+            (
+                st.choices.clone(),
+                st.trace.clone(),
+                st.deadlock,
+                st.steps_exceeded,
+            )
+        };
+        if panics.is_empty() && !deadlock && !steps_exceeded {
+            for check in sched.checks {
+                let handle = std::thread::Builder::new()
+                    .name("at-sched-check".to_string())
+                    .spawn(check)
+                    .expect("spawn at-sched check thread");
+                if let Err(payload) = handle.join() {
+                    panics.push(payload_message(payload.as_ref()));
+                }
+            }
+        }
+        ExecOutcome {
+            choices,
+            trace,
+            deadlock,
+            steps_exceeded,
+            panics,
+        }
+    }
+}
+
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two threads, one atomic increment each: both interleavings reach
+    /// the same final value, and both are explored.
+    #[test]
+    fn counter_increments_explore_both_orders() {
+        let report = Explorer::new().explore(|sched| {
+            let counter = sched.atomic(0);
+            for _ in 0..2 {
+                let counter = counter.clone();
+                sched.thread(move || {
+                    counter.fetch_add(1);
+                });
+            }
+            let counter = counter.clone();
+            sched.check(move || assert_eq!(counter.load(), 2));
+        });
+        report.assert_ok();
+        assert!(report.schedules >= 2, "explored {}", report.schedules);
+        assert!(!report.capped);
+    }
+
+    /// Mutual exclusion: increments through a mutex never tear.
+    #[test]
+    fn mutex_increments_are_exclusive() {
+        let report = Explorer::new().explore(|sched| {
+            let cell = sched.mutex(0u64);
+            for _ in 0..2 {
+                let cell = cell.clone();
+                sched.thread(move || {
+                    for _ in 0..2 {
+                        let mut guard = cell.lock();
+                        let seen = *guard;
+                        *guard = seen + 1;
+                    }
+                });
+            }
+            let cell = cell.clone();
+            sched.check(move || assert_eq!(*cell.lock(), 4));
+        });
+        report.assert_ok();
+        assert!(report.schedules >= 6, "explored {}", report.schedules);
+    }
+
+    /// Opposite-order two-lock acquisition: the explorer must find the
+    /// deadlock.
+    #[test]
+    fn opposite_lock_order_deadlocks() {
+        let report = Explorer::new().explore(|sched| {
+            let a = sched.mutex(());
+            let b = sched.mutex(());
+            {
+                let (a, b) = (a.clone(), b.clone());
+                sched.thread(move || {
+                    let _a = a.lock();
+                    let _b = b.lock();
+                });
+            }
+            {
+                let (a, b) = (a.clone(), b.clone());
+                sched.thread(move || {
+                    let _b = b.lock();
+                    let _a = a.lock();
+                });
+            }
+        });
+        assert_eq!(report.deadlocks, 1, "{report:?}");
+        assert!(report.defect_trace.is_some());
+    }
+
+    /// Lost wakeup: a notify that can fire before the wait leaves the
+    /// waiter parked forever in some schedule.
+    #[test]
+    fn lost_wakeup_is_found_as_deadlock() {
+        let report = Explorer::new().explore(|sched| {
+            let flag = sched.atomic(0);
+            let parking = sched.mutex(());
+            let cv = sched.condvar();
+            {
+                let (flag, parking, cv) = (flag.clone(), parking.clone(), cv.clone());
+                sched.thread(move || {
+                    // BUG: predicate checked outside the lock the wait
+                    // releases — the set+notify can slip in between.
+                    if flag.load() == 0 {
+                        let guard = parking.lock();
+                        let _guard = cv.wait(guard);
+                    }
+                });
+            }
+            {
+                let (flag, cv) = (flag.clone(), cv.clone());
+                sched.thread(move || {
+                    flag.store(1);
+                    cv.notify_one();
+                });
+            }
+        });
+        // The buggy schedule exists... but so do clean ones: the check
+        // is that exploration FINDS the deadlock.
+        assert_eq!(report.deadlocks, 1, "{report:?}");
+    }
+
+    /// The corrected protocol (predicate loop, notify under the lock
+    /// ordering) is clean across every schedule.
+    #[test]
+    fn correct_wait_loop_is_clean_everywhere() {
+        let report = Explorer::new().explore(|sched| {
+            let flag = sched.mutex(false);
+            let cv = sched.condvar();
+            {
+                let (flag, cv) = (flag.clone(), cv.clone());
+                sched.thread(move || {
+                    let mut guard = flag.lock();
+                    while !*guard {
+                        guard = cv.wait(guard);
+                    }
+                });
+            }
+            {
+                let (flag, cv) = (flag.clone(), cv.clone());
+                sched.thread(move || {
+                    let mut guard = flag.lock();
+                    *guard = true;
+                    drop(guard);
+                    cv.notify_one();
+                });
+            }
+        });
+        report.assert_ok();
+        assert!(report.schedules >= 2, "explored {}", report.schedules);
+    }
+
+    /// Preemption bounding shrinks the schedule count but keeps at
+    /// least the serial executions.
+    #[test]
+    fn preemption_bound_reduces_schedules() {
+        let run = |bound: Option<usize>| {
+            let mut explorer = Explorer::new();
+            if let Some(n) = bound {
+                explorer = explorer.with_max_preemptions(n);
+            }
+            explorer.explore(|sched| {
+                let counter = sched.atomic(0);
+                for _ in 0..2 {
+                    let counter = counter.clone();
+                    sched.thread(move || {
+                        counter.fetch_add(1);
+                        counter.fetch_add(1);
+                    });
+                }
+            })
+        };
+        let unbounded = run(None);
+        let bounded = run(Some(0));
+        unbounded.assert_ok();
+        bounded.assert_ok();
+        assert!(
+            bounded.schedules < unbounded.schedules,
+            "bounded {} vs unbounded {}",
+            bounded.schedules,
+            unbounded.schedules
+        );
+        // Zero preemptions still runs each thread to completion in both
+        // orders.
+        assert!(bounded.schedules >= 2, "{}", bounded.schedules);
+    }
+
+    /// A failing final-state check is reported with a trace.
+    #[test]
+    fn failing_check_is_reported() {
+        let report = Explorer::new().explore(|sched| {
+            let counter = sched.atomic(0);
+            {
+                let counter = counter.clone();
+                sched.thread(move || {
+                    counter.fetch_add(1);
+                });
+            }
+            let counter = counter.clone();
+            sched.check(move || assert_eq!(counter.load(), 2, "seeded failure"));
+        });
+        assert!(!report.ok());
+        assert_eq!(report.deadlocks, 0);
+        assert!(!report.failures.is_empty());
+    }
+
+    /// The schedule cap is honoured and flagged.
+    #[test]
+    fn schedule_cap_is_flagged() {
+        let report = Explorer::new().with_max_schedules(3).explore(|sched| {
+            let counter = sched.atomic(0);
+            for _ in 0..3 {
+                let counter = counter.clone();
+                sched.thread(move || {
+                    counter.fetch_add(1);
+                });
+            }
+        });
+        assert!(report.capped, "{report:?}");
+        assert_eq!(report.schedules, 3);
+    }
+}

@@ -323,6 +323,7 @@ where
         let home = match self.routing {
             RoutingStrategy::HashAffinity => self.home_index(req),
             RoutingStrategy::RoundRobin => {
+                // lint: allow(atomic-discipline) reason=placement cursor; any total RMW order round-robins correctly, no other state is published through it
                 self.rr.fetch_add(1, Ordering::Relaxed) % self.workers.len()
             }
             RoutingStrategy::LeastLoaded => {

@@ -1,0 +1,341 @@
+//! Deterministic schedule exploration of the control-plane protocols
+//! (ISSUE 9, dynamic side; see ANALYSIS.md "Concurrency contracts").
+//!
+//! The serving stack's dispatcher/steal/supervisor protocols are
+//! modeled at small configurations on `at-sched` shims and every
+//! interleaving of their synchronization operations is enumerated
+//! (DFS, optionally preemption-bounded). Each clean protocol asserts a
+//! minimum distinct-interleaving count so a future refactor cannot
+//! quietly shrink the explored space to triviality, and two positive
+//! controls (a seeded lock-order deadlock and a seeded read-then-remove
+//! double-resolve) prove the explorer actually detects the defect
+//! classes the static rules exist to prevent.
+//!
+//! Models mirror `at-server`'s shapes, not its code: a bounded queue
+//! drained under a Condvar with a stop flag (dispatch_loop), steal-ring
+//! drain-under-one-guard ticket handoff (try_steal), and the
+//! restart-budget supervisor (supervise).
+
+use at_sched::Explorer;
+
+/// Bounded-queue submit/drain: two producers race a stopper and a
+/// drainer. The drainer waits on a Condvar with the canonical
+/// predicate loop; the stopper sets `stopped` under the same lock.
+/// Checked across EVERY interleaving:
+/// - no lost wakeup / missed stop: exploration finding a deadlock
+///   would mean some schedule parks the drainer forever;
+/// - conservation: accepted == drained + still-queued, and every
+///   submission was either accepted or rejected by the bound.
+#[test]
+fn bounded_queue_submit_drain_no_lost_wakeup() {
+    #[derive(Default)]
+    struct QueueState {
+        queue: Vec<u32>,
+        accepted: u32,
+        rejected: u32,
+        stopped: bool,
+    }
+    const CAPACITY: usize = 1;
+    const PRODUCERS: u32 = 2;
+
+    let report = Explorer::new().with_max_preemptions(2).explore(|sched| {
+        let state = sched.mutex(QueueState::default());
+        let work = sched.condvar();
+        let drained = sched.atomic(0);
+        for item in 0..PRODUCERS {
+            let (state, work) = (state.clone(), work.clone());
+            sched.thread(move || {
+                let mut st = state.lock();
+                if st.queue.len() < CAPACITY {
+                    st.queue.push(item);
+                    st.accepted += 1;
+                } else {
+                    st.rejected += 1;
+                }
+                drop(st);
+                work.notify_all();
+            });
+        }
+        {
+            let (state, work) = (state.clone(), work.clone());
+            sched.thread(move || {
+                let mut st = state.lock();
+                st.stopped = true;
+                drop(st);
+                work.notify_all();
+            });
+        }
+        {
+            let (state, work, drained) = (state.clone(), work.clone(), drained.clone());
+            sched.thread(move || {
+                let mut st = state.lock();
+                loop {
+                    if st.queue.pop().is_some() {
+                        drop(st);
+                        drained.fetch_add(1);
+                        st = state.lock();
+                        continue;
+                    }
+                    if st.stopped {
+                        // Stopped observed with the queue empty: the
+                        // only sanctioned exit.
+                        break;
+                    }
+                    st = work.wait(st);
+                }
+            });
+        }
+        let (state, drained) = (state.clone(), drained.clone());
+        sched.check(move || {
+            let st = state.lock();
+            assert!(st.stopped, "drainer exited without observing Stopped");
+            assert_eq!(
+                u64::from(st.accepted),
+                drained.load() + st.queue.len() as u64,
+                "accepted work neither drained nor queued"
+            );
+            assert_eq!(st.accepted + st.rejected, PRODUCERS);
+        });
+    });
+    report.assert_ok();
+    assert!(
+        report.schedules >= 100,
+        "exploration shrank to {} interleavings — not a meaningful check",
+        report.schedules
+    );
+    assert!(!report.capped, "exploration hit the schedule cap");
+}
+
+/// Steal-ring ticket delivery: a victim drains its own queue one
+/// ticket at a time while a thief steals with the sanctioned
+/// drain-under-one-guard idiom. Every ticket must be resolved exactly
+/// once in every interleaving.
+#[test]
+fn steal_ring_delivers_each_ticket_exactly_once() {
+    const TICKETS: usize = 4;
+    let report = Explorer::new().explore(|sched| {
+        let queue = sched.mutex((0..TICKETS as u32).collect::<Vec<u32>>());
+        let resolved = sched.mutex(vec![0u32; TICKETS]);
+        {
+            let (queue, resolved) = (queue.clone(), resolved.clone());
+            sched.thread(move || loop {
+                let mut q = queue.lock();
+                let Some(ticket) = q.pop() else { break };
+                drop(q);
+                let mut r = resolved.lock();
+                if let Some(count) = r.get_mut(ticket as usize) {
+                    *count += 1;
+                }
+            });
+        }
+        {
+            let (queue, resolved) = (queue.clone(), resolved.clone());
+            sched.thread(move || {
+                let mut q = queue.lock();
+                let stolen: Vec<u32> = q.drain(..).collect();
+                drop(q);
+                for ticket in stolen {
+                    let mut r = resolved.lock();
+                    if let Some(count) = r.get_mut(ticket as usize) {
+                        *count += 1;
+                    }
+                }
+            });
+        }
+        let resolved = resolved.clone();
+        sched.check(move || {
+            let r = resolved.lock();
+            for (ticket, &count) in r.iter().enumerate() {
+                assert_eq!(count, 1, "ticket {ticket} resolved {count} times");
+            }
+        });
+    });
+    report.assert_ok();
+    assert!(
+        report.schedules >= 100,
+        "exploration shrank to {} interleavings",
+        report.schedules
+    );
+    assert!(!report.capped, "exploration hit the schedule cap");
+}
+
+/// Supervisor restart budget, the never-stops-early half: with crashes
+/// within budget and progress between them, no interleaving stops the
+/// supervisor, and the restart count lands exactly on the crash count
+/// (monotone by construction — it only ever increments).
+#[test]
+fn supervisor_within_budget_never_stops() {
+    supervisor_model(2, 2, |restarts, stopped| {
+        assert!(!stopped, "supervisor stopped with budget to spare");
+        assert_eq!(restarts, 2, "every in-budget crash earns a restart");
+    });
+}
+
+/// ...and the always-stops half: one crash past the budget trips the
+/// stop in EVERY interleaving, with restarts capped at the budget.
+#[test]
+fn supervisor_beyond_budget_always_stops() {
+    supervisor_model(3, 2, |restarts, stopped| {
+        assert!(stopped, "budget exceeded but supervisor kept going");
+        assert_eq!(restarts, 2, "restarts exceeded the budget");
+    });
+}
+
+/// Shared supervisor model: a crasher raises `crashes` crash events
+/// (notifying after each) and then announces completion; the
+/// supervisor handles events in order, restarting while the budget
+/// lasts and stopping on the first crash past it.
+fn supervisor_model(crashes: u32, budget: u32, verify: fn(u32, bool)) {
+    #[derive(Default)]
+    struct SupState {
+        crashes: u32,
+        restarts: u32,
+        crasher_done: bool,
+        stopped: bool,
+    }
+    let report = Explorer::new().explore(move |sched| {
+        let state = sched.mutex(SupState::default());
+        let event = sched.condvar();
+        {
+            let (state, event) = (state.clone(), event.clone());
+            sched.thread(move || {
+                for _ in 0..crashes {
+                    let mut st = state.lock();
+                    st.crashes += 1;
+                    drop(st);
+                    event.notify_all();
+                }
+                let mut st = state.lock();
+                st.crasher_done = true;
+                drop(st);
+                event.notify_all();
+            });
+        }
+        {
+            let (state, event) = (state.clone(), event.clone());
+            sched.thread(move || {
+                let mut handled = 0;
+                let mut st = state.lock();
+                loop {
+                    if handled < st.crashes {
+                        handled += 1;
+                        if st.restarts == budget {
+                            st.stopped = true;
+                            break;
+                        }
+                        st.restarts += 1;
+                        continue;
+                    }
+                    if st.crasher_done {
+                        break;
+                    }
+                    st = event.wait(st);
+                }
+            });
+        }
+        let state = state.clone();
+        sched.check(move || {
+            let st = state.lock();
+            assert!(
+                st.restarts <= budget,
+                "restart count {} overran the budget {budget}",
+                st.restarts
+            );
+            verify(st.restarts, st.stopped);
+        });
+    });
+    report.assert_ok();
+    assert!(
+        report.schedules >= 100,
+        "exploration shrank to {} interleavings",
+        report.schedules
+    );
+    assert!(!report.capped, "exploration hit the schedule cap");
+}
+
+/// Positive control: the explorer must catch an opposite-order two-lock
+/// acquisition as a deadlock — the dynamic twin of the static
+/// `lock-order` rule.
+#[test]
+fn positive_control_opposite_lock_order_deadlocks() {
+    let report = Explorer::new().explore(|sched| {
+        let a = sched.mutex(());
+        let b = sched.mutex(());
+        {
+            let (a, b) = (a.clone(), b.clone());
+            sched.thread(move || {
+                let _a = a.lock();
+                let _b = b.lock();
+            });
+        }
+        {
+            let (a, b) = (a.clone(), b.clone());
+            sched.thread(move || {
+                let _b = b.lock();
+                let _a = a.lock();
+            });
+        }
+    });
+    assert_eq!(
+        report.deadlocks, 1,
+        "seeded deadlock went undetected: {report:?}"
+    );
+    assert!(
+        report.defect_trace.is_some(),
+        "deadlock reported without a schedule trace"
+    );
+}
+
+/// Positive control: a thief that peeks under one guard and removes
+/// under another double-resolves a ticket in some interleaving — the
+/// defect the drain-under-one-guard idiom exists to rule out. The
+/// explorer must find the failing schedule.
+#[test]
+fn positive_control_read_then_remove_double_resolves() {
+    let report = Explorer::new().explore(|sched| {
+        let queue = sched.mutex(vec![0u32]);
+        let resolved = sched.mutex(vec![0u32; 1]);
+        {
+            let (queue, resolved) = (queue.clone(), resolved.clone());
+            sched.thread(move || loop {
+                let mut q = queue.lock();
+                let Some(ticket) = q.pop() else { break };
+                drop(q);
+                let mut r = resolved.lock();
+                if let Some(count) = r.get_mut(ticket as usize) {
+                    *count += 1;
+                }
+            });
+        }
+        {
+            let (queue, resolved) = (queue.clone(), resolved.clone());
+            sched.thread(move || {
+                // BUG under test: snapshot then clear under separate
+                // guards — the victim can resolve in between.
+                let snapshot: Vec<u32> = queue.lock().clone();
+                for ticket in snapshot {
+                    let mut r = resolved.lock();
+                    if let Some(count) = r.get_mut(ticket as usize) {
+                        *count += 1;
+                    }
+                }
+                queue.lock().clear();
+            });
+        }
+        let resolved = resolved.clone();
+        sched.check(move || {
+            let r = resolved.lock();
+            for (ticket, &count) in r.iter().enumerate() {
+                assert_eq!(count, 1, "ticket {ticket} resolved {count} times");
+            }
+        });
+    });
+    assert!(
+        !report.failures.is_empty(),
+        "seeded double-resolve went undetected: {report:?}"
+    );
+    assert!(
+        report.defect_trace.is_some(),
+        "failure reported without a schedule trace"
+    );
+}

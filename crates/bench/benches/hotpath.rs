@@ -8,14 +8,25 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use at_bench::baseline::{execute_eager, pearson_inputs, synthetic_correlations, AllocCfService};
 use at_bench::deployments::{build_recommender, DeployScale};
 use at_core::{rank, rank_top, ExecutionPolicy};
-use at_linalg::{pearson_on_common, pearson_on_common_alloc};
+use at_linalg::{
+    pearson_on_common, pearson_on_common_alloc, pearson_on_common_blocked,
+    pearson_on_common_lanes8, BlockedRow,
+};
 use std::time::Instant;
 
 fn bench_pearson(c: &mut Criterion) {
     let mut g = c.benchmark_group("pearson");
     let (ca, va, cb, vb) = pearson_inputs(200);
+    let ba = BlockedRow::from_sorted(&ca, &va);
+    let bb = BlockedRow::from_sorted(&cb, &vb);
     g.bench_function("streaming", |b| {
         b.iter(|| pearson_on_common(&ca, &va, &cb, &vb))
+    });
+    g.bench_function("blocked", |b| {
+        b.iter(|| pearson_on_common_blocked(&ba, &bb))
+    });
+    g.bench_function("lanes8", |b| {
+        b.iter(|| pearson_on_common_lanes8(&ca, &va, &cb, &vb))
     });
     g.bench_function("allocating_baseline", |b| {
         b.iter(|| pearson_on_common_alloc(&ca, &va, &cb, &vb))

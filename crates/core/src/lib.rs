@@ -58,7 +58,7 @@ pub use correlation::{cmp_ranked, rank, rank_top, sections, Correlation, RankedP
 pub use fault::{FaultInjector, FaultKind, FaultRule, FaultSite, FaultyService, InjectedFault};
 pub use outcome::Outcome;
 pub use policy::{DegradationLadder, ExecutionPolicy};
-pub use pool::{prepare_outputs, OutputPool};
+pub use pool::{batch_tile_span, prepare_outputs, OutputPool};
 pub use processor::{Algorithm1, ApproximateService, ComposableService, Ctx};
 pub use route::{fnv1a, Fnv1a, RouteKey};
 pub use service::{

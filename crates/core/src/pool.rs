@@ -182,9 +182,52 @@ pub fn prepare_outputs<T>(
     }
 }
 
+/// Pick the request-tile width for a cache-tiled
+/// [`ApproximateService::process_synopsis_batch`](crate::ApproximateService::process_synopsis_batch)
+/// pass, once per batch.
+///
+/// The batch pass streams every synopsis point past every request. Untiled,
+/// a wide batch cycles through more per-request state (profile lanes,
+/// accumulators, correlation tails) than L1 holds, so each point
+/// eviction-misses its way down the request column — tiling caps how much
+/// request state is live at once, trading one extra synopsis stream per
+/// tile for L1-resident inner iterations. `row_nnz` is the mean aggregated-row size: bigger rows
+/// mean more per-request merge state, hence narrower tiles.
+///
+/// Pure arithmetic on two integers — no clocks, no allocation; both
+/// adapters share it so the tiling heuristic stays in one place.
+pub fn batch_tile_span(n_reqs: usize, row_nnz: usize) -> usize {
+    // Budget roughly half a 32 KiB L1d for request-side state, leaving the
+    // other half to the streaming point row and the accumulator writes.
+    const L1_BUDGET_BYTES: usize = 16 * 1024;
+    // Per request per point-entry touched: value lane + mask/id overhead on
+    // the profile side plus an accumulator slot — ~24 bytes amortised.
+    const BYTES_PER_ENTRY: usize = 24;
+    let per_req = row_nnz.max(1).saturating_mul(BYTES_PER_ENTRY);
+    (L1_BUDGET_BYTES / per_req).max(4).min(n_reqs.max(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tile_span_is_clamped_and_monotone() {
+        // Never zero, never wider than the batch.
+        assert_eq!(batch_tile_span(0, 100), 1);
+        assert_eq!(batch_tile_span(1, 0), 1);
+        assert_eq!(batch_tile_span(64, usize::MAX / 16), 4);
+        // Denser rows never widen the tile.
+        let mut last = usize::MAX;
+        for nnz in [1usize, 8, 64, 512, 4096] {
+            let t = batch_tile_span(1024, nnz);
+            assert!((1..=1024).contains(&t));
+            assert!(t <= last, "tile must shrink as rows densify");
+            last = t;
+        }
+        // Small batches are a single tile.
+        assert_eq!(batch_tile_span(3, 10_000), 3);
+    }
 
     #[test]
     fn prepare_outputs_resets_recycled_and_makes_fresh() {

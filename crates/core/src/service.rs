@@ -608,6 +608,21 @@ where
         if reqs.is_empty() {
             return Vec::new();
         }
+        // Batch-of-one fast path: collapse scanning, unique-index
+        // bookkeeping, pooled batch buffers and the regroup/compose passes
+        // all exist to share work *between* requests — with one request
+        // there is nothing to share, so delegate straight to the single-
+        // request path. `serve_at` runs the identical per-component op
+        // sequence (`execute_pooled` ≡ `execute_batch_pooled` at width 1,
+        // proptest-pinned by `serve_batch_equals_mapped_serve`), so the
+        // response is the same — this branch only sheds the batch
+        // bookkeeping that made serve_batch_1 measurably slower than a
+        // bare serve.
+        if reqs.len() == 1 {
+            if let (Some(req), Some(&sub)) = (reqs.first(), submitted.first()) {
+                return vec![self.serve_at(req, policy, sub)];
+            }
+        }
         // Collapse duplicate requests (clock-free policies only):
         // `firsts[u]` is the original index of unique request `u`,
         // `unique_of[i]` the unique index serving original request `i`.

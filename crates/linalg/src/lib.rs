@@ -19,6 +19,7 @@
 //! predictably; hot loops are written over contiguous slices so the compiler
 //! can vectorise them.
 
+pub mod blocked;
 pub mod matrix;
 pub mod pearson;
 pub mod sparse;
@@ -26,8 +27,12 @@ pub mod stats;
 pub mod svd;
 pub mod vector;
 
+pub use blocked::{
+    for_each_common_slot, pearson_on_common_blocked, pearson_on_common_lanes4,
+    pearson_on_common_lanes8, BlockedRow, BlockedSet, LANES,
+};
 pub use matrix::Matrix;
-pub use pearson::{pearson, pearson_on_common, pearson_on_common_alloc};
+pub use pearson::{pearson, pearson_on_common, pearson_on_common_alloc, WelfordPair};
 pub use sparse::{SparseMatrix, SparseMatrixBuilder};
 pub use stats::{mean, percentile, rmse, stddev, variance, Percentiles, RowStats, StreamingStats};
 pub use svd::{IncrementalSvd, SvdConfig, SvdModel};

@@ -17,37 +17,89 @@
 //! differential-test oracle and the benchmark baseline; serving code must
 //! never call it.
 
+/// The shared Welford pair-moment accumulator: running means, second
+/// moments and co-moment of a stream of `(x, y)` pairs, folded one pair at
+/// a time in the numerically stable post-update-delta form.
+///
+/// Every Pearson kernel in this crate — dense [`pearson`], streaming
+/// [`pearson_on_common`], and the blocked/lane-chunked variants in
+/// [`crate::blocked`] — funnels matched pairs through [`push`](Self::push)
+/// in ascending column order and ends with [`finish`](Self::finish). One
+/// recurrence, one op order: kernels that visit the same pairs in the same
+/// order are bit-identical by construction, which is what lets the blocked
+/// layout swap in under the differential oracle without moving a single
+/// result bit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WelfordPair {
+    n: usize,
+    mean_x: f64,
+    mean_y: f64,
+    m2x: f64,
+    m2y: f64,
+    cxy: f64,
+}
+
+impl WelfordPair {
+    /// Fresh accumulator (zero pairs seen).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one `(x, y)` pair into the running moments.
+    #[inline(always)]
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        let inv = 1.0 / self.n as f64;
+        let dx = x - self.mean_x;
+        let dy = y - self.mean_y;
+        self.mean_x += dx * inv;
+        self.mean_y += dy * inv;
+        // Post-update deltas: Welford's numerically stable form.
+        let dx2 = x - self.mean_x;
+        let dy2 = y - self.mean_y;
+        self.m2x += dx * dx2;
+        self.m2y += dy * dy2;
+        self.cxy += dx * dy2;
+    }
+
+    /// `(weight, pairs)` under the CF conventions: `0.0` for fewer than two
+    /// pairs or a zero-variance side, clamped to `[-1, 1]` otherwise.
+    #[inline]
+    pub fn finish(self) -> (f64, usize) {
+        if self.n < 2 || self.m2x <= 0.0 || self.m2y <= 0.0 {
+            (0.0, self.n)
+        } else {
+            (
+                (self.cxy / (self.m2x.sqrt() * self.m2y.sqrt())).clamp(-1.0, 1.0),
+                self.n,
+            )
+        }
+    }
+}
+
 /// Pearson correlation of two equal-length samples.
 ///
 /// Returns `0.0` when either sample has zero variance (the convention used
 /// by CF systems: a flat co-rater carries no similarity signal) or when
 /// fewer than two pairs exist.
 ///
+/// Single pass: pairs fold through the same [`WelfordPair`] recurrence as
+/// [`pearson_on_common`], so gathering an intersection and calling this
+/// (what [`pearson_on_common_alloc`] does) yields **bit-identical** results
+/// to streaming the intersection directly — which is what makes the
+/// allocating formulation a byte-exact differential oracle for every
+/// streaming/blocked kernel variant. A constant side still gives exactly
+/// `0.0`: Welford's `m2` is exactly zero for constant input.
+///
 /// # Panics
 /// Panics if `a.len() != b.len()`.
 pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "pearson: length mismatch");
-    let n = a.len();
-    if n < 2 {
-        return 0.0;
-    }
-    let ma = a.iter().sum::<f64>() / n as f64;
-    let mb = b.iter().sum::<f64>() / n as f64;
-    let mut cov = 0.0;
-    let mut va = 0.0;
-    let mut vb = 0.0;
+    let mut w = WelfordPair::new();
     for (&x, &y) in a.iter().zip(b) {
-        let dx = x - ma;
-        let dy = y - mb;
-        cov += dx * dy;
-        va += dx * dx;
-        vb += dy * dy;
+        w.push(x, y);
     }
-    if va == 0.0 || vb == 0.0 {
-        0.0
-    } else {
-        (cov / (va.sqrt() * vb.sqrt())).clamp(-1.0, 1.0)
-    }
+    w.finish().0
 }
 
 /// Pearson correlation over the *intersection* of two sparse rating rows.
@@ -72,50 +124,31 @@ pub fn pearson_on_common(
 ) -> (f64, usize) {
     debug_assert_eq!(cols_a.len(), vals_a.len());
     debug_assert_eq!(cols_b.len(), vals_b.len());
-    let mut n = 0usize;
-    let mut mean_x = 0.0f64;
-    let mut mean_y = 0.0f64;
-    let mut m2x = 0.0f64;
-    let mut m2y = 0.0f64;
-    let mut cxy = 0.0f64;
+    let mut w = WelfordPair::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < cols_a.len() && j < cols_b.len() {
         match cols_a[i].cmp(&cols_b[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
-                let (x, y) = (vals_a[i], vals_b[j]);
-                n += 1;
-                let inv = 1.0 / n as f64;
-                let dx = x - mean_x;
-                let dy = y - mean_y;
-                mean_x += dx * inv;
-                mean_y += dy * inv;
-                // Post-update deltas: Welford's numerically stable form.
-                let dx2 = x - mean_x;
-                let dy2 = y - mean_y;
-                m2x += dx * dx2;
-                m2y += dy * dy2;
-                cxy += dx * dy2;
+                w.push(vals_a[i], vals_b[j]);
                 i += 1;
                 j += 1;
             }
         }
     }
-    if n < 2 || m2x <= 0.0 || m2y <= 0.0 {
-        (0.0, n)
-    } else {
-        ((cxy / (m2x.sqrt() * m2y.sqrt())).clamp(-1.0, 1.0), n)
-    }
+    w.finish()
 }
 
 /// The pre-streaming, allocating formulation of [`pearson_on_common`]:
-/// materialises the intersection into two vectors, then runs the two-pass
-/// dense [`pearson`] over them.
+/// materialises the intersection into two vectors, then runs the dense
+/// [`pearson`] over them.
 ///
-/// Kept **only** as the differential-test oracle (the streaming merge must
-/// agree with it on random sparse rows) and as the "before" baseline of the
-/// hot-path benchmarks. Not for serving-path use.
+/// Kept **only** as the differential-test oracle (the streaming, blocked
+/// and lane-chunked merges must agree with it **bit-for-bit** on random
+/// sparse rows — gather + fold and stream + fold share the
+/// [`WelfordPair`] recurrence, so the op sequences coincide) and as the
+/// "before" baseline of the hot-path benchmarks. Not for serving-path use.
 pub fn pearson_on_common_alloc(
     cols_a: &[u32],
     vals_a: &[f64],
@@ -248,5 +281,34 @@ mod tests {
         let (wa, na) = pearson_on_common_alloc(&cols_a, &vals_a, &cols_b, &vals_b);
         assert_eq!(ns, na);
         assert!((ws - wa).abs() < 1e-12, "{ws} vs {wa}");
+    }
+
+    #[test]
+    fn allocating_oracle_is_bit_identical_to_streaming() {
+        // Since the dense `pearson` became the same single-pass Welford
+        // fold as the streaming merge, gather-then-fold and stream-fold run
+        // the identical op sequence: the oracle is byte-exact, which is the
+        // property the blocked/lane kernel proptests lean on.
+        let cols_a = [0u32, 2, 3, 5, 8, 9, 11, 13];
+        let vals_a = [1.0, 4.5, 2.0, 5.0, 3.0, 0.5, 2.25, 1.75];
+        let cols_b = [1u32, 2, 3, 4, 5, 9, 11, 13];
+        let vals_b = [2.0, 1.0, 4.0, 9.0, 2.0, 4.5, 0.125, 3.5];
+        let (ws, ns) = pearson_on_common(&cols_a, &vals_a, &cols_b, &vals_b);
+        let (wa, na) = pearson_on_common_alloc(&cols_a, &vals_a, &cols_b, &vals_b);
+        assert_eq!(ns, na);
+        assert_eq!(ws.to_bits(), wa.to_bits());
+    }
+
+    #[test]
+    fn dense_welford_keeps_conventions() {
+        // Satellite regression: the single-pass rewrite keeps the clamp and
+        // zero-variance conventions of the two-pass form bit-compatible.
+        assert_eq!(
+            pearson(&[2.5, 2.5, 2.5], &[1.0, 2.0, 3.0]).to_bits(),
+            0.0f64.to_bits()
+        );
+        assert_eq!(pearson(&[7.0], &[3.0]).to_bits(), 0.0f64.to_bits());
+        let r = pearson(&[1.0, 2.0, 3.0, 4.0], &[2.0, 4.0, 6.0, 8.0]);
+        assert!(r <= 1.0 && (r - 1.0).abs() < 1e-12);
     }
 }

@@ -1,7 +1,11 @@
 //! Property-based tests for the numeric substrate.
 
 use at_linalg::stats::{mean, percentile, variance, Percentiles, StreamingStats};
-use at_linalg::{pearson, pearson_on_common, pearson_on_common_alloc};
+use at_linalg::{
+    for_each_common_slot, pearson, pearson_on_common, pearson_on_common_alloc,
+    pearson_on_common_blocked, pearson_on_common_lanes4, pearson_on_common_lanes8, BlockedRow,
+    BlockedSet,
+};
 use proptest::prelude::*;
 
 /// Build one sorted sparse row from a dense mask: entry `i` is present when
@@ -133,5 +137,136 @@ proptest! {
         let (w, common) = pearson_on_common(&cols, &a, &cols, &b);
         prop_assert_eq!(common, cols.len());
         prop_assert!((w - pearson(&a, &b)).abs() < 1e-12);
+    }
+
+    // ---- blocked / lane-chunked kernel differentials ------------------------
+    //
+    // Every vectorized variant must be *bit*-identical (`to_bits`) to the
+    // allocating oracle, which the streaming kernel is itself pinned to.
+    // Column gaps of 1..6 walk intersections across 8-wide block boundaries
+    // at every alignment; `zero_var_a` forces constant (zero-variance) rows
+    // and `nan_at` injects a NaN score to pin NaN propagation.
+
+    #[test]
+    fn blocked_and_lane_kernels_bit_match_oracle(
+        entries in prop::collection::vec((0u32..2, 0u32..2, 1u32..6, 0.5f64..5.0, 0.5f64..5.0), 0..120),
+        zero_var_a in 0u32..2,
+        // Indices >= 120 never match an entry, so half the draws inject no NaN.
+        nan_at in 0usize..240,
+    ) {
+        let mut col = 0u32;
+        let (mut ca, mut va) = (Vec::new(), Vec::new());
+        let (mut cb, mut vb) = (Vec::new(), Vec::new());
+        for (i, &(pa, pb, gap, x, y)) in entries.iter().enumerate() {
+            col += gap;
+            let mut x = if zero_var_a == 1 { 2.5 } else { x };
+            if nan_at == i {
+                x = f64::NAN;
+            }
+            if pa == 1 {
+                ca.push(col);
+                va.push(x);
+            }
+            if pb == 1 {
+                cb.push(col);
+                vb.push(y);
+            }
+        }
+        let a = BlockedRow::from_sorted(&ca, &va);
+        let b = BlockedRow::from_sorted(&cb, &vb);
+        let (w_oracle, n_oracle) = pearson_on_common_alloc(&ca, &va, &cb, &vb);
+        let variants = [
+            ("streaming", pearson_on_common(&ca, &va, &cb, &vb)),
+            ("blocked", pearson_on_common_blocked(&a, &b)),
+            ("lanes4", pearson_on_common_lanes4(&ca, &va, &cb, &vb)),
+            ("lanes8", pearson_on_common_lanes8(&ca, &va, &cb, &vb)),
+        ];
+        for (name, (w, n)) in variants {
+            prop_assert_eq!(n, n_oracle, "{}: common count", name);
+            prop_assert_eq!(w.to_bits(), w_oracle.to_bits(),
+                            "{}: {} vs oracle {}", name, w, w_oracle);
+        }
+    }
+
+    #[test]
+    fn empty_and_disjoint_intersections_are_exactly_zero(
+        cols_a in prop::collection::vec(1u32..6, 0..40),
+        cols_b in prop::collection::vec(1u32..6, 0..40),
+    ) {
+        // Make the rows provably disjoint: evens for `a`, odds for `b`.
+        let mut col = 0u32;
+        let ca: Vec<u32> = cols_a.iter().map(|&g| { col += g; col * 2 }).collect();
+        let mut col = 0u32;
+        let cb: Vec<u32> = cols_b.iter().map(|&g| { col += g; col * 2 + 1 }).collect();
+        let va = vec![1.5; ca.len()];
+        let vb = vec![2.5; cb.len()];
+        let a = BlockedRow::from_sorted(&ca, &va);
+        let b = BlockedRow::from_sorted(&cb, &vb);
+        for (w, n) in [
+            pearson_on_common_blocked(&a, &b),
+            pearson_on_common_lanes4(&ca, &va, &cb, &vb),
+            pearson_on_common_lanes8(&ca, &va, &cb, &vb),
+        ] {
+            prop_assert_eq!(n, 0);
+            prop_assert_eq!(w.to_bits(), 0.0f64.to_bits());
+        }
+    }
+
+    #[test]
+    fn blocked_row_round_trips_sorted_pairs(
+        entries in prop::collection::vec((1u32..9, -100.0f64..100.0), 0..100),
+    ) {
+        let mut col = 0u32;
+        let (mut cols, mut vals) = (Vec::new(), Vec::new());
+        for &(gap, v) in &entries {
+            col += gap;
+            cols.push(col);
+            vals.push(v);
+        }
+        let row = BlockedRow::from_sorted(&cols, &vals);
+        prop_assert_eq!(row.nnz(), cols.len());
+        let (rc, rv) = row.to_sorted();
+        prop_assert_eq!(rc, cols);
+        for (got, want) in rv.iter().zip(&vals) {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn common_slot_merge_matches_two_pointer_reference(
+        entries in prop::collection::vec((0u32..2, 0u32..2, 1u32..6, -10.0f64..10.0), 0..100),
+    ) {
+        let mut col = 0u32;
+        let (mut cr, mut vr) = (Vec::new(), Vec::new());
+        let mut ct = Vec::new();
+        for &(pr, pt, gap, v) in &entries {
+            col += gap;
+            if pr == 1 {
+                cr.push(col);
+                vr.push(v);
+            }
+            if pt == 1 {
+                ct.push(col);
+            }
+        }
+        let row = BlockedRow::from_sorted(&cr, &vr);
+        let set = BlockedSet::from_sorted(&ct);
+        // Reference: classic two-pointer merge over the sorted CSR views.
+        let mut want: Vec<(usize, u64)> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < cr.len() && j < ct.len() {
+            match cr[i].cmp(&ct[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    want.push((j, vr[i].to_bits()));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let mut got: Vec<(usize, u64)> = Vec::new();
+        for_each_common_slot(&row, &set, |slot, v| got.push((slot, v.to_bits())));
+        prop_assert_eq!(got, want);
     }
 }

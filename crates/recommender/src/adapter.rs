@@ -12,9 +12,12 @@
 //!   with the exact contributions of its member users.
 
 use at_core::{ApproximateService, ComposableService, Correlation, Ctx};
+use at_linalg::BlockedRow;
 use at_rtree::NodeId;
 
-use crate::predict::{accumulate_neighbor, user_weight, PredictionAcc};
+use crate::predict::{
+    accumulate_neighbor_blocked, user_weight, user_weight_blocked, PredictionAcc,
+};
 use crate::ratings::ActiveUser;
 
 /// The user-based CF service, AccuracyTrader-enabled.
@@ -23,12 +26,18 @@ use crate::ratings::ActiveUser;
 /// once** (it serves both as the correlation estimate and the prediction
 /// weight) and reads neighbour means from the stores' cached
 /// [`at_linalg::RowStats`] — no per-neighbour allocation or value rescans.
+/// Both kernels run block-aligned ([`user_weight_blocked`] /
+/// [`accumulate_neighbor_blocked`]) over the blocked renderings cached in
+/// the stores and the request — bit-identical to the scalar merges, so the
+/// layout is purely a perf decision.
 ///
 /// Batch-aware: `process_synopsis_batch` makes **one** pass over the
 /// synopsis shared by every request of a batch (aggregated users outer,
-/// requests inner — bit-identical to the per-request pass), and
-/// `process_synopsis_into` resets recycled accumulator buffers in place so
-/// pooled serving allocates nothing for outputs.
+/// requests inner — bit-identical to the per-request pass), cache-tiled
+/// over the request dimension so a tile's accumulators stay L1-resident
+/// across the whole synopsis stream, and `process_synopsis_into` resets
+/// recycled accumulator buffers in place so pooled serving allocates
+/// nothing for outputs.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CfService;
 
@@ -45,18 +54,26 @@ fn reset_acc(acc: &mut Vec<PredictionAcc>, req: &ActiveUser) {
 fn synopsis_step(
     req: &ActiveUser,
     p: &at_synopsis::AggregatedPoint,
+    pb: &BlockedRow,
     stats: at_linalg::RowStats,
     corr: &mut Vec<Correlation>,
     acc: &mut [PredictionAcc],
 ) {
     // One weight per aggregated user: it is both the correlation
     // estimate c_i and the prediction weight.
-    let (w, _) = user_weight(&req.profile, &p.info);
+    let (w, _) = user_weight_blocked(req.profile_blocked(), pb);
     corr.push(Correlation {
         node: p.node,
         score: w.abs(),
     });
-    accumulate_neighbor(req, &p.info, w, stats.mean(), p.member_count as f64, acc);
+    accumulate_neighbor_blocked(
+        req.targets_blocked(),
+        pb,
+        w,
+        stats.mean(),
+        p.member_count as f64,
+        acc,
+    );
 }
 
 impl ApproximateService for CfService {
@@ -83,9 +100,14 @@ impl ApproximateService for CfService {
         out: &mut Self::Output,
     ) {
         reset_acc(out, req);
-        corr.reserve(ctx.store.synopsis().len());
-        for (p, stats) in ctx.store.synopsis().iter_with_stats() {
-            synopsis_step(req, p, stats, corr, out);
+        let synopsis = ctx.store.synopsis();
+        corr.reserve(synopsis.len());
+        for ((p, stats), pb) in synopsis
+            .points_with_stats()
+            .iter()
+            .zip(synopsis.points_blocked())
+        {
+            synopsis_step(req, p, pb, *stats, corr, out);
         }
     }
 
@@ -103,18 +125,34 @@ impl ApproximateService for CfService {
             // lint: allow(hot-path-alloc) reason=pool-miss fallback, runs once per buffer ever in flight; warm batches take the reset branch
             |i| vec![PredictionAcc::default(); reqs[i].targets.len()],
         );
-        let points = ctx.store.synopsis().points_with_stats();
+        let synopsis = ctx.store.synopsis();
+        let points = synopsis.points_with_stats();
+        let blocked = synopsis.points_blocked();
         for corr in corrs.iter_mut() {
             corr.reserve(points.len());
         }
-        // One pass over the synopsis shared by the whole batch: each
-        // aggregated user's row stays hot in cache across the inner
-        // request loop, and the per-request op order matches
-        // `process_synopsis_into` exactly.
-        for (p, stats) in points {
-            for ((req, corr), out) in reqs.iter().zip(corrs.iter_mut()).zip(outs.iter_mut()) {
-                synopsis_step(req, p, *stats, corr, out);
+        // Cache-tiled pass: requests are cut into tiles sized once per
+        // batch (from the batch width and the mean aggregated-row nnz) so
+        // one tile's accumulators and profiles stay L1-resident while the
+        // whole synopsis streams past; within a tile the loop is still
+        // points-outer/requests-inner, so every request sees every point
+        // in node-id order and the per-request op order matches
+        // `process_synopsis_into` exactly — tiling moves no FP bits.
+        let total_nnz: usize = points.iter().map(|(_, s)| s.nnz).sum();
+        let tile = at_core::batch_tile_span(reqs.len(), total_nnz / points.len().max(1));
+        let mut start = 0usize;
+        while start < reqs.len() {
+            let end = (start + tile).min(reqs.len());
+            for ((p, stats), pb) in points.iter().zip(blocked) {
+                for ((req, corr), out) in reqs[start..end]
+                    .iter()
+                    .zip(corrs[start..end].iter_mut())
+                    .zip(outs[start..end].iter_mut())
+                {
+                    synopsis_step(req, p, pb, *stats, corr, out);
+                }
             }
+            start = end;
         }
     }
 
@@ -127,24 +165,45 @@ impl ApproximateService for CfService {
         members: &[u64],
     ) {
         // Back out the aggregated user's estimated contribution...
-        if let Some((p, stats)) = ctx.store.synopsis().point_with_stats(node) {
-            let (w, _) = user_weight(&req.profile, &p.info);
-            accumulate_neighbor(req, &p.info, w, stats.mean(), -(p.member_count as f64), out);
+        if let Some((p, stats, pb)) = ctx.store.synopsis().point_full(node) {
+            let (w, _) = user_weight_blocked(req.profile_blocked(), pb);
+            accumulate_neighbor_blocked(
+                req.targets_blocked(),
+                pb,
+                w,
+                stats.mean(),
+                -(p.member_count as f64),
+                out,
+            );
         }
         // ...and put in the exact contributions of its original users.
         for &m in members {
-            let row = ctx.dataset.row(m);
-            let (w, _) = user_weight(&req.profile, row);
-            accumulate_neighbor(req, row, w, ctx.dataset.row_stats(m).mean(), 1.0, out);
+            let rb = ctx.dataset.row_blocked(m);
+            let (w, _) = user_weight_blocked(req.profile_blocked(), rb);
+            accumulate_neighbor_blocked(
+                req.targets_blocked(),
+                rb,
+                w,
+                ctx.dataset.row_stats(m).mean(),
+                1.0,
+                out,
+            );
         }
     }
 
     fn process_exact(&self, ctx: Ctx<'_>, req: &ActiveUser) -> Self::Output {
         let mut acc = vec![PredictionAcc::default(); req.targets.len()];
         for id in ctx.dataset.ids() {
-            let row = ctx.dataset.row(id);
-            let (w, _) = user_weight(&req.profile, row);
-            accumulate_neighbor(req, row, w, ctx.dataset.row_stats(id).mean(), 1.0, &mut acc);
+            let rb = ctx.dataset.row_blocked(id);
+            let (w, _) = user_weight_blocked(req.profile_blocked(), rb);
+            accumulate_neighbor_blocked(
+                req.targets_blocked(),
+                rb,
+                w,
+                ctx.dataset.row_stats(id).mean(),
+                1.0,
+                &mut acc,
+            );
         }
         acc
     }

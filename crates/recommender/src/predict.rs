@@ -7,6 +7,7 @@
 //! from the CF survey the paper cites.
 
 use at_linalg::pearson::pearson_on_common;
+use at_linalg::{for_each_common_slot, pearson_on_common_blocked, BlockedRow, BlockedSet};
 use at_synopsis::SparseRow;
 
 use crate::ratings::ActiveUser;
@@ -47,6 +48,21 @@ impl PredictionAcc {
 /// Returns `(weight, common_items)`; weight is 0 below [`MIN_COMMON_ITEMS`].
 pub fn user_weight(active: &SparseRow, neighbor: &SparseRow) -> (f64, usize) {
     let (w, common) = pearson_on_common(&active.cols, &active.vals, &neighbor.cols, &neighbor.vals);
+    if common < MIN_COMMON_ITEMS {
+        (0.0, common)
+    } else {
+        (w, common)
+    }
+}
+
+/// Block-aligned [`user_weight`] over cached blocked rows: the serving-path
+/// variant (profile from [`ActiveUser::profile_blocked`], neighbour from
+/// the `RowStore`/`Synopsis` blocked caches). **Bit-identical** to
+/// [`user_weight`] — the blocked kernel folds the same intersection through
+/// the same Welford recurrence in the same order, only the intersection
+/// *discovery* is block-parallel.
+pub fn user_weight_blocked(active: &BlockedRow, neighbor: &BlockedRow) -> (f64, usize) {
+    let (w, common) = pearson_on_common_blocked(active, neighbor);
     if common < MIN_COMMON_ITEMS {
         (0.0, common)
     } else {
@@ -103,6 +119,34 @@ pub fn accumulate_neighbor(
             }
         }
     }
+}
+
+/// Block-aligned [`accumulate_neighbor`]: the neighbour's blocked row is
+/// merged against the active user's cached blocked target set
+/// ([`ActiveUser::targets_blocked`]), finding each co-occupied block with
+/// one mask AND and recovering the accumulator slot by branch-free rank
+/// instead of a per-column compare loop.
+///
+/// **Bit-identical** to the scalar merge: matches arrive in the same
+/// ascending column order and the per-match arithmetic is the exact
+/// expression of [`accumulate_neighbor`], unreassociated.
+pub fn accumulate_neighbor_blocked(
+    targets: &BlockedSet,
+    neighbor: &BlockedRow,
+    weight: f64,
+    neighbor_mean: f64,
+    multiplier: f64,
+    acc: &mut [PredictionAcc],
+) {
+    debug_assert_eq!(acc.len(), targets.len());
+    if weight == 0.0 {
+        return;
+    }
+    for_each_common_slot(neighbor, targets, |t, v| {
+        let a = &mut acc[t];
+        a.num += weight * (v - neighbor_mean) * multiplier;
+        a.den += weight.abs() * multiplier;
+    });
 }
 
 /// Weigh one neighbour against the active user and fold it into the
@@ -224,6 +268,38 @@ mod tests {
         assert!((ten[0].num - 10.0 * one[0].num).abs() < 1e-12);
         // Prediction itself is scale-invariant for a single neighbour.
         assert!((ten[0].predict(3.0) - one[0].predict(3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocked_kernels_are_bit_identical_to_scalar() {
+        let active = ActiveUser::new(
+            row(vec![(0, 5.0), (1, 1.0), (2, 3.0), (8, 2.0), (17, 4.0)]),
+            vec![3, 5, 7, 9, 16, 24],
+        );
+        let n = row(vec![
+            (0, 4.0),
+            (1, 2.0),
+            (4, 1.0),
+            (5, 5.0),
+            (8, 3.5),
+            (9, 2.0),
+            (16, 1.0),
+            (17, 2.0),
+        ]);
+        let nb = BlockedRow::from_sorted(&n.cols, &n.vals);
+        let (ws, cs) = user_weight(&active.profile, &n);
+        let (wb, cb) = user_weight_blocked(active.profile_blocked(), &nb);
+        assert_eq!(cs, cb);
+        assert_eq!(ws.to_bits(), wb.to_bits());
+        let mean = at_linalg::RowStats::of(&n.vals).mean();
+        let mut scalar = vec![PredictionAcc::default(); active.targets.len()];
+        accumulate_neighbor(&active, &n, ws, mean, 2.0, &mut scalar);
+        let mut blocked = vec![PredictionAcc::default(); active.targets.len()];
+        accumulate_neighbor_blocked(active.targets_blocked(), &nb, wb, mean, 2.0, &mut blocked);
+        for (s, b) in scalar.iter().zip(&blocked) {
+            assert_eq!(s.num.to_bits(), b.num.to_bits());
+            assert_eq!(s.den.to_bits(), b.den.to_bits());
+        }
     }
 
     #[test]

@@ -143,17 +143,26 @@ impl ApproximateService for SearchService {
         for corr in corrs.iter_mut() {
             corr.reserve(points.len());
         }
-        // One pass over the synopsis shared by the whole batch: each
-        // aggregated page's merged row stays hot in cache while it is
-        // scored against every query of the batch, in the same per-request
-        // order as `process_synopsis_into`.
-        for (p, _) in points {
-            for (req, corr) in reqs.iter().zip(corrs.iter_mut()) {
-                corr.push(Correlation {
-                    node: p.node,
-                    score: self.index.score_row(p.info.iter(), &req.terms),
-                });
+        // Cache-tiled pass over the synopsis: the aggregated pages stream
+        // past one *tile* of queries at a time, so the tile's term lists
+        // and correlation tails stay L1-resident while each merged row is
+        // hot. Every query still sees every point in node-id order — the
+        // per-request op order matches `process_synopsis_into` exactly,
+        // tiling moves no FP bits.
+        let total_nnz: usize = points.iter().map(|(_, s)| s.nnz).sum();
+        let tile = at_core::batch_tile_span(reqs.len(), total_nnz / points.len().max(1));
+        let mut start = 0usize;
+        while start < reqs.len() {
+            let end = (start + tile).min(reqs.len());
+            for (p, _) in points {
+                for (req, corr) in reqs[start..end].iter().zip(corrs[start..end].iter_mut()) {
+                    corr.push(Correlation {
+                        node: p.node,
+                        score: self.index.score_row(p.info.iter(), &req.terms),
+                    });
+                }
             }
+            start = end;
         }
     }
 

@@ -8,7 +8,7 @@
 //! synopsis *updating* can add and change points in place.
 
 use at_linalg::sparse::{SparseMatrix, SparseMatrixBuilder};
-use at_linalg::RowStats;
+use at_linalg::{BlockedRow, RowStats};
 
 /// How a group of original rows is folded into one aggregated data point.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -29,11 +29,15 @@ pub enum AggregationMode {
 /// current by [`push_row`](RowStore::push_row) /
 /// [`replace_row`](RowStore::replace_row), so the per-request serving path
 /// reads a neighbour's mean in `O(1)` instead of rescanning its values.
+/// A [`BlockedRow`] rendering of every row is cached the same way (built at
+/// push/replace time, never on the serving path) so the block-aligned
+/// correlation kernels read dense lanes instead of re-walking the CSR view.
 #[derive(Clone, Debug, Default)]
 pub struct RowStore {
     feature_dim: usize,
     rows: Vec<SparseRow>,
     stats: Vec<RowStats>,
+    blocked: Vec<BlockedRow>,
 }
 
 /// One sparse row: parallel `(cols, vals)` with `cols` sorted ascending.
@@ -83,6 +87,7 @@ impl RowStore {
             feature_dim,
             rows: Vec::new(),
             stats: Vec::new(),
+            blocked: Vec::new(),
         }
     }
 
@@ -114,6 +119,8 @@ impl RowStore {
             );
         }
         self.stats.push(RowStats::of(&row.vals));
+        self.blocked
+            .push(BlockedRow::from_sorted(&row.cols, &row.vals));
         self.rows.push(row);
         (self.rows.len() - 1) as u64
     }
@@ -136,6 +143,7 @@ impl RowStore {
             .get_mut(id as usize)
             .unwrap_or_else(|| panic!("replace_row: id {id} out of range"));
         self.stats[id as usize] = RowStats::of(&row.vals);
+        self.blocked[id as usize] = BlockedRow::from_sorted(&row.cols, &row.vals);
         *slot = row;
     }
 
@@ -154,6 +162,16 @@ impl RowStore {
     /// Panics if out of range.
     pub fn row_stats(&self, id: u64) -> RowStats {
         self.stats[id as usize]
+    }
+
+    /// Cached blocked rendering of row `id`, maintained like
+    /// [`row_stats`](Self::row_stats): the serving path reads it without
+    /// rebuilding anything.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    pub fn row_blocked(&self, id: u64) -> &BlockedRow {
+        &self.blocked[id as usize]
     }
 
     /// All row ids (`0..len`).
@@ -239,6 +257,18 @@ mod tests {
         assert_eq!((st.nnz, st.sum), (1, 9.0));
         let id = s.push_row(SparseRow::from_pairs(vec![(0, 1.0), (3, 2.0), (4, 3.0)]));
         assert_eq!(s.row_stats(id).mean(), 2.0);
+    }
+
+    #[test]
+    fn blocked_cache_tracks_mutations() {
+        let mut s = store();
+        let (cols, vals) = s.row_blocked(0).to_sorted();
+        assert_eq!((cols, vals), (vec![0, 2], vec![4.0, 2.0]));
+        s.replace_row(0, SparseRow::from_pairs(vec![(1, 9.0), (4, 3.0)]));
+        let (cols, vals) = s.row_blocked(0).to_sorted();
+        assert_eq!((cols, vals), (vec![1, 4], vec![9.0, 3.0]));
+        let id = s.push_row(SparseRow::from_pairs(vec![(3, 7.0)]));
+        assert_eq!(s.row_blocked(id).to_sorted(), (vec![3], vec![7.0]));
     }
 
     #[test]

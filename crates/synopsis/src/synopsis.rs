@@ -1,7 +1,7 @@
 //! The synopsis itself: the set of aggregated data points.
 
 use crate::dataset::{AggregationMode, SparseRow};
-use at_linalg::RowStats;
+use at_linalg::{BlockedRow, RowStats};
 use at_rtree::NodeId;
 
 /// One aggregated data point: the folded information of a group of similar
@@ -39,6 +39,10 @@ pub struct Synopsis {
     mode: AggregationMode,
     /// `(point, stats)` entries sorted ascending by `point.node`.
     points: Vec<(AggregatedPoint, RowStats)>,
+    /// Blocked rendering of each point's row, index-parallel to `points`
+    /// and maintained by the same `upsert`/`remove` mutations — the batch
+    /// pass reads dense lanes without touching the CSR view.
+    blocked: Vec<BlockedRow>,
 }
 
 impl Synopsis {
@@ -47,6 +51,7 @@ impl Synopsis {
         Synopsis {
             mode,
             points: Vec::new(),
+            blocked: Vec::new(),
         }
     }
 
@@ -89,12 +94,19 @@ impl Synopsis {
     }
 
     /// Insert or replace the aggregated point for `node`, refreshing its
-    /// cached row stats.
+    /// cached row stats and blocked rendering.
     pub fn upsert(&mut self, point: AggregatedPoint) {
         let stats = RowStats::of(&point.info.vals);
+        let blocked = BlockedRow::from_sorted(&point.info.cols, &point.info.vals);
         match self.position(point.node) {
-            Ok(i) => self.points[i] = (point, stats),
-            Err(i) => self.points.insert(i, (point, stats)),
+            Ok(i) => {
+                self.points[i] = (point, stats);
+                self.blocked[i] = blocked;
+            }
+            Err(i) => {
+                self.points.insert(i, (point, stats));
+                self.blocked.insert(i, blocked);
+            }
         }
     }
 
@@ -104,6 +116,7 @@ impl Synopsis {
         match self.position(node) {
             Ok(i) => {
                 self.points.remove(i);
+                self.blocked.remove(i);
                 true
             }
             Err(_) => false,
@@ -132,6 +145,25 @@ impl Synopsis {
     /// streaming iterators above can only run front to back once.
     pub fn points_with_stats(&self) -> &[(AggregatedPoint, RowStats)] {
         &self.points
+    }
+
+    /// Blocked rendering of every aggregated row, index-parallel to
+    /// [`points_with_stats`](Self::points_with_stats) (same node-id order,
+    /// same length). The batch pass zips the two slices so each point's
+    /// dense lanes ride along with its stats.
+    pub fn points_blocked(&self) -> &[BlockedRow] {
+        &self.blocked
+    }
+
+    /// The aggregated point of `node` with its cached stats **and** blocked
+    /// rendering — the stage-2 improvement path backs a point out of the
+    /// running accumulators through the same blocked kernels it was folded
+    /// in with.
+    pub fn point_full(&self, node: NodeId) -> Option<(&AggregatedPoint, RowStats, &BlockedRow)> {
+        self.position(node).ok().map(|i| {
+            let (p, s) = &self.points[i];
+            (p, *s, &self.blocked[i])
+        })
     }
 }
 
@@ -214,6 +246,25 @@ mod tests {
             assert_eq!(st_it.sum, st_sl.sum);
             assert_eq!(st_it.nnz, st_sl.nnz);
         }
+    }
+
+    #[test]
+    fn blocked_slice_stays_parallel_through_mutations() {
+        let mut s = Synopsis::new(AggregationMode::Mean);
+        for i in [5u32, 1, 9, 3] {
+            s.upsert(pt(i, 1));
+        }
+        assert!(s.remove(NodeId::from_index(3)));
+        s.upsert(pt(7, 2));
+        let points = s.points_with_stats();
+        let blocked = s.points_blocked();
+        assert_eq!(points.len(), blocked.len());
+        for ((p, _), b) in points.iter().zip(blocked) {
+            assert_eq!(b.to_sorted(), (p.info.cols.clone(), p.info.vals.clone()));
+        }
+        let (p, _, b) = s.point_full(NodeId::from_index(7)).unwrap();
+        assert_eq!(p.member_count, 2);
+        assert_eq!(b.to_sorted().0, p.info.cols);
     }
 
     #[test]

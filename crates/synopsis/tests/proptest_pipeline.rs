@@ -120,4 +120,31 @@ proptest! {
             prop_assert_eq!(data_a.row(id), data_b.row(id), "row {} diverged", id);
         }
     }
+
+    #[test]
+    fn blocked_rowstore_round_trips_csr_view(ops in prop::collection::vec(op_strategy(), 1..25)) {
+        // The bucketed (blocked) row cache must stay a bit-exact mirror of
+        // the CSR view through arbitrary push/replace sequences.
+        let mut data = base_dataset(40);
+        for op in &ops {
+            match op {
+                Op::Add(pairs) => {
+                    data.push_row(to_row(pairs));
+                }
+                Op::Change(id, pairs) => {
+                    data.replace_row(*id as u64 % 40, to_row(pairs));
+                }
+            }
+        }
+        let csr = data.to_csr();
+        for id in 0..data.len() {
+            let (cols, vals) = data.row_blocked(id as u64).to_sorted();
+            prop_assert_eq!(cols.as_slice(), csr.row_cols(id), "row {} cols", id);
+            let want = csr.row_values(id);
+            prop_assert_eq!(vals.len(), want.len());
+            for (got, want) in vals.iter().zip(want) {
+                prop_assert_eq!(got.to_bits(), want.to_bits());
+            }
+        }
+    }
 }
